@@ -1,0 +1,60 @@
+// Ablation (paper §2.4): message complexity of the protocol families.
+//
+//   mirror   : O(q * r^2) application messages, no acks
+//   parallel : O(q * r) application messages + (r-1) acks per reception
+//
+// Measured by running the same workload under each protocol and counting
+// physical data frames and control frames.
+#include <iostream>
+
+#include "bench_support.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdrmpi;
+  util::Options opts(argc, argv);
+  bench::banner("message complexity: mirror vs parallel protocols",
+                "paragraph 2.4 (O(q*r^2) vs O(q*r))");
+
+  const int nranks = static_cast<int>(opts.get_int("ranks", 4));
+  util::Options wl_opts = opts;
+  wl_opts.set("nrows", "512");
+  wl_opts.set("iters", "10");
+  const auto app = wl::make_workload("cg", wl_opts);
+
+  core::RunConfig native;
+  native.nranks = nranks;
+  auto res_native = core::run(native, app);
+  const auto q = res_native.data_frames;
+
+  util::Table table({"Protocol", "r", "Data frames", "Data/q", "Ctl frames",
+                     "Time (s)"});
+  table.add_row({"native", "1", std::to_string(q), "1.00", "0",
+                 util::format_double(res_native.seconds(), 5)});
+
+  for (int r = 2; r <= 3; ++r) {
+    for (const auto kind :
+         {core::ProtocolKind::Sdr, core::ProtocolKind::Mirror}) {
+      core::RunConfig cfg;
+      cfg.nranks = nranks;
+      cfg.replication = r;
+      cfg.protocol = kind;
+      auto res = core::run(cfg, app);
+      if (!res.clean()) {
+        std::cerr << "run failed\n";
+        return 2;
+      }
+      table.add_row(
+          {core::to_string(kind), std::to_string(r),
+           std::to_string(res.data_frames),
+           util::format_double(static_cast<double>(res.data_frames) /
+                                   static_cast<double>(q),
+                               2),
+           std::to_string(res.ctl_frames),
+           util::format_double(res.seconds(), 5)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: sdr data/q = r with (r-1) acks per message; "
+               "mirror data/q = r^2 with no acks\n";
+  return 0;
+}

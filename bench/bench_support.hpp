@@ -1,0 +1,43 @@
+// Shared harness for the paper-reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sdrmpi/sdrmpi.hpp"
+#include "sdrmpi/workloads/registry.hpp"
+
+namespace sdrmpi::bench {
+
+/// Runs the app `reps` times (the paper averages five executions) and
+/// returns the mean virtual makespan in seconds. Aborts loudly if any run
+/// fails. With modeled compute runs are bit-identical, so reps > 1 only
+/// matters when --measured-compute is used.
+inline double mean_seconds(const core::RunConfig& cfg, const core::AppFn& app,
+                           int reps = 1) {
+  util::Accumulator acc;
+  for (int i = 0; i < reps; ++i) {
+    auto res = core::run(cfg, app);
+    if (!res.clean()) {
+      std::cerr << "bench run failed:" << (res.deadlock ? " deadlock" : "")
+                << (res.rank_lost ? " rank-lost" : "")
+                << (res.time_limit_hit ? " time-limit" : "");
+      for (const auto& e : res.errors) std::cerr << " [" << e << "]";
+      std::cerr << "\n";
+      std::exit(2);
+    }
+    acc.add(res.seconds());
+  }
+  return acc.mean();
+}
+
+/// Paper-style header printed by each bench binary.
+inline void banner(const std::string& what, const std::string& paper_ref) {
+  std::cout << "== " << what << " ==\n"
+            << "   reproduces: " << paper_ref << "\n"
+            << "   (virtual-time simulation calibrated to InfiniBand-20G;\n"
+            << "    compare shapes/ratios with the paper, not absolutes)\n\n";
+}
+
+}  // namespace sdrmpi::bench

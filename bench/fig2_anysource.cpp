@@ -1,0 +1,88 @@
+// Figure 2: handling an anonymous reception with and without
+// send-determinism.
+//
+// A microbenchmark isolating the wildcard path: rank 0 posts ANY_SOURCE
+// receives served by rotating senders. Under the leader-based protocol the
+// follower replica must wait for the leader's decision before posting its
+// receive (extra latency + unexpected messages); under SDR-MPI each replica
+// decides locally.
+#include <iostream>
+
+#include "bench_support.hpp"
+
+namespace {
+
+sdrmpi::core::AppFn anysource_app(int rounds) {
+  return [rounds](sdrmpi::mpi::Env& env) {
+    using namespace sdrmpi;
+    auto& world = env.world();
+    const int n = world.size();
+    double v = 0.0;
+    if (env.rank() == 0) {
+      double acc = 0.0;
+      for (int i = 0; i < rounds; ++i) {
+        for (int s = 1; s < n; ++s) {
+          acc += world.recv_value<double>(mpi::kAnySource, 11);
+        }
+      }
+      v = acc;
+    } else {
+      for (int i = 0; i < rounds; ++i) {
+        world.send_value(static_cast<double>(env.rank() + i), 0, 11);
+      }
+    }
+    util::Checksum cs;
+    cs.add_double(v);
+    env.report_checksum(cs.digest());
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sdrmpi;
+  util::Options opts(argc, argv);
+  bench::banner("ANY_SOURCE microbenchmark: leader vs send-determinism",
+                "Figure 2 (anonymous reception handling)");
+
+  const int nranks = static_cast<int>(opts.get_int("ranks", 4));
+  const int rounds = static_cast<int>(opts.get_int("rounds", 200));
+  const auto app = anysource_app(rounds);
+
+  core::RunConfig native;
+  native.nranks = nranks;
+  auto res_native = core::run(native, app);
+
+  core::RunConfig sdr;
+  sdr.nranks = nranks;
+  sdr.replication = 2;
+  sdr.protocol = core::ProtocolKind::Sdr;
+  auto res_sdr = core::run(sdr, app);
+
+  core::RunConfig leader = sdr;
+  leader.protocol = core::ProtocolKind::Leader;
+  auto res_leader = core::run(leader, app);
+
+  util::Table table({"Protocol", "Time (s)", "Overhead (%)", "Decisions",
+                     "Unexpected msgs"});
+  table.add_row({"native", util::format_double(res_native.seconds(), 6), "-",
+                 "0", std::to_string(res_native.unexpected)});
+  table.add_row(
+      {"sdr (local decision)", util::format_double(res_sdr.seconds(), 6),
+       util::format_double(
+           util::overhead_percent(res_native.seconds(), res_sdr.seconds()), 2),
+       std::to_string(res_sdr.protocol.decisions_sent),
+       std::to_string(res_sdr.unexpected)});
+  table.add_row(
+      {"leader-based", util::format_double(res_leader.seconds(), 6),
+       util::format_double(util::overhead_percent(res_native.seconds(),
+                                                  res_leader.seconds()),
+                           2),
+       std::to_string(res_leader.protocol.decisions_sent),
+       std::to_string(res_leader.unexpected)});
+  table.print(std::cout);
+  std::cout << "\npaper claim: with send-determinism replicas decide "
+               "locally — no decision messages, fewer unexpected arrivals, "
+               "lower latency\n";
+  return 0;
+}

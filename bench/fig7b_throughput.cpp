@@ -1,0 +1,51 @@
+// Figure 7b: NetPipe throughput, Open MPI (native) vs SDR-MPI, r = 2.
+#include <iostream>
+
+#include "bench_support.hpp"
+#include "sdrmpi/workloads/netpipe.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdrmpi;
+  util::Options opts(argc, argv);
+  bench::banner("NetPipe throughput sweep", "Figure 7b (throughput, IB-20G)");
+
+  wl::NetpipeParams np;
+  np.reps = static_cast<int>(opts.get_int("reps", 10));
+  const auto sizes = opts.get_int_list("sizes", {});
+  if (!sizes.empty()) {
+    np.sizes.clear();
+    for (auto s : sizes) np.sizes.push_back(static_cast<std::size_t>(s));
+  }
+
+  auto run_sweep = [&](core::ProtocolKind proto, int r) {
+    core::RunConfig cfg;
+    cfg.nranks = 2;
+    cfg.replication = r;
+    cfg.protocol = proto;
+    auto res = core::run(cfg, wl::make_netpipe(np));
+    if (!res.clean()) {
+      std::cerr << "sweep failed\n";
+      std::exit(2);
+    }
+    return res.slots[0].values;
+  };
+
+  const auto native = run_sweep(core::ProtocolKind::Native, 1);
+  const auto sdr = run_sweep(core::ProtocolKind::Sdr, 2);
+
+  util::Table table({"Message size (B)", "Open MPI (Mbps)", "SDR-MPI (Mbps)",
+                     "Perf. decrease (%)"});
+  for (const std::size_t s : np.sizes) {
+    const std::string key = "mbps_" + std::to_string(s);
+    const double bw_native = native.at(key);
+    const double bw_sdr = sdr.at(key);
+    table.add_row(
+        {std::to_string(s), util::format_double(bw_native, 1),
+         util::format_double(bw_sdr, 1),
+         util::format_double(util::overhead_percent(bw_sdr, bw_native), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: throughput decrease mirrors the latency figure — "
+               "noticeable only for small messages, ~0% for large ones\n";
+  return 0;
+}

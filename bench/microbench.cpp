@@ -1,0 +1,107 @@
+// Substrate microbenchmarks (google-benchmark): costs of the simulator and
+// runtime primitives that everything above is built on. These measure HOST
+// performance of the simulation itself, not virtual time.
+#include <benchmark/benchmark.h>
+
+#include "sdrmpi/sdrmpi.hpp"
+
+namespace {
+
+using namespace sdrmpi;
+
+void BM_EngineSpawnRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 4; ++i) {
+      engine.spawn("p" + std::to_string(i), [&engine] {
+        for (int k = 0; k < 10; ++k) {
+          engine.advance(100);
+          engine.yield();
+        }
+      });
+    }
+    auto out = engine.run();
+    benchmark::DoNotOptimize(out.end_time);
+  }
+}
+BENCHMARK(BM_EngineSpawnRun);
+
+void BM_PingPongHostCost(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::RunConfig cfg;
+    cfg.nranks = 2;
+    auto res = core::run(cfg, [bytes](mpi::Env& env) {
+      auto& world = env.world();
+      std::vector<std::byte> buf(bytes, std::byte{1});
+      const int peer = env.rank() ^ 1;
+      for (int i = 0; i < 10; ++i) {
+        if (env.rank() == 0) {
+          world.send(std::span<const std::byte>(buf), peer, 1);
+          world.recv(std::span<std::byte>(buf), peer, 1);
+        } else {
+          world.recv(std::span<std::byte>(buf), peer, 1);
+          world.send(std::span<const std::byte>(buf), peer, 1);
+        }
+      }
+    });
+    benchmark::DoNotOptimize(res.makespan);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 20 *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PingPongHostCost)->Arg(64)->Arg(65536);
+
+void BM_SdrPingPongHostCost(benchmark::State& state) {
+  for (auto _ : state) {
+    core::RunConfig cfg;
+    cfg.nranks = 2;
+    cfg.replication = 2;
+    cfg.protocol = core::ProtocolKind::Sdr;
+    auto res = core::run(cfg, [](mpi::Env& env) {
+      auto& world = env.world();
+      double v = 1.0;
+      const int peer = env.rank() ^ 1;
+      for (int i = 0; i < 10; ++i) {
+        if (env.rank() == 0) {
+          world.send_value(v, peer, 1);
+          v = world.recv_value<double>(peer, 1);
+        } else {
+          v = world.recv_value<double>(peer, 1);
+          world.send_value(v, peer, 1);
+        }
+      }
+    });
+    benchmark::DoNotOptimize(res.makespan);
+  }
+}
+BENCHMARK(BM_SdrPingPongHostCost);
+
+void BM_Collective(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::RunConfig cfg;
+    cfg.nranks = nranks;
+    auto res = core::run(cfg, [](mpi::Env& env) {
+      std::vector<double> v(64, env.rank());
+      env.world().allreduce(std::span<double>(v), mpi::Op::Sum);
+    });
+    benchmark::DoNotOptimize(res.makespan);
+  }
+}
+BENCHMARK(BM_Collective)->Arg(4)->Arg(16);
+
+void BM_Hashing(benchmark::State& state) {
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)),
+                              std::byte{42});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::fnv1a(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Hashing)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Extension bench: how SDR-MPI's overhead scales with rank count and with
+// the interconnect. The paper fixes 256 ranks on IB-20G; this sweep probes
+// the protocol's sensitivity to both dimensions (its conclusion argues the
+// overhead is dominated by the per-message ack cost, so slower networks
+// and more latency-bound configurations should hurt more).
+#include <iostream>
+
+#include "bench_support.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdrmpi;
+  util::Options opts(argc, argv);
+  bench::banner("scaling sweep: ranks x network",
+                "extension (paper fixes 256 ranks, IB-20G)");
+
+  const auto ranks = opts.get_int_list("ranks", {2, 4, 8, 16});
+
+  util::Table table(
+      {"Network", "Ranks", "Native (s)", "SDR-MPI (s)", "Overhead (%)"});
+  struct Net {
+    const char* name;
+    net::NetParams params;
+  };
+  for (const Net net : {Net{"ib-20g", net::NetParams::infiniband_20g()},
+                        Net{"gige", net::NetParams::gigabit_ethernet()}}) {
+    for (const auto r : ranks) {
+      util::Options wl_opts = opts;
+      if (!opts.has("nrows")) {
+        wl_opts.set("nrows", std::to_string(512 * r));  // weak scaling
+      }
+      const auto app = wl::make_workload("cg", wl_opts);
+
+      core::RunConfig native;
+      native.nranks = static_cast<int>(r);
+      native.net = net.params;
+      const double t_native = bench::mean_seconds(native, app);
+
+      core::RunConfig sdr = native;
+      sdr.replication = 2;
+      sdr.protocol = core::ProtocolKind::Sdr;
+      const double t_sdr = bench::mean_seconds(sdr, app);
+
+      table.add_row({net.name, std::to_string(r),
+                     util::format_double(t_native, 5),
+                     util::format_double(t_sdr, 5),
+                     util::format_double(
+                         util::overhead_percent(t_native, t_sdr), 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: overhead grows with latency-boundedness (more "
+               "ranks at fixed local size, slower network)\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table 2: applications with anonymous (MPI_ANY_SOURCE) receptions.
+//
+// Paper (256 procs): HPCCG 91.13 -> 91.29 s (~0%), CM1 210.21 -> 216.80 s
+// (3.14%). The point: SDR-MPI's overhead does NOT degrade when wildcard
+// receives are used, unlike leader-based protocols (rMPI, redMPI). We print
+// SDR next to the leader-based protocol on the same workloads to expose the
+// gap the paper attributes to send-determinism.
+#include <iostream>
+
+#include "bench_support.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdrmpi;
+  util::Options opts(argc, argv);
+  bench::banner("ANY_SOURCE applications, native vs SDR-MPI (r=2)",
+                "Table 2 (HPCCG 128x128x64, CM1 160^3 in the paper)");
+
+  const int nranks = static_cast<int>(opts.get_int("ranks", 8));
+  const int reps = static_cast<int>(opts.get_int("reps", 1));
+
+  util::Table table({"App", "Native (s)", "SDR-MPI (s)", "SDR ovh (%)",
+                     "Leader (s)", "Leader ovh (%)", "Paper SDR (%)"});
+  struct Row {
+    const char* name;
+    const char* paper;
+  };
+  for (const Row row : {Row{"hpccg", "0.00"}, Row{"cm1", "3.14"}}) {
+    const auto app = wl::make_workload(row.name, opts);
+
+    core::RunConfig native;
+    native.nranks = nranks;
+    const double t_native = bench::mean_seconds(native, app, reps);
+
+    core::RunConfig sdr;
+    sdr.nranks = nranks;
+    sdr.replication = 2;
+    sdr.protocol = core::ProtocolKind::Sdr;
+    const double t_sdr = bench::mean_seconds(sdr, app, reps);
+
+    core::RunConfig leader = sdr;
+    leader.protocol = core::ProtocolKind::Leader;
+    const double t_leader = bench::mean_seconds(leader, app, reps);
+
+    table.add_row(
+        {row.name, util::format_double(t_native, 4),
+         util::format_double(t_sdr, 4),
+         util::format_double(util::overhead_percent(t_native, t_sdr), 2),
+         util::format_double(t_leader, 4),
+         util::format_double(util::overhead_percent(t_native, t_leader), 2),
+         row.paper});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper claim: SDR-MPI performance does not degrade on "
+               "anonymous receptions (HPCCG ~0%, CM1 3.14%), unlike "
+               "leader-based rMPI/redMPI\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Silent-data-corruption detection example (redMPI-style, paper §2.4).
+//
+// A corrupted send is injected into one replica. SDR-MPI (crash-oriented)
+// does not notice — the worlds silently diverge. The redMPI protocol
+// compares per-message hashes across replicas and flags the corruption.
+//
+//   ./sdc_detection [--ranks 4]
+#include <cstdio>
+
+#include "sdrmpi/sdrmpi.hpp"
+
+using namespace sdrmpi;
+
+namespace {
+
+void iterative_sum(mpi::Env& env) {
+  auto& world = env.world();
+  std::vector<double> block(256, 1.0 + env.rank());
+  double acc = 0.0;
+  for (int it = 0; it < 10; ++it) {
+    const int peer = (env.rank() + 1) % world.size();
+    const int src = (env.rank() - 1 + world.size()) % world.size();
+    std::vector<double> incoming(block.size());
+    world.sendrecv(std::span<const double>(block), peer, 0,
+                   std::span<double>(incoming), src, 0);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      block[i] = 0.5 * (block[i] + incoming[i]);
+      acc += block[i];
+    }
+  }
+  util::Checksum cs;
+  cs.add_double(acc);
+  env.report_checksum(cs.digest());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  const int nranks = static_cast<int>(opts.get_int("ranks", 4));
+
+  auto run_with = [&](core::ProtocolKind kind, bool corrupt) {
+    core::RunConfig cfg;
+    cfg.nranks = nranks;
+    cfg.replication = 2;
+    cfg.protocol = kind;
+    if (corrupt) {
+      // Flip a byte in the 5th message sent by rank 1's world-1 replica.
+      cfg.sdc.push_back({.slot = nranks + 1, .at_send = 5});
+    }
+    return core::run(cfg, iterative_sum);
+  };
+
+  std::printf("-- injecting one corrupted payload into a replica --\n\n");
+
+  auto sdr = run_with(core::ProtocolKind::Sdr, true);
+  std::printf("SDR-MPI   : detections=%llu, worlds agree=%s  "
+              "(crash protocol: corruption goes unnoticed)\n",
+              static_cast<unsigned long long>(sdr.protocol.sdc_detected),
+              sdr.checksums_consistent() ? "yes" : "NO -- silent divergence");
+
+  auto red = run_with(core::ProtocolKind::RedMpiSd, true);
+  std::printf("redMPI-SD : detections=%llu, hashes compared=%llu  "
+              "(corruption caught by hash comparison)\n",
+              static_cast<unsigned long long>(red.protocol.sdc_detected),
+              static_cast<unsigned long long>(red.protocol.hashes_compared));
+
+  auto clean = run_with(core::ProtocolKind::RedMpiSd, false);
+  std::printf("redMPI-SD (no fault): detections=%llu (no false positives)\n",
+              static_cast<unsigned long long>(clean.protocol.sdc_detected));
+
+  const bool ok = red.protocol.sdc_detected > 0 &&
+                  clean.protocol.sdc_detected == 0 &&
+                  !sdr.checksums_consistent();
+  std::printf("\nexample behaved as the paper describes: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+#include "sdrmpi/core/ack_manager.hpp"
+
+namespace sdrmpi::core {
+
+void AckManager::track(const Key& key, Record rec) {
+  if (rec.pending.empty()) return;  // nothing to wait for, nothing to buffer
+  auto [it, inserted] = records_.emplace(key, std::move(rec));
+  if (!inserted) return;
+  // Consume acks that beat the send (the receiving world ran ahead).
+  auto eit = early_acks_.find(key);
+  if (eit != early_acks_.end()) {
+    const std::set<int> early = std::move(eit->second);
+    early_acks_.erase(eit);
+    for (int slot : early) {
+      if (records_.count(key) != 0 &&
+          records_.at(key).pending.count(slot) != 0) {
+        release_one(records_.find(key), slot);
+      }
+    }
+  }
+}
+
+void AckManager::on_ack(const mpi::FrameHeader& h, ProtocolStats& stats) {
+  ++stats.acks_received;
+  const Key key{h.ctx, h.src_rank, h.seq};
+  auto it = records_.find(key);
+  if (it == records_.end()) {
+    // The matching send has not been posted yet: queue like an unexpected
+    // MPI message (Alg. 1 line 9's irecv would match it later).
+    early_acks_[key].insert(h.src_slot);
+    return;
+  }
+  if (it->second.pending.count(h.src_slot) == 0) {
+    ++stats.stale_acks;  // late ack after failover cancellation
+    return;
+  }
+  release_one(it, h.src_slot);
+}
+
+void AckManager::cancel_from(int slot) {
+  for (auto it = records_.begin(); it != records_.end();) {
+    auto next = std::next(it);
+    if (it->second.pending.count(slot) > 0) release_one(it, slot);
+    it = next;
+  }
+  // A dead receiver's early acks will never be consumed: purge them.
+  for (auto it = early_acks_.begin(); it != early_acks_.end();) {
+    it->second.erase(slot);
+    it = it->second.empty() ? early_acks_.erase(it) : std::next(it);
+  }
+}
+
+void AckManager::settle(const Key& key, int slot) {
+  auto it = records_.find(key);
+  if (it == records_.end()) return;
+  if (it->second.pending.count(slot) == 0) return;
+  release_one(it, slot);
+}
+
+void AckManager::release_one(std::map<Key, Record>::iterator it, int slot) {
+  Record& rec = it->second;
+  rec.pending.erase(slot);
+  if (rec.req != nullptr) --rec.req->gates;
+  if (rec.pending.empty()) records_.erase(it);
+}
+
+}  // namespace sdrmpi::core

@@ -1,0 +1,74 @@
+// AckManager: sender-side bookkeeping of the parallel replication protocol.
+//
+// Every application message a sender emits is buffered here until every
+// expected cross-replica acknowledgement has arrived (paper §3.2: "when
+// replica p_i^k sends a message m to p_j^k, it has to wait for an ack from
+// all other replicas of rank j before deleting m"). The buffered payload is
+// what a substitute resends after a failure (Alg. 1 lines 24-25).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sdrmpi/core/run_config.hpp"
+#include "sdrmpi/mpi/request.hpp"
+#include "sdrmpi/mpi/types.hpp"
+#include "sdrmpi/mpi/wire.hpp"
+
+namespace sdrmpi::core {
+
+class AckManager {
+ public:
+  struct Key {
+    mpi::CommCtx ctx;
+    int dst_rank;
+    std::uint64_t seq;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  struct Record {
+    std::vector<std::byte> payload;
+    int tag = 0;
+    int dst_world_rank = -1;  ///< destination's rank in the world layout:
+                              ///< record keys use communicator ranks, but
+                              ///< failover routing needs the world rank
+    std::set<int> pending;    ///< slots whose ack we still await
+    mpi::Request req;  ///< gated app request (null for detached records)
+  };
+
+  /// Starts tracking a message. If rec.req is non-null its gates must
+  /// already include rec.pending.size().
+  void track(const Key& key, Record rec);
+
+  /// Handles an incoming Ack frame; updates stats.
+  void on_ack(const mpi::FrameHeader& h, ProtocolStats& stats);
+
+  /// A receiver died: drop every expectation on its acks (Alg. 1 line 33).
+  void cancel_from(int slot);
+
+  /// Removes `slot` from a specific record's pending set (substitute
+  /// takeover: the message is being resent directly).
+  void settle(const Key& key, int slot);
+
+  [[nodiscard]] std::map<Key, Record>& records() noexcept { return records_; }
+  [[nodiscard]] const std::map<Key, Record>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  /// Releases one pending entry: decrements the request gate and erases the
+  /// record when nothing remains outstanding.
+  void release_one(std::map<Key, Record>::iterator it, int slot);
+
+  std::map<Key, Record> records_;
+  /// Acks that arrived before their send was posted (the receiving world
+  /// ran ahead). The real implementation gets this for free from the MPI
+  /// unexpected-message queue: the ack irecv of Alg. 1 line 9 matches a
+  /// queued ack. Keyed by message; values are the acking slots.
+  std::map<Key, std::set<int>> early_acks_;
+};
+
+}  // namespace sdrmpi::core

@@ -1,0 +1,29 @@
+// FailureDetector: the external failure-detection service the paper assumes
+// ("we assume that failures are detected by an external service provided in
+// the system"). Crashes are fail-stop; every alive process receives an
+// out-of-band notification after a configurable detection delay and reacts
+// inside its next MPI call.
+#pragma once
+
+#include "sdrmpi/core/job.hpp"
+
+namespace sdrmpi::core {
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(JobContext& job) : job_(&job) {}
+
+  /// Schedules the RunConfig's time-based faults on the engine.
+  void arm_time_faults();
+
+  /// Crashes `slot` immediately (used for send-count faults fired from the
+  /// crashing process's own context).
+  void crash_now(int slot);
+
+ private:
+  void do_crash(int slot, Time when);
+
+  JobContext* job_;
+};
+
+}  // namespace sdrmpi::core

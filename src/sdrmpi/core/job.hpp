@@ -1,0 +1,57 @@
+// JobContext: shared state of one replicated run, owned by the launcher and
+// referenced by every protocol instance (one per physical process).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sdrmpi/core/replica_map.hpp"
+#include "sdrmpi/core/run_config.hpp"
+#include "sdrmpi/mpi/endpoint.hpp"
+#include "sdrmpi/net/fabric.hpp"
+#include "sdrmpi/sim/engine.hpp"
+
+namespace sdrmpi::core {
+
+struct JobContext {
+  sim::Engine* engine = nullptr;
+  net::Fabric* fabric = nullptr;
+  RunConfig config;
+  Topology topo;
+
+  // Per-slot state (index = fabric slot). Endpoints are replaced on
+  // recovery respawn; always access through this table, never cache.
+  std::vector<std::unique_ptr<mpi::Endpoint>> endpoints;
+  std::vector<int> pids;  // current engine pid per slot, -1 if none
+  std::vector<SlotResult> results;
+  std::vector<std::vector<std::byte>> snapshots;  // latest offered app state
+  std::vector<std::optional<std::vector<std::byte>>> restart_state;
+
+  ProtocolStats pstats;  // single-threaded: only the running entity mutates
+  bool rank_lost = false;
+  std::vector<std::string> errors;
+  // One-shot consumption flags for send-count faults / SDC injections
+  // (without these a recovered replica would re-trigger the same spec).
+  std::vector<bool> fault_fired;
+  std::vector<bool> sdc_fired;
+
+  /// Set by the launcher: crash `slot` right now (send-count faults).
+  std::function<void(int slot)> trigger_crash;
+  /// Set by the launcher: respawn a recovered replica into `slot` with the
+  /// given application snapshot; `from_slot` is the forking substitute.
+  std::function<void(int slot, std::vector<std::byte> state, int from_slot)>
+      respawn;
+
+  int app_comm_handle = -1;       // same handle value on every endpoint
+  int internal_comm_handle = -1;  // spans all slots
+
+  [[nodiscard]] mpi::Endpoint& endpoint(int slot) {
+    return *endpoints.at(static_cast<std::size_t>(slot));
+  }
+};
+
+}  // namespace sdrmpi::core

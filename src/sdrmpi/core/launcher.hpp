@@ -1,0 +1,24 @@
+// Launcher: runs an application function under a replication protocol.
+//
+// Following the paper (§4.1, Figure 6): r*n physical processes are started;
+// the launch-time world communicator is kept internal to the protocol layer
+// (acks and cross-world control traffic), and is split into r application
+// worlds. The application only ever sees its own world as MPI_COMM_WORLD,
+// which makes replication — including all collectives and communicator
+// operations — transparent.
+#pragma once
+
+#include <functional>
+
+#include "sdrmpi/core/run_config.hpp"
+#include "sdrmpi/mpi/env.hpp"
+
+namespace sdrmpi::core {
+
+/// An application: an SPMD function every physical process executes.
+using AppFn = std::function<void(mpi::Env&)>;
+
+/// Runs `app` under `config` and returns timing, checksums and statistics.
+[[nodiscard]] RunResult run(const RunConfig& config, const AppFn& app);
+
+}  // namespace sdrmpi::core

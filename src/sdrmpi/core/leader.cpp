@@ -1,0 +1,95 @@
+#include "sdrmpi/core/leader.hpp"
+
+#include "sdrmpi/util/log.hpp"
+
+namespace sdrmpi::core {
+
+bool WildcardDecider::intercept_irecv(mpi::Endpoint& ep,
+                                      const mpi::RecvArgs& a,
+                                      const mpi::Request& req) {
+  if (a.src_rank != mpi::kAnySource || is_leader()) return false;
+
+  // Follower: park the receive until the leader's decision names the source
+  // (Figure 2, left side: "ANY SOURCE = p1").
+  req->ctx = a.ctx;
+  req->peer_rank = mpi::kAnySource;
+  req->tag = a.tag;
+  req->recv_buf = a.buf;
+  const Key key{a.ctx, a.tag};
+  held_[key].push_back(Held{a, req});
+  drain(ep, key);
+  return true;
+}
+
+void WildcardDecider::on_match(mpi::Endpoint& ep, const mpi::FrameHeader& h,
+                               const mpi::Request& req) {
+  if (!is_leader() || req->peer_rank != mpi::kAnySource) return;
+
+  // Leader: impose the matched source on every follower replica of my rank.
+  const Key key{h.ctx, req->tag};
+  const std::uint64_t idx = next_decide_[key]++;
+  const Topology& topo = map_->topo();
+  for (int w = 0; w < topo.nworlds; ++w) {
+    if (w == map_->my_world()) continue;
+    const int t = topo.slot(w, map_->my_rank());
+    if (!map_->alive(t)) continue;
+    mpi::FrameHeader d;
+    d.kind = mpi::FrameKind::Decision;
+    d.ctx = h.ctx;
+    d.tag = req->tag;
+    d.dst_rank = map_->my_rank();
+    d.seq = idx;
+    d.value = static_cast<std::uint64_t>(h.src_rank);
+    ep.send_ctl(t, d);
+    ++job_->pstats.decisions_sent;
+  }
+}
+
+bool WildcardDecider::handle_ctl(mpi::Endpoint& ep,
+                                 const mpi::FrameHeader& h) {
+  if (h.kind != mpi::FrameKind::Decision) return false;
+  const Key key{h.ctx, h.tag};
+  decisions_[key][h.seq] = static_cast<int>(h.value);
+  drain(ep, key);
+  return true;
+}
+
+void WildcardDecider::drain(mpi::Endpoint& ep, const Key& key) {
+  auto& queue = held_[key];
+  auto& ready = decisions_[key];
+  std::uint64_t& next = next_consume_[key];
+  while (!queue.empty()) {
+    auto dit = ready.find(next);
+    if (dit == ready.end()) return;
+    Held held = std::move(queue.front());
+    queue.pop_front();
+    const int src = dit->second;
+    ready.erase(dit);
+    ++next;
+    ++job_->pstats.decisions_used;
+    SDR_LOG(Trace, "leader") << "slot " << slot_ << " consumes decision #"
+                             << next - 1 << " -> src " << src;
+    ep.base_irecv(held.args.ctx, src, held.args.tag, held.args.buf, held.req);
+  }
+}
+
+void LeaderProtocol::irecv(mpi::Endpoint& ep, const mpi::RecvArgs& a,
+                           const mpi::Request& req) {
+  if (decider_.intercept_irecv(ep, a, req)) return;
+  SdrProtocol::irecv(ep, a, req);
+}
+
+void LeaderProtocol::on_match(mpi::Endpoint& ep, const mpi::FrameHeader& h,
+                              const mpi::Request& req) {
+  decider_.on_match(ep, h, req);
+  SdrProtocol::on_match(ep, h, req);
+}
+
+void LeaderProtocol::protocol_ctl(mpi::Endpoint& ep,
+                                  const mpi::FrameHeader& h,
+                                  std::span<const std::byte> payload) {
+  if (decider_.handle_ctl(ep, h)) return;
+  SdrProtocol::protocol_ctl(ep, h, payload);
+}
+
+}  // namespace sdrmpi::core

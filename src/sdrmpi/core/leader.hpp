@@ -1,0 +1,81 @@
+// LeaderProtocol: rMPI-style semi-active replication (paper §2.4, Fig. 2).
+//
+// Same parallel data path and acknowledgement machinery as SDR-MPI, but
+// non-determinism is resolved by a leader: for every MPI_ANY_SOURCE receive
+// the leader replica (world 0) matches first, then broadcasts the resolved
+// source to the follower replicas, which only then post a narrowed receive.
+// The extra decision hop sits on the critical path and inflates the
+// follower's unexpected-message queue — exactly the costs Figure 2 shows
+// send-determinism removes.
+//
+// WildcardDecider is reusable; the redMPI leader variant composes it too.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "sdrmpi/core/sdr.hpp"
+
+namespace sdrmpi::core {
+
+/// Leader/follower agreement on ANY_SOURCE outcomes. Decisions are ordered
+/// per (context, tag): SPMD programs post wildcard receives of a given tag
+/// in the same order on every replica.
+class WildcardDecider {
+ public:
+  WildcardDecider(JobContext& job, ReplicaMap& map, int slot)
+      : job_(&job), map_(&map), slot_(slot) {}
+
+  /// The leader replica of each rank lives in world 0.
+  [[nodiscard]] bool is_leader() const { return map_->my_world() == 0; }
+
+  /// Follower side: holds back an ANY_SOURCE receive until a decision
+  /// arrives. Returns true when the receive was intercepted.
+  bool intercept_irecv(mpi::Endpoint& ep, const mpi::RecvArgs& a,
+                       const mpi::Request& req);
+
+  /// Leader side: when a wildcard receive matched, broadcast the decision.
+  void on_match(mpi::Endpoint& ep, const mpi::FrameHeader& h,
+                const mpi::Request& req);
+
+  /// Both sides: consume Decision frames. Returns true if handled.
+  bool handle_ctl(mpi::Endpoint& ep, const mpi::FrameHeader& h);
+
+ private:
+  struct Held {
+    mpi::RecvArgs args;
+    mpi::Request req;
+  };
+  using Key = std::pair<mpi::CommCtx, int>;  // (context, tag)
+
+  void drain(mpi::Endpoint& ep, const Key& key);
+
+  JobContext* job_;
+  ReplicaMap* map_;
+  int slot_;
+  std::map<Key, std::deque<Held>> held_;
+  std::map<Key, std::map<std::uint64_t, int>> decisions_;
+  std::map<Key, std::uint64_t> next_decide_;
+  std::map<Key, std::uint64_t> next_consume_;
+};
+
+class LeaderProtocol : public SdrProtocol {
+ public:
+  LeaderProtocol(JobContext& job, int slot)
+      : SdrProtocol(job, slot), decider_(job, map_, slot) {}
+
+  void irecv(mpi::Endpoint& ep, const mpi::RecvArgs& a,
+             const mpi::Request& req) override;
+  void on_match(mpi::Endpoint& ep, const mpi::FrameHeader& h,
+                const mpi::Request& req) override;
+
+ protected:
+  void protocol_ctl(mpi::Endpoint& ep, const mpi::FrameHeader& h,
+                    std::span<const std::byte> payload) override;
+
+ private:
+  WildcardDecider decider_;
+};
+
+}  // namespace sdrmpi::core

@@ -1,0 +1,25 @@
+// MirrorProtocol: MR-MPI-style mirror replication (paper §2.4).
+//
+// Every replica of rank A sends each application message to EVERY replica of
+// rank B — O(q * r^2) application messages instead of the parallel
+// protocol's O(q * r). No acknowledgements are needed: as long as one
+// replica of the sender is alive, every receiver replica gets a copy.
+// Receivers keep the first copy per (channel, seq) and drop the siblings
+// (the endpoint's sequence dedup, which also consumes duplicate rendezvous
+// payloads so senders never stall — that consumed bandwidth is the mirror
+// protocol's documented cost).
+#pragma once
+
+#include "sdrmpi/core/protocol.hpp"
+
+namespace sdrmpi::core {
+
+class MirrorProtocol : public ReplicatedProtocol {
+ public:
+  using ReplicatedProtocol::ReplicatedProtocol;
+
+  void isend(mpi::Endpoint& ep, const mpi::SendArgs& a,
+             const mpi::Request& req) override;
+};
+
+}  // namespace sdrmpi::core

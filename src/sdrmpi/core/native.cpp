@@ -1,0 +1,11 @@
+#include "sdrmpi/core/native.hpp"
+
+namespace sdrmpi::core {
+
+void NativeProtocol::isend(mpi::Endpoint& ep, const mpi::SendArgs& a,
+                           const mpi::Request& req) {
+  const auto data = begin_app_send(a.data);
+  ep.base_isend(a.ctx, a.dst_rank, a.dst_slot_default, a.tag, a.seq, data, req);
+}
+
+}  // namespace sdrmpi::core

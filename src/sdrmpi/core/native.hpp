@@ -1,0 +1,18 @@
+// Native (non-replicated) protocol: the measurement baseline. Identical to
+// the default PML path except that fault/SDC injection still applies, so
+// failure experiments can compare against an unprotected run.
+#pragma once
+
+#include "sdrmpi/core/protocol.hpp"
+
+namespace sdrmpi::core {
+
+class NativeProtocol : public ReplicatedProtocol {
+ public:
+  using ReplicatedProtocol::ReplicatedProtocol;
+
+  void isend(mpi::Endpoint& ep, const mpi::SendArgs& a,
+             const mpi::Request& req) override;
+};
+
+}  // namespace sdrmpi::core

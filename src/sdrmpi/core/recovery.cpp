@@ -1,0 +1,59 @@
+#include "sdrmpi/core/recovery.hpp"
+
+namespace sdrmpi::core {
+
+std::unique_ptr<mpi::Endpoint> clone_endpoint_for_recovery(JobContext& job,
+                                                           int dead_slot,
+                                                           int from_slot) {
+  const Topology& topo = job.topo;
+  const int w = topo.world_of(dead_slot);
+  const int from_world = topo.world_of(from_slot);
+  mpi::Endpoint& sub = job.endpoint(from_slot);
+
+  auto ep = std::make_unique<mpi::Endpoint>(*job.fabric, dead_slot, w,
+                                            topo.nworlds);
+
+  // Clone the communicator registry. Handles and context ids must come out
+  // identical (the recovered application resumes with the same handles);
+  // membership slots that live in the substitute's world translate to the
+  // recovered world, while cross-world slots (the internal communicator)
+  // stay as they are.
+  for (const mpi::CommInfo& ci : sub.all_comms()) {
+    // Only communicators that live entirely inside the substitute's world
+    // (the app world and anything the app split off it) translate; the
+    // internal communicator spans all worlds and is copied verbatim.
+    bool single_world = !ci.rank_to_slot.empty();
+    for (int s : ci.rank_to_slot) {
+      if (topo.world_of(s) != from_world) {
+        single_world = false;
+        break;
+      }
+    }
+    std::vector<int> slots;
+    slots.reserve(ci.rank_to_slot.size());
+    int my_new_rank = ci.my_rank;
+    for (std::size_t i = 0; i < ci.rank_to_slot.size(); ++i) {
+      const int s = ci.rank_to_slot[i];
+      const int translated =
+          single_world ? topo.slot(w, topo.rank_of(s)) : s;
+      // "my rank" follows my slot (matters for the slot-indexed internal
+      // communicator; app communicators come out unchanged).
+      if (translated == dead_slot) my_new_rank = static_cast<int>(i);
+      slots.push_back(translated);
+    }
+    ep->register_comm_fixed(ci.ctx_p2p, ci.ctx_coll, my_new_rank,
+                            std::move(slots));
+  }
+
+  // Channel sequence state is keyed by (context, logical rank): valid as-is
+  // for the recovered world because both worlds carry identical streams.
+  // The recovery cut excludes frames the substitute accepted but had not
+  // delivered (peers re-feed those after the notification).
+  mpi::Endpoint::SeqSnapshot snap;
+  const bool ok = sub.snapshot_seqs_for_recovery(snap);
+  if (!ok) return nullptr;  // caller defers the fork
+  ep->restore_seqs(snap);
+  return ep;
+}
+
+}  // namespace sdrmpi::core

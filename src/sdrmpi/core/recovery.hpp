@@ -1,0 +1,25 @@
+// Recovery support: building the endpoint of a recovered replica from its
+// substitute's state (paper §3.4, dual replication only).
+//
+// With r = 2 the substitute and the dead replica are exchangeable: by
+// send-determinism both replicas of a rank have consumed/emitted the same
+// per-channel message counts at the same application point, so the
+// substitute's sequence counters and communicator registry (translated into
+// the recovered world) ARE the recovered process's correct protocol state.
+// Only the application state crosses as an explicit byte snapshot.
+#pragma once
+
+#include <memory>
+
+#include "sdrmpi/core/job.hpp"
+#include "sdrmpi/mpi/endpoint.hpp"
+
+namespace sdrmpi::core {
+
+/// Builds a fresh endpoint for `dead_slot`, cloning the substitute's
+/// communicator registry (membership translated into the recovered world)
+/// and channel sequence counters.
+[[nodiscard]] std::unique_ptr<mpi::Endpoint> clone_endpoint_for_recovery(
+    JobContext& job, int dead_slot, int from_slot);
+
+}  // namespace sdrmpi::core

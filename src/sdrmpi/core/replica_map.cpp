@@ -1,0 +1,53 @@
+#include "sdrmpi/core/replica_map.hpp"
+
+namespace sdrmpi::core {
+
+ReplicaMap::ReplicaMap(Topology topo, int my_world, int my_rank)
+    : topo_(topo), my_world_(my_world), my_rank_(my_rank) {
+  alive_.assign(static_cast<std::size_t>(topo_.nslots()), true);
+  dests_.resize(static_cast<std::size_t>(topo_.nranks));
+  src_.resize(static_cast<std::size_t>(topo_.nranks));
+  substitute_.resize(static_cast<std::size_t>(topo_.nworlds));
+  for (int r = 0; r < topo_.nranks; ++r) {
+    dests_[static_cast<std::size_t>(r)].insert(topo_.slot(my_world_, r));
+    src_[static_cast<std::size_t>(r)] = topo_.slot(my_world_, r);
+  }
+  for (int w = 0; w < topo_.nworlds; ++w) {
+    substitute_[static_cast<std::size_t>(w)] = w;
+  }
+}
+
+std::vector<int> ReplicaMap::alive_worlds_of(int rank) const {
+  std::vector<int> out;
+  for (int w = 0; w < topo_.nworlds; ++w) {
+    if (alive(topo_.slot(w, rank))) out.push_back(w);
+  }
+  return out;
+}
+
+int ReplicaMap::elect_substitute(int rank) const {
+  const auto worlds = alive_worlds_of(rank);
+  return worlds.empty() ? -1 : worlds.front();
+}
+
+std::vector<int> ReplicaMap::ack_targets(int rank, int except_world) const {
+  std::vector<int> out;
+  for (int w = 0; w < topo_.nworlds; ++w) {
+    if (w == except_world) continue;
+    const int s = topo_.slot(w, rank);
+    if (alive(s)) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<int> ReplicaMap::expected_ackers(int rank) const {
+  std::vector<int> out;
+  const auto& d = dests(rank);
+  for (int w = 0; w < topo_.nworlds; ++w) {
+    const int s = topo_.slot(w, rank);
+    if (alive(s) && d.find(s) == d.end()) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace sdrmpi::core

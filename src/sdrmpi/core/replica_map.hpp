@@ -1,0 +1,102 @@
+// ReplicaMap: the per-process tables of the paper's Algorithm 1.
+//
+//   physicalDests[rank] - set of physical slots this process sends to when
+//                         it sends an application message to `rank`
+//   physicalSrc[rank]   - the slot this process nominally receives from
+//   substitute[world]   - which world currently emits on behalf of `world`
+//                         for this process's own rank
+// plus a consistent-at-notification view of which slots are alive (the
+// external failure-detection service the paper assumes).
+//
+// Topology is static: slot(world, rank) = world * nranks + rank, matching
+// the paper's placement (first replica set on the first half of the nodes).
+#pragma once
+
+#include <set>
+#include <vector>
+
+namespace sdrmpi::core {
+
+/// Static slot arithmetic shared by everything.
+struct Topology {
+  int nranks = 1;
+  int nworlds = 1;
+
+  [[nodiscard]] int nslots() const noexcept { return nranks * nworlds; }
+  [[nodiscard]] int slot(int world, int rank) const noexcept {
+    return world * nranks + rank;
+  }
+  [[nodiscard]] int world_of(int slot) const noexcept {
+    return slot / nranks;
+  }
+  [[nodiscard]] int rank_of(int slot) const noexcept { return slot % nranks; }
+};
+
+class ReplicaMap {
+ public:
+  ReplicaMap() = default;
+  ReplicaMap(Topology topo, int my_world, int my_rank);
+
+  [[nodiscard]] const Topology& topo() const noexcept { return topo_; }
+  [[nodiscard]] int my_world() const noexcept { return my_world_; }
+  [[nodiscard]] int my_rank() const noexcept { return my_rank_; }
+
+  [[nodiscard]] bool alive(int slot) const {
+    return alive_.at(static_cast<std::size_t>(slot));
+  }
+  void set_alive(int slot, bool v) {
+    alive_.at(static_cast<std::size_t>(slot)) = v;
+  }
+
+  /// Slots to which an application message to `rank` is sent.
+  [[nodiscard]] const std::set<int>& dests(int rank) const {
+    return dests_.at(static_cast<std::size_t>(rank));
+  }
+  void add_dest(int rank, int slot) {
+    dests_.at(static_cast<std::size_t>(rank)).insert(slot);
+  }
+  void remove_dest(int rank, int slot) {
+    dests_.at(static_cast<std::size_t>(rank)).erase(slot);
+  }
+
+  /// Nominal physical source for messages from `rank`.
+  [[nodiscard]] int src(int rank) const {
+    return src_.at(static_cast<std::size_t>(rank));
+  }
+  void set_src(int rank, int slot) {
+    src_.at(static_cast<std::size_t>(rank)) = slot;
+  }
+
+  /// Which world currently emits on behalf of `world` (own rank only).
+  [[nodiscard]] int substitute(int world) const {
+    return substitute_.at(static_cast<std::size_t>(world));
+  }
+  void set_substitute(int world, int sub) {
+    substitute_.at(static_cast<std::size_t>(world)) = sub;
+  }
+
+  /// Alive replicas of `rank`, as worlds, ascending.
+  [[nodiscard]] std::vector<int> alive_worlds_of(int rank) const;
+
+  /// Deterministic election: smallest alive world of `rank`; -1 if the rank
+  /// is lost (all replicas dead).
+  [[nodiscard]] int elect_substitute(int rank) const;
+
+  /// Slots of alive replicas of `rank` excluding world `except_world`.
+  [[nodiscard]] std::vector<int> ack_targets(int rank, int except_world) const;
+
+  /// Slots of alive replicas of `rank` that are NOT in dests(rank): the
+  /// replicas whose acknowledgements a sender must collect (Alg. 1 l. 8-9).
+  [[nodiscard]] std::vector<int> expected_ackers(int rank) const;
+
+ private:
+  Topology topo_;
+  int my_world_ = 0;
+  int my_rank_ = 0;
+  std::vector<bool> alive_;
+  std::vector<std::set<int>> dests_;
+  std::vector<int> src_;
+  std::vector<int> substitute_;
+};
+
+}  // namespace sdrmpi::core

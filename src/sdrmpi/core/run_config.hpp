@@ -1,0 +1,124 @@
+// Run configuration and result types for replicated executions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sdrmpi/net/params.hpp"
+#include "sdrmpi/sim/time.hpp"
+
+namespace sdrmpi::core {
+
+/// Which replication protocol drives the run.
+enum class ProtocolKind : int {
+  Native,       ///< no replication machinery at all (baseline)
+  Sdr,          ///< the paper: parallel protocol + send-determinism
+  Mirror,       ///< MR-MPI-style: every replica sends to every replica
+  Leader,       ///< rMPI-style: parallel protocol + leader-decided wildcards
+  RedMpiLeader, ///< redMPI SDC detection, leader-based wildcards
+  RedMpiSd,     ///< redMPI SDC detection using send-determinism (paper §2.4:
+                ///< "the solutions we propose could also be used by redMPI")
+};
+
+[[nodiscard]] const char* to_string(ProtocolKind k) noexcept;
+
+/// A fail-stop fault: crash `slot` either at an absolute virtual time or
+/// right before its nth application send (deterministic test placement).
+struct FaultSpec {
+  int slot = -1;
+  Time at_time = -1;           ///< crash at this virtual time (if >= 0)
+  std::int64_t at_send = -1;   ///< crash before this (0-based) app send
+};
+
+/// Silent-data-corruption injection: flip one byte in the payload of the
+/// nth application send of `slot` (exercises redMPI detection).
+struct SdcSpec {
+  int slot = -1;
+  std::int64_t at_send = 0;
+};
+
+struct RunConfig {
+  int nranks = 2;        ///< logical MPI ranks the application sees
+  int replication = 1;   ///< replicas per rank (paper evaluates r=2)
+  ProtocolKind protocol = ProtocolKind::Native;
+  net::NetParams net = net::NetParams::infiniband_20g();
+
+  std::vector<FaultSpec> faults;
+  std::vector<SdcSpec> sdc;
+  Time detection_delay = timeunits::microseconds(50.0);  ///< detector latency
+  bool auto_recover = false;  ///< fork a fresh replica at the next safe point
+
+  // Ablations (paper §3.2/§3.3 discussion).
+  bool ack_on_wait = false;    ///< ack at app-level completion => can deadlock
+  bool eager_copy_completion = false;  ///< complete sends early, extra copy
+  double copy_cost_ns_per_byte = 0.05; ///< modeled memcpy cost for the above
+
+  Time time_limit = timeunits::seconds(600.0);  ///< virtual-time failsafe
+  std::uint64_t seed = 0x5dbULL;                ///< workload RNG seed
+};
+
+/// Protocol-level counters aggregated over all physical processes.
+struct ProtocolStats {
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t stale_acks = 0;       // acks for already-released records
+  std::uint64_t resends = 0;          // failover retransmissions
+  std::uint64_t decisions_sent = 0;   // leader protocol
+  std::uint64_t decisions_used = 0;
+  std::uint64_t hashes_sent = 0;      // redMPI
+  std::uint64_t hashes_compared = 0;
+  std::uint64_t sdc_detected = 0;
+  std::uint64_t failures_observed = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t extra_copies = 0;     // eager_copy_completion ablation
+};
+
+/// Per-physical-process outcome.
+struct SlotResult {
+  int slot = -1;
+  int rank = -1;
+  int world = -1;
+  std::string final_state;     // Finished / Crashed / Failed
+  Time finish_time = 0;
+  std::uint64_t checksum = 0;  // 0 if the app reported nothing
+  bool reported_checksum = false;
+  std::map<std::string, double> values;
+};
+
+struct RunResult {
+  bool deadlock = false;
+  bool time_limit_hit = false;
+  bool rank_lost = false;        ///< all replicas of some rank died
+  std::vector<std::string> errors;
+
+  Time makespan = 0;             ///< max finish time over surviving processes
+  std::vector<SlotResult> slots;
+
+  // Traffic totals.
+  std::uint64_t app_sends = 0;        // logical isend operations
+  std::uint64_t data_frames = 0;      // physical data copies on the wire
+  std::uint64_t ctl_frames = 0;
+  std::uint64_t unexpected = 0;
+  std::uint64_t duplicates_dropped = 0;
+  ProtocolStats protocol;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return !deadlock && !time_limit_hit && !rank_lost && errors.empty();
+  }
+
+  /// Seconds of virtual time for the whole run.
+  [[nodiscard]] double seconds() const noexcept {
+    return timeunits::to_sec(makespan);
+  }
+
+  /// Checksum of rank `r` in world `w`; 0 if that process reported none.
+  [[nodiscard]] std::uint64_t checksum_of(int rank, int world = 0) const;
+
+  /// True when every process that reported a checksum agrees per rank.
+  [[nodiscard]] bool checksums_consistent() const;
+};
+
+}  // namespace sdrmpi::core

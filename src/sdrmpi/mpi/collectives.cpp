@@ -1,0 +1,319 @@
+// Collective algorithms built strictly on the hooked point-to-point path.
+//
+// Algorithms (classic MPICH/Open MPI shapes):
+//   barrier    - dissemination
+//   bcast      - binomial tree
+//   reduce     - binomial tree (commutative ops)
+//   allreduce  - reduce to rank 0 + bcast
+//   gather(/v) - linear to root
+//   scatter    - linear from root
+//   allgather  - ring
+//   alltoall(/v) - pairwise exchange
+//   scan/exscan  - linear chain
+//
+// Correct tag discipline relies on two MPI facts the endpoint guarantees:
+// per-channel FIFO matching, and that every rank executes collectives over a
+// communicator in the same order.
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "sdrmpi/mpi/comm.hpp"
+
+namespace sdrmpi::mpi {
+namespace {
+
+constexpr int kTagBarrier = 0x1001;
+constexpr int kTagBcast = 0x1002;
+constexpr int kTagReduce = 0x1003;
+constexpr int kTagGather = 0x1004;
+constexpr int kTagScatter = 0x1005;
+constexpr int kTagAllgather = 0x1006;
+constexpr int kTagAlltoall = 0x1007;
+constexpr int kTagScan = 0x1008;
+
+/// Blocking helpers on the collective context of a communicator.
+class CollOps {
+ public:
+  CollOps(Endpoint& ep, const CommInfo& info)
+      : ep_(ep), ctx_(info.ctx_coll) {}
+
+  void send(std::span<const std::byte> data, int dst, int tag) {
+    auto req = ep_.isend(ctx_, dst, tag, data);
+    ep_.wait(req);
+  }
+  void recv(std::span<std::byte> buf, int src, int tag) {
+    auto req = ep_.irecv(ctx_, src, tag, buf);
+    ep_.wait(req);
+  }
+  void sendrecv(std::span<const std::byte> sdata, int dst,
+                std::span<std::byte> rbuf, int src, int tag) {
+    Request reqs[2];
+    reqs[0] = ep_.irecv(ctx_, src, tag, rbuf);
+    reqs[1] = ep_.isend(ctx_, dst, tag, sdata);
+    ep_.waitall(reqs);
+  }
+
+ private:
+  Endpoint& ep_;
+  CommCtx ctx_;
+};
+
+}  // namespace
+
+void Comm::barrier() const {
+  const int n = size();
+  const int r = rank();
+  if (n <= 1) return;
+  CollOps ops(*ep_, info());
+  for (int dist = 1; dist < n; dist <<= 1) {
+    const int dst = (r + dist) % n;
+    const int src = (r - dist % n + n) % n;
+    std::byte dummy{};
+    ops.sendrecv({}, dst, std::span<std::byte>(&dummy, 0), src, kTagBarrier);
+  }
+}
+
+void Comm::bcast_bytes(std::span<std::byte> data, int root) const {
+  const int n = size();
+  const int r = rank();
+  if (n <= 1) return;
+  CollOps ops(*ep_, info());
+  const int rel = (r - root + n) % n;
+
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      const int src = (rel - mask + root) % n;
+      ops.recv(data, src, kTagBcast);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < n) {
+      const int dst = (rel + mask + root) % n;
+      ops.send(data, dst, kTagBcast);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::reduce_bytes(std::span<const std::byte> send,
+                        std::span<std::byte> recv, std::size_t elem_size,
+                        const ReduceFn& fn, int root) const {
+  const int n = size();
+  const int r = rank();
+  const std::size_t bytes = send.size();
+  const std::size_t count = elem_size > 0 ? bytes / elem_size : 0;
+
+  std::vector<std::byte> accum(send.begin(), send.end());
+  if (n > 1) {
+    CollOps ops(*ep_, info());
+    std::vector<std::byte> incoming(bytes);
+    const int rel = (r - root + n) % n;
+    int mask = 1;
+    while (mask < n) {
+      if ((rel & mask) == 0) {
+        const int rel_src = rel | mask;
+        if (rel_src < n) {
+          const int src = (rel_src + root) % n;
+          ops.recv(incoming, src, kTagReduce);
+          fn(accum.data(), incoming.data(), count);
+        }
+      } else {
+        const int dst = ((rel & ~mask) + root) % n;
+        ops.send(accum, dst, kTagReduce);
+        break;
+      }
+      mask <<= 1;
+    }
+  }
+  if (r == root) {
+    if (recv.size() < bytes) {
+      throw std::invalid_argument("reduce: recv buffer too small");
+    }
+    std::memcpy(recv.data(), accum.data(), bytes);
+  }
+}
+
+void Comm::allreduce_bytes(std::span<const std::byte> send,
+                           std::span<std::byte> recv, std::size_t elem_size,
+                           const ReduceFn& fn) const {
+  reduce_bytes(send, recv, elem_size, fn, /*root=*/0);
+  bcast_bytes(recv, /*root=*/0);
+}
+
+void Comm::gather_bytes(std::span<const std::byte> send,
+                        std::span<std::byte> recv, int root) const {
+  const int n = size();
+  const int r = rank();
+  const std::size_t block = send.size();
+  CollOps ops(*ep_, info());
+  if (r == root) {
+    if (recv.size() < block * static_cast<std::size_t>(n)) {
+      throw std::invalid_argument("gather: recv buffer too small");
+    }
+    for (int i = 0; i < n; ++i) {
+      auto dst = recv.subspan(static_cast<std::size_t>(i) * block, block);
+      if (i == r) {
+        std::memcpy(dst.data(), send.data(), block);
+      } else {
+        ops.recv(dst, i, kTagGather);
+      }
+    }
+  } else {
+    ops.send(send, root, kTagGather);
+  }
+}
+
+void Comm::gatherv_bytes(std::span<const std::byte> send,
+                         std::span<std::byte> recv,
+                         std::span<const std::size_t> counts, int root) const {
+  const int n = size();
+  const int r = rank();
+  CollOps ops(*ep_, info());
+  if (r == root) {
+    std::size_t offset = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t c = counts[static_cast<std::size_t>(i)];
+      auto dst = recv.subspan(offset, c);
+      if (i == r) {
+        std::memcpy(dst.data(), send.data(), c);
+      } else {
+        ops.recv(dst, i, kTagGather);
+      }
+      offset += c;
+    }
+  } else {
+    ops.send(send, root, kTagGather);
+  }
+}
+
+void Comm::allgather_bytes(std::span<const std::byte> send,
+                           std::span<std::byte> recv) const {
+  const int n = size();
+  const int r = rank();
+  const std::size_t block = send.size();
+  if (recv.size() < block * static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("allgather: recv buffer too small");
+  }
+  std::memcpy(recv.data() + static_cast<std::size_t>(r) * block, send.data(),
+              block);
+  if (n <= 1) return;
+  CollOps ops(*ep_, info());
+  // Ring: at step s, forward the block received at step s-1.
+  const int right = (r + 1) % n;
+  const int left = (r - 1 + n) % n;
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_block = (r - s + n) % n;
+    const int recv_block = (r - s - 1 + n) % n;
+    ops.sendrecv(
+        recv.subspan(static_cast<std::size_t>(send_block) * block, block),
+        right, recv.subspan(static_cast<std::size_t>(recv_block) * block, block),
+        left, kTagAllgather);
+  }
+}
+
+void Comm::scatter_bytes(std::span<const std::byte> send,
+                         std::span<std::byte> recv, int root) const {
+  const int n = size();
+  const int r = rank();
+  const std::size_t block = recv.size();
+  CollOps ops(*ep_, info());
+  if (r == root) {
+    if (send.size() < block * static_cast<std::size_t>(n)) {
+      throw std::invalid_argument("scatter: send buffer too small");
+    }
+    for (int i = 0; i < n; ++i) {
+      auto blk = send.subspan(static_cast<std::size_t>(i) * block, block);
+      if (i == r) {
+        std::memcpy(recv.data(), blk.data(), block);
+      } else {
+        ops.send(blk, i, kTagScatter);
+      }
+    }
+  } else {
+    ops.recv(recv, root, kTagScatter);
+  }
+}
+
+void Comm::alltoall_bytes(std::span<const std::byte> send,
+                          std::span<std::byte> recv) const {
+  const int n = size();
+  const int r = rank();
+  const std::size_t block = send.size() / static_cast<std::size_t>(n);
+  std::memcpy(recv.data() + static_cast<std::size_t>(r) * block,
+              send.data() + static_cast<std::size_t>(r) * block, block);
+  if (n <= 1) return;
+  CollOps ops(*ep_, info());
+  for (int k = 1; k < n; ++k) {
+    const int dst = (r + k) % n;
+    const int src = (r - k + n) % n;
+    ops.sendrecv(send.subspan(static_cast<std::size_t>(dst) * block, block),
+                 dst,
+                 recv.subspan(static_cast<std::size_t>(src) * block, block),
+                 src, kTagAlltoall);
+  }
+}
+
+void Comm::alltoallv_bytes(std::span<const std::byte> send,
+                           std::span<const std::size_t> send_counts,
+                           std::span<std::byte> recv,
+                           std::span<const std::size_t> recv_counts) const {
+  const int n = size();
+  const int r = rank();
+  std::vector<std::size_t> soff(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::size_t> roff(static_cast<std::size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    soff[static_cast<std::size_t>(i) + 1] =
+        soff[static_cast<std::size_t>(i)] + send_counts[static_cast<std::size_t>(i)];
+    roff[static_cast<std::size_t>(i) + 1] =
+        roff[static_cast<std::size_t>(i)] + recv_counts[static_cast<std::size_t>(i)];
+  }
+  std::memcpy(recv.data() + roff[static_cast<std::size_t>(r)],
+              send.data() + soff[static_cast<std::size_t>(r)],
+              send_counts[static_cast<std::size_t>(r)]);
+  if (n <= 1) return;
+  CollOps ops(*ep_, info());
+  for (int k = 1; k < n; ++k) {
+    const int dst = (r + k) % n;
+    const int src = (r - k + n) % n;
+    ops.sendrecv(send.subspan(soff[static_cast<std::size_t>(dst)],
+                              send_counts[static_cast<std::size_t>(dst)]),
+                 dst,
+                 recv.subspan(roff[static_cast<std::size_t>(src)],
+                              recv_counts[static_cast<std::size_t>(src)]),
+                 src, kTagAlltoall);
+  }
+}
+
+void Comm::scan_bytes(std::span<const std::byte> send,
+                      std::span<std::byte> recv, std::size_t elem_size,
+                      const ReduceFn& fn, bool exclusive) const {
+  const int n = size();
+  const int r = rank();
+  const std::size_t bytes = send.size();
+  const std::size_t count = elem_size > 0 ? bytes / elem_size : 0;
+  CollOps ops(*ep_, info());
+
+  // prefix_incl over ranks 0..r travels down the chain.
+  std::vector<std::byte> prefix(bytes);
+  if (r == 0) {
+    if (!exclusive) std::memcpy(recv.data(), send.data(), bytes);
+    std::memcpy(prefix.data(), send.data(), bytes);
+  } else {
+    ops.recv(prefix, r - 1, kTagScan);  // exclusive prefix for me
+    if (exclusive) {
+      std::memcpy(recv.data(), prefix.data(), bytes);
+    }
+    // fold my contribution to form my inclusive prefix
+    std::vector<std::byte> mine(send.begin(), send.end());
+    fn(prefix.data(), mine.data(), count);
+    if (!exclusive) std::memcpy(recv.data(), prefix.data(), bytes);
+  }
+  if (r + 1 < n) ops.send(prefix, r + 1, kTagScan);
+}
+
+}  // namespace sdrmpi::mpi

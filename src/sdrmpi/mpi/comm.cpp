@@ -1,0 +1,75 @@
+#include "sdrmpi/mpi/comm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdrmpi::mpi {
+
+namespace {
+/// Sort record for Comm::split.
+struct ColorKey {
+  int color;
+  int key;
+  int rank;
+};
+static_assert(std::is_trivially_copyable_v<ColorKey>);
+}  // namespace
+
+Comm Comm::dup() const {
+  // Every member allocates the same fresh context pair (allocation order is
+  // identical across an SPMD app), then synchronises on the new contexts.
+  const CommInfo& ci = info();
+  const int h = ep_->register_comm(ci.my_rank, ci.rank_to_slot);
+  Comm out(ep_, h);
+  out.barrier();
+  return out;
+}
+
+Comm Comm::split(int color, int key) const {
+  const int n = size();
+  ColorKey mine{color, key, rank()};
+  std::vector<ColorKey> all(static_cast<std::size_t>(n));
+  allgather(std::span<const ColorKey>(&mine, 1), std::span<ColorKey>(all));
+
+  if (color == kUndefined) {
+    // Still burn the context pair so allocation stays aligned everywhere.
+    ep_->skip_ctx_pair();
+    return Comm{};
+  }
+
+  std::vector<ColorKey> members;
+  for (const auto& ck : all) {
+    if (ck.color == color) members.push_back(ck);
+  }
+  std::stable_sort(members.begin(), members.end(),
+                   [](const ColorKey& a, const ColorKey& b) {
+                     return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+                   });
+
+  std::vector<int> slots;
+  slots.reserve(members.size());
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    slots.push_back(
+        info().rank_to_slot.at(static_cast<std::size_t>(members[i].rank)));
+    if (members[i].rank == rank()) my_new_rank = static_cast<int>(i);
+  }
+  const int h = ep_->register_comm(my_new_rank, std::move(slots));
+  return Comm(ep_, h);
+}
+
+Comm Comm::create(const Group& g) const {
+  // Collective over the parent: everyone advances the allocator; members
+  // of g obtain the communicator.
+  barrier();
+  const int my_slot = info().rank_to_slot.at(static_cast<std::size_t>(rank()));
+  const int my_new_rank = g.rank_of(my_slot);
+  if (my_new_rank < 0) {
+    ep_->skip_ctx_pair();
+    return Comm{};
+  }
+  const int h = ep_->register_comm(my_new_rank, g.slots());
+  return Comm(ep_, h);
+}
+
+}  // namespace sdrmpi::mpi

@@ -1,0 +1,245 @@
+// Endpoint: the per-physical-process MPI engine (the PML analog).
+//
+// Owns matching state (posted-receive and unexpected-message queues per
+// communicator context), the eager/rendezvous point-to-point protocols,
+// per-logical-channel sequence numbering, and the progress loop. All
+// progress happens inside MPI calls — the default Open MPI / MPICH2
+// behaviour that the paper's ack-on-irecvComplete argument depends on.
+//
+// Replication protocols intercept traffic through the Vprotocol hooks; the
+// endpoint provides them base operations (base_isend / base_irecv /
+// send_ctl) that bypass further interception.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sdrmpi/mpi/request.hpp"
+#include "sdrmpi/mpi/types.hpp"
+#include "sdrmpi/mpi/vprotocol.hpp"
+#include "sdrmpi/mpi/wire.hpp"
+#include "sdrmpi/net/fabric.hpp"
+
+namespace sdrmpi::mpi {
+
+/// Traffic/behaviour counters for one endpoint.
+struct EndpointStats {
+  std::uint64_t app_sends = 0;          // logical isend operations
+  std::uint64_t data_frames_sent = 0;   // physical Eager/Rts copies
+  std::uint64_t ctl_frames_sent = 0;    // protocol control frames
+  std::uint64_t frames_processed = 0;
+  std::uint64_t unexpected = 0;         // frames queued before a recv matched
+  std::uint64_t duplicates_dropped = 0; // seq-dedup drops (mirror/failover)
+  std::uint64_t rejected = 0;           // protocol filter rejections
+  std::uint64_t parked = 0;             // out-of-order frames held back
+};
+
+/// Communicator bookkeeping shared by the Comm facade.
+struct CommInfo {
+  int handle = -1;
+  CommCtx ctx_p2p = 0;
+  CommCtx ctx_coll = 0;
+  int my_rank = -1;
+  std::vector<int> rank_to_slot;  // default (own-world) slot per rank
+};
+
+class Endpoint {
+ public:
+  Endpoint(net::Fabric& fabric, int slot, int world, int nworlds);
+  ~Endpoint();
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  // ---- lifecycle ----
+
+  /// Attaches to the fabric; `pid` is the owning sim process.
+  void bind_process(int pid);
+  /// Recovery: a respawned process takes over this endpoint's slot.
+  void rebind_process(int pid);
+  void set_protocol(std::unique_ptr<Vprotocol> protocol);
+  [[nodiscard]] Vprotocol& protocol() noexcept { return *protocol_; }
+
+  // ---- identity ----
+  [[nodiscard]] int slot() const noexcept { return slot_; }
+  [[nodiscard]] int world() const noexcept { return world_; }
+  [[nodiscard]] int nworlds() const noexcept { return nworlds_; }
+  [[nodiscard]] int pid() const noexcept { return pid_; }
+  [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return fabric_.engine(); }
+
+  // ---- communicator registry ----
+
+  /// Registers a communicator with explicit context ids (launcher-created
+  /// worlds use fixed ids so they align across replicas).
+  int register_comm_fixed(CommCtx ctx_p2p, CommCtx ctx_coll, int my_rank,
+                          std::vector<int> rank_to_slot);
+  /// Registers a communicator allocating the next context pair. Allocation
+  /// order is identical across replicas of an SPMD app, which is what makes
+  /// cross-world frames (failover resends) land in the right context.
+  int register_comm(int my_rank, std::vector<int> rank_to_slot);
+  /// Burns one context pair without registering (split with kUndefined).
+  void skip_ctx_pair() { next_ctx_ += 2; }
+  [[nodiscard]] const CommInfo& comm(int handle) const;
+  [[nodiscard]] const CommInfo* comm_by_ctx(CommCtx ctx) const;
+  [[nodiscard]] const std::vector<CommInfo>& all_comms() const noexcept {
+    return comms_;
+  }
+
+  // ---- point-to-point API (used by the Comm facade) ----
+
+  Request isend(CommCtx ctx, int dst_rank, int tag,
+                std::span<const std::byte> data);
+  Request irecv(CommCtx ctx, int src_rank, int tag, std::span<std::byte> buf);
+  void wait(Request& req);
+  [[nodiscard]] bool test(Request& req);
+  void waitall(std::span<Request> reqs);
+  int waitany(std::span<Request> reqs);
+  [[nodiscard]] bool testall(std::span<Request> reqs);
+  Status probe(CommCtx ctx, int src_rank, int tag);
+  std::optional<Status> iprobe(CommCtx ctx, int src_rank, int tag);
+
+  // ---- base operations for protocols (no further interception) ----
+
+  /// Sends one physical copy of a data message to dst_slot. Chooses eager
+  /// or rendezvous by size; bumps req->local_pending until the copy's
+  /// buffer-reuse point.
+  void base_isend(CommCtx ctx, int dst_rank, int dst_slot, int tag,
+                  std::uint64_t seq, std::span<const std::byte> data,
+                  const Request& req);
+  /// Posts a receive into the matching engine.
+  void base_irecv(CommCtx ctx, int src_rank, int tag, std::span<std::byte> buf,
+                  const Request& req);
+  /// Sends a small protocol control frame (ack/decision/hash/...).
+  void send_ctl(int dst_slot, FrameHeader h,
+                std::span<const std::byte> payload = {});
+
+  /// Runs one progress round: consumes every frame that has arrived.
+  void progress();
+
+  /// Blocks the process until pred() holds, making progress in between.
+  void progress_until(const std::function<bool()>& pred, const char* why);
+
+  /// Charges the fixed cost of entering an MPI call and gives the
+  /// simulator a scheduling point. Public so collectives/env share it.
+  void enter_call();
+
+  /// Declares an application-level safe point for recovery forking.
+  void recovery_point();
+
+  /// Virtual time (current process clock).
+  [[nodiscard]] Time now() noexcept { return engine().now(); }
+
+  [[nodiscard]] const EndpointStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] EndpointStats& stats() noexcept { return stats_; }
+
+  /// Rank of this endpoint within the communicator owning ctx; -1 if the
+  /// context is unknown here.
+  [[nodiscard]] int rank_in(CommCtx ctx) const;
+
+  /// Next sequence number that will be assigned on channel (ctx, ->dst).
+  [[nodiscard]] std::uint64_t next_send_seq(CommCtx ctx, int dst_rank) const;
+  /// Next sequence number expected on channel (ctx, src ->).
+  [[nodiscard]] std::uint64_t next_recv_seq(CommCtx ctx, int src_rank) const;
+
+  /// Protocol state transfer for recovery: export/import sequence counters.
+  struct SeqSnapshot {
+    std::map<std::pair<CommCtx, int>, std::uint64_t> send_seq;
+    std::map<std::pair<CommCtx, int>, std::uint64_t> recv_seq;
+  };
+  [[nodiscard]] SeqSnapshot snapshot_seqs() const;
+  void restore_seqs(const SeqSnapshot& snap);
+
+  /// Recovery-cut variant of snapshot_seqs: receive counters are rolled
+  /// back over frames that were accepted but not yet *delivered* to the
+  /// application (unexpected queue). Those messages are not reflected in
+  /// the application snapshot and were never acknowledged, so peers will
+  /// re-feed them after the notification — the recovered endpoint must be
+  /// willing to accept them again. Returns false when the undelivered
+  /// frames are not the trailing sequence numbers of their channel (the
+  /// app consumed a channel out of order at this instant): the caller must
+  /// defer the fork to a later safe point.
+  [[nodiscard]] bool snapshot_seqs_for_recovery(SeqSnapshot& out) const;
+
+  /// True while a matched rendezvous transfer is still in flight; forking
+  /// a recovery snapshot now would lose its payload for the new replica.
+  [[nodiscard]] bool has_pending_rdv_recvs() const;
+
+  /// Human-readable matching/rendezvous state for deadlock reports.
+  [[nodiscard]] std::string debug_state() const;
+
+ private:
+  struct StoredFrame {
+    FrameHeader h;
+    std::vector<std::byte> payload;
+    Time arrival = 0;
+  };
+  struct Matching {
+    std::list<Request> posted;
+    std::list<StoredFrame> unexpected;
+    std::map<int, std::uint64_t> expected_seq;            // src_rank -> next
+    std::map<int, std::map<std::uint64_t, StoredFrame>> parked;  // reorder
+  };
+  struct RdvSend {
+    std::vector<std::byte> payload;
+    int dst_slot = -1;
+    Request req;
+    FrameHeader header;
+  };
+  struct RdvRecvKey {
+    int src_slot;
+    std::uint64_t rdv_id;
+    auto operator<=>(const RdvRecvKey&) const = default;
+  };
+  struct RdvRecv {
+    Request req;
+    FrameHeader header;  // original Rts header
+    bool discard = false;
+  };
+
+  void on_delivery(net::Delivery&& d);
+  void handle_frame(const net::Delivery& d);
+  void handle_data_frame(StoredFrame&& f);
+  void accept_data_frame(StoredFrame&& f);
+  void match_or_queue(StoredFrame&& f);
+  void deliver_eager(StoredFrame&& f, const Request& req);
+  void start_rendezvous_recv(const StoredFrame& f, const Request& req,
+                             bool discard);
+  void handle_cts(const FrameHeader& h);
+  void handle_rdv_data(StoredFrame&& f);
+  [[nodiscard]] static bool matches(const Request& recv, const FrameHeader& h);
+  void complete_recv(const FrameHeader& h, const Request& req);
+  void fire_app_complete(const Request& req);
+  void charge(double ns);
+
+  net::Fabric& fabric_;
+  const int slot_;
+  const int world_;
+  const int nworlds_;
+  int pid_ = -1;
+
+  std::unique_ptr<Vprotocol> protocol_;
+  std::deque<net::Delivery> inbox_;
+
+  std::vector<CommInfo> comms_;
+  std::map<CommCtx, int> ctx_to_comm_;
+  CommCtx next_ctx_;
+
+  std::map<CommCtx, Matching> matching_;
+  std::map<std::pair<CommCtx, int>, std::uint64_t> send_seq_;
+  std::map<std::uint64_t, RdvSend> rdv_sends_;
+  std::map<RdvRecvKey, RdvRecv> rdv_recvs_;
+  std::uint64_t next_rdv_id_ = 1;
+
+  EndpointStats stats_;
+};
+
+}  // namespace sdrmpi::mpi

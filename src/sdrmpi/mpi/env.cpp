@@ -1,0 +1,15 @@
+#include "sdrmpi/mpi/env.hpp"
+
+#include "sdrmpi/util/timer.hpp"
+
+namespace sdrmpi::mpi {
+
+void Env::compute_measured(const std::function<void()>& fn, double scale) {
+  util::WallTimer timer;
+  fn();
+  const auto ns = static_cast<Time>(static_cast<double>(timer.elapsed_ns()) *
+                                    scale);
+  ep_->engine().advance(ns > 0 ? ns : 0);
+}
+
+}  // namespace sdrmpi::mpi

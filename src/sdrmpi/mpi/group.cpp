@@ -1,0 +1,63 @@
+#include "sdrmpi/mpi/group.hpp"
+
+#include <algorithm>
+
+namespace sdrmpi::mpi {
+
+int Group::rank_of(int slot) const noexcept {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i] == slot) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Group Group::include(std::span<const int> ranks) const {
+  std::vector<int> out;
+  out.reserve(ranks.size());
+  for (int r : ranks) out.push_back(slot(r));
+  return Group(std::move(out));
+}
+
+Group Group::exclude(std::span<const int> ranks) const {
+  std::vector<bool> drop(slots_.size(), false);
+  for (int r : ranks) drop.at(static_cast<std::size_t>(r)) = true;
+  std::vector<int> out;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!drop[i]) out.push_back(slots_[i]);
+  }
+  return Group(std::move(out));
+}
+
+Group Group::set_union(const Group& other) const {
+  std::vector<int> out = slots_;
+  for (int s : other.slots_) {
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  }
+  return Group(std::move(out));
+}
+
+Group Group::set_intersection(const Group& other) const {
+  std::vector<int> out;
+  for (int s : slots_) {
+    if (other.rank_of(s) >= 0) out.push_back(s);
+  }
+  return Group(std::move(out));
+}
+
+Group Group::set_difference(const Group& other) const {
+  std::vector<int> out;
+  for (int s : slots_) {
+    if (other.rank_of(s) < 0) out.push_back(s);
+  }
+  return Group(std::move(out));
+}
+
+std::vector<int> Group::translate(std::span<const int> ranks,
+                                  const Group& other) const {
+  std::vector<int> out;
+  out.reserve(ranks.size());
+  for (int r : ranks) out.push_back(other.rank_of(slot(r)));
+  return out;
+}
+
+}  // namespace sdrmpi::mpi

@@ -1,0 +1,50 @@
+// Process groups: ordered sets of fabric slots, MPI_Group semantics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sdrmpi::mpi {
+
+class Group {
+ public:
+  Group() = default;
+  explicit Group(std::vector<int> slots) : slots_(std::move(slots)) {}
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(slots_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return slots_.empty(); }
+  [[nodiscard]] int slot(int rank) const { return slots_.at(static_cast<std::size_t>(rank)); }
+  [[nodiscard]] const std::vector<int>& slots() const noexcept { return slots_; }
+
+  /// Rank of `slot` in this group, or -1 (MPI_UNDEFINED analog).
+  [[nodiscard]] int rank_of(int slot) const noexcept;
+
+  /// Subgroup with the given ranks, in the given order (MPI_Group_incl).
+  [[nodiscard]] Group include(std::span<const int> ranks) const;
+  /// Group without the given ranks, original order kept (MPI_Group_excl).
+  [[nodiscard]] Group exclude(std::span<const int> ranks) const;
+  /// Members of this group followed by members of other not already present
+  /// (MPI_Group_union).
+  [[nodiscard]] Group set_union(const Group& other) const;
+  /// Members of this group also present in other, this group's order
+  /// (MPI_Group_intersection).
+  [[nodiscard]] Group set_intersection(const Group& other) const;
+  /// Members of this group not in other (MPI_Group_difference).
+  [[nodiscard]] Group set_difference(const Group& other) const;
+
+  /// For each rank in `ranks`, its rank in `other` or -1
+  /// (MPI_Group_translate_ranks).
+  [[nodiscard]] std::vector<int> translate(std::span<const int> ranks,
+                                           const Group& other) const;
+
+  [[nodiscard]] bool operator==(const Group& other) const noexcept {
+    return slots_ == other.slots_;
+  }
+
+ private:
+  std::vector<int> slots_;
+};
+
+}  // namespace sdrmpi::mpi

@@ -1,0 +1,62 @@
+// Request objects for nonblocking operations.
+//
+// A request is "locally complete" when the MPI-standard completion condition
+// holds (send: payload buffer reusable, i.e. every copy injected; recv:
+// message delivered). Replication protocols can additionally hold a request
+// open via `gates` — SDR-MPI uses this to keep a send request pending until
+// all (r-1) cross-replica acknowledgements are collected (paper §3.2).
+//
+// Sends may fan out into several physical copies (mirror protocol, SDR
+// failover); `local_pending` counts copies still in flight.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "sdrmpi/mpi/types.hpp"
+#include "sdrmpi/mpi/wire.hpp"
+
+namespace sdrmpi::mpi {
+
+struct ReqState {
+  enum class Kind : std::uint8_t { Send, Recv };
+
+  Kind kind = Kind::Send;
+  bool posted = false;     ///< the operation has been handed to the PML
+  int local_pending = 0;   ///< outstanding local work (copies / delivery)
+  int gates = 0;           ///< protocol holds (e.g. outstanding acks)
+  bool cancelled = false;
+
+  // Posting parameters (recv side also used for matching).
+  CommCtx ctx = 0;
+  int peer_rank = kProcNull;  ///< dst for sends, src (or ANY) for recvs
+  int tag = 0;
+  std::uint64_t seq = 0;      ///< channel sequence (sends; recvs once matched)
+
+  Status status;              ///< filled on recv completion
+
+  std::span<std::byte> recv_buf{};  ///< recv destination
+  FrameHeader recv_frame{};         ///< header of the delivered message
+  bool app_completed = false;       ///< app-level completion hook fired
+
+  /// MPI-standard local completion (ignores protocol gates).
+  [[nodiscard]] bool locally_complete() const noexcept {
+    return posted && local_pending == 0;
+  }
+
+  /// True when MPI_Wait/MPI_Test may report the request as done.
+  [[nodiscard]] bool ready() const noexcept {
+    return cancelled || (locally_complete() && gates == 0);
+  }
+};
+
+using Request = std::shared_ptr<ReqState>;
+
+[[nodiscard]] inline Request make_request(ReqState::Kind kind) {
+  auto r = std::make_shared<ReqState>();
+  r->kind = kind;
+  return r;
+}
+
+}  // namespace sdrmpi::mpi

@@ -1,0 +1,27 @@
+// Core MPI-facing types and constants.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sdrmpi::mpi {
+
+/// Wildcards and special ranks (match MPI semantics).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+inline constexpr int kProcNull = -2;
+
+/// Matching context id; every communicator owns two (pt2pt and collective).
+using CommCtx = std::uint32_t;
+
+/// Reduction operators supported by the collective layer.
+enum class Op : int { Sum, Prod, Max, Min, Land, Lor, Band, Bor };
+
+/// Result of a completed receive (or probe).
+struct Status {
+  int source = kAnySource;     ///< logical rank the message came from
+  int tag = kAnyTag;
+  std::size_t bytes = 0;       ///< payload size
+};
+
+}  // namespace sdrmpi::mpi

@@ -1,0 +1,101 @@
+#include "sdrmpi/net/fabric.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "sdrmpi/util/log.hpp"
+
+namespace sdrmpi::net {
+
+Fabric::Fabric(sim::Engine& engine, NetParams params, int nslots)
+    : engine_(engine), params_(params) {
+  slots_.resize(static_cast<std::size_t>(nslots));
+}
+
+void Fabric::attach(int slot, int owner_pid, Sink sink) {
+  auto& s = slots_.at(static_cast<std::size_t>(slot));
+  if (s.sink) throw std::logic_error("Fabric::attach: slot already attached");
+  s.owner_pid = owner_pid;
+  s.sink = std::move(sink);
+  s.alive = true;
+}
+
+void Fabric::reattach(int slot, int owner_pid, Sink sink) {
+  auto& s = slots_.at(static_cast<std::size_t>(slot));
+  s.owner_pid = owner_pid;
+  s.sink = std::move(sink);
+  s.alive = true;
+}
+
+void Fabric::set_alive(int slot, bool alive) {
+  slots_.at(static_cast<std::size_t>(slot)).alive = alive;
+}
+
+bool Fabric::alive(int slot) const {
+  return slots_.at(static_cast<std::size_t>(slot)).alive;
+}
+
+void Fabric::send(int src_slot, int dst_slot, std::vector<std::byte> data,
+                  std::size_t wire_bytes) {
+  auto& src = slots_.at(static_cast<std::size_t>(src_slot));
+  (void)slots_.at(static_cast<std::size_t>(dst_slot));  // bounds check
+  if (wire_bytes == 0) wire_bytes = data.size() + params_.header_bytes;
+
+  // Charge the sender's CPU overhead, then serialise on its NIC.
+  engine_.advance(static_cast<Time>(std::llround(params_.o_send_ns)));
+  const Time now = engine_.now();
+  const Time serialization =
+      static_cast<Time>(std::llround(static_cast<double>(wire_bytes) *
+                                     params_.ns_per_byte));
+  const Time start = std::max(now, src.egress_free);
+  src.egress_free = start + serialization;
+  const Time arrival = start + serialization +
+                       static_cast<Time>(std::llround(params_.latency_ns));
+
+  Delivery d;
+  d.src_slot = src_slot;
+  d.dst_slot = dst_slot;
+  d.sent_at = now;
+  d.arrival = arrival;
+  d.frame_no = frame_no_++;
+  d.data = std::move(data);
+
+  ++stats_.frames_sent;
+  stats_.payload_bytes += wire_bytes;
+
+  engine_.schedule(arrival, [this, d = std::move(d)]() mutable {
+    deliver(std::move(d));
+  });
+}
+
+void Fabric::inject_oob(int dst_slot, std::vector<std::byte> data, Time at) {
+  Delivery d;
+  d.src_slot = -1;
+  d.dst_slot = dst_slot;
+  d.sent_at = at;
+  d.arrival = at;
+  d.frame_no = frame_no_++;
+  d.out_of_band = true;
+  d.data = std::move(data);
+  engine_.schedule(at, [this, d = std::move(d)]() mutable {
+    deliver(std::move(d));
+  });
+}
+
+void Fabric::deliver(Delivery&& d) {
+  auto& dst = slots_.at(static_cast<std::size_t>(d.dst_slot));
+  if (!dst.alive || !dst.sink) {
+    ++stats_.frames_dropped_dead_dst;
+    SDR_LOG(Trace, "net") << "drop frame to dead slot " << d.dst_slot;
+    return;
+  }
+  const int owner = dst.owner_pid;
+  const Time arrival = d.arrival;
+  dst.sink(std::move(d));
+  // Wake the owner if it is parked inside an MPI progress loop. Slots
+  // without an owning process (raw-fabric tests) skip the wakeup.
+  if (owner >= 0) engine_.wake(owner, arrival);
+}
+
+}  // namespace sdrmpi::net

@@ -1,0 +1,58 @@
+// Network cost model parameters (LogGP-flavoured).
+//
+// A frame injected by slot s at virtual time T reaches slot d at
+//     start   = max(T + o_send, egress_free[s])
+//     arrival = start + wire_bytes * ns_per_byte + latency
+// and egress_free[s] advances to start + wire_bytes * ns_per_byte,
+// serialising a sender's outgoing frames (one NIC per process).
+// o_recv is charged to the *receiver's* clock when it processes the frame
+// inside an MPI call (progress happens only inside MPI calls, matching the
+// default Open MPI / MPICH2 behaviour the paper relies on).
+//
+// Defaults are calibrated to the paper's testbed (Mellanox ConnectX IB-20G):
+// one-byte NetPipe half-round latency 1.67 us and ~2 GB/s data bandwidth.
+#pragma once
+
+#include <cstddef>
+
+namespace sdrmpi::net {
+
+struct NetParams {
+  double o_send_ns = 350.0;   ///< sender CPU overhead per injected frame
+  double o_recv_ns = 350.0;   ///< receiver CPU overhead per processed frame
+  double latency_ns = 960.0;  ///< wire/switch latency
+  double ns_per_byte = 0.5;   ///< inverse bandwidth (0.5 ns/B = 2 GB/s)
+  std::size_t header_bytes = 40;       ///< modeled per-frame header size
+  std::size_t ctl_frame_bytes = 48;    ///< modeled wire size of ack/ctl frames
+  std::size_t eager_threshold = 12288; ///< switch to rendezvous above this
+  double call_cost_ns = 40.0;          ///< CPU cost of entering any MPI call
+
+  /// Paper testbed: InfiniBand 20G (Mellanox ConnectX, Grid'5000 Nancy).
+  [[nodiscard]] static NetParams infiniband_20g() { return NetParams{}; }
+
+  /// Near-zero costs; unit tests that only check protocol logic use this to
+  /// keep virtual timestamps easy to reason about.
+  [[nodiscard]] static NetParams instant() {
+    NetParams p;
+    p.o_send_ns = 1.0;
+    p.o_recv_ns = 1.0;
+    p.latency_ns = 10.0;
+    p.ns_per_byte = 0.0;
+    p.call_cost_ns = 1.0;
+    return p;
+  }
+
+  /// A slow Ethernet-like network; used by tests/benches probing how the
+  /// protocol overhead scales with latency.
+  [[nodiscard]] static NetParams gigabit_ethernet() {
+    NetParams p;
+    p.o_send_ns = 2000.0;
+    p.o_recv_ns = 2000.0;
+    p.latency_ns = 25000.0;
+    p.ns_per_byte = 8.0;  // 125 MB/s
+    p.eager_threshold = 65536;
+    return p;
+  }
+};
+
+}  // namespace sdrmpi::net

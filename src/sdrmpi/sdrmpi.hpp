@@ -1,0 +1,30 @@
+// Umbrella header: the SDR-MPI reproduction's public API.
+//
+//   #include "sdrmpi/sdrmpi.hpp"
+//
+//   sdrmpi::core::RunConfig cfg;
+//   cfg.nranks = 4;
+//   cfg.replication = 2;
+//   cfg.protocol = sdrmpi::core::ProtocolKind::Sdr;
+//   auto result = sdrmpi::core::run(cfg, [](sdrmpi::mpi::Env& env) {
+//     double x = env.rank();
+//     x = env.world().allreduce_value(x, sdrmpi::mpi::Op::Sum);
+//     env.report_checksum(static_cast<std::uint64_t>(x));
+//   });
+#pragma once
+
+#include "sdrmpi/core/launcher.hpp"
+#include "sdrmpi/core/run_config.hpp"
+#include "sdrmpi/mpi/comm.hpp"
+#include "sdrmpi/mpi/endpoint.hpp"
+#include "sdrmpi/mpi/env.hpp"
+#include "sdrmpi/mpi/group.hpp"
+#include "sdrmpi/mpi/request.hpp"
+#include "sdrmpi/mpi/types.hpp"
+#include "sdrmpi/net/params.hpp"
+#include "sdrmpi/sim/time.hpp"
+#include "sdrmpi/util/hash.hpp"
+#include "sdrmpi/util/options.hpp"
+#include "sdrmpi/util/rng.hpp"
+#include "sdrmpi/util/stats.hpp"
+#include "sdrmpi/util/table.hpp"

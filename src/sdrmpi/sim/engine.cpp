@@ -1,0 +1,217 @@
+#include "sdrmpi/sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "sdrmpi/util/log.hpp"
+
+namespace sdrmpi::sim {
+
+Engine::Engine() = default;
+
+Engine::~Engine() {
+  // Unwind any still-parked process threads so their stacks unwind (RAII)
+  // and the std::thread objects can be joined.
+  shutting_down_ = true;
+  for (auto& p : procs_) {
+    if (p->terminated()) continue;
+    p->crash_req_ = true;
+    resume(*p);  // the baton comes back once the thread exits
+  }
+}
+
+int Engine::spawn(std::string name, std::function<void()> body, Time start_at) {
+  const int pid = static_cast<int>(procs_.size());
+  auto proc = std::make_unique<Process>(*this, pid, std::move(name),
+                                        std::move(body));
+  proc->clock_ = start_at >= 0 ? start_at : now();
+  proc->state_ = ProcState::Runnable;
+  proc->start_thread();
+  procs_.push_back(std::move(proc));
+  SDR_LOG(Debug, "sim") << "spawned pid=" << pid << " '"
+                        << procs_.back()->name() << "' at t="
+                        << procs_.back()->clock();
+  return pid;
+}
+
+void Engine::schedule(Time t, std::function<void()> action) {
+  events_.push(Event{std::max(t, now()), event_seq_++, std::move(action)});
+}
+
+RunOutcome Engine::run() {
+  RunOutcome out;
+  for (;;) {
+    Process* p = next_runnable();
+    const bool have_event = !events_.empty();
+    const Time pt = p != nullptr ? p->clock() : 0;
+    const Time et = have_event ? events_.top().t : 0;
+
+    if (p == nullptr && !have_event) break;  // all quiet
+
+    const bool run_event = have_event && (p == nullptr || et <= pt);
+    const Time next_t = run_event ? et : pt;
+    if (time_limit_ > 0 && next_t > time_limit_) {
+      out.time_limit_hit = true;
+      break;
+    }
+
+    if (run_event) {
+      // Move the event out of the queue before executing: the action may
+      // schedule new events or spawn processes.
+      auto fn = std::move(const_cast<Event&>(events_.top()).fn);
+      event_now_ = et;
+      events_.pop();
+      ++events_executed_;
+      fn();
+    } else {
+      resume(*p);
+    }
+  }
+
+  Time end = event_now_;
+  bool any_blocked = false;
+  for (const auto& p : procs_) {
+    end = std::max(end, p->clock());
+    if (p->state() == ProcState::Blocked) {
+      any_blocked = true;
+      out.blocked_pids.push_back(p->pid());
+    }
+    if (p->state() == ProcState::Failed) out.failed_pids.push_back(p->pid());
+  }
+  out.deadlock = any_blocked && !out.time_limit_hit;
+  out.end_time = end;
+  out.events_executed = events_executed_;
+  out.context_switches = context_switches_;
+  if (out.deadlock) {
+    for (int pid : out.blocked_pids) {
+      SDR_LOG(Warn, "sim") << "deadlock: pid=" << pid << " '"
+                           << procs_[static_cast<std::size_t>(pid)]->name()
+                           << "' blocked on '"
+                           << procs_[static_cast<std::size_t>(pid)]->block_reason()
+                           << "'";
+    }
+  }
+  return out;
+}
+
+Process* Engine::next_runnable() noexcept {
+  Process* best = nullptr;
+  for (auto& p : procs_) {
+    if (!p->runnable()) continue;
+    if (best == nullptr || p->clock() < best->clock()) best = p.get();
+  }
+  return best;
+}
+
+void Engine::resume(Process& p) {
+  running_ = &p;
+  p.state_ = ProcState::Running;
+  ++context_switches_;
+  p.hand_baton();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return control_returned_; });
+    control_returned_ = false;
+  }
+  running_ = nullptr;
+}
+
+void Engine::return_control_to_engine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    control_returned_ = true;
+  }
+  cv_.notify_one();
+}
+
+Process& Engine::current() {
+  if (running_ == nullptr) {
+    throw std::logic_error("Engine::current() outside process context");
+  }
+  return *running_;
+}
+
+bool Engine::in_process_context() const noexcept { return running_ != nullptr; }
+
+Time Engine::now() const noexcept {
+  return running_ != nullptr ? running_->clock() : event_now_;
+}
+
+void Engine::advance(Time dt) {
+  assert(running_ != nullptr && dt >= 0);
+  running_->clock_ += dt;
+}
+
+void Engine::advance_to(Time t) {
+  assert(running_ != nullptr);
+  running_->clock_ = std::max(running_->clock_, t);
+}
+
+void Engine::maybe_yield() {
+  Process& self = *running_;
+  if (self.crash_req_) throw CrashUnwind{};
+  // Single-writer safety: while this process runs, no other thread mutates
+  // the event queue or process states, so peeking is race-free.
+  bool older_item = !events_.empty() && events_.top().t <= self.clock_;
+  if (!older_item) {
+    for (const auto& p : procs_) {
+      if (p.get() != &self && p->runnable() && p->clock() < self.clock_) {
+        older_item = true;
+        break;
+      }
+    }
+  }
+  if (older_item) yield();
+}
+
+void Engine::yield() {
+  Process& self = *running_;
+  if (self.crash_req_) throw CrashUnwind{};
+  self.state_ = ProcState::Runnable;
+  return_control_to_engine();
+  self.await_baton();
+  if (self.crash_req_) throw CrashUnwind{};
+}
+
+void Engine::block(std::string reason) {
+  Process& self = *running_;
+  if (self.crash_req_) throw CrashUnwind{};
+  self.state_ = ProcState::Blocked;
+  self.block_reason_ = std::move(reason);
+  return_control_to_engine();
+  self.await_baton();
+  if (self.crash_req_) throw CrashUnwind{};
+}
+
+void Engine::wake(int pid, Time t) {
+  Process& p = process(pid);
+  if (p.state() != ProcState::Blocked) return;
+  p.clock_ = std::max(p.clock_, t);
+  p.state_ = ProcState::Runnable;
+}
+
+void Engine::request_crash(int pid) {
+  Process& p = process(pid);
+  if (p.terminated()) return;
+  p.crash_req_ = true;
+  if (p.state() == ProcState::Blocked) {
+    // Unwind it at the next scheduling opportunity.
+    p.clock_ = std::max(p.clock_, now());
+    p.state_ = ProcState::Runnable;
+  }
+}
+
+const Process& Engine::process(int pid) const {
+  return *procs_.at(static_cast<std::size_t>(pid));
+}
+
+Process& Engine::process(int pid) {
+  return *procs_.at(static_cast<std::size_t>(pid));
+}
+
+bool Engine::crashed(int pid) const {
+  return process(pid).state() == ProcState::Crashed;
+}
+
+}  // namespace sdrmpi::sim

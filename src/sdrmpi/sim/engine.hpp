@@ -1,0 +1,149 @@
+// Deterministic discrete-event engine with cooperative simulated processes.
+//
+// Scheduling rule (total order, bit-reproducible):
+//   * the executable item with the smallest timestamp goes first;
+//   * pending events win ties against runnable processes;
+//   * events tie-break by insertion sequence, processes by pid.
+//
+// A running process may proceed without yielding as long as no pending event
+// or other runnable process has a timestamp <= its own clock (checked via
+// maybe_yield()); this is safe because simulated processes exchange state
+// only through timestamped events and only consume them at MPI-call points.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sdrmpi/sim/process.hpp"
+#include "sdrmpi/sim/time.hpp"
+
+namespace sdrmpi::sim {
+
+/// Outcome of Engine::run().
+struct RunOutcome {
+  bool deadlock = false;          // blocked processes with empty event queue
+  bool time_limit_hit = false;    // virtual-time cap exceeded
+  Time end_time = 0;              // max clock over all processes at the end
+  std::vector<int> blocked_pids;  // populated on deadlock
+  std::vector<int> failed_pids;   // processes that threw unexpectedly
+  std::uint64_t events_executed = 0;
+  std::uint64_t context_switches = 0;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return !deadlock && !time_limit_hit && failed_pids.empty();
+  }
+};
+
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ---- setup / control (engine or process context) ----
+
+  /// Spawns a process whose body starts executing at virtual time
+  /// `start_at` (default: now). Returns its pid.
+  int spawn(std::string name, std::function<void()> body, Time start_at = -1);
+
+  /// Schedules an action at absolute virtual time t (>= now).
+  void schedule(Time t, std::function<void()> action);
+
+  /// Caps virtual time; run() stops with time_limit_hit when exceeded.
+  void set_time_limit(Time t) noexcept { time_limit_ = t; }
+
+  /// Drives the simulation until all processes terminate, deadlock, or the
+  /// time limit. Must be called from the thread that created the Engine.
+  RunOutcome run();
+
+  // ---- process-context API ----
+
+  /// The currently running process; must be called from process context.
+  [[nodiscard]] Process& current();
+  [[nodiscard]] bool in_process_context() const noexcept;
+
+  /// Virtual now: current process clock in process context, else the
+  /// timestamp of the event being executed (or last executed).
+  [[nodiscard]] Time now() const noexcept;
+
+  /// Adds dt (>= 0) to the current process clock.
+  void advance(Time dt);
+
+  /// Moves the current process clock forward to at least t (no-op if the
+  /// clock is already past t). Used when consuming a frame that arrived
+  /// while the process was computing.
+  void advance_to(Time t);
+
+  /// Cooperative scheduling point; cheap no-op unless an older item exists.
+  void maybe_yield();
+
+  /// Unconditional yield (process stays runnable).
+  void yield();
+
+  /// Parks the current process until wake(). `reason` shows up in deadlock
+  /// reports. Checks for injected crash before and after parking.
+  void block(std::string reason);
+
+  // ---- cross-context API ----
+
+  /// Makes a blocked process runnable with clock >= t. No-op for processes
+  /// that are not blocked (their inbox processing will pick the data up).
+  void wake(int pid, Time t);
+
+  /// Requests a fail-stop crash; takes effect at the target's next
+  /// scheduling point (MPI-call granularity). Blocked targets are unwound
+  /// immediately at max(clock, now).
+  void request_crash(int pid);
+
+  [[nodiscard]] const Process& process(int pid) const;
+  [[nodiscard]] Process& process(int pid);
+  [[nodiscard]] std::size_t process_count() const noexcept {
+    return procs_.size();
+  }
+
+  /// True when the process terminated by injected crash.
+  [[nodiscard]] bool crashed(int pid) const;
+
+ private:
+  friend class Process;
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  /// Smallest-clock runnable process, pid tie-break; nullptr if none.
+  [[nodiscard]] Process* next_runnable() noexcept;
+  void resume(Process& p);
+  void return_control_to_engine();  // called from process context
+  void check_crash_unwind();        // throws CrashUnwind if requested
+
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::uint64_t event_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::uint64_t context_switches_ = 0;
+
+  Time event_now_ = 0;     // timestamp of the event being executed
+  Time time_limit_ = 0;    // 0 = unlimited
+  Process* running_ = nullptr;
+  bool shutting_down_ = false;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool control_returned_ = false;
+};
+
+}  // namespace sdrmpi::sim

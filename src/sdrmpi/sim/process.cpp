@@ -1,0 +1,62 @@
+#include "sdrmpi/sim/process.hpp"
+
+#include "sdrmpi/sim/engine.hpp"
+#include "sdrmpi/util/log.hpp"
+
+namespace sdrmpi::sim {
+
+const char* to_string(ProcState s) noexcept {
+  switch (s) {
+    case ProcState::Created: return "Created";
+    case ProcState::Runnable: return "Runnable";
+    case ProcState::Running: return "Running";
+    case ProcState::Blocked: return "Blocked";
+    case ProcState::Finished: return "Finished";
+    case ProcState::Crashed: return "Crashed";
+    case ProcState::Failed: return "Failed";
+  }
+  return "?";
+}
+
+Process::Process(Engine& engine, int pid, std::string name,
+                 std::function<void()> body)
+    : engine_(engine), pid_(pid), name_(std::move(name)), body_(std::move(body)) {}
+
+Process::~Process() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Process::start_thread() {
+  thread_ = std::thread([this] {
+    await_baton();
+    try {
+      if (crash_req_) throw CrashUnwind{};
+      body_();
+      state_ = ProcState::Finished;
+    } catch (const CrashUnwind&) {
+      state_ = ProcState::Crashed;
+    } catch (...) {
+      state_ = ProcState::Failed;
+      error_ = std::current_exception();
+    }
+    SDR_LOG(Debug, "sim") << "process " << name_ << " exits as "
+                          << to_string(state_) << " at t=" << clock_;
+    engine_.return_control_to_engine();
+  });
+}
+
+void Process::hand_baton() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    turn_ = true;
+  }
+  cv_.notify_one();
+}
+
+void Process::await_baton() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return turn_; });
+  turn_ = false;
+}
+
+}  // namespace sdrmpi::sim

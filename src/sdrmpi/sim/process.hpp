@@ -1,0 +1,93 @@
+// A simulated process: a host thread cooperatively scheduled by sim::Engine.
+//
+// Exactly one entity (the engine loop or a single process) executes at any
+// host instant; control moves via a baton handshake. Each process carries a
+// virtual clock that only moves forward. Processes interact with each other
+// exclusively through timestamped events, which is what makes the sequential
+// scheduling sound.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "sdrmpi/sim/time.hpp"
+
+namespace sdrmpi::sim {
+
+class Engine;
+
+enum class ProcState : int {
+  Created,   // spawned, thread not yet given the baton
+  Runnable,  // can be scheduled
+  Running,   // currently holds the baton
+  Blocked,   // parked in Engine::block(), waiting for wake()
+  Finished,  // body returned normally
+  Crashed,   // fail-stop injected (or engine shutdown unwound the stack)
+  Failed,    // body threw an unexpected exception
+};
+
+[[nodiscard]] const char* to_string(ProcState s) noexcept;
+
+/// Thrown inside a process to unwind its stack on injected crash/shutdown.
+/// Deliberately not derived from std::exception so that workload code using
+/// catch (const std::exception&) cannot accidentally swallow a crash.
+struct CrashUnwind {};
+
+class Process {
+ public:
+  Process(Engine& engine, int pid, std::string name,
+          std::function<void()> body);
+  ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] int pid() const noexcept { return pid_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Time clock() const noexcept { return clock_; }
+  [[nodiscard]] ProcState state() const noexcept { return state_; }
+  [[nodiscard]] bool runnable() const noexcept {
+    return state_ == ProcState::Runnable || state_ == ProcState::Created;
+  }
+  [[nodiscard]] bool terminated() const noexcept {
+    return state_ == ProcState::Finished || state_ == ProcState::Crashed ||
+           state_ == ProcState::Failed;
+  }
+  /// Pending crash injection that takes effect at the next scheduling point.
+  [[nodiscard]] bool crash_requested() const noexcept { return crash_req_; }
+  [[nodiscard]] std::exception_ptr error() const noexcept { return error_; }
+
+  /// Reason string recorded when the process blocks (for deadlock reports).
+  [[nodiscard]] const std::string& block_reason() const noexcept {
+    return block_reason_;
+  }
+
+ private:
+  friend class Engine;
+
+  void start_thread();
+  void hand_baton();   // engine -> process
+  void await_baton();  // process waits for its turn
+
+  Engine& engine_;
+  const int pid_;
+  const std::string name_;
+  std::function<void()> body_;
+
+  Time clock_ = 0;
+  ProcState state_ = ProcState::Created;
+  bool crash_req_ = false;
+  std::string block_reason_;
+  std::exception_ptr error_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool turn_ = false;
+  std::thread thread_;
+};
+
+}  // namespace sdrmpi::sim

@@ -1,0 +1,30 @@
+// Virtual time: 64-bit signed nanoseconds.
+//
+// All protocol costs and network transfer times are expressed in virtual
+// nanoseconds; benchmark output converts to microseconds/seconds. Using an
+// integer type keeps event ordering exact and runs bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace sdrmpi {
+
+using Time = std::int64_t;  // nanoseconds of virtual time
+
+namespace timeunits {
+
+constexpr Time nanoseconds(std::int64_t v) noexcept { return v; }
+constexpr Time microseconds(double v) noexcept {
+  return static_cast<Time>(v * 1e3);
+}
+constexpr Time milliseconds(double v) noexcept {
+  return static_cast<Time>(v * 1e6);
+}
+constexpr Time seconds(double v) noexcept { return static_cast<Time>(v * 1e9); }
+
+constexpr double to_us(Time t) noexcept { return static_cast<double>(t) * 1e-3; }
+constexpr double to_ms(Time t) noexcept { return static_cast<double>(t) * 1e-6; }
+constexpr double to_sec(Time t) noexcept { return static_cast<double>(t) * 1e-9; }
+
+}  // namespace timeunits
+}  // namespace sdrmpi

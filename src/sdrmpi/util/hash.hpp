@@ -1,0 +1,78 @@
+// Hashing utilities.
+//
+// Two uses in the library:
+//  1. Workload checksums: every benchmark kernel folds its numeric output
+//     into a 64-bit digest so that tests can assert bit-identical results
+//     between native and replicated executions.
+//  2. The redMPI-style protocol sends a per-message payload hash to sibling
+//     replicas to detect silent data corruption.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace sdrmpi::util {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over raw bytes, resumable via the `seed` parameter.
+constexpr std::uint64_t fnv1a(std::span<const std::byte> data,
+                              std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(std::to_integer<unsigned char>(b));
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Strong 64-bit finalizer (splitmix64 finaliser) for combining values.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Order-dependent combination of two digests.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Incremental checksum builder used by workloads.
+class Checksum {
+ public:
+  constexpr Checksum() noexcept = default;
+
+  constexpr void add_u64(std::uint64_t v) noexcept {
+    digest_ = hash_combine(digest_, mix64(v));
+  }
+
+  void add_double(double v) noexcept { add_u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void add_bytes(std::span<const std::byte> data) noexcept {
+    add_u64(fnv1a(data));
+  }
+
+  template <class T>
+  void add_range(std::span<const T> values) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    add_bytes(std::as_bytes(values));
+  }
+  template <class T>
+  void add_range(std::span<T> values) noexcept {
+    add_range(std::span<const T>(values));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const noexcept {
+    return digest_;
+  }
+
+ private:
+  std::uint64_t digest_ = kFnvOffset;
+};
+
+}  // namespace sdrmpi::util

@@ -1,0 +1,47 @@
+#include "sdrmpi/util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sdrmpi::util {
+namespace {
+
+LogLevel g_level = [] {
+  const char* env = std::getenv("SDRMPI_LOG");
+  return env != nullptr ? parse_log_level(env) : LogLevel::Warn;
+}();
+
+constexpr const char* level_name(LogLevel lvl) noexcept {
+  switch (lvl) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+
+void set_log_level(LogLevel lvl) noexcept { g_level = lvl; }
+
+LogLevel parse_log_level(std::string_view name) noexcept {
+  if (name == "off" || name == "none") return LogLevel::Off;
+  if (name == "error") return LogLevel::Error;
+  if (name == "warn" || name == "warning") return LogLevel::Warn;
+  if (name == "info") return LogLevel::Info;
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "trace") return LogLevel::Trace;
+  return LogLevel::Warn;
+}
+
+void log_line(LogLevel lvl, std::string_view tag, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %-8.*s %s\n", level_name(lvl),
+               static_cast<int>(tag.size()), tag.data(), msg.c_str());
+}
+
+}  // namespace sdrmpi::util

@@ -1,0 +1,58 @@
+// Lightweight leveled logger for the sdrmpi runtime.
+//
+// The simulator is single-threaded at any instant (cooperative scheduling),
+// so the logger needs no synchronization beyond a process-wide level flag.
+// The level is initialised from the SDRMPI_LOG environment variable
+// (error|warn|info|debug|trace) and can be overridden programmatically.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sdrmpi::util {
+
+enum class LogLevel : int { Off = 0, Error, Warn, Info, Debug, Trace };
+
+/// Returns the global log level (initialised from $SDRMPI_LOG on first use).
+LogLevel log_level() noexcept;
+
+/// Overrides the global log level.
+void set_log_level(LogLevel lvl) noexcept;
+
+/// Parses a level name; unknown names map to LogLevel::Warn.
+LogLevel parse_log_level(std::string_view name) noexcept;
+
+/// Emits one formatted line to stderr. Internal; prefer the SDR_LOG macro.
+void log_line(LogLevel lvl, std::string_view tag, const std::string& msg);
+
+}  // namespace sdrmpi::util
+
+// Streaming log macro: SDR_LOG(Debug, "net") << "sent " << n << " bytes";
+#define SDR_LOG(level, tag)                                                  \
+  if (::sdrmpi::util::log_level() >= ::sdrmpi::util::LogLevel::level)        \
+  ::sdrmpi::util::LogStream(::sdrmpi::util::LogLevel::level, (tag))
+
+namespace sdrmpi::util {
+
+/// RAII helper that accumulates a message and emits it on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel lvl, std::string_view tag) : lvl_(lvl), tag_(tag) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(lvl_, tag_, os_.str()); }
+
+  template <class T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::string_view tag_;
+  std::ostringstream os_;
+};
+
+}  // namespace sdrmpi::util

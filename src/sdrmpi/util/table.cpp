@@ -1,0 +1,53 @@
+#include "sdrmpi/util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace sdrmpi::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table::add_row: arity mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      if (c == 0) {
+        os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      } else {
+        os << std::string(width[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    os << " |\n";
+  };
+
+  auto print_sep = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << (c == 0 ? "+" : "-+") << std::string(width[c] + 1, '-');
+    }
+    os << "-+\n";
+  };
+
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+}  // namespace sdrmpi::util

@@ -1,0 +1,32 @@
+// Wall-clock timer (host time, not virtual time). Used when benchmarks opt
+// into measured compute charging and for harness self-timing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sdrmpi::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed host nanoseconds since construction or last reset().
+  [[nodiscard]] std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  [[nodiscard]] double elapsed_sec() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sdrmpi::util

@@ -1,0 +1,123 @@
+#include "sdrmpi/workloads/grid.hpp"
+
+#include <cmath>
+
+namespace sdrmpi::wl {
+
+std::array<int, 2> decompose_2d(int n) {
+  int px = static_cast<int>(std::sqrt(static_cast<double>(n)));
+  while (px > 1 && n % px != 0) --px;
+  return {px, n / px};
+}
+
+std::array<int, 3> decompose_3d(int n) {
+  int pz = static_cast<int>(std::cbrt(static_cast<double>(n)));
+  while (pz > 1 && n % pz != 0) --pz;
+  const auto xy = decompose_2d(n / pz);
+  return {xy[0], xy[1], pz};
+}
+
+std::size_t Field3D::plane_size(int axis) const noexcept {
+  switch (axis) {
+    case 0: return static_cast<std::size_t>(ny_) * static_cast<std::size_t>(nz_);
+    case 1: return static_cast<std::size_t>(nx_) * static_cast<std::size_t>(nz_);
+    default: return static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+  }
+}
+
+void Field3D::pack_plane(int axis, int plane, std::vector<double>& out) const {
+  out.clear();
+  out.reserve(plane_size(axis));
+  if (axis == 0) {
+    for (int k = 1; k <= nz_; ++k)
+      for (int j = 1; j <= ny_; ++j) out.push_back(at(plane, j, k));
+  } else if (axis == 1) {
+    for (int k = 1; k <= nz_; ++k)
+      for (int i = 1; i <= nx_; ++i) out.push_back(at(i, plane, k));
+  } else {
+    for (int j = 1; j <= ny_; ++j)
+      for (int i = 1; i <= nx_; ++i) out.push_back(at(i, j, plane));
+  }
+}
+
+void Field3D::unpack_plane(int axis, int plane, std::span<const double> in) {
+  std::size_t n = 0;
+  if (axis == 0) {
+    for (int k = 1; k <= nz_; ++k)
+      for (int j = 1; j <= ny_; ++j) at(plane, j, k) = in[n++];
+  } else if (axis == 1) {
+    for (int k = 1; k <= nz_; ++k)
+      for (int i = 1; i <= nx_; ++i) at(i, plane, k) = in[n++];
+  } else {
+    for (int j = 1; j <= ny_; ++j)
+      for (int i = 1; i <= nx_; ++i) at(i, j, plane) = in[n++];
+  }
+}
+
+int HaloExchanger::neighbor(int axis, int dir) const noexcept {
+  std::array<int, 3> c = coords;
+  c[static_cast<std::size_t>(axis)] += dir;
+  if (c[static_cast<std::size_t>(axis)] < 0 ||
+      c[static_cast<std::size_t>(axis)] >= pgrid[static_cast<std::size_t>(axis)]) {
+    return mpi::kProcNull;
+  }
+  return rank_of(c[0], c[1], c[2]);
+}
+
+void HaloExchanger::exchange(mpi::Env& env, Field3D& f) const {
+  (void)env;
+  // Pack all faces, post all receives, then all sends, then wait.
+  // Directions: (axis, dir) with dir -1 => send low face, recv into low
+  // ghost from the -1 neighbour.
+  struct Side {
+    int axis;
+    int dir;
+  };
+  constexpr Side sides[6] = {{0, -1}, {0, 1}, {1, -1}, {1, 1}, {2, -1}, {2, 1}};
+
+  std::array<std::vector<double>, 6> send_bufs;
+  std::array<std::vector<double>, 6> recv_bufs;
+  std::vector<mpi::Request> reqs;
+  reqs.reserve(12);
+
+  auto n_of = [&](int axis) {
+    return axis == 0 ? f.nx() : (axis == 1 ? f.ny() : f.nz());
+  };
+
+  for (int s = 0; s < 6; ++s) {
+    const auto [axis, dir] = sides[s];
+    const int nb = neighbor(axis, dir);
+    if (nb == mpi::kProcNull) continue;
+    recv_bufs[static_cast<std::size_t>(s)].assign(f.plane_size(axis), 0.0);
+    // Tag identifies the *direction the message travels*, so an ANY_SOURCE
+    // receive is still unambiguous (at most one neighbour per direction).
+    const int tag = tag_base + s;
+    const int src = any_source ? mpi::kAnySource : nb;
+    reqs.push_back(comm.irecv(
+        std::span<double>(recv_bufs[static_cast<std::size_t>(s)]), src, tag));
+  }
+  for (int s = 0; s < 6; ++s) {
+    const auto [axis, dir] = sides[s];
+    const int nb = neighbor(axis, dir);
+    if (nb == mpi::kProcNull) continue;
+    const int plane = dir < 0 ? 1 : n_of(axis);
+    f.pack_plane(axis, plane, send_bufs[static_cast<std::size_t>(s)]);
+    // A message sent toward +1 arrives at its receiver as "from -1" (side
+    // index s^1, the opposite direction).
+    const int tag = tag_base + (s ^ 1);
+    reqs.push_back(comm.isend(
+        std::span<const double>(send_bufs[static_cast<std::size_t>(s)]), nb,
+        tag));
+  }
+  comm.waitall(reqs);
+
+  for (int s = 0; s < 6; ++s) {
+    const auto [axis, dir] = sides[s];
+    const int nb = neighbor(axis, dir);
+    if (nb == mpi::kProcNull) continue;
+    const int ghost = dir < 0 ? 0 : n_of(axis) + 1;
+    f.unpack_plane(axis, ghost, recv_bufs[static_cast<std::size_t>(s)]);
+  }
+}
+
+}  // namespace sdrmpi::wl

@@ -1,0 +1,90 @@
+// Shared helpers for the grid-based kernels: process decompositions, a 3D
+// field with ghost cells, halo packing, and modeled compute charging.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sdrmpi/mpi/env.hpp"
+
+namespace sdrmpi::wl {
+
+/// Models one core sustaining ~1 GFLOP/s: workloads charge virtual time
+/// proportional to the arithmetic they actually execute.
+inline void charge_flops(mpi::Env& env, double flops, double scale = 1.0) {
+  env.compute(flops * 1e-9 * scale);
+}
+
+/// Factors n into a near-square px * py (px <= py).
+[[nodiscard]] std::array<int, 2> decompose_2d(int n);
+/// Factors n into a near-cubic px * py * pz.
+[[nodiscard]] std::array<int, 3> decompose_3d(int n);
+
+/// A local 3D block with one ghost layer all around. Interior indices run
+/// 1..n; ghosts sit at 0 and n+1.
+class Field3D {
+ public:
+  Field3D() = default;
+  Field3D(int nx, int ny, int nz)
+      : nx_(nx), ny_(ny), nz_(nz),
+        data_(static_cast<std::size_t>((nx + 2) * (ny + 2) * (nz + 2)), 0.0) {}
+
+  [[nodiscard]] int nx() const noexcept { return nx_; }
+  [[nodiscard]] int ny() const noexcept { return ny_; }
+  [[nodiscard]] int nz() const noexcept { return nz_; }
+
+  [[nodiscard]] double& at(int i, int j, int k) noexcept {
+    return data_[idx(i, j, k)];
+  }
+  [[nodiscard]] const double& at(int i, int j, int k) const noexcept {
+    return data_[idx(i, j, k)];
+  }
+
+  [[nodiscard]] std::span<double> raw() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> raw() const noexcept { return data_; }
+
+  /// Packs the interior plane at fixed axis-coordinate `plane` into `out`.
+  /// axis: 0 = x-plane (ny*nz values), 1 = y-plane, 2 = z-plane.
+  void pack_plane(int axis, int plane, std::vector<double>& out) const;
+  /// Unpacks into the ghost plane at axis-coordinate `plane` (0 or n+1).
+  void unpack_plane(int axis, int plane, std::span<const double> in);
+
+  [[nodiscard]] std::size_t plane_size(int axis) const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t idx(int i, int j, int k) const noexcept {
+    return (static_cast<std::size_t>(k) * static_cast<std::size_t>(ny_ + 2) +
+            static_cast<std::size_t>(j)) *
+               static_cast<std::size_t>(nx_ + 2) +
+           static_cast<std::size_t>(i);
+  }
+
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<double> data_;
+};
+
+/// 6-neighbour halo exchange over a 3D process grid using nonblocking
+/// sends/receives on the world communicator. When `any_source` is set the
+/// receives are posted with MPI_ANY_SOURCE and identified by direction tags
+/// (the HPCCG/CM1 pattern the paper calls out in Table 2).
+struct HaloExchanger {
+  mpi::Comm comm;
+  std::array<int, 3> pgrid{1, 1, 1};   // process grid dims
+  std::array<int, 3> coords{0, 0, 0};  // my coords
+  bool any_source = false;
+  int tag_base = 100;
+
+  [[nodiscard]] int rank_of(int cx, int cy, int cz) const noexcept {
+    return (cz * pgrid[1] + cy) * pgrid[0] + cx;
+  }
+  /// Neighbour rank along axis in direction dir (-1/+1); kProcNull at the
+  /// domain boundary (no periodic wrap).
+  [[nodiscard]] int neighbor(int axis, int dir) const noexcept;
+
+  /// Exchanges all six faces of `f` (ghost layers filled on return).
+  void exchange(mpi::Env& env, Field3D& f) const;
+};
+
+}  // namespace sdrmpi::wl

@@ -1,0 +1,54 @@
+// Miniaturised NAS-Parallel-Benchmark-like kernels (paper Table 1).
+//
+// Each kernel reproduces the communication pattern and compute/communicate
+// structure of its NAS namesake with real arithmetic at reduced problem
+// sizes, and reports a deterministic checksum (the native-vs-replicated
+// correctness oracle):
+//   CG - conjugate gradient: allgather-based matvec + allreduce dots
+//   MG - multigrid V-cycles: per-level 3D halo exchanges
+//   FT - 3D FFT: compute-heavy local FFTs + alltoall transpose
+//   BT - block-tridiagonal ADI: pipelined 3x3-block line sweeps
+//   SP - scalar-pentadiagonal ADI: pipelined pentadiagonal line sweeps
+#pragma once
+
+#include <cstdint>
+
+#include "sdrmpi/core/launcher.hpp"
+
+namespace sdrmpi::wl {
+
+struct CgParams {
+  int nrows = 4096;      ///< global matrix rows (divisible by nranks)
+  int iters = 25;        ///< CG iterations
+  std::uint64_t seed = 0x5eedc6ULL;
+  double compute_scale = 1.0;
+};
+[[nodiscard]] core::AppFn make_nas_cg(CgParams p = {});
+
+struct MgParams {
+  int nx = 64, ny = 64, nz = 64;  ///< global grid (divisible by proc grid)
+  int iters = 4;                  ///< V-cycles
+  std::uint64_t seed = 0x5eed36ULL;
+  double compute_scale = 1.0;
+};
+[[nodiscard]] core::AppFn make_nas_mg(MgParams p = {});
+
+struct FtParams {
+  int nx = 32, ny = 32, nz = 32;  ///< powers of two; nz divisible by nranks
+  int iters = 3;
+  std::uint64_t seed = 0x5eedf7ULL;
+  double compute_scale = 1.0;
+};
+[[nodiscard]] core::AppFn make_nas_ft(FtParams p = {});
+
+struct AdiParams {
+  int nx = 64;            ///< decomposed axis (divisible by nranks)
+  int ny = 24, nz = 8;    ///< local in every rank
+  int iters = 5;
+  std::uint64_t seed = 0x5eedb7ULL;
+  double compute_scale = 1.0;
+};
+[[nodiscard]] core::AppFn make_nas_bt(AdiParams p = {});
+[[nodiscard]] core::AppFn make_nas_sp(AdiParams p = {});
+
+}  // namespace sdrmpi::wl

@@ -1,0 +1,195 @@
+// FT: 3D FFT with slab decomposition and an all-to-all transpose.
+//
+// Forward FFT along x and y on local z-slabs, a global transpose
+// (alltoall) to make z local, FFT along z, spectral evolution, then the
+// inverse — NAS FT's signature bandwidth-bound alltoall pattern.
+#include "sdrmpi/workloads/nas.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "sdrmpi/util/hash.hpp"
+#include "sdrmpi/util/rng.hpp"
+#include "sdrmpi/workloads/grid.hpp"
+
+namespace sdrmpi::wl {
+namespace {
+
+/// Minimal complex type, guaranteed trivially copyable for wire transfer.
+struct Cx {
+  double re = 0.0;
+  double im = 0.0;
+
+  friend Cx operator+(Cx a, Cx b) { return {a.re + b.re, a.im + b.im}; }
+  friend Cx operator-(Cx a, Cx b) { return {a.re - b.re, a.im - b.im}; }
+  friend Cx operator*(Cx a, Cx b) {
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+  }
+};
+static_assert(std::is_trivially_copyable_v<Cx>);
+
+/// In-place iterative radix-2 Cooley-Tukey FFT over a strided line.
+void fft_line(Cx* data, int n, int stride, bool inverse) {
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i * stride], data[j * stride]);
+  }
+  for (int len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2.0 * std::numbers::pi / len * (inverse ? 1.0 : -1.0);
+    const Cx wl{std::cos(ang), std::sin(ang)};
+    for (int i = 0; i < n; i += len) {
+      Cx w{1.0, 0.0};
+      for (int k = 0; k < len / 2; ++k) {
+        Cx& a = data[(i + k) * stride];
+        Cx& b = data[(i + k + len / 2) * stride];
+        const Cx u = a;
+        const Cx v = w * b;
+        a = u + v;
+        b = u - v;
+        w = w * wl;
+      }
+    }
+  }
+  if (inverse) {
+    for (int i = 0; i < n; ++i) {
+      data[i * stride].re /= n;
+      data[i * stride].im /= n;
+    }
+  }
+}
+
+}  // namespace
+
+core::AppFn make_nas_ft(FtParams p) {
+  return [p](mpi::Env& env) {
+    auto& world = env.world();
+    const int np = world.size();
+    const int rank = env.rank();
+    const int nzl = p.nz / np;  // local z-slabs in xy-decomposed phase
+    const int nxl = p.nx / np;  // local x-range in z-local phase
+
+    // u[x][y][zl]: x fastest.
+    auto idx_xy = [&](int x, int y, int zl) {
+      return (static_cast<std::size_t>(zl) * p.ny + y) * p.nx + x;
+    };
+    // v[xl][y][z]: z fastest (lines along z contiguous-ish via stride 1).
+    auto idx_z = [&](int xl, int y, int z) {
+      return (static_cast<std::size_t>(xl) * p.ny + y) * p.nz + z;
+    };
+
+    std::vector<Cx> u(static_cast<std::size_t>(p.nx) * p.ny * nzl);
+    std::vector<Cx> v(static_cast<std::size_t>(nxl) * p.ny * p.nz);
+    util::Rng rng(p.seed ^ (static_cast<std::uint64_t>(rank) << 24));
+    for (auto& c : u) c = Cx{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5)};
+
+    const std::size_t block =
+        static_cast<std::size_t>(nxl) * p.ny * nzl;  // per-pair elements
+    std::vector<Cx> sendbuf(block * static_cast<std::size_t>(np));
+    std::vector<Cx> recvbuf(block * static_cast<std::size_t>(np));
+
+    auto fft_xy = [&](bool inverse) {
+      for (int zl = 0; zl < nzl; ++zl) {
+        for (int y = 0; y < p.ny; ++y) {
+          fft_line(&u[idx_xy(0, y, zl)], p.nx, 1, inverse);
+        }
+        for (int x = 0; x < p.nx; ++x) {
+          fft_line(&u[idx_xy(x, 0, zl)], p.ny, p.nx, inverse);
+        }
+      }
+      charge_flops(env,
+                   5.0 * p.nx * static_cast<double>(p.ny) * nzl *
+                       (std::log2(static_cast<double>(p.nx)) +
+                        std::log2(static_cast<double>(p.ny))),
+                   p.compute_scale);
+    };
+
+    auto transpose_to_z = [&] {
+      for (int dst = 0; dst < np; ++dst) {
+        std::size_t o = block * static_cast<std::size_t>(dst);
+        for (int xl = 0; xl < nxl; ++xl)
+          for (int y = 0; y < p.ny; ++y)
+            for (int zl = 0; zl < nzl; ++zl)
+              sendbuf[o++] = u[idx_xy(dst * nxl + xl, y, zl)];
+      }
+      world.alltoall(std::span<const Cx>(sendbuf), std::span<Cx>(recvbuf));
+      for (int src = 0; src < np; ++src) {
+        std::size_t o = block * static_cast<std::size_t>(src);
+        for (int xl = 0; xl < nxl; ++xl)
+          for (int y = 0; y < p.ny; ++y)
+            for (int zl = 0; zl < nzl; ++zl)
+              v[idx_z(xl, y, src * nzl + zl)] = recvbuf[o++];
+      }
+    };
+
+    auto transpose_from_z = [&] {
+      for (int dst = 0; dst < np; ++dst) {
+        std::size_t o = block * static_cast<std::size_t>(dst);
+        for (int xl = 0; xl < nxl; ++xl)
+          for (int y = 0; y < p.ny; ++y)
+            for (int zl = 0; zl < nzl; ++zl)
+              sendbuf[o++] = v[idx_z(xl, y, dst * nzl + zl)];
+      }
+      world.alltoall(std::span<const Cx>(sendbuf), std::span<Cx>(recvbuf));
+      for (int src = 0; src < np; ++src) {
+        std::size_t o = block * static_cast<std::size_t>(src);
+        for (int xl = 0; xl < nxl; ++xl)
+          for (int y = 0; y < p.ny; ++y)
+            for (int zl = 0; zl < nzl; ++zl)
+              u[idx_xy(src * nxl + xl, y, zl)] = recvbuf[o++];
+      }
+    };
+
+    auto fft_z = [&](bool inverse) {
+      for (int xl = 0; xl < nxl; ++xl) {
+        for (int y = 0; y < p.ny; ++y) {
+          fft_line(&v[idx_z(xl, y, 0)], p.nz, 1, inverse);
+        }
+      }
+      charge_flops(env,
+                   5.0 * nxl * static_cast<double>(p.ny) * p.nz *
+                       std::log2(static_cast<double>(p.nz)),
+                   p.compute_scale);
+    };
+
+    for (int it = 1; it <= p.iters; ++it) {
+      fft_xy(false);
+      transpose_to_z();
+      fft_z(false);
+      // Spectral evolution: damp by mode index (stands in for exp(-k^2 t)).
+      for (int xl = 0; xl < nxl; ++xl) {
+        for (int y = 0; y < p.ny; ++y) {
+          for (int z = 0; z < p.nz; ++z) {
+            const double damp =
+                1.0 /
+                (1.0 + 1e-4 * it * (xl + rank * nxl + y + z));
+            auto& c = v[idx_z(xl, y, z)];
+            c.re *= damp;
+            c.im *= damp;
+          }
+        }
+      }
+      charge_flops(env, 4.0 * nxl * static_cast<double>(p.ny) * p.nz,
+                   p.compute_scale);
+      fft_z(true);
+      transpose_from_z();
+      fft_xy(true);
+    }
+
+    // Checksum: global energy + local block digest.
+    double local_sq = 0.0;
+    for (const Cx& c : u) local_sq += c.re * c.re + c.im * c.im;
+    const double energy = world.allreduce_value(local_sq, mpi::Op::Sum);
+    util::Checksum cs;
+    cs.add_double(energy);
+    cs.add_range(std::span<const Cx>(u));
+    env.report_checksum(cs.digest());
+    env.report_value("energy", energy);
+  };
+}
+
+}  // namespace sdrmpi::wl

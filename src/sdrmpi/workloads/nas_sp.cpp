@@ -1,0 +1,180 @@
+// SP: ADI solver with scalar pentadiagonal line sweeps.
+//
+// Same pipelined structure as BT but the x-direction systems are scalar
+// pentadiagonal: forward elimination carries the two trailing normalised
+// rows (c, d, e per row), backward substitution carries the two leading
+// solution values of the right neighbour.
+#include "sdrmpi/workloads/nas.hpp"
+
+#include <vector>
+
+#include "sdrmpi/util/hash.hpp"
+#include "sdrmpi/util/rng.hpp"
+#include "sdrmpi/workloads/grid.hpp"
+
+namespace sdrmpi::wl {
+namespace {
+
+/// Pentadiagonal coefficients for global row gi (diagonally dominant).
+struct PentaRow {
+  double a, b, diag, f, g;
+};
+
+PentaRow penta_row(int gi, int nx, std::uint64_t seed) {
+  std::uint64_t s = seed ^ (static_cast<std::uint64_t>(gi) << 8);
+  const double w =
+      0.05 * (static_cast<double>(util::splitmix64(s) >> 11) * 0x1.0p-53);
+  PentaRow r{-0.05, -0.4, 2.2 + w, -0.4, -0.05};
+  if (gi == 0) r.a = r.b = 0.0;
+  if (gi == 1) r.a = 0.0;
+  if (gi == nx - 1) r.f = r.g = 0.0;
+  if (gi == nx - 2) r.g = 0.0;
+  return r;
+}
+
+}  // namespace
+
+core::AppFn make_nas_sp(AdiParams p) {
+  return [p](mpi::Env& env) {
+    auto& world = env.world();
+    const int np = world.size();
+    const int rank = env.rank();
+    const int lx = p.nx / np;
+    const int x0 = rank * lx;
+    const int lines = p.ny * p.nz;
+
+    Field3D u(lx, p.ny, p.nz);
+    HaloExchanger halo{world, {np, 1, 1}, {rank, 0, 0}, false, 330};
+    util::Rng rng(p.seed ^ (static_cast<std::uint64_t>(rank) << 12));
+    for (int k = 1; k <= p.nz; ++k)
+      for (int j = 1; j <= p.ny; ++j)
+        for (int i = 1; i <= lx; ++i) u.at(i, j, k) = rng.uniform(-1.0, 1.0);
+
+    // Normalised elimination rows: U_i = e_i - c_i U_{i+1} - d_i U_{i+2}.
+    std::vector<double> C(static_cast<std::size_t>(lines) * lx);
+    std::vector<double> D(static_cast<std::size_t>(lines) * lx);
+    std::vector<double> E(static_cast<std::size_t>(lines) * lx);
+    // Carries: forward = (c,d,e) of the last two rows; backward = first two
+    // solution values of the right neighbour.
+    std::vector<double> fwd_in(static_cast<std::size_t>(lines) * 6);
+    std::vector<double> fwd_out(static_cast<std::size_t>(lines) * 6);
+    std::vector<double> bwd_in(static_cast<std::size_t>(lines) * 2);
+    std::vector<double> bwd_out(static_cast<std::size_t>(lines) * 2);
+
+    for (int it = 0; it < p.iters; ++it) {
+      halo.exchange(env, u);
+      // RHS from a 7-point stencil.
+      std::vector<double> rhs(static_cast<std::size_t>(lines) * lx);
+      for (int k = 1; k <= p.nz; ++k) {
+        for (int j = 1; j <= p.ny; ++j) {
+          for (int i = 1; i <= lx; ++i) {
+            const std::size_t li =
+                (static_cast<std::size_t>(k - 1) * p.ny + (j - 1)) * lx +
+                (i - 1);
+            rhs[li] = u.at(i, j, k) +
+                      0.15 * (u.at(i - 1, j, k) + u.at(i + 1, j, k) +
+                              u.at(i, j - 1, k) + u.at(i, j + 1, k) +
+                              u.at(i, j, k - 1) + u.at(i, j, k + 1));
+          }
+        }
+      }
+      charge_flops(env, 8.0 * lines * static_cast<double>(lx),
+                   p.compute_scale);
+
+      // ---- forward elimination left -> right ----
+      if (rank > 0) {
+        world.recv(std::span<double>(fwd_in), rank - 1, 41);
+      } else {
+        std::fill(fwd_in.begin(), fwd_in.end(), 0.0);
+      }
+      for (int line = 0; line < lines; ++line) {
+        const double* ci = &fwd_in[static_cast<std::size_t>(line) * 6];
+        // (c,d,e) for rows gi-2 and gi-1 relative to my first row.
+        double c2 = ci[0], d2 = ci[1], e2 = ci[2];  // row gi-2
+        double c1 = ci[3], d1 = ci[4], e1 = ci[5];  // row gi-1
+        for (int i = 0; i < lx; ++i) {
+          const PentaRow row = penta_row(x0 + i, p.nx, p.seed);
+          const std::size_t idx =
+              static_cast<std::size_t>(line) * lx + static_cast<std::size_t>(i);
+          // Substitute U_{i-2} = e2 - c2 U_{i-1} - d2 U_i.
+          const double b1 = row.b - row.a * c2;
+          const double diag1 = row.diag - row.a * d2;
+          const double r1 = rhs[idx] - row.a * e2;
+          // Substitute U_{i-1} = e1 - c1 U_i - d1 U_{i+1}.
+          const double diag2 = diag1 - b1 * c1;
+          const double f2 = row.f - b1 * d1;
+          const double r2 = r1 - b1 * e1;
+          const double inv = 1.0 / diag2;
+          C[idx] = f2 * inv;
+          D[idx] = row.g * inv;
+          E[idx] = r2 * inv;
+          c2 = c1; d2 = d1; e2 = e1;
+          c1 = C[idx]; d1 = D[idx]; e1 = E[idx];
+        }
+        double* co = &fwd_out[static_cast<std::size_t>(line) * 6];
+        co[0] = c2; co[1] = d2; co[2] = e2;
+        co[3] = c1; co[4] = d1; co[5] = e1;
+      }
+      charge_flops(env, 16.0 * lines * static_cast<double>(lx),
+                   p.compute_scale);
+      if (rank + 1 < np) {
+        world.send(std::span<const double>(fwd_out), rank + 1, 41);
+      }
+
+      // ---- backward substitution right -> left ----
+      if (rank + 1 < np) {
+        world.recv(std::span<double>(bwd_in), rank + 1, 42);
+      } else {
+        std::fill(bwd_in.begin(), bwd_in.end(), 0.0);
+      }
+      for (int line = 0; line < lines; ++line) {
+        const double* bi = &bwd_in[static_cast<std::size_t>(line) * 2];
+        double u1 = bi[0];  // U_{i+1}
+        double u2 = bi[1];  // U_{i+2}
+        const int k = line / p.ny + 1;
+        const int j = line % p.ny + 1;
+        for (int i = lx - 1; i >= 0; --i) {
+          const std::size_t idx =
+              static_cast<std::size_t>(line) * lx + static_cast<std::size_t>(i);
+          const double ui = E[idx] - C[idx] * u1 - D[idx] * u2;
+          u.at(i + 1, j, k) = ui;
+          u2 = u1;
+          u1 = ui;
+        }
+        double* bo = &bwd_out[static_cast<std::size_t>(line) * 2];
+        bo[0] = u1;
+        bo[1] = u2;
+      }
+      charge_flops(env, 5.0 * lines * static_cast<double>(lx),
+                   p.compute_scale);
+      if (rank > 0) {
+        world.send(std::span<const double>(bwd_out), rank - 1, 42);
+      }
+
+      // ---- local y and z sweeps ----
+      for (int k = 1; k <= p.nz; ++k)
+        for (int i = 1; i <= lx; ++i)
+          for (int j = 2; j <= p.ny; ++j)
+            u.at(i, j, k) = 0.9 * u.at(i, j, k) + 0.1 * u.at(i, j - 1, k);
+      for (int j = 1; j <= p.ny; ++j)
+        for (int i = 1; i <= lx; ++i)
+          for (int k = 2; k <= p.nz; ++k)
+            u.at(i, j, k) = 0.9 * u.at(i, j, k) + 0.1 * u.at(i, j, k - 1);
+      charge_flops(env, 4.0 * lines * static_cast<double>(lx),
+                   p.compute_scale);
+    }
+
+    double local_sq = 0.0;
+    for (int k = 1; k <= p.nz; ++k)
+      for (int j = 1; j <= p.ny; ++j)
+        for (int i = 1; i <= lx; ++i) local_sq += u.at(i, j, k) * u.at(i, j, k);
+    const double norm = world.allreduce_value(local_sq, mpi::Op::Sum);
+    util::Checksum cs;
+    cs.add_double(norm);
+    cs.add_range(u.raw());
+    env.report_checksum(cs.digest());
+    env.report_value("norm", norm);
+  };
+}
+
+}  // namespace sdrmpi::wl

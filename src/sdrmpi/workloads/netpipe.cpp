@@ -1,0 +1,61 @@
+#include "sdrmpi/workloads/netpipe.hpp"
+
+#include <string>
+
+namespace sdrmpi::wl {
+
+std::vector<std::size_t> NetpipeParams::default_sizes() {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 1; s <= (8u << 20); s <<= 1) out.push_back(s);
+  return out;
+}
+
+core::AppFn make_netpipe(NetpipeParams p) {
+  return [p](mpi::Env& env) {
+    auto& world = env.world();
+    if (world.size() < 2) return;
+    const int rank = env.rank();
+    if (rank > 1) return;  // spectators idle
+    const int peer = 1 - rank;
+
+    std::vector<std::byte> buf;
+    for (const std::size_t size : p.sizes) {
+      buf.assign(size, std::byte{0x5a});
+      const std::span<std::byte> view(buf);
+
+      for (int i = 0; i < p.warmup; ++i) {
+        if (rank == 0) {
+          world.send(std::span<const std::byte>(view), peer, 7);
+          world.recv(view, peer, 7);
+        } else {
+          world.recv(view, peer, 7);
+          world.send(std::span<const std::byte>(view), peer, 7);
+        }
+      }
+
+      const double t0 = env.wtime();
+      for (int i = 0; i < p.reps; ++i) {
+        if (rank == 0) {
+          world.send(std::span<const std::byte>(view), peer, 7);
+          world.recv(view, peer, 7);
+        } else {
+          world.recv(view, peer, 7);
+          world.send(std::span<const std::byte>(view), peer, 7);
+        }
+      }
+      const double elapsed = env.wtime() - t0;
+
+      if (rank == 0) {
+        // NetPipe convention: latency = half round trip.
+        const double lat_s = elapsed / (2.0 * p.reps);
+        const double mbps =
+            (static_cast<double>(size) * 8.0 / 1e6) / lat_s;
+        env.report_value("lat_us_" + std::to_string(size), lat_s * 1e6);
+        env.report_value("mbps_" + std::to_string(size), mbps);
+      }
+    }
+    env.report_checksum(static_cast<std::uint64_t>(p.sizes.size()));
+  };
+}
+
+}  // namespace sdrmpi::wl

@@ -1,0 +1,30 @@
+// NetPipe-style ping-pong sweep (paper §4.3, Figures 7a/7b).
+//
+// Two ranks bounce messages of increasing size; rank 0 reports the
+// half-round latency and derived throughput per size via report_value, which
+// the figure benches read back. Replication overhead shows up exactly as in
+// the paper: the blocking send cannot complete before the cross-world
+// acknowledgement arrives.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sdrmpi/core/launcher.hpp"
+
+namespace sdrmpi::wl {
+
+struct NetpipeParams {
+  std::vector<std::size_t> sizes = default_sizes();
+  int reps = 20;     ///< timed round trips per size
+  int warmup = 4;    ///< untimed round trips per size
+
+  /// 1 B .. 8 MiB, powers of two (the paper's x axis).
+  [[nodiscard]] static std::vector<std::size_t> default_sizes();
+};
+
+/// Keys used in report_value: "lat_us_<bytes>" (microseconds) and
+/// "mbps_<bytes>" (megabits per second).
+[[nodiscard]] core::AppFn make_netpipe(NetpipeParams p = {});
+
+}  // namespace sdrmpi::wl

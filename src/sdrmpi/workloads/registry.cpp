@@ -1,0 +1,104 @@
+#include "sdrmpi/workloads/registry.hpp"
+
+#include <stdexcept>
+
+#include "sdrmpi/workloads/cm1.hpp"
+#include "sdrmpi/workloads/hpccg.hpp"
+#include "sdrmpi/workloads/nas.hpp"
+#include "sdrmpi/workloads/netpipe.hpp"
+
+namespace sdrmpi::wl {
+
+const std::vector<WorkloadInfo>& workloads() {
+  static const std::vector<WorkloadInfo> kAll = {
+      {"netpipe", "ping-pong latency/throughput sweep", false, 2},
+      {"bt", "NAS-like BT: block-tridiagonal ADI sweeps", false, 8},
+      {"cg", "NAS-like CG: conjugate gradient", false, 8},
+      {"ft", "NAS-like FT: 3D FFT with alltoall transpose", false, 8},
+      {"mg", "NAS-like MG: multigrid V-cycles", false, 8},
+      {"sp", "NAS-like SP: scalar-pentadiagonal ADI sweeps", false, 8},
+      {"hpccg", "HPCCG miniapp: 27-pt CG with ANY_SOURCE halos", true, 8},
+      {"cm1", "CM1-like atmosphere stencil with ANY_SOURCE halos", true, 4},
+  };
+  return kAll;
+}
+
+core::AppFn make_workload(const std::string& name, const util::Options& opts) {
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 0x5eedULL));
+  const double scale = opts.get_double("compute-scale", 1.0);
+  const int iters = static_cast<int>(opts.get_int("iters", -1));
+
+  if (name == "netpipe") {
+    NetpipeParams p;
+    p.reps = static_cast<int>(opts.get_int("reps", p.reps));
+    const auto sizes = opts.get_int_list("sizes", {});
+    if (!sizes.empty()) {
+      p.sizes.clear();
+      for (auto s : sizes) p.sizes.push_back(static_cast<std::size_t>(s));
+    }
+    return make_netpipe(p);
+  }
+  if (name == "cg") {
+    CgParams p;
+    p.nrows = static_cast<int>(opts.get_int("nrows", p.nrows));
+    if (iters > 0) p.iters = iters;
+    p.seed ^= seed;
+    p.compute_scale = scale;
+    return make_nas_cg(p);
+  }
+  if (name == "mg") {
+    MgParams p;
+    p.nx = static_cast<int>(opts.get_int("nx", p.nx));
+    p.ny = static_cast<int>(opts.get_int("ny", p.ny));
+    p.nz = static_cast<int>(opts.get_int("nz", p.nz));
+    if (iters > 0) p.iters = iters;
+    p.seed ^= seed;
+    p.compute_scale = scale;
+    return make_nas_mg(p);
+  }
+  if (name == "ft") {
+    FtParams p;
+    p.nx = static_cast<int>(opts.get_int("nx", p.nx));
+    p.ny = static_cast<int>(opts.get_int("ny", p.ny));
+    p.nz = static_cast<int>(opts.get_int("nz", p.nz));
+    if (iters > 0) p.iters = iters;
+    p.seed ^= seed;
+    p.compute_scale = scale;
+    return make_nas_ft(p);
+  }
+  if (name == "bt" || name == "sp") {
+    AdiParams p;
+    p.nx = static_cast<int>(opts.get_int("nx", p.nx));
+    p.ny = static_cast<int>(opts.get_int("ny", p.ny));
+    p.nz = static_cast<int>(opts.get_int("nz", p.nz));
+    if (iters > 0) p.iters = iters;
+    p.seed ^= seed;
+    p.compute_scale = scale;
+    return name == "bt" ? make_nas_bt(p) : make_nas_sp(p);
+  }
+  if (name == "hpccg") {
+    HpccgParams p;
+    p.nx = static_cast<int>(opts.get_int("nx", p.nx));
+    p.ny = static_cast<int>(opts.get_int("ny", p.ny));
+    p.nz = static_cast<int>(opts.get_int("nz", p.nz));
+    if (iters > 0) p.iters = iters;
+    p.seed ^= seed;
+    p.compute_scale = scale;
+    p.any_source = opts.get_bool("any-source", p.any_source);
+    return make_hpccg(p);
+  }
+  if (name == "cm1") {
+    Cm1Params p;
+    p.nx = static_cast<int>(opts.get_int("nx", p.nx));
+    p.ny = static_cast<int>(opts.get_int("ny", p.ny));
+    p.nz = static_cast<int>(opts.get_int("nz", p.nz));
+    if (iters > 0) p.iters = iters;
+    p.seed ^= seed;
+    p.compute_scale = scale;
+    p.any_source = opts.get_bool("any-source", p.any_source);
+    return make_cm1(p);
+  }
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+}  // namespace sdrmpi::wl

@@ -1,0 +1,29 @@
+// Workload registry: string -> application factory, with CLI overrides.
+// Used by benches, examples and the parameterized test sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdrmpi/core/launcher.hpp"
+#include "sdrmpi/util/options.hpp"
+
+namespace sdrmpi::wl {
+
+struct WorkloadInfo {
+  std::string name;
+  std::string description;
+  bool uses_any_source = false;  ///< Table 2 class (HPCCG / CM1)
+  int preferred_ranks = 8;       ///< a rank count its defaults divide evenly
+};
+
+/// All registered workloads (the paper's benchmarks).
+[[nodiscard]] const std::vector<WorkloadInfo>& workloads();
+
+/// Builds a workload by name with parameters overridden from CLI options
+/// (--iters, --nx/--ny/--nz, --nrows, --seed, --compute-scale).
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] core::AppFn make_workload(const std::string& name,
+                                        const util::Options& opts);
+
+}  // namespace sdrmpi::wl

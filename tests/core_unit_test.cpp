@@ -1,0 +1,277 @@
+// Direct unit tests for the core protocol components: the Algorithm 1
+// tables (ReplicaMap), the sender-side acknowledgement bookkeeping
+// (AckManager, including the early-ack buffer), and launcher validation.
+#include <gtest/gtest.h>
+
+#include "sdrmpi/core/ack_manager.hpp"
+#include "sdrmpi/core/launcher.hpp"
+#include "sdrmpi/core/replica_map.hpp"
+
+namespace sdrmpi::core {
+namespace {
+
+// ---------------------------------------------------------------- topology
+
+TEST(Topology, SlotArithmetic) {
+  Topology t{4, 2};
+  EXPECT_EQ(t.nslots(), 8);
+  EXPECT_EQ(t.slot(0, 3), 3);
+  EXPECT_EQ(t.slot(1, 0), 4);
+  EXPECT_EQ(t.world_of(5), 1);
+  EXPECT_EQ(t.rank_of(5), 1);
+  for (int s = 0; s < t.nslots(); ++s) {
+    EXPECT_EQ(t.slot(t.world_of(s), t.rank_of(s)), s);
+  }
+}
+
+// ---------------------------------------------------------------- replica map
+
+TEST(ReplicaMapTest, DefaultsAreOwnWorld) {
+  ReplicaMap m(Topology{3, 2}, /*world=*/1, /*rank=*/2);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(m.src(r), 3 + r);  // world 1 slots
+    ASSERT_EQ(m.dests(r).size(), 1u);
+    EXPECT_EQ(*m.dests(r).begin(), 3 + r);
+  }
+  EXPECT_EQ(m.substitute(0), 0);
+  EXPECT_EQ(m.substitute(1), 1);
+  for (int s = 0; s < 6; ++s) EXPECT_TRUE(m.alive(s));
+}
+
+TEST(ReplicaMapTest, ExpectedAckersAreAliveNonDests) {
+  ReplicaMap m(Topology{2, 3}, 1, 0);
+  // dst rank 1: own dest = slot(1,1)=3; ackers = slots 1 and 5.
+  auto ackers = m.expected_ackers(1);
+  ASSERT_EQ(ackers.size(), 2u);
+  EXPECT_EQ(ackers[0], 1);
+  EXPECT_EQ(ackers[1], 5);
+  // Kill one replica: it disappears from the acker set.
+  m.set_alive(5, false);
+  EXPECT_EQ(m.expected_ackers(1).size(), 1u);
+  // Add it as a direct destination instead: not an acker even if alive.
+  m.set_alive(5, true);
+  m.add_dest(1, 5);
+  EXPECT_EQ(m.expected_ackers(1).size(), 1u);
+}
+
+TEST(ReplicaMapTest, ElectionIsSmallestAliveWorld) {
+  ReplicaMap m(Topology{2, 3}, 0, 0);
+  EXPECT_EQ(m.elect_substitute(1), 0);
+  m.set_alive(m.topo().slot(0, 1), false);
+  EXPECT_EQ(m.elect_substitute(1), 1);
+  m.set_alive(m.topo().slot(1, 1), false);
+  EXPECT_EQ(m.elect_substitute(1), 2);
+  m.set_alive(m.topo().slot(2, 1), false);
+  EXPECT_EQ(m.elect_substitute(1), -1);  // rank lost
+}
+
+TEST(ReplicaMapTest, AckTargetsExcludeGivenWorld) {
+  ReplicaMap m(Topology{2, 3}, 0, 0);
+  auto t = m.ack_targets(/*rank=*/0, /*except_world=*/1);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], 0);
+  EXPECT_EQ(t[1], 4);
+  m.set_alive(4, false);
+  EXPECT_EQ(m.ack_targets(0, 1).size(), 1u);
+}
+
+TEST(ReplicaMapTest, AliveWorldsOf) {
+  ReplicaMap m(Topology{2, 2}, 0, 0);
+  m.set_alive(m.topo().slot(0, 1), false);
+  const auto w = m.alive_worlds_of(1);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], 1);
+}
+
+// ---------------------------------------------------------------- ack manager
+
+mpi::FrameHeader ack_frame(mpi::CommCtx ctx, int acker_rank, int src_slot,
+                           std::uint64_t seq) {
+  mpi::FrameHeader h;
+  h.kind = mpi::FrameKind::Ack;
+  h.ctx = ctx;
+  h.src_rank = acker_rank;
+  h.seq = seq;
+  h.src_slot = src_slot;
+  return h;
+}
+
+TEST(AckManagerTest, GatesReleaseOnAck) {
+  AckManager am;
+  ProtocolStats stats;
+  auto req = mpi::make_request(mpi::ReqState::Kind::Send);
+  req->posted = true;
+  req->gates = 2;
+
+  AckManager::Record rec;
+  rec.pending = {4, 6};
+  rec.req = req;
+  am.track({2, 1, 7}, std::move(rec));
+  EXPECT_FALSE(req->ready());
+
+  am.on_ack(ack_frame(2, 1, 4, 7), stats);
+  EXPECT_EQ(req->gates, 1);
+  am.on_ack(ack_frame(2, 1, 6, 7), stats);
+  EXPECT_TRUE(req->ready());
+  EXPECT_EQ(am.size(), 0u);
+  EXPECT_EQ(stats.acks_received, 2u);
+  EXPECT_EQ(stats.stale_acks, 0u);
+}
+
+TEST(AckManagerTest, EarlyAckIsBuffered) {
+  AckManager am;
+  ProtocolStats stats;
+  // Ack arrives before the send is tracked (receiving world ran ahead).
+  am.on_ack(ack_frame(2, 1, 4, 7), stats);
+  EXPECT_EQ(stats.stale_acks, 0u);
+
+  auto req = mpi::make_request(mpi::ReqState::Kind::Send);
+  req->posted = true;
+  req->gates = 1;
+  AckManager::Record rec;
+  rec.pending = {4};
+  rec.req = req;
+  am.track({2, 1, 7}, std::move(rec));
+  // The buffered ack must have satisfied the record immediately.
+  EXPECT_TRUE(req->ready());
+  EXPECT_EQ(am.size(), 0u);
+}
+
+TEST(AckManagerTest, EarlyAckForDifferentSeqDoesNotMatch) {
+  AckManager am;
+  ProtocolStats stats;
+  am.on_ack(ack_frame(2, 1, 4, 8), stats);  // seq 8, not 7
+
+  auto req = mpi::make_request(mpi::ReqState::Kind::Send);
+  req->posted = true;
+  req->gates = 1;
+  AckManager::Record rec;
+  rec.pending = {4};
+  rec.req = req;
+  am.track({2, 1, 7}, std::move(rec));
+  EXPECT_FALSE(req->ready());
+}
+
+TEST(AckManagerTest, CancelFromReleasesAndPurges) {
+  AckManager am;
+  ProtocolStats stats;
+  auto req = mpi::make_request(mpi::ReqState::Kind::Send);
+  req->posted = true;
+  req->gates = 2;
+  AckManager::Record rec;
+  rec.pending = {4, 6};
+  rec.req = req;
+  am.track({2, 1, 7}, std::move(rec));
+  am.on_ack(ack_frame(2, 1, 4, 99), stats);  // early ack from slot 4, seq 99
+
+  am.cancel_from(4);  // slot 4 died
+  EXPECT_EQ(req->gates, 1);
+  // Its early acks are gone too: a new record expecting slot 4 would hang,
+  // which is correct — dead receivers are cancelled, not acked.
+  auto req2 = mpi::make_request(mpi::ReqState::Kind::Send);
+  req2->posted = true;
+  req2->gates = 1;
+  AckManager::Record rec2;
+  rec2.pending = {4};
+  rec2.req = req2;
+  am.track({2, 1, 99}, std::move(rec2));
+  EXPECT_FALSE(req2->ready());
+}
+
+TEST(AckManagerTest, SettleRemovesOnePendingEntry) {
+  AckManager am;
+  auto req = mpi::make_request(mpi::ReqState::Kind::Send);
+  req->posted = true;
+  req->gates = 2;
+  AckManager::Record rec;
+  rec.pending = {4, 6};
+  rec.req = req;
+  am.track({2, 1, 7}, std::move(rec));
+
+  am.settle({2, 1, 7}, 6);  // substitute resends directly to slot 6
+  EXPECT_EQ(req->gates, 1);
+  EXPECT_EQ(am.size(), 1u);
+  am.settle({2, 1, 7}, 6);  // idempotent
+  EXPECT_EQ(req->gates, 1);
+}
+
+TEST(AckManagerTest, StaleAckCounted) {
+  AckManager am;
+  ProtocolStats stats;
+  auto req = mpi::make_request(mpi::ReqState::Kind::Send);
+  req->gates = 1;
+  AckManager::Record rec;
+  rec.pending = {4};
+  rec.req = req;
+  am.track({2, 1, 7}, std::move(rec));
+  // Ack from a slot that is not pending on this record.
+  am.on_ack(ack_frame(2, 1, 5, 7), stats);
+  EXPECT_EQ(stats.stale_acks, 1u);
+}
+
+TEST(AckManagerTest, EmptyPendingIsNotTracked) {
+  AckManager am;
+  am.track({2, 1, 7}, AckManager::Record{});
+  EXPECT_EQ(am.size(), 0u);
+}
+
+// ---------------------------------------------------------------- launcher
+
+TEST(LauncherValidation, RejectsBadConfigs) {
+  RunConfig bad;
+  bad.nranks = 0;
+  EXPECT_THROW((void)run(bad, [](mpi::Env&) {}), std::invalid_argument);
+
+  RunConfig bad2;
+  bad2.replication = 0;
+  EXPECT_THROW((void)run(bad2, [](mpi::Env&) {}), std::invalid_argument);
+
+  RunConfig bad3;
+  bad3.protocol = ProtocolKind::Native;
+  bad3.replication = 2;
+  EXPECT_THROW((void)run(bad3, [](mpi::Env&) {}), std::invalid_argument);
+}
+
+TEST(LauncherValidation, ProtocolNames) {
+  EXPECT_STREQ(to_string(ProtocolKind::Sdr), "sdr");
+  EXPECT_STREQ(to_string(ProtocolKind::Mirror), "mirror");
+  EXPECT_STREQ(to_string(ProtocolKind::RedMpiSd), "redmpi-sd");
+}
+
+TEST(Launcher, SingleRankRuns) {
+  RunConfig cfg;
+  cfg.nranks = 1;
+  auto res = run(cfg, [](mpi::Env& env) {
+    EXPECT_EQ(env.size(), 1);
+    env.world().barrier();
+    env.report_checksum(11);
+  });
+  EXPECT_TRUE(res.clean());
+  EXPECT_EQ(res.checksum_of(0), 11u);
+}
+
+TEST(Launcher, SingleRankReplicated) {
+  RunConfig cfg;
+  cfg.nranks = 1;
+  cfg.replication = 2;
+  cfg.protocol = ProtocolKind::Sdr;
+  auto res = run(cfg, [](mpi::Env& env) {
+    double v = env.world().allreduce_value(2.0, mpi::Op::Sum);
+    env.report_checksum(static_cast<std::uint64_t>(v));
+  });
+  EXPECT_TRUE(res.clean());
+  EXPECT_EQ(res.checksum_of(0, 0), 2u);
+  EXPECT_EQ(res.checksum_of(0, 1), 2u);
+}
+
+TEST(Launcher, ReportValuePerSlot) {
+  RunConfig cfg;
+  cfg.nranks = 2;
+  auto res = run(cfg, [](mpi::Env& env) {
+    env.report_value("rank_x10", env.rank() * 10.0);
+  });
+  EXPECT_DOUBLE_EQ(res.slots[1].values.at("rank_x10"), 10.0);
+}
+
+}  // namespace
+}  // namespace sdrmpi::core

@@ -1,0 +1,150 @@
+// Determinism and send-determinism properties.
+//
+// The simulator is bit-deterministic; replicated executions must be
+// reproducible run-to-run, and the send-determinism property the protocol
+// relies on (identical per-channel send counts across replicas) must hold
+// for every workload, including those with ANY_SOURCE receives.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace sdrmpi {
+namespace {
+
+using test::quick_config;
+using test::run_clean;
+using test::small_workload;
+
+struct DetCase {
+  const char* workload;
+  core::ProtocolKind proto;
+  int r;
+};
+
+class Reproducibility : public ::testing::TestWithParam<DetCase> {};
+
+TEST_P(Reproducibility, IdenticalRunToRun) {
+  const auto [name, proto, r] = GetParam();
+  auto cfg = quick_config(4, r, proto);
+  auto r1 = core::run(cfg, small_workload(name));
+  auto r2 = core::run(cfg, small_workload(name));
+  ASSERT_TRUE(run_clean(r1));
+  ASSERT_TRUE(run_clean(r2));
+  EXPECT_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.data_frames, r2.data_frames);
+  EXPECT_EQ(r1.ctl_frames, r2.ctl_frames);
+  EXPECT_EQ(r1.unexpected, r2.unexpected);
+  ASSERT_EQ(r1.slots.size(), r2.slots.size());
+  for (std::size_t i = 0; i < r1.slots.size(); ++i) {
+    EXPECT_EQ(r1.slots[i].checksum, r2.slots[i].checksum);
+    EXPECT_EQ(r1.slots[i].finish_time, r2.slots[i].finish_time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Reproducibility,
+    ::testing::Values(DetCase{"cg", core::ProtocolKind::Native, 1},
+                      DetCase{"cg", core::ProtocolKind::Sdr, 2},
+                      DetCase{"hpccg", core::ProtocolKind::Sdr, 2},
+                      DetCase{"hpccg", core::ProtocolKind::Leader, 2},
+                      DetCase{"cm1", core::ProtocolKind::Sdr, 2},
+                      DetCase{"ft", core::ProtocolKind::Mirror, 2}),
+    [](const auto& info) {
+      std::string name = std::string(info.param.workload) + "_" +
+                         core::to_string(info.param.proto);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Determinism, FaultyRunsAreReproducible) {
+  auto cfg = quick_config(4, 2, core::ProtocolKind::Sdr);
+  cfg.faults.push_back({.slot = 6, .at_time = -1, .at_send = 5});
+  auto r1 = core::run(cfg, small_workload("cg"));
+  auto r2 = core::run(cfg, small_workload("cg"));
+  ASSERT_TRUE(run_clean(r1));
+  EXPECT_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.protocol.resends, r2.protocol.resends);
+  EXPECT_EQ(r1.protocol.acks_received, r2.protocol.acks_received);
+}
+
+// Send-determinism validator: instrument an app to record its per-channel
+// send counts; every replica of a rank must produce identical counts even
+// though their internal wildcard matching order may differ.
+TEST(SendDeterminism, ReplicasEmitIdenticalSendSequences) {
+  for (const char* name : {"hpccg", "cm1", "cg"}) {
+    auto cfg = quick_config(4, 2, core::ProtocolKind::Sdr);
+    auto res = core::run(cfg, small_workload(name));
+    ASSERT_TRUE(run_clean(res)) << name;
+    // app_sends are counted per endpoint; by send-determinism world 0 and
+    // world 1 totals must match exactly.
+    // (RunResult aggregates; recompute per world via slot values not
+    // available -> use the checksum consistency + frame parity instead.)
+    EXPECT_EQ(res.data_frames % 2, 0u) << name;
+    EXPECT_TRUE(res.checksums_consistent()) << name;
+  }
+}
+
+TEST(SendDeterminism, WildcardMatchOrderDoesNotLeak) {
+  // Two senders race into rank 0's wildcard receives; the sums are
+  // order-independent (send-deterministic by construction), so both worlds
+  // and the native run agree even though match order may differ.
+  auto app = [](mpi::Env& env) {
+    auto& w = env.world();
+    if (env.rank() == 0) {
+      double acc = 0.0;
+      for (int i = 0; i < 2 * 20; ++i) {
+        acc += w.recv_value<double>(mpi::kAnySource, 3);
+      }
+      util::Checksum cs;
+      cs.add_double(acc);
+      env.report_checksum(cs.digest());
+      // Forward the result so other ranks' checksums depend on it too.
+      for (int d = 1; d < w.size(); ++d) w.send_value(acc, d, 4);
+    } else {
+      for (int i = 0; i < 20; ++i) {
+        if (env.rank() <= 2) w.send_value(env.rank() * 1.5 + i, 0, 3);
+      }
+      if (env.rank() <= 2) {
+      }
+      util::Checksum cs;
+      cs.add_double(w.recv_value<double>(0, 4));
+      env.report_checksum(cs.digest());
+    }
+  };
+  // nranks=3: ranks 1 and 2 send 20 messages each.
+  auto native = core::run(quick_config(3, 1, core::ProtocolKind::Native), app);
+  ASSERT_TRUE(run_clean(native));
+  auto rep = core::run(quick_config(3, 2, core::ProtocolKind::Sdr), app);
+  ASSERT_TRUE(run_clean(rep));
+  EXPECT_TRUE(rep.checksums_consistent());
+  EXPECT_EQ(rep.checksum_of(0, 0), native.checksum_of(0));
+}
+
+TEST(Determinism, DifferentSeedsDifferentResults) {
+  util::Options a, b;
+  a.set("nrows", "256");
+  b.set("nrows", "256");
+  a.set("seed", "1");
+  b.set("seed", "2");
+  auto cfg = quick_config(4, 1, core::ProtocolKind::Native);
+  auto r1 = core::run(cfg, wl::make_workload("cg", a));
+  auto r2 = core::run(cfg, wl::make_workload("cg", b));
+  EXPECT_NE(r1.checksum_of(0), r2.checksum_of(0));
+}
+
+TEST(Determinism, NetworkParamsChangeTimingNotResults) {
+  auto cfg_ib = quick_config(4, 2, core::ProtocolKind::Sdr);
+  auto cfg_eth = cfg_ib;
+  cfg_eth.net = net::NetParams::gigabit_ethernet();
+  auto fast = core::run(cfg_ib, small_workload("cg"));
+  auto slow = core::run(cfg_eth, small_workload("cg"));
+  ASSERT_TRUE(run_clean(fast));
+  ASSERT_TRUE(run_clean(slow));
+  EXPECT_GT(slow.makespan, fast.makespan);
+  EXPECT_EQ(fast.checksum_of(0, 0), slow.checksum_of(0, 0));
+}
+
+}  // namespace
+}  // namespace sdrmpi

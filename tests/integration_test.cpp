@@ -1,0 +1,214 @@
+// End-to-end integration scenarios combining protocols, faults, recovery,
+// ablations and network models — the closest thing to the paper's full
+// experimental campaign in test form.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "test_support.hpp"
+
+namespace sdrmpi {
+namespace {
+
+using test::quick_config;
+using test::run_clean;
+using test::small_workload;
+
+TEST(Integration, SdrEfficiencyStaysCloseToNative) {
+  // The paper's headline: with dual replication the wall-clock time stays
+  // close to native (efficiency ~50% given doubled resources). Our mini
+  // kernels must show single-digit-ish overhead too.
+  util::Options opts;
+  opts.set("nrows", "32768");
+  opts.set("compute-scale", "8");
+  const auto app = wl::make_workload("cg", opts);
+  auto native = core::run(quick_config(8, 1, core::ProtocolKind::Native), app);
+  auto sdr = core::run(quick_config(8, 2, core::ProtocolKind::Sdr), app);
+  ASSERT_TRUE(run_clean(native));
+  ASSERT_TRUE(run_clean(sdr));
+  const double ovh =
+      util::overhead_percent(native.seconds(), sdr.seconds());
+  EXPECT_GT(ovh, 0.0);
+  EXPECT_LT(ovh, 10.0) << "SDR overhead should be single-digit (paper: <5%)";
+}
+
+TEST(Integration, AnySourceDoesNotDegradeSdr) {
+  // Table 2's point as an invariant: SDR overhead with wildcard receives
+  // must not exceed the leader-based protocol's.
+  util::Options opts;
+  const auto app = wl::make_workload("hpccg", opts);
+  auto native = core::run(quick_config(8, 1, core::ProtocolKind::Native), app);
+  auto sdr = core::run(quick_config(8, 2, core::ProtocolKind::Sdr), app);
+  auto leader = core::run(quick_config(8, 2, core::ProtocolKind::Leader), app);
+  ASSERT_TRUE(run_clean(sdr));
+  ASSERT_TRUE(run_clean(leader));
+  EXPECT_LE(sdr.makespan, leader.makespan);
+  EXPECT_LT(util::overhead_percent(native.seconds(), sdr.seconds()), 8.0);
+}
+
+TEST(Integration, CrashPlusRecoveryPlusSecondCrash) {
+  // After a successful recovery the system must tolerate a crash of the
+  // OTHER replica (the recovered one takes over as substitute).
+  struct St {
+    int iter = 0;
+    double v = 0.0;
+  };
+  auto app = [](mpi::Env& env) {
+    auto& w = env.world();
+    const int right = (env.rank() + 1) % w.size();
+    const int left = (env.rank() - 1 + w.size()) % w.size();
+    St st{0, 1.0 * env.rank()};
+    if (env.restart_state().has_value()) {
+      std::memcpy(&st, env.restart_state()->data(), sizeof(St));
+    }
+    for (; st.iter < 60; ++st.iter) {
+      std::vector<std::byte> snap(sizeof(St));
+      std::memcpy(snap.data(), &st, sizeof(St));
+      env.offer_snapshot(std::move(snap));
+      env.recovery_point();
+      double in = 0.0;
+      w.sendrecv(std::span<const double>(&st.v, 1), right, 0,
+                 std::span<double>(&in, 1), left, 0);
+      st.v = 0.5 * (st.v + in) + 0.01;
+    }
+    util::Checksum cs;
+    cs.add_double(st.v);
+    env.report_checksum(cs.digest());
+  };
+
+  auto native = core::run(quick_config(2, 1, core::ProtocolKind::Native), app);
+  ASSERT_TRUE(run_clean(native));
+
+  auto cfg = quick_config(2, 2, core::ProtocolKind::Sdr);
+  cfg.auto_recover = true;
+  cfg.faults.push_back({.slot = 3, .at_time = -1, .at_send = 10});
+  // Second fault hits the *original* world-0 replica much later, after the
+  // world-1 replica has been recovered.
+  cfg.faults.push_back({.slot = 1, .at_time = -1, .at_send = 45});
+  auto res = core::run(cfg, app);
+  ASSERT_TRUE(run_clean(res));
+  EXPECT_GE(res.protocol.recoveries, 1u);
+  // Rank 1 survived both crashes in at least one world with the right
+  // result.
+  bool rank1_ok = false;
+  for (const auto& slot : res.slots) {
+    if (slot.rank == 1 && slot.reported_checksum &&
+        slot.checksum == native.checksum_of(1)) {
+      rank1_ok = true;
+    }
+  }
+  EXPECT_TRUE(rank1_ok);
+}
+
+TEST(Integration, TwoIndependentFailuresDifferentRanks) {
+  auto cfg = quick_config(4, 2, core::ProtocolKind::Sdr);
+  cfg.faults.push_back({.slot = 5, .at_time = -1, .at_send = 4});
+  cfg.faults.push_back({.slot = 2, .at_time = -1, .at_send = 9});
+  auto native = core::run(quick_config(4, 1, core::ProtocolKind::Native),
+                          small_workload("cg"));
+  auto res = core::run(cfg, small_workload("cg"));
+  ASSERT_TRUE(run_clean(res));
+  for (const auto& slot : res.slots) {
+    if (!slot.reported_checksum) continue;
+    EXPECT_EQ(slot.checksum, native.checksum_of(slot.rank))
+        << "slot " << slot.slot;
+  }
+}
+
+TEST(Integration, SlowNetworkAmplifiesProtocolDifferences) {
+  // On gigabit-ethernet-like latencies the leader protocol's decision
+  // round-trips hurt much more; SDR's advantage must grow.
+  auto app = [](mpi::Env& env) {
+    auto& w = env.world();
+    if (env.rank() == 0) {
+      double acc = 0.0;
+      for (int i = 0; i < 30 * (w.size() - 1); ++i) {
+        acc += w.recv_value<double>(mpi::kAnySource, 1);
+      }
+      util::Checksum cs;
+      cs.add_double(acc);
+      env.report_checksum(cs.digest());
+    } else {
+      for (int i = 0; i < 30; ++i) {
+        w.send_value(env.rank() + i * 0.5, 0, 1);
+      }
+      env.report_checksum(1);
+    }
+  };
+  for (auto params : {net::NetParams::infiniband_20g(),
+                      net::NetParams::gigabit_ethernet()}) {
+    auto sdr_cfg = quick_config(4, 2, core::ProtocolKind::Sdr);
+    sdr_cfg.net = params;
+    auto leader_cfg = sdr_cfg;
+    leader_cfg.protocol = core::ProtocolKind::Leader;
+    auto sdr = core::run(sdr_cfg, app);
+    auto leader = core::run(leader_cfg, app);
+    ASSERT_TRUE(run_clean(sdr));
+    ASSERT_TRUE(run_clean(leader));
+    EXPECT_LT(sdr.makespan, leader.makespan);
+  }
+}
+
+TEST(Integration, EagerCopyAblationKeepsCorrectness) {
+  auto cfg = quick_config(4, 2, core::ProtocolKind::Sdr);
+  cfg.eager_copy_completion = true;
+  auto native = core::run(quick_config(4, 1, core::ProtocolKind::Native),
+                          small_workload("mg"));
+  auto res = core::run(cfg, small_workload("mg"));
+  ASSERT_TRUE(run_clean(res));
+  EXPECT_GT(res.protocol.extra_copies, 0u);
+  EXPECT_EQ(res.checksum_of(0, 0), native.checksum_of(0));
+  EXPECT_EQ(res.checksum_of(0, 1), native.checksum_of(0));
+}
+
+TEST(Integration, EagerCopyAblationSurvivesCrash) {
+  // The buffer is still retained for failover even when requests complete
+  // early.
+  auto cfg = quick_config(2, 2, core::ProtocolKind::Sdr);
+  cfg.eager_copy_completion = true;
+  cfg.faults.push_back({.slot = 3, .at_time = -1, .at_send = 3});
+  auto app = [](mpi::Env& env) {
+    auto& w = env.world();
+    double v = env.rank();
+    for (int i = 0; i < 10; ++i) {
+      const int peer = env.rank() ^ 1;
+      double in = 0.0;
+      w.sendrecv(std::span<const double>(&v, 1), peer, 0,
+                 std::span<double>(&in, 1), peer, 0);
+      v = 0.5 * (v + in) + 1;
+    }
+    util::Checksum cs;
+    cs.add_double(v);
+    env.report_checksum(cs.digest());
+  };
+  auto res = core::run(cfg, app);
+  ASSERT_TRUE(run_clean(res));
+  EXPECT_TRUE(res.checksums_consistent());
+}
+
+TEST(Integration, HeavyReplicationDegreeFour) {
+  auto cfg = quick_config(2, 4, core::ProtocolKind::Sdr);
+  auto native = core::run(quick_config(2, 1, core::ProtocolKind::Native),
+                          small_workload("cg"));
+  auto res = core::run(cfg, small_workload("cg"));
+  ASSERT_TRUE(run_clean(res));
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(res.checksum_of(0, w), native.checksum_of(0)) << "world " << w;
+  }
+  // Each reception acks the three other worlds.
+  EXPECT_EQ(res.protocol.acks_sent % 3, 0u);
+}
+
+TEST(Integration, SixteenRanksReplicated) {
+  util::Options opts;
+  opts.set("nrows", "1024");
+  opts.set("iters", "5");
+  auto cfg = quick_config(16, 2, core::ProtocolKind::Sdr);
+  auto res = core::run(cfg, wl::make_workload("cg", opts));
+  ASSERT_TRUE(run_clean(res));
+  EXPECT_TRUE(res.checksums_consistent());
+  EXPECT_EQ(res.slots.size(), 32u);
+}
+
+}  // namespace
+}  // namespace sdrmpi

@@ -1,0 +1,359 @@
+// Collective operations: correctness for every algorithm, parameterized
+// over communicator sizes (including non-powers of two).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "test_support.hpp"
+
+namespace sdrmpi {
+namespace {
+
+using test::quick_config;
+using test::run_clean;
+
+class Collectives : public ::testing::TestWithParam<int> {
+ protected:
+  void run(const core::AppFn& app) {
+    auto res =
+        core::run(quick_config(GetParam(), 1, core::ProtocolKind::Native), app);
+    ASSERT_TRUE(run_clean(res));
+  }
+};
+
+TEST_P(Collectives, Barrier) {
+  run([](mpi::Env& env) {
+    // Stagger entry; everyone must still leave together.
+    env.compute(1e-6 * env.rank());
+    const double before = env.wtime();
+    env.world().barrier();
+    if (env.size() > 1) {
+      EXPECT_GT(env.wtime(), before);  // a real barrier costs latency
+    }
+    env.world().barrier();
+    env.world().barrier();
+  });
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    for (int root = 0; root < w.size(); ++root) {
+      std::vector<double> v(4, env.rank() == root ? 42.0 + root : 0.0);
+      w.bcast(std::span<double>(v), root);
+      for (double x : v) EXPECT_DOUBLE_EQ(x, 42.0 + root);
+    }
+  });
+}
+
+TEST_P(Collectives, ReduceSum) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    const int n = w.size();
+    std::vector<double> send(3);
+    for (int i = 0; i < 3; ++i) send[static_cast<std::size_t>(i)] = env.rank() + i;
+    std::vector<double> recv(3);
+    w.reduce(std::span<const double>(send), std::span<double>(recv),
+             mpi::Op::Sum, 0);
+    if (env.rank() == 0) {
+      const double ranksum = n * (n - 1) / 2.0;
+      for (int i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(recv[static_cast<std::size_t>(i)], ranksum + i * n);
+      }
+    }
+  });
+}
+
+TEST_P(Collectives, ReduceNonZeroRoot) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    const int root = w.size() - 1;
+    double v = 1.0;
+    double out = 0.0;
+    w.reduce(std::span<const double>(&v, 1), std::span<double>(&out, 1),
+             mpi::Op::Sum, root);
+    if (env.rank() == root) EXPECT_DOUBLE_EQ(out, w.size());
+  });
+}
+
+TEST_P(Collectives, AllreduceOps) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    const int n = w.size();
+    const double mine = 1.0 + env.rank();
+    EXPECT_DOUBLE_EQ(w.allreduce_value(mine, mpi::Op::Sum),
+                     n * (n + 1) / 2.0);
+    EXPECT_DOUBLE_EQ(w.allreduce_value(mine, mpi::Op::Max), n);
+    EXPECT_DOUBLE_EQ(w.allreduce_value(mine, mpi::Op::Min), 1.0);
+    if (n <= 8) {
+      double prod = 1.0;
+      for (int i = 1; i <= n; ++i) prod *= i;
+      EXPECT_DOUBLE_EQ(w.allreduce_value(mine, mpi::Op::Prod), prod);
+    }
+  });
+}
+
+TEST_P(Collectives, AllreduceIntegerBitOps) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    const std::int64_t mine = 1LL << env.rank();
+    const std::int64_t ored = w.allreduce_value(mine, mpi::Op::Bor);
+    EXPECT_EQ(ored, (1LL << w.size()) - 1);
+    const std::int64_t anded = w.allreduce_value(
+        static_cast<std::int64_t>(~0LL), mpi::Op::Band);
+    EXPECT_EQ(anded, ~0LL);
+  });
+}
+
+TEST_P(Collectives, AllreduceLogicalOps) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    const std::int32_t mine = env.rank() == 0 ? 0 : 1;
+    EXPECT_EQ(w.allreduce_value(mine, mpi::Op::Land), w.size() > 1 ? 0 : 0);
+    EXPECT_EQ(w.allreduce_value(mine, mpi::Op::Lor), w.size() > 1 ? 1 : 0);
+  });
+}
+
+TEST_P(Collectives, InPlaceAllreduce) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    std::vector<double> v(5, 1.0);
+    w.allreduce(std::span<double>(v), mpi::Op::Sum);
+    for (double x : v) EXPECT_DOUBLE_EQ(x, w.size());
+  });
+}
+
+TEST_P(Collectives, Gather) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    const double mine = 10.0 * env.rank();
+    std::vector<double> all(static_cast<std::size_t>(w.size()));
+    w.gather(std::span<const double>(&mine, 1), std::span<double>(all), 0);
+    if (env.rank() == 0) {
+      for (int i = 0; i < w.size(); ++i) {
+        EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(i)], 10.0 * i);
+      }
+    }
+  });
+}
+
+TEST_P(Collectives, Allgather) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    std::vector<double> mine{static_cast<double>(env.rank()),
+                             env.rank() * 2.0};
+    std::vector<double> all(static_cast<std::size_t>(2 * w.size()));
+    w.allgather(std::span<const double>(mine), std::span<double>(all));
+    for (int i = 0; i < w.size(); ++i) {
+      EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(2 * i)], i);
+      EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(2 * i + 1)], 2.0 * i);
+    }
+  });
+}
+
+TEST_P(Collectives, Scatter) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    std::vector<double> src;
+    if (env.rank() == 0) {
+      src.resize(static_cast<std::size_t>(w.size()));
+      std::iota(src.begin(), src.end(), 100.0);
+    }
+    double mine = 0.0;
+    w.scatter(std::span<const double>(src), std::span<double>(&mine, 1), 0);
+    EXPECT_DOUBLE_EQ(mine, 100.0 + env.rank());
+  });
+}
+
+TEST_P(Collectives, Alltoall) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    const int n = w.size();
+    std::vector<std::int64_t> send(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      send[static_cast<std::size_t>(d)] = env.rank() * 1000 + d;
+    }
+    std::vector<std::int64_t> recv(static_cast<std::size_t>(n));
+    w.alltoall(std::span<const std::int64_t>(send),
+               std::span<std::int64_t>(recv));
+    for (int s = 0; s < n; ++s) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(s)], s * 1000 + env.rank());
+    }
+  });
+}
+
+TEST_P(Collectives, Alltoallv) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    const int n = w.size();
+    // Rank r sends (d+1) values to destination d.
+    std::vector<std::size_t> scounts(static_cast<std::size_t>(n));
+    std::vector<std::size_t> rcounts(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      scounts[static_cast<std::size_t>(d)] = static_cast<std::size_t>(d + 1);
+      rcounts[static_cast<std::size_t>(d)] =
+          static_cast<std::size_t>(env.rank() + 1);
+    }
+    std::size_t stotal = 0, rtotal = 0;
+    for (auto c : scounts) stotal += c;
+    for (auto c : rcounts) rtotal += c;
+    std::vector<std::int64_t> send(stotal);
+    std::size_t off = 0;
+    for (int d = 0; d < n; ++d) {
+      for (std::size_t k = 0; k < scounts[static_cast<std::size_t>(d)]; ++k) {
+        send[off++] = env.rank() * 100 + d;
+      }
+    }
+    std::vector<std::int64_t> recv(rtotal);
+    w.alltoallv(std::span<const std::int64_t>(send), scounts,
+                std::span<std::int64_t>(recv), rcounts);
+    off = 0;
+    for (int s = 0; s < n; ++s) {
+      for (std::size_t k = 0; k < rcounts[static_cast<std::size_t>(s)]; ++k) {
+        EXPECT_EQ(recv[off++], s * 100 + env.rank());
+      }
+    }
+  });
+}
+
+TEST_P(Collectives, ScanInclusive) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    const double mine = 1.0 + env.rank();
+    double out = 0.0;
+    w.scan(std::span<const double>(&mine, 1), std::span<double>(&out, 1),
+           mpi::Op::Sum);
+    const int r = env.rank();
+    EXPECT_DOUBLE_EQ(out, (r + 1) * (r + 2) / 2.0);
+  });
+}
+
+TEST_P(Collectives, ExscanExclusive) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    const double mine = 1.0 + env.rank();
+    double out = -1.0;
+    w.exscan(std::span<const double>(&mine, 1), std::span<double>(&out, 1),
+             mpi::Op::Sum);
+    const int r = env.rank();
+    if (r == 0) {
+      EXPECT_DOUBLE_EQ(out, -1.0);  // untouched on rank 0
+    } else {
+      EXPECT_DOUBLE_EQ(out, r * (r + 1) / 2.0);
+    }
+  });
+}
+
+TEST_P(Collectives, GathervVariableCounts) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    const int n = w.size();
+    const std::size_t mine_count = static_cast<std::size_t>(env.rank() + 1);
+    std::vector<std::byte> mine(mine_count * sizeof(double));
+    std::vector<double> payload(mine_count, 1.0 * env.rank());
+    std::memcpy(mine.data(), payload.data(), mine.size());
+
+    std::vector<std::size_t> counts(static_cast<std::size_t>(n));
+    std::size_t total = 0;
+    for (int i = 0; i < n; ++i) {
+      counts[static_cast<std::size_t>(i)] =
+          static_cast<std::size_t>(i + 1) * sizeof(double);
+      total += counts[static_cast<std::size_t>(i)];
+    }
+    std::vector<std::byte> all(total);
+    w.gatherv_bytes(mine, all, counts, 0);
+    if (env.rank() == 0) {
+      std::size_t off = 0;
+      for (int i = 0; i < n; ++i) {
+        for (int k = 0; k <= i; ++k) {
+          double v = 0.0;
+          std::memcpy(&v, all.data() + off, sizeof(double));
+          EXPECT_DOUBLE_EQ(v, 1.0 * i);
+          off += sizeof(double);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(Collectives, BigBcastUsesRendezvous) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    std::vector<double> v(8192, 0.0);  // 64 KiB
+    if (env.rank() == 0) {
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+    }
+    w.bcast(std::span<double>(v), 0);
+    EXPECT_DOUBLE_EQ(v[8191], 8191.0);
+  });
+}
+
+TEST_P(Collectives, BackToBackCollectivesDoNotMix) {
+  run([](mpi::Env& env) {
+    auto& w = env.world();
+    for (int round = 0; round < 5; ++round) {
+      const double s = w.allreduce_value(1.0 * round, mpi::Op::Sum);
+      EXPECT_DOUBLE_EQ(s, 1.0 * round * w.size());
+      std::vector<double> v(2, env.rank() == 0 ? round * 7.0 : 0.0);
+      w.bcast(std::span<double>(v), 0);
+      EXPECT_DOUBLE_EQ(v[1], round * 7.0);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Collectives,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16),
+                         [](const auto& info) {
+                           return "np" + std::to_string(info.param);
+                         });
+
+// Collectives must also work across every replication protocol (they ride
+// the hooked point-to-point path).
+struct CollProtoCase {
+  core::ProtocolKind proto;
+  int r;
+};
+
+class CollectivesReplicated : public ::testing::TestWithParam<CollProtoCase> {};
+
+TEST_P(CollectivesReplicated, AllCollectivesUnderReplication) {
+  const auto [proto, r] = GetParam();
+  auto cfg = quick_config(4, r, proto);
+  auto res = core::run(cfg, [](mpi::Env& env) {
+    auto& w = env.world();
+    const int n = w.size();
+    util::Checksum cs;
+    cs.add_double(w.allreduce_value(1.0 + env.rank(), mpi::Op::Sum));
+    std::vector<double> g(static_cast<std::size_t>(n));
+    const double mine = env.rank() * 3.0;
+    w.allgather(std::span<const double>(&mine, 1), std::span<double>(g));
+    cs.add_range(std::span<const double>(g));
+    std::vector<std::int64_t> a(static_cast<std::size_t>(n), env.rank());
+    std::vector<std::int64_t> b(static_cast<std::size_t>(n));
+    w.alltoall(std::span<const std::int64_t>(a), std::span<std::int64_t>(b));
+    cs.add_range(std::span<const std::int64_t>(b));
+    w.barrier();
+    env.report_checksum(cs.digest());
+  });
+  ASSERT_TRUE(run_clean(res));
+  EXPECT_TRUE(res.checksums_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, CollectivesReplicated,
+    ::testing::Values(CollProtoCase{core::ProtocolKind::Sdr, 2},
+                      CollProtoCase{core::ProtocolKind::Sdr, 3},
+                      CollProtoCase{core::ProtocolKind::Mirror, 2},
+                      CollProtoCase{core::ProtocolKind::Leader, 2},
+                      CollProtoCase{core::ProtocolKind::RedMpiSd, 2}),
+    [](const auto& info) {
+      std::string name = std::string(core::to_string(info.param.proto)) + "_r" +
+                         std::to_string(info.param.r);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace sdrmpi

@@ -1,0 +1,239 @@
+// Communicator and group management: dup, split, create, group algebra —
+// the operations SDR-MPI handles transparently via world splitting.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace sdrmpi {
+namespace {
+
+using test::quick_config;
+using test::run_clean;
+
+// ---------------------------------------------------------------- groups
+
+TEST(Group, BasicAccessors) {
+  mpi::Group g({10, 20, 30});
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.slot(1), 20);
+  EXPECT_EQ(g.rank_of(30), 2);
+  EXPECT_EQ(g.rank_of(99), -1);
+}
+
+TEST(Group, Include) {
+  mpi::Group g({10, 20, 30, 40});
+  const int picks[] = {3, 0};
+  auto sub = g.include(picks);
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.slot(0), 40);
+  EXPECT_EQ(sub.slot(1), 10);
+}
+
+TEST(Group, Exclude) {
+  mpi::Group g({10, 20, 30, 40});
+  const int drops[] = {1};
+  auto sub = g.exclude(drops);
+  EXPECT_EQ(sub.size(), 3);
+  EXPECT_EQ(sub.slot(1), 30);
+}
+
+TEST(Group, SetOperations) {
+  mpi::Group a({1, 2, 3});
+  mpi::Group b({3, 4});
+  EXPECT_EQ(a.set_union(b).size(), 4);
+  EXPECT_EQ(a.set_intersection(b).size(), 1);
+  EXPECT_EQ(a.set_intersection(b).slot(0), 3);
+  EXPECT_EQ(a.set_difference(b).size(), 2);
+  EXPECT_TRUE(a.set_difference(b) == mpi::Group({1, 2}));
+}
+
+TEST(Group, TranslateRanks) {
+  mpi::Group a({5, 6, 7});
+  mpi::Group b({7, 5});
+  const int ranks[] = {0, 1, 2};
+  const auto t = a.translate(ranks, b);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], 1);   // slot 5 is rank 1 in b
+  EXPECT_EQ(t[1], -1);  // slot 6 absent
+  EXPECT_EQ(t[2], 0);
+}
+
+// ---------------------------------------------------------------- comms
+
+TEST(CommMgmt, DupIsIndependent) {
+  auto res = core::run(
+      quick_config(4, 1, core::ProtocolKind::Native), [](mpi::Env& env) {
+        auto& w = env.world();
+        auto dup = w.dup();
+        EXPECT_EQ(dup.rank(), w.rank());
+        EXPECT_EQ(dup.size(), w.size());
+        // Messages on the dup must not match receives on the parent.
+        if (env.rank() == 0) {
+          double v = 1.0;
+          auto r1 = dup.isend(std::span<const double>(&v, 1), 1, 5);
+          double v2 = 2.0;
+          auto r2 = w.isend(std::span<const double>(&v2, 1), 1, 5);
+          w.wait(r1);
+          w.wait(r2);
+        } else if (env.rank() == 1) {
+          // Receive from the parent first: must get 2.0, not the dup's 1.0.
+          EXPECT_DOUBLE_EQ(w.recv_value<double>(0, 5), 2.0);
+          EXPECT_DOUBLE_EQ(dup.recv_value<double>(0, 5), 1.0);
+        }
+        dup.barrier();
+      });
+  ASSERT_TRUE(run_clean(res));
+}
+
+TEST(CommMgmt, SplitEvenOdd) {
+  auto res = core::run(
+      quick_config(6, 1, core::ProtocolKind::Native), [](mpi::Env& env) {
+        auto& w = env.world();
+        auto half = w.split(env.rank() % 2, env.rank());
+        ASSERT_TRUE(half.valid());
+        EXPECT_EQ(half.size(), 3);
+        EXPECT_EQ(half.rank(), env.rank() / 2);
+        // Sum within each color: evens 0+2+4, odds 1+3+5.
+        const double s =
+            half.allreduce_value(static_cast<double>(env.rank()), mpi::Op::Sum);
+        EXPECT_DOUBLE_EQ(s, env.rank() % 2 == 0 ? 6.0 : 9.0);
+      });
+  ASSERT_TRUE(run_clean(res));
+}
+
+TEST(CommMgmt, SplitWithKeyReordersRanks) {
+  auto res = core::run(
+      quick_config(4, 1, core::ProtocolKind::Native), [](mpi::Env& env) {
+        auto& w = env.world();
+        // Reverse the order via the key.
+        auto rev = w.split(0, w.size() - env.rank());
+        EXPECT_EQ(rev.rank(), w.size() - 1 - env.rank());
+        const double s =
+            rev.allreduce_value(static_cast<double>(rev.rank()), mpi::Op::Sum);
+        EXPECT_DOUBLE_EQ(s, 6.0);
+      });
+  ASSERT_TRUE(run_clean(res));
+}
+
+TEST(CommMgmt, SplitUndefinedExcludes) {
+  auto res = core::run(
+      quick_config(4, 1, core::ProtocolKind::Native), [](mpi::Env& env) {
+        auto& w = env.world();
+        auto sub =
+            w.split(env.rank() == 0 ? mpi::kUndefined : 1, env.rank());
+        if (env.rank() == 0) {
+          EXPECT_FALSE(sub.valid());
+        } else {
+          ASSERT_TRUE(sub.valid());
+          EXPECT_EQ(sub.size(), 3);
+          sub.barrier();
+        }
+        // A later collective on the parent still works for everyone.
+        w.barrier();
+      });
+  ASSERT_TRUE(run_clean(res));
+}
+
+TEST(CommMgmt, CreateFromGroup) {
+  auto res = core::run(
+      quick_config(4, 1, core::ProtocolKind::Native), [](mpi::Env& env) {
+        auto& w = env.world();
+        const int picks[] = {0, 2};
+        auto g = w.group().include(picks);
+        auto sub = w.create(g);
+        if (env.rank() == 0 || env.rank() == 2) {
+          ASSERT_TRUE(sub.valid());
+          EXPECT_EQ(sub.size(), 2);
+          EXPECT_EQ(sub.rank(), env.rank() == 0 ? 0 : 1);
+          const double s = sub.allreduce_value(1.0, mpi::Op::Sum);
+          EXPECT_DOUBLE_EQ(s, 2.0);
+        } else {
+          EXPECT_FALSE(sub.valid());
+        }
+      });
+  ASSERT_TRUE(run_clean(res));
+}
+
+TEST(CommMgmt, NestedSplits) {
+  auto res = core::run(
+      quick_config(8, 1, core::ProtocolKind::Native), [](mpi::Env& env) {
+        auto& w = env.world();
+        auto half = w.split(env.rank() / 4, env.rank());
+        auto quarter = half.split(half.rank() / 2, half.rank());
+        EXPECT_EQ(quarter.size(), 2);
+        const double s = quarter.allreduce_value(1.0, mpi::Op::Sum);
+        EXPECT_DOUBLE_EQ(s, 2.0);
+      });
+  ASSERT_TRUE(run_clean(res));
+}
+
+// The paper's transparency claim specifically covers communicator
+// operations: the same program under dual replication must behave
+// identically (Figure 6's world splitting).
+struct CommProtoCase {
+  core::ProtocolKind proto;
+};
+
+class CommReplicated : public ::testing::TestWithParam<CommProtoCase> {};
+
+TEST_P(CommReplicated, SplitDupUnderReplication) {
+  auto cfg = quick_config(6, 2, GetParam().proto);
+  auto res = core::run(cfg, [](mpi::Env& env) {
+    auto& w = env.world();
+    auto dup = w.dup();
+    auto half = dup.split(env.rank() % 2, env.rank());
+    util::Checksum cs;
+    cs.add_double(
+        half.allreduce_value(static_cast<double>(env.rank()), mpi::Op::Sum));
+    // Cross-communicator traffic.
+    if (env.rank() == 0) {
+      dup.send_value(3.5, 5, 1);
+    } else if (env.rank() == 5) {
+      cs.add_double(dup.recv_value<double>(0, 1));
+    }
+    w.barrier();
+    env.report_checksum(cs.digest());
+  });
+  ASSERT_TRUE(run_clean(res));
+  EXPECT_TRUE(res.checksums_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, CommReplicated,
+    ::testing::Values(CommProtoCase{core::ProtocolKind::Sdr},
+                      CommProtoCase{core::ProtocolKind::Mirror},
+                      CommProtoCase{core::ProtocolKind::Leader}),
+    [](const auto& info) {
+      return std::string(core::to_string(info.param.proto));
+    });
+
+// Failover inside a user-created communicator: the substitute's resends
+// must land in the right context on the sibling world.
+TEST(CommMgmt, FailoverInsideSplitComm) {
+  auto app = [](mpi::Env& env) {
+    auto& w = env.world();
+    auto half = w.split(env.rank() / 2, env.rank());
+    double v = env.rank();
+    for (int i = 0; i < 12; ++i) {
+      v = half.allreduce_value(v, mpi::Op::Sum) / half.size() + 1.0;
+    }
+    util::Checksum cs;
+    cs.add_double(v);
+    env.report_checksum(cs.digest());
+  };
+  auto native = core::run(quick_config(4, 1, core::ProtocolKind::Native), app);
+  ASSERT_TRUE(run_clean(native));
+
+  auto cfg = quick_config(4, 2, core::ProtocolKind::Sdr);
+  cfg.faults.push_back({.slot = 5, .at_time = -1, .at_send = 7});
+  auto res = core::run(cfg, app);
+  ASSERT_TRUE(run_clean(res));
+  for (const auto& slot : res.slots) {
+    if (!slot.reported_checksum) continue;
+    EXPECT_EQ(slot.checksum, native.checksum_of(slot.rank))
+        << "slot " << slot.slot;
+  }
+}
+
+}  // namespace
+}  // namespace sdrmpi

@@ -1,0 +1,211 @@
+// Unit tests for the fabric: cost model, FIFO delivery, egress
+// serialization, crash semantics, out-of-band injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sdrmpi/net/fabric.hpp"
+
+namespace sdrmpi::net {
+namespace {
+
+struct Harness {
+  sim::Engine engine;
+  NetParams params;
+  Fabric fabric;
+  std::vector<std::vector<Delivery>> received;
+
+  explicit Harness(int nslots, NetParams p = NetParams::infiniband_20g())
+      : params(p), fabric(engine, p, nslots), received(nslots) {
+    for (int s = 0; s < nslots; ++s) {
+      fabric.attach(s, /*owner_pid=*/-1, [this, s](Delivery&& d) {
+        received[static_cast<std::size_t>(s)].push_back(std::move(d));
+      });
+    }
+  }
+
+  std::vector<std::byte> blob(std::size_t n, unsigned char fill = 0xab) {
+    return std::vector<std::byte>(n, std::byte{fill});
+  }
+};
+
+TEST(Fabric, DeliversPayloadIntact) {
+  Harness h(2);
+  h.engine.spawn("sender", [&] {
+    auto data = h.blob(16, 0x5c);
+    h.fabric.send(0, 1, data);
+  });
+  auto out = h.engine.run();
+  EXPECT_TRUE(out.clean());
+  ASSERT_EQ(h.received[1].size(), 1u);
+  EXPECT_EQ(h.received[1][0].data.size(), 16u);
+  EXPECT_EQ(h.received[1][0].data[3], std::byte{0x5c});
+  EXPECT_EQ(h.received[1][0].src_slot, 0);
+}
+
+TEST(Fabric, ArrivalMatchesCostModel) {
+  Harness h(2);
+  h.engine.spawn("sender", [&] { h.fabric.send(0, 1, h.blob(100)); });
+  h.engine.run();
+  ASSERT_EQ(h.received[1].size(), 1u);
+  const auto& d = h.received[1][0];
+  const double wire = 100.0 + static_cast<double>(h.params.header_bytes);
+  const Time expect =
+      static_cast<Time>(std::llround(h.params.o_send_ns)) +
+      static_cast<Time>(std::llround(wire * h.params.ns_per_byte)) +
+      static_cast<Time>(std::llround(h.params.latency_ns));
+  EXPECT_EQ(d.arrival, expect);
+}
+
+TEST(Fabric, SenderChargedOverhead) {
+  Harness h(2);
+  Time after = -1;
+  h.engine.spawn("sender", [&] {
+    h.fabric.send(0, 1, h.blob(8));
+    after = h.engine.now();
+  });
+  h.engine.run();
+  EXPECT_EQ(after, static_cast<Time>(std::llround(h.params.o_send_ns)));
+}
+
+TEST(Fabric, FifoPerChannel) {
+  Harness h(2);
+  h.engine.spawn("sender", [&] {
+    for (unsigned char i = 0; i < 10; ++i) h.fabric.send(0, 1, h.blob(4, i));
+  });
+  h.engine.run();
+  ASSERT_EQ(h.received[1].size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(h.received[1][i].data[0], std::byte{static_cast<unsigned char>(i)});
+    if (i > 0) {
+      EXPECT_GT(h.received[1][i].arrival, h.received[1][i - 1].arrival);
+    }
+  }
+}
+
+TEST(Fabric, EgressSerialization) {
+  // Two back-to-back large frames: the second's arrival is pushed out by
+  // the first's wire time (one NIC per process).
+  Harness h(3);
+  h.engine.spawn("sender", [&] {
+    h.fabric.send(0, 1, h.blob(10000));
+    h.fabric.send(0, 2, h.blob(10000));
+  });
+  h.engine.run();
+  ASSERT_EQ(h.received[1].size(), 1u);
+  ASSERT_EQ(h.received[2].size(), 1u);
+  const Time gap = h.received[2][0].arrival - h.received[1][0].arrival;
+  const double wire = 10000.0 + static_cast<double>(h.params.header_bytes);
+  // Delta >= serialization of one frame minus the second o_send charge.
+  EXPECT_GE(gap, static_cast<Time>(wire * h.params.ns_per_byte) -
+                     static_cast<Time>(std::llround(h.params.o_send_ns)));
+}
+
+TEST(Fabric, BiggerFramesTakeLonger) {
+  Harness h(2);
+  h.engine.spawn("s", [&] {
+    h.fabric.send(0, 1, h.blob(1));
+  });
+  h.engine.run();
+  const Time small = h.received[1][0].arrival;
+
+  Harness h2(2);
+  h2.engine.spawn("s", [&] {
+    h2.fabric.send(0, 1, h2.blob(1 << 20));
+  });
+  h2.engine.run();
+  EXPECT_GT(h2.received[1][0].arrival, small + 100000);
+}
+
+TEST(Fabric, ExplicitWireBytesOverride) {
+  Harness h(2);
+  h.engine.spawn("s", [&] {
+    // Tiny payload but modeled as a 48-byte control frame.
+    h.fabric.send(0, 1, h.blob(4), h.params.ctl_frame_bytes);
+  });
+  h.engine.run();
+  const Time expect =
+      static_cast<Time>(std::llround(h.params.o_send_ns)) +
+      static_cast<Time>(std::llround(
+          static_cast<double>(h.params.ctl_frame_bytes) * h.params.ns_per_byte)) +
+      static_cast<Time>(std::llround(h.params.latency_ns));
+  EXPECT_EQ(h.received[1][0].arrival, expect);
+}
+
+TEST(Fabric, DeadDestinationDropsFrames) {
+  Harness h(2);
+  h.fabric.set_alive(1, false);
+  h.engine.spawn("s", [&] { h.fabric.send(0, 1, h.blob(8)); });
+  h.engine.run();
+  EXPECT_TRUE(h.received[1].empty());
+  EXPECT_EQ(h.fabric.stats().frames_dropped_dead_dst, 1u);
+}
+
+TEST(Fabric, InFlightFramesFromDeadSenderStillDeliver) {
+  // The paper's reliable-channel model: a frame injected before the crash
+  // reaches its destination.
+  Harness h(2);
+  h.engine.spawn("s", [&] {
+    h.fabric.send(0, 1, h.blob(8));
+    // Sender dies immediately after injection.
+    h.fabric.set_alive(0, false);
+  });
+  h.engine.run();
+  EXPECT_EQ(h.received[1].size(), 1u);
+}
+
+TEST(Fabric, OobInjectionArrivesAtRequestedTime) {
+  Harness h(2);
+  h.fabric.inject_oob(1, h.blob(4), 12345);
+  h.engine.run();
+  ASSERT_EQ(h.received[1].size(), 1u);
+  EXPECT_EQ(h.received[1][0].arrival, 12345);
+  EXPECT_TRUE(h.received[1][0].out_of_band);
+  EXPECT_EQ(h.received[1][0].src_slot, -1);
+}
+
+TEST(Fabric, StatsCountFrames) {
+  Harness h(2);
+  h.engine.spawn("s", [&] {
+    h.fabric.send(0, 1, h.blob(100));
+    h.fabric.send(0, 1, h.blob(100));
+  });
+  h.engine.run();
+  EXPECT_EQ(h.fabric.stats().frames_sent, 2u);
+  EXPECT_EQ(h.fabric.stats().payload_bytes,
+            2 * (100 + h.params.header_bytes));
+}
+
+TEST(Fabric, ReattachReplacesSink) {
+  Harness h(2);
+  std::vector<Delivery> second;
+  h.fabric.set_alive(1, false);
+  h.fabric.reattach(1, -1, [&](Delivery&& d) { second.push_back(std::move(d)); });
+  EXPECT_TRUE(h.fabric.alive(1));  // reattach revives the slot
+  h.engine.spawn("s", [&] { h.fabric.send(0, 1, h.blob(8)); });
+  h.engine.run();
+  EXPECT_TRUE(h.received[1].empty());
+  EXPECT_EQ(second.size(), 1u);
+}
+
+TEST(Fabric, DoubleAttachThrows) {
+  Harness h(2);
+  EXPECT_THROW(h.fabric.attach(0, -1, [](Delivery&&) {}), std::logic_error);
+}
+
+TEST(NetParamsTest, PresetsAreSane) {
+  const auto ib = NetParams::infiniband_20g();
+  const auto eth = NetParams::gigabit_ethernet();
+  const auto fast = NetParams::instant();
+  EXPECT_LT(ib.latency_ns, eth.latency_ns);
+  EXPECT_LT(ib.ns_per_byte, eth.ns_per_byte);
+  EXPECT_LT(fast.latency_ns, ib.latency_ns);
+  // IB-20G calibration: ~1.67us one-byte half-round (o_s + wire + o_r).
+  const double one_byte = ib.o_send_ns + ib.latency_ns + ib.o_recv_ns +
+                          static_cast<double>(ib.header_bytes + 1) * ib.ns_per_byte;
+  EXPECT_NEAR(one_byte, 1670.0, 70.0);
+}
+
+}  // namespace
+}  // namespace sdrmpi::net

@@ -1,0 +1,276 @@
+// Unit tests for the discrete-event engine: scheduling order, virtual
+// clocks, block/wake, crash unwinding, deadlock and time-limit detection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sdrmpi/sim/engine.hpp"
+
+namespace sdrmpi::sim {
+namespace {
+
+TEST(Engine, RunsProcessesToCompletion) {
+  Engine e;
+  int done = 0;
+  e.spawn("a", [&] { ++done; });
+  e.spawn("b", [&] { ++done; });
+  auto out = e.run();
+  EXPECT_TRUE(out.clean());
+  EXPECT_EQ(done, 2);
+}
+
+TEST(Engine, AdvanceMovesClock) {
+  Engine e;
+  e.spawn("a", [&] {
+    EXPECT_EQ(e.now(), 0);
+    e.advance(100);
+    EXPECT_EQ(e.now(), 100);
+    e.advance_to(50);  // no-op backwards
+    EXPECT_EQ(e.now(), 100);
+    e.advance_to(250);
+    EXPECT_EQ(e.now(), 250);
+  });
+  auto out = e.run();
+  EXPECT_TRUE(out.clean());
+  EXPECT_EQ(out.end_time, 250);
+}
+
+TEST(Engine, EventsExecuteInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(300, [&] { order.push_back(3); });
+  e.schedule(100, [&] { order.push_back(1); });
+  e.schedule(200, [&] { order.push_back(2); });
+  auto out = e.run();
+  EXPECT_TRUE(out.clean());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EventTieBreakByInsertion) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(100, [&] { order.push_back(1); });
+  e.schedule(100, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, SmallestClockRunsFirst) {
+  Engine e;
+  std::vector<char> order;
+  e.spawn("slow", [&] {
+    e.advance(1000);
+    e.yield();
+    order.push_back('s');
+  });
+  e.spawn("fast", [&] {
+    e.advance(10);
+    e.yield();
+    order.push_back('f');
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<char>{'f', 's'}));
+}
+
+TEST(Engine, EventsInterleaveWithProcesses) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(50, [&] { order.push_back(-1); });
+  e.spawn("p", [&] {
+    order.push_back(1);  // clock 0 < 50: process first
+    e.advance(100);
+    e.yield();  // now the event at 50 must run before we continue
+    order.push_back(2);
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, -1, 2}));
+}
+
+TEST(Engine, BlockAndWake) {
+  Engine e;
+  bool resumed = false;
+  const int pid = e.spawn("sleeper", [&] {
+    e.block("test");
+    resumed = true;
+    EXPECT_GE(e.now(), 500);
+  });
+  e.schedule(500, [&, pid] { e.wake(pid, 500); });
+  auto out = e.run();
+  EXPECT_TRUE(out.clean());
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Engine, WakeOnRunnableIsNoop) {
+  Engine e;
+  const int pid = e.spawn("p", [&] { e.advance(10); });
+  e.wake(pid, 999);  // not blocked: must not touch the clock
+  auto out = e.run();
+  EXPECT_TRUE(out.clean());
+  EXPECT_EQ(e.process(pid).clock(), 10);
+}
+
+TEST(Engine, DeadlockDetected) {
+  Engine e;
+  e.spawn("a", [&] { e.block("never"); });
+  e.spawn("b", [&] { e.block("never"); });
+  auto out = e.run();
+  EXPECT_TRUE(out.deadlock);
+  EXPECT_EQ(out.blocked_pids.size(), 2u);
+  EXPECT_EQ(e.process(0).block_reason(), "never");
+}
+
+TEST(Engine, NoDeadlockWhenAllFinish) {
+  Engine e;
+  const int pid = e.spawn("a", [&] { e.block("waiting"); });
+  e.spawn("b", [&, pid] {
+    e.advance(10);
+    e.wake(pid, e.now());
+  });
+  auto out = e.run();
+  EXPECT_FALSE(out.deadlock);
+  EXPECT_TRUE(out.clean());
+}
+
+TEST(Engine, CrashUnwindsBlockedProcess) {
+  Engine e;
+  bool after_block = false;
+  const int pid = e.spawn("victim", [&] {
+    e.block("forever");
+    after_block = true;  // must never run
+  });
+  e.schedule(100, [&, pid] { e.request_crash(pid); });
+  auto out = e.run();
+  EXPECT_FALSE(out.deadlock);
+  EXPECT_FALSE(after_block);
+  EXPECT_TRUE(e.crashed(pid));
+}
+
+TEST(Engine, CrashAtYieldPoint) {
+  Engine e;
+  int steps = 0;
+  const int pid = e.spawn("victim", [&] {
+    for (int i = 0; i < 100; ++i) {
+      e.advance(10);
+      e.yield();
+      ++steps;
+    }
+  });
+  e.schedule(255, [&, pid] { e.request_crash(pid); });
+  auto out = e.run();
+  EXPECT_TRUE(e.crashed(pid));
+  EXPECT_LT(steps, 100);
+  EXPECT_FALSE(out.deadlock);
+}
+
+TEST(Engine, RaiiRunsDuringCrashUnwind) {
+  Engine e;
+  bool destroyed = false;
+  struct Sentinel {
+    bool* flag;
+    ~Sentinel() { *flag = true; }
+  };
+  const int pid = e.spawn("victim", [&] {
+    Sentinel s{&destroyed};
+    e.block("forever");
+  });
+  e.schedule(10, [&, pid] { e.request_crash(pid); });
+  e.run();
+  EXPECT_TRUE(destroyed);
+}
+
+TEST(Engine, FailedProcessReported) {
+  Engine e;
+  e.spawn("thrower", [] { throw std::runtime_error("boom"); });
+  auto out = e.run();
+  EXPECT_FALSE(out.clean());
+  ASSERT_EQ(out.failed_pids.size(), 1u);
+  EXPECT_NE(e.process(out.failed_pids[0]).error(), nullptr);
+}
+
+TEST(Engine, TimeLimit) {
+  Engine e;
+  e.set_time_limit(1000);
+  e.spawn("runner", [&] {
+    for (;;) {
+      e.advance(100);
+      e.yield();
+    }
+  });
+  auto out = e.run();
+  EXPECT_TRUE(out.time_limit_hit);
+  EXPECT_FALSE(out.clean());
+}
+
+TEST(Engine, SpawnDuringRun) {
+  Engine e;
+  std::vector<int> order;
+  e.spawn("parent", [&] {
+    e.advance(100);
+    order.push_back(1);
+    e.spawn("child", [&] {
+      EXPECT_GE(e.now(), 100);  // child starts at spawn time
+      order.push_back(2);
+    });
+    e.advance(10);
+    e.yield();
+    order.push_back(3);
+  });
+  auto out = e.run();
+  EXPECT_TRUE(out.clean());
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  // child (clock 100) runs before parent resumes (clock 110)
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+}
+
+TEST(Engine, MaybeYieldSkipsWhenNothingOlder) {
+  Engine e;
+  std::uint64_t switches_before = 0;
+  e.spawn("lonely", [&] {
+    for (int i = 0; i < 1000; ++i) {
+      e.advance(1);
+      e.maybe_yield();  // no other entity: should not context-switch
+    }
+  });
+  auto out = e.run();
+  switches_before = out.context_switches;
+  // One switch in, one out.
+  EXPECT_LE(switches_before, 2u);
+}
+
+TEST(Engine, DeterministicOutcome) {
+  auto run_once = [] {
+    Engine e;
+    std::vector<int> order;
+    for (int p = 0; p < 4; ++p) {
+      e.spawn("p" + std::to_string(p), [&, p] {
+        for (int i = 0; i < 5; ++i) {
+          e.advance(10 * (p + 1));
+          e.yield();
+          order.push_back(p);
+        }
+      });
+    }
+    e.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, CurrentOutsideProcessThrows) {
+  Engine e;
+  EXPECT_THROW(e.current(), std::logic_error);
+  EXPECT_FALSE(e.in_process_context());
+}
+
+TEST(Engine, EndTimeIsMaxClock) {
+  Engine e;
+  e.spawn("a", [&] { e.advance(100); });
+  e.spawn("b", [&] { e.advance(700); });
+  auto out = e.run();
+  EXPECT_EQ(out.end_time, 700);
+}
+
+}  // namespace
+}  // namespace sdrmpi::sim

@@ -1,0 +1,40 @@
+#include <gtest/gtest.h>
+#include "sdrmpi/sdrmpi.hpp"
+
+using namespace sdrmpi;
+
+TEST(Smoke, NativePingPong) {
+  core::RunConfig cfg;
+  cfg.nranks = 2;
+  auto res = core::run(cfg, [](mpi::Env& env) {
+    auto& w = env.world();
+    double v = 0;
+    if (env.rank() == 0) {
+      v = 42.5;
+      w.send_value(v, 1);
+      v = w.recv_value<double>(1);
+    } else {
+      v = w.recv_value<double>(0);
+      w.send_value(v * 2, 0);
+    }
+    env.report_checksum(static_cast<std::uint64_t>(v));
+  });
+  ASSERT_TRUE(res.clean()) << (res.deadlock ? "deadlock" : "error");
+  EXPECT_EQ(res.checksum_of(0), 85u);
+}
+
+TEST(Smoke, SdrAllreduce) {
+  core::RunConfig cfg;
+  cfg.nranks = 4;
+  cfg.replication = 2;
+  cfg.protocol = core::ProtocolKind::Sdr;
+  auto res = core::run(cfg, [](mpi::Env& env) {
+    double x = env.rank() + 1;
+    x = env.world().allreduce_value(x, mpi::Op::Sum);
+    env.report_checksum(static_cast<std::uint64_t>(x));
+  });
+  ASSERT_TRUE(res.clean());
+  EXPECT_EQ(res.checksum_of(0, 0), 10u);
+  EXPECT_EQ(res.checksum_of(0, 1), 10u);
+  EXPECT_TRUE(res.checksums_consistent());
+}

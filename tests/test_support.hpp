@@ -1,0 +1,77 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sdrmpi/sdrmpi.hpp"
+#include "sdrmpi/workloads/registry.hpp"
+
+namespace sdrmpi::test {
+
+/// Fast network for protocol-logic tests.
+inline core::RunConfig quick_config(int nranks, int replication,
+                                    core::ProtocolKind proto) {
+  core::RunConfig cfg;
+  cfg.nranks = nranks;
+  cfg.replication = replication;
+  cfg.protocol = proto;
+  return cfg;
+}
+
+/// Builds a small-sized instance of a registered workload (shrunk so a
+/// whole protocol x workload sweep stays fast).
+inline core::AppFn small_workload(const std::string& name) {
+  util::Options opts;
+  if (name == "cg") opts.set("nrows", "512");
+  if (name == "mg") {
+    opts.set("nx", "16");
+    opts.set("ny", "16");
+    opts.set("nz", "16");
+    opts.set("iters", "2");
+  }
+  if (name == "ft") {
+    opts.set("nx", "16");
+    opts.set("ny", "16");
+    opts.set("nz", "16");
+    opts.set("iters", "2");
+  }
+  if (name == "bt" || name == "sp") {
+    opts.set("nx", "16");
+    opts.set("ny", "8");
+    opts.set("nz", "4");
+    opts.set("iters", "2");
+  }
+  if (name == "hpccg") {
+    opts.set("nx", "12");
+    opts.set("ny", "12");
+    opts.set("nz", "6");
+    opts.set("iters", "8");
+  }
+  if (name == "cm1") {
+    opts.set("nx", "16");
+    opts.set("ny", "16");
+    opts.set("nz", "4");
+    opts.set("iters", "5");
+  }
+  if (name == "netpipe") {
+    opts.set("sizes", "1,64,4096");
+    opts.set("reps", "4");
+  }
+  return wl::make_workload(name, opts);
+}
+
+/// Asserts the run finished cleanly, with a useful failure message.
+inline ::testing::AssertionResult run_clean(const core::RunResult& res) {
+  if (res.clean()) return ::testing::AssertionSuccess();
+  auto out = ::testing::AssertionFailure();
+  out << "run not clean:";
+  if (res.deadlock) out << " deadlock";
+  if (res.time_limit_hit) out << " time-limit";
+  if (res.rank_lost) out << " rank-lost";
+  for (const auto& e : res.errors) out << " [" << e << "]";
+  return out;
+}
+
+}  // namespace sdrmpi::test

@@ -1,0 +1,159 @@
+// Workload correctness: determinism, native-vs-replicated checksum equality
+// (the central oracle: replication must not change application results),
+// and numeric sanity of the kernels themselves.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace sdrmpi {
+namespace {
+
+using test::quick_config;
+using test::run_clean;
+using test::small_workload;
+
+struct Case {
+  const char* workload;
+  int nranks;
+};
+
+class WorkloadNative : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WorkloadNative, RunsCleanAndDeterministic) {
+  const auto [name, nranks] = GetParam();
+  auto cfg = quick_config(nranks, 1, core::ProtocolKind::Native);
+  auto r1 = core::run(cfg, small_workload(name));
+  ASSERT_TRUE(run_clean(r1));
+  auto r2 = core::run(cfg, small_workload(name));
+  ASSERT_TRUE(run_clean(r2));
+  for (int rank = 0; rank < nranks; ++rank) {
+    EXPECT_EQ(r1.checksum_of(rank), r2.checksum_of(rank))
+        << name << " rank " << rank << " not deterministic";
+  }
+  EXPECT_EQ(r1.makespan, r2.makespan) << name << " timing not deterministic";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadNative,
+    ::testing::Values(Case{"netpipe", 2}, Case{"cg", 4}, Case{"cg", 8},
+                      Case{"mg", 8}, Case{"ft", 4}, Case{"ft", 8},
+                      Case{"bt", 4}, Case{"sp", 4}, Case{"hpccg", 4},
+                      Case{"hpccg", 8}, Case{"cm1", 4}),
+    [](const auto& info) {
+      return std::string(info.param.workload) + "_np" +
+             std::to_string(info.param.nranks);
+    });
+
+struct ProtoCase {
+  const char* workload;
+  int nranks;
+  core::ProtocolKind proto;
+};
+
+class WorkloadReplicated : public ::testing::TestWithParam<ProtoCase> {};
+
+// The paper's transparency claim: a replicated run must produce exactly the
+// results of a native run, in both worlds, for every protocol.
+TEST_P(WorkloadReplicated, MatchesNativeChecksums) {
+  const auto [name, nranks, proto] = GetParam();
+  auto native = core::run(quick_config(nranks, 1, core::ProtocolKind::Native),
+                          small_workload(name));
+  ASSERT_TRUE(run_clean(native));
+
+  auto cfg = quick_config(nranks, 2, proto);
+  auto rep = core::run(cfg, small_workload(name));
+  ASSERT_TRUE(run_clean(rep));
+  EXPECT_TRUE(rep.checksums_consistent());
+  for (int rank = 0; rank < nranks; ++rank) {
+    EXPECT_EQ(native.checksum_of(rank), rep.checksum_of(rank, 0))
+        << name << " world 0 diverged at rank " << rank;
+    EXPECT_EQ(native.checksum_of(rank), rep.checksum_of(rank, 1))
+        << name << " world 1 diverged at rank " << rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sdr, WorkloadReplicated,
+    ::testing::Values(ProtoCase{"cg", 4, core::ProtocolKind::Sdr},
+                      ProtoCase{"mg", 8, core::ProtocolKind::Sdr},
+                      ProtoCase{"ft", 4, core::ProtocolKind::Sdr},
+                      ProtoCase{"bt", 4, core::ProtocolKind::Sdr},
+                      ProtoCase{"sp", 4, core::ProtocolKind::Sdr},
+                      ProtoCase{"hpccg", 4, core::ProtocolKind::Sdr},
+                      ProtoCase{"cm1", 4, core::ProtocolKind::Sdr},
+                      ProtoCase{"netpipe", 2, core::ProtocolKind::Sdr}),
+    [](const auto& info) {
+      return std::string(info.param.workload) + "_np" +
+             std::to_string(info.param.nranks);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    OtherProtocols, WorkloadReplicated,
+    ::testing::Values(
+        ProtoCase{"cg", 4, core::ProtocolKind::Mirror},
+        ProtoCase{"hpccg", 4, core::ProtocolKind::Mirror},
+        ProtoCase{"cg", 4, core::ProtocolKind::Leader},
+        ProtoCase{"hpccg", 4, core::ProtocolKind::Leader},
+        ProtoCase{"cm1", 4, core::ProtocolKind::Leader},
+        ProtoCase{"cg", 4, core::ProtocolKind::RedMpiSd},
+        ProtoCase{"hpccg", 4, core::ProtocolKind::RedMpiSd},
+        ProtoCase{"hpccg", 4, core::ProtocolKind::RedMpiLeader}),
+    [](const auto& info) {
+      std::string name = std::string(info.param.workload) + "_" +
+                         core::to_string(info.param.proto) + "_np" +
+                         std::to_string(info.param.nranks);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(WorkloadSanity, CgResidualDecreases) {
+  util::Options opts;
+  opts.set("nrows", "512");
+  opts.set("iters", "30");
+  auto res = core::run(quick_config(4, 1, core::ProtocolKind::Native),
+                       wl::make_workload("cg", opts));
+  ASSERT_TRUE(run_clean(res));
+  // 30 CG iterations on a well-conditioned SPD system: tiny residual.
+  EXPECT_LT(res.slots[0].values.at("residual"), 1e-6);
+}
+
+TEST(WorkloadSanity, HpccgResidualDecreases) {
+  auto res = core::run(quick_config(4, 1, core::ProtocolKind::Native),
+                       small_workload("hpccg"));
+  ASSERT_TRUE(run_clean(res));
+  EXPECT_LT(res.slots[0].values.at("residual"), 1.0);
+}
+
+TEST(WorkloadSanity, FtRoundTripPreservesEnergyScale) {
+  auto res = core::run(quick_config(4, 1, core::ProtocolKind::Native),
+                       small_workload("ft"));
+  ASSERT_TRUE(run_clean(res));
+  const double energy = res.slots[0].values.at("energy");
+  EXPECT_GT(energy, 0.0);
+  // Damping only removes energy; initial uniform(-.5,.5)^2 * 2 * N ~ N/6.
+  EXPECT_LT(energy, 16.0 * 16.0 * 16.0);
+}
+
+TEST(WorkloadSanity, Cm1ConservesMassApproximately) {
+  auto res = core::run(quick_config(4, 1, core::ProtocolKind::Native),
+                       small_workload("cm1"));
+  ASSERT_TRUE(run_clean(res));
+  const double mass = res.slots[0].values.at("mass");
+  // theta ~ 300 * nx*ny*nz dominates; advection/diffusion only moves it.
+  const double expected = 300.0 * 16 * 16 * 4;
+  EXPECT_NEAR(mass, expected, expected * 0.05);
+}
+
+TEST(WorkloadSanity, NetpipeLatencyIncreasesWithSize) {
+  auto res = core::run(quick_config(2, 1, core::ProtocolKind::Native),
+                       test::small_workload("netpipe"));
+  ASSERT_TRUE(run_clean(res));
+  const auto& vals = res.slots[0].values;
+  EXPECT_LT(vals.at("lat_us_1"), vals.at("lat_us_4096"));
+  EXPECT_GT(vals.at("mbps_4096"), vals.at("mbps_1"));
+}
+
+}  // namespace
+}  // namespace sdrmpi
