@@ -10,7 +10,7 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
-  bench::banner("acknowledgement-placement ablation",
+  bench::banner(opts, "acknowledgement-placement ablation",
                 "paragraphs 3.2-3.3 (ack timing and send completion)");
 
   const int nranks = static_cast<int>(opts.get_int("ranks", 4));
@@ -24,21 +24,8 @@ int main(int argc, char** argv) {
   base.replication = 2;
   base.protocol = core::ProtocolKind::Sdr;
 
-  auto paper = core::run(base, app);
-
   core::RunConfig eager = base;
   eager.eager_copy_completion = true;
-  auto copied = core::run(eager, app);
-
-  util::Table table(
-      {"Variant", "Time (s)", "Delta (%)", "Extra copies", "Outcome"});
-  table.add_row({"gated send (paper)", util::format_double(paper.seconds(), 5),
-                 "-", "0", "ok"});
-  table.add_row(
-      {"eager-copy completion", util::format_double(copied.seconds(), 5),
-       util::format_double(
-           util::overhead_percent(paper.seconds(), copied.seconds()), 2),
-       std::to_string(copied.protocol.extra_copies), "ok"});
 
   // The deadlock variant runs a short exchange; the simulator's deadlock
   // detector stands in for the hang the paper describes.
@@ -56,11 +43,36 @@ int main(int argc, char** argv) {
   bad.replication = 2;
   bad.protocol = core::ProtocolKind::Sdr;
   bad.ack_on_wait = true;
-  auto hung = core::run(bad, exchange);
-  table.add_row({"ack-on-MPI_Wait", "-", "-", "0",
-                 hung.deadlock ? "DEADLOCK (as predicted)" : "unexpected"});
-  table.print(std::cout);
-  std::cout << "\npaper: acking at irecvComplete is mandatory — acks must "
-               "flow while processes are blocked inside MPI_Send\n";
-  return hung.deadlock ? 0 : 2;
+
+  const std::vector<bench::Point> points = {
+      {"gated send (paper)", base, app},
+      {"eager-copy completion", eager, app},
+      {"ack-on-MPI_Wait", bad, exchange}};
+  // allow_unclean: the third point deadlocks by design.
+  const auto results =
+      bench::run_points(points, opts, /*reps=*/1, /*allow_unclean=*/true);
+  const bool hung = results[2].run.deadlock;
+
+  if (bench::json_mode(opts)) {
+    bench::emit_json(std::cout, "ablation_ack", points, results);
+  } else {
+    util::Table table(
+        {"Variant", "Time (s)", "Delta (%)", "Extra copies", "Outcome"});
+    table.add_row({"gated send (paper)",
+                   util::format_double(results[0].mean_sec, 5), "-", "0",
+                   "ok"});
+    table.add_row(
+        {"eager-copy completion", util::format_double(results[1].mean_sec, 5),
+         util::format_double(
+             util::overhead_percent(results[0].mean_sec, results[1].mean_sec),
+             2),
+         std::to_string(results[1].run.protocol.extra_copies), "ok"});
+    table.add_row({"ack-on-MPI_Wait", "-", "-", "0",
+                   hung ? "DEADLOCK (as predicted)" : "unexpected"});
+    table.print(std::cout);
+    std::cout << "\npaper: acking at irecvComplete is mandatory — acks must "
+                 "flow while processes are blocked inside MPI_Send\n";
+  }
+  if (!results[0].run.clean() || !results[1].run.clean()) return 2;
+  return hung ? 0 : 2;
 }

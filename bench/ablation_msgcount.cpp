@@ -12,7 +12,7 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
-  bench::banner("message complexity: mirror vs parallel protocols",
+  bench::banner(opts, "message complexity: mirror vs parallel protocols",
                 "paragraph 2.4 (O(q*r^2) vs O(q*r))");
 
   const int nranks = static_cast<int>(opts.get_int("ranks", 4));
@@ -21,37 +21,39 @@ int main(int argc, char** argv) {
   wl_opts.set("iters", "10");
   const auto app = wl::make_workload("cg", wl_opts);
 
-  core::RunConfig native;
-  native.nranks = nranks;
-  auto res_native = core::run(native, app);
-  const auto q = res_native.data_frames;
+  // protocol × replication grid; native collapses to its r=1 baseline.
+  core::Sweep sweep;
+  sweep.base.nranks = nranks;
+  sweep.protocols = {core::ProtocolKind::Native, core::ProtocolKind::Sdr,
+                     core::ProtocolKind::Mirror};
+  sweep.replications = {2, 3};
+  std::vector<bench::Point> points;
+  for (core::RunConfig& cfg : sweep.expand()) {
+    points.push_back({std::string(core::to_string(cfg.protocol)) + "/r" +
+                          std::to_string(cfg.replication),
+                      std::move(cfg), app});
+  }
+  const auto results = bench::run_points(points, opts);
 
+  if (bench::json_mode(opts)) {
+    bench::emit_json(std::cout, "ablation_msgcount", points, results);
+    return 0;
+  }
+
+  const auto q = results[0].run.data_frames;  // native baseline
   util::Table table({"Protocol", "r", "Data frames", "Data/q", "Ctl frames",
                      "Time (s)"});
-  table.add_row({"native", "1", std::to_string(q), "1.00", "0",
-                 util::format_double(res_native.seconds(), 5)});
-
-  for (int r = 2; r <= 3; ++r) {
-    for (const auto kind :
-         {core::ProtocolKind::Sdr, core::ProtocolKind::Mirror}) {
-      core::RunConfig cfg;
-      cfg.nranks = nranks;
-      cfg.replication = r;
-      cfg.protocol = kind;
-      auto res = core::run(cfg, app);
-      if (!res.clean()) {
-        std::cerr << "run failed\n";
-        return 2;
-      }
-      table.add_row(
-          {core::to_string(kind), std::to_string(r),
-           std::to_string(res.data_frames),
-           util::format_double(static_cast<double>(res.data_frames) /
-                                   static_cast<double>(q),
-                               2),
-           std::to_string(res.ctl_frames),
-           util::format_double(res.seconds(), 5)});
-    }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& res = results[i].run;
+    table.add_row(
+        {core::to_string(points[i].cfg.protocol),
+         std::to_string(points[i].cfg.replication),
+         std::to_string(res.data_frames),
+         util::format_double(static_cast<double>(res.data_frames) /
+                                 static_cast<double>(q),
+                             2),
+         std::to_string(res.ctl_frames),
+         util::format_double(results[i].mean_sec, 5)});
   }
   table.print(std::cout);
   std::cout << "\nexpected: sdr data/q = r with (r-1) acks per message; "

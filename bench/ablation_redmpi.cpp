@@ -12,35 +12,45 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
-  bench::banner("redMPI wildcard-handling ablation",
+  bench::banner(opts, "redMPI wildcard-handling ablation",
                 "paragraph 2.4 (redMPI 6.8% deterministic vs 29% with "
                 "non-determinism)");
 
   const int nranks = static_cast<int>(opts.get_int("ranks", 8));
+  const std::vector<std::string> names = {"cg", "hpccg"};
+  std::vector<bench::Point> points;
+  for (const std::string& name : names) {
+    const auto app = wl::make_workload(name, opts);
+    core::Sweep sweep;
+    sweep.base.nranks = nranks;
+    sweep.base.replication = 2;
+    sweep.protocols = {core::ProtocolKind::Native,
+                       core::ProtocolKind::RedMpiLeader,
+                       core::ProtocolKind::RedMpiSd};
+    for (core::RunConfig& cfg : sweep.expand()) {
+      points.push_back({name + "/" + core::to_string(cfg.protocol),
+                        std::move(cfg), app});
+    }
+  }
+  const auto results = bench::run_points(points, opts);
+
+  if (bench::json_mode(opts)) {
+    bench::emit_json(std::cout, "ablation_redmpi", points, results);
+    return 0;
+  }
+
   util::Table table({"Workload", "Variant", "Time (s)", "Overhead (%)",
                      "Hashes", "Decisions"});
-
-  for (const std::string name : {std::string("cg"), std::string("hpccg")}) {
-    const auto app = wl::make_workload(name, opts);
-    core::RunConfig native;
-    native.nranks = nranks;
-    auto res_native = core::run(native, app);
-
-    for (const auto kind :
-         {core::ProtocolKind::RedMpiLeader, core::ProtocolKind::RedMpiSd}) {
-      core::RunConfig cfg;
-      cfg.nranks = nranks;
-      cfg.replication = 2;
-      cfg.protocol = kind;
-      auto res = core::run(cfg, app);
-      if (!res.clean()) {
-        std::cerr << "run failed\n";
-        return 2;
-      }
+  for (std::size_t w = 0; w < names.size(); ++w) {
+    const double t_native = results[3 * w].mean_sec;
+    for (std::size_t v = 1; v <= 2; ++v) {
+      const auto& r = results[3 * w + v];
+      const auto& res = r.run;
       table.add_row(
-          {name, core::to_string(kind), util::format_double(res.seconds(), 4),
-           util::format_double(
-               util::overhead_percent(res_native.seconds(), res.seconds()), 2),
+          {names[w], core::to_string(points[3 * w + v].cfg.protocol),
+           util::format_double(r.mean_sec, 4),
+           util::format_double(util::overhead_percent(t_native, r.mean_sec),
+                               2),
            std::to_string(res.protocol.hashes_sent),
            std::to_string(res.protocol.decisions_sent)});
     }

@@ -1,7 +1,15 @@
 // Shared harness for the paper-reproduction benches.
+//
+// Benches describe their sweep as a vector of labelled Points (config +
+// app), execute the whole sweep in one core::run_many() call (--pool=N
+// selects the host thread-pool size), and report either the human-readable
+// table (default) or machine-readable JSON (--json) for the perf
+// trajectory (BENCH_*.json).
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -10,30 +18,125 @@
 
 namespace sdrmpi::bench {
 
-/// Runs the app `reps` times (the paper averages five executions) and
-/// returns the mean virtual makespan in seconds. Aborts loudly if any run
-/// fails. With modeled compute runs are bit-identical, so reps > 1 only
-/// matters when --measured-compute is used.
-inline double mean_seconds(const core::RunConfig& cfg, const core::AppFn& app,
-                           int reps = 1) {
-  util::Accumulator acc;
-  for (int i = 0; i < reps; ++i) {
-    auto res = core::run(cfg, app);
-    if (!res.clean()) {
-      std::cerr << "bench run failed:" << (res.deadlock ? " deadlock" : "")
+/// One sweep point: a labelled config + the app to run under it.
+struct Point {
+  std::string label;
+  core::RunConfig cfg;
+  core::AppFn app;
+};
+
+/// Aggregated outcome of one point (over `reps` repetitions).
+struct PointResult {
+  double mean_sec = 0.0;
+  core::RunResult run;  ///< last repetition's full result
+};
+
+/// Host thread-pool size for the sweep: --pool=N (0 = hardware concurrency).
+inline core::BatchOptions pool_options(const util::Options& opts) {
+  core::BatchOptions b;
+  b.threads = static_cast<int>(opts.get_int("pool", 0));
+  return b;
+}
+
+/// True when the bench should emit JSON instead of tables (--json).
+inline bool json_mode(const util::Options& opts) {
+  return opts.get_bool("json", false);
+}
+
+/// Runs every point `reps` times (the paper averages five executions)
+/// through core::run_many on one pool and returns one PointResult per
+/// point, in point order. Aborts loudly if any run fails, unless
+/// `allow_unclean` (ablations that demonstrate deadlocks set it).
+inline std::vector<PointResult> run_points(const std::vector<Point>& pts,
+                                           const util::Options& opts,
+                                           int reps = 1,
+                                           bool allow_unclean = false) {
+  std::vector<core::RunConfig> configs;
+  configs.reserve(pts.size() * static_cast<std::size_t>(reps));
+  for (const Point& p : pts) {
+    for (int i = 0; i < reps; ++i) configs.push_back(p.cfg);
+  }
+  auto factory = [&pts, reps](const core::RunConfig&, std::size_t index) {
+    return pts[index / static_cast<std::size_t>(reps)].app;
+  };
+  const auto runs = core::run_many(configs, factory, pool_options(opts));
+
+  std::vector<PointResult> out(pts.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const std::size_t p = i / static_cast<std::size_t>(reps);
+    const core::RunResult& res = runs[i];
+    if (!res.clean() && !allow_unclean) {
+      std::cerr << "bench point '" << pts[p].label << "' failed:"
+                << (res.deadlock ? " deadlock" : "")
                 << (res.rank_lost ? " rank-lost" : "")
                 << (res.time_limit_hit ? " time-limit" : "");
       for (const auto& e : res.errors) std::cerr << " [" << e << "]";
       std::cerr << "\n";
       std::exit(2);
     }
-    acc.add(res.seconds());
+    out[p].mean_sec += res.seconds() / reps;
+    if ((i + 1) % static_cast<std::size_t>(reps) == 0) {
+      out[p].run = runs[i];
+    }
   }
-  return acc.mean();
+  return out;
 }
 
-/// Paper-style header printed by each bench binary.
-inline void banner(const std::string& what, const std::string& paper_ref) {
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Emits one JSON document: bench name + one record per point with the
+/// config, mean seconds, and fabric/endpoint/protocol counters.
+inline void emit_json(std::ostream& os, const std::string& bench_name,
+                      const std::vector<Point>& pts,
+                      const std::vector<PointResult>& results) {
+  os << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n"
+     << "  \"points\": [\n";
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Point& p = pts[i];
+    const core::RunResult& r = results[i].run;
+    os << "    {\"label\": \"" << json_escape(p.label) << "\""
+       << ", \"protocol\": \"" << core::to_string(p.cfg.protocol) << "\""
+       << ", \"nranks\": " << p.cfg.nranks
+       << ", \"replication\": " << p.cfg.replication
+       << ", \"faults\": " << p.cfg.faults.size()
+       << ", \"seed\": " << p.cfg.seed
+       << ", \"mean_seconds\": " << results[i].mean_sec
+       << ", \"clean\": " << (r.clean() ? "true" : "false")
+       << ", \"deadlock\": " << (r.deadlock ? "true" : "false")
+       << ", \"app_sends\": " << r.app_sends
+       << ", \"data_frames\": " << r.data_frames
+       << ", \"ctl_frames\": " << r.ctl_frames
+       << ", \"unexpected\": " << r.unexpected
+       << ", \"duplicates_dropped\": " << r.duplicates_dropped
+       << ", \"events_executed\": " << r.events_executed
+       << ", \"context_switches\": " << r.context_switches
+       << ", \"acks_sent\": " << r.protocol.acks_sent
+       << ", \"resends\": " << r.protocol.resends
+       << ", \"decisions_sent\": " << r.protocol.decisions_sent
+       << ", \"hashes_sent\": " << r.protocol.hashes_sent
+       << ", \"sdc_detected\": " << r.protocol.sdc_detected
+       << ", \"recoveries\": " << r.protocol.recoveries << "}"
+       << (i + 1 < pts.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+/// Paper-style header printed by each bench binary (suppressed under --json).
+inline void banner(const util::Options& opts, const std::string& what,
+                   const std::string& paper_ref) {
+  if (json_mode(opts)) return;
   std::cout << "== " << what << " ==\n"
             << "   reproduces: " << paper_ref << "\n"
             << "   (virtual-time simulation calibrated to InfiniBand-20G;\n"

@@ -42,44 +42,45 @@ sdrmpi::core::AppFn anysource_app(int rounds) {
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
-  bench::banner("ANY_SOURCE microbenchmark: leader vs send-determinism",
+  bench::banner(opts, "ANY_SOURCE microbenchmark: leader vs send-determinism",
                 "Figure 2 (anonymous reception handling)");
 
   const int nranks = static_cast<int>(opts.get_int("ranks", 4));
   const int rounds = static_cast<int>(opts.get_int("rounds", 200));
   const auto app = anysource_app(rounds);
 
-  core::RunConfig native;
-  native.nranks = nranks;
-  auto res_native = core::run(native, app);
+  // Protocol axis over a common base; the sweep collapses native to r=1.
+  core::Sweep sweep;
+  sweep.base.nranks = nranks;
+  sweep.base.replication = 2;
+  sweep.protocols = {core::ProtocolKind::Native, core::ProtocolKind::Sdr,
+                     core::ProtocolKind::Leader};
+  std::vector<bench::Point> points;
+  const char* labels[] = {"native", "sdr (local decision)", "leader-based"};
+  std::size_t li = 0;
+  for (core::RunConfig& cfg : sweep.expand()) {
+    points.push_back({labels[li++], std::move(cfg), app});
+  }
+  const auto results = bench::run_points(points, opts);
 
-  core::RunConfig sdr;
-  sdr.nranks = nranks;
-  sdr.replication = 2;
-  sdr.protocol = core::ProtocolKind::Sdr;
-  auto res_sdr = core::run(sdr, app);
+  if (bench::json_mode(opts)) {
+    bench::emit_json(std::cout, "fig2_anysource", points, results);
+    return 0;
+  }
 
-  core::RunConfig leader = sdr;
-  leader.protocol = core::ProtocolKind::Leader;
-  auto res_leader = core::run(leader, app);
-
+  const double t_native = results[0].mean_sec;
   util::Table table({"Protocol", "Time (s)", "Overhead (%)", "Decisions",
                      "Unexpected msgs"});
-  table.add_row({"native", util::format_double(res_native.seconds(), 6), "-",
-                 "0", std::to_string(res_native.unexpected)});
-  table.add_row(
-      {"sdr (local decision)", util::format_double(res_sdr.seconds(), 6),
-       util::format_double(
-           util::overhead_percent(res_native.seconds(), res_sdr.seconds()), 2),
-       std::to_string(res_sdr.protocol.decisions_sent),
-       std::to_string(res_sdr.unexpected)});
-  table.add_row(
-      {"leader-based", util::format_double(res_leader.seconds(), 6),
-       util::format_double(util::overhead_percent(res_native.seconds(),
-                                                  res_leader.seconds()),
-                           2),
-       std::to_string(res_leader.protocol.decisions_sent),
-       std::to_string(res_leader.unexpected)});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row(
+        {points[i].label, util::format_double(r.mean_sec, 6),
+         i == 0 ? "-"
+                : util::format_double(
+                      util::overhead_percent(t_native, r.mean_sec), 2),
+         std::to_string(r.run.protocol.decisions_sent),
+         std::to_string(r.run.unexpected)});
+  }
   table.print(std::cout);
   std::cout << "\npaper claim: with send-determinism replicas decide "
                "locally — no decision messages, fewer unexpected arrivals, "

@@ -49,7 +49,7 @@ core::AppFn ring_app(int iters) {
 
 int main(int argc, char** argv) {
   util::Options opts(argc, argv);
-  bench::banner("failover / recovery cost",
+  bench::banner(opts, "failover / recovery cost",
                 "Figures 3 and 4 (fault and recovery scenarios)");
 
   const int nranks = static_cast<int>(opts.get_int("ranks", 4));
@@ -61,42 +61,47 @@ int main(int argc, char** argv) {
   base.nranks = nranks;
   base.replication = 2;
   base.protocol = core::ProtocolKind::Sdr;
-  const double t_clean = bench::mean_seconds(base, app);
 
-  core::RunConfig crash = base;
-  crash.faults.push_back(
-      {.slot = nranks + 1, .at_time = -1, .at_send = crash_send});
-  auto res_crash = core::run(crash, app);
-
-  core::RunConfig recover = crash;
+  // Fault axis: clean vs a mid-run replica crash (same point with and
+  // without the recovery fork).
+  core::Sweep sweep;
+  sweep.base = base;
+  sweep.fault_sets = {
+      {}, {{.slot = nranks + 1, .at_time = -1, .at_send = crash_send}}};
+  auto configs = sweep.expand();
+  core::RunConfig recover = configs[1];
   recover.auto_recover = true;
-  auto res_recover = core::run(recover, app);
+  configs.push_back(recover);
 
-  util::Table table({"Scenario", "Time (s)", "vs clean (%)", "Resends",
-                     "Recoveries"});
-  table.add_row({"fault-free (r=2)", util::format_double(t_clean, 6), "-",
-                 "0", "0"});
-  table.add_row(
-      {"crash, degraded (Fig 3)",
-       util::format_double(res_crash.seconds(), 6),
-       util::format_double(
-           util::overhead_percent(t_clean, res_crash.seconds()), 2),
-       std::to_string(res_crash.protocol.resends),
-       std::to_string(res_crash.protocol.recoveries)});
-  table.add_row(
-      {"crash + recovery (Fig 4)",
-       util::format_double(res_recover.seconds(), 6),
-       util::format_double(
-           util::overhead_percent(t_clean, res_recover.seconds()), 2),
-       std::to_string(res_recover.protocol.resends),
-       std::to_string(res_recover.protocol.recoveries)});
-  table.print(std::cout);
-  std::cout << "\nafter a crash the substitute emits on the dead replica's "
-               "behalf (Alg. 1); recovery forks a fresh replica at a safe "
-               "point and re-feeds the missed messages (FIFO cut)\n";
+  const std::vector<bench::Point> points = {
+      {"fault-free (r=2)", configs[0], app},
+      {"crash, degraded (Fig 3)", configs[1], app},
+      {"crash + recovery (Fig 4)", configs[2], app}};
+  const auto results = bench::run_points(points, opts);
 
-  if (!res_crash.clean() || !res_recover.clean() ||
-      res_recover.protocol.recoveries != 1) {
+  if (bench::json_mode(opts)) {
+    bench::emit_json(std::cout, "fig3_failover", points, results);
+  } else {
+    const double t_clean = results[0].mean_sec;
+    util::Table table({"Scenario", "Time (s)", "vs clean (%)", "Resends",
+                       "Recoveries"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& r = results[i];
+      table.add_row(
+          {points[i].label, util::format_double(r.mean_sec, 6),
+           i == 0 ? "-"
+                  : util::format_double(
+                        util::overhead_percent(t_clean, r.mean_sec), 2),
+           std::to_string(r.run.protocol.resends),
+           std::to_string(r.run.protocol.recoveries)});
+    }
+    table.print(std::cout);
+    std::cout << "\nafter a crash the substitute emits on the dead replica's "
+                 "behalf (Alg. 1); recovery forks a fresh replica at a safe "
+                 "point and re-feeds the missed messages (FIFO cut)\n";
+  }
+
+  if (results[2].run.protocol.recoveries != 1) {
     std::cerr << "failover bench self-check failed\n";
     return 2;
   }

@@ -7,7 +7,8 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
-  bench::banner("NetPipe throughput sweep", "Figure 7b (throughput, IB-20G)");
+  bench::banner(opts, "NetPipe throughput sweep",
+                "Figure 7b (throughput, IB-20G)");
 
   wl::NetpipeParams np;
   np.reps = static_cast<int>(opts.get_int("reps", 10));
@@ -17,21 +18,23 @@ int main(int argc, char** argv) {
     for (auto s : sizes) np.sizes.push_back(static_cast<std::size_t>(s));
   }
 
-  auto run_sweep = [&](core::ProtocolKind proto, int r) {
-    core::RunConfig cfg;
-    cfg.nranks = 2;
-    cfg.replication = r;
-    cfg.protocol = proto;
-    auto res = core::run(cfg, wl::make_netpipe(np));
-    if (!res.clean()) {
-      std::cerr << "sweep failed\n";
-      std::exit(2);
-    }
-    return res.slots[0].values;
-  };
-
-  const auto native = run_sweep(core::ProtocolKind::Native, 1);
-  const auto sdr = run_sweep(core::ProtocolKind::Sdr, 2);
+  core::Sweep sweep;
+  sweep.base.nranks = 2;
+  sweep.base.replication = 2;
+  sweep.protocols = {core::ProtocolKind::Native, core::ProtocolKind::Sdr};
+  std::vector<bench::Point> points;
+  for (core::RunConfig& cfg : sweep.expand()) {
+    const bool is_native = cfg.protocol == core::ProtocolKind::Native;
+    points.push_back({is_native ? "native" : "sdr", std::move(cfg),
+                      wl::make_netpipe(np)});
+  }
+  const auto results = bench::run_points(points, opts);
+  if (bench::json_mode(opts)) {
+    bench::emit_json(std::cout, "fig7b_throughput", points, results);
+    return 0;
+  }
+  const auto& native = results[0].run.slots[0].values;
+  const auto& sdr = results[1].run.slots[0].values;
 
   util::Table table({"Message size (B)", "Open MPI (Mbps)", "SDR-MPI (Mbps)",
                      "Perf. decrease (%)"});

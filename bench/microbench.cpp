@@ -9,6 +9,30 @@ namespace {
 
 using namespace sdrmpi;
 
+// Raw engine context-switch cost: two processes ping-pong control via
+// yield(); each loop iteration is two switches into processes plus two back
+// to the scheduler. Reported as ns per engine switch.
+void BM_EngineContextSwitch(benchmark::State& state) {
+  constexpr int kYields = 4096;
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int p = 0; p < 2; ++p) {
+      engine.spawn("p" + std::to_string(p), [&engine] {
+        for (int k = 0; k < kYields; ++k) {
+          engine.advance(1);
+          engine.yield();
+        }
+      });
+    }
+    auto out = engine.run();
+    benchmark::DoNotOptimize(out.context_switches);
+  }
+  state.counters["switches"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2 * kYields,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineContextSwitch)->UseRealTime();
+
 void BM_EngineSpawnRun(benchmark::State& state) {
   for (auto _ : state) {
     sim::Engine engine;
@@ -90,6 +114,40 @@ void BM_Collective(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Collective)->Arg(4)->Arg(16);
+
+// Batch-runner throughput: a 16-run sweep through core::run_many on a pool
+// of state.range(0) host threads. On multi-core hosts the speedup over the
+// /1 variant is the whole point of the fiber refactor (one run = one
+// thread).
+void BM_RunManyBatch(benchmark::State& state) {
+  core::RunConfig base;
+  base.nranks = 2;
+  base.replication = 2;
+  base.protocol = core::ProtocolKind::Sdr;
+  std::vector<core::RunConfig> configs(16, base);
+  auto app = [](mpi::Env& env) {
+    auto& world = env.world();
+    double v = 1.0;
+    const int peer = env.rank() ^ 1;
+    for (int i = 0; i < 20; ++i) {
+      if (env.rank() == 0) {
+        world.send_value(v, peer, 1);
+        v = world.recv_value<double>(peer, 1);
+      } else {
+        v = world.recv_value<double>(peer, 1);
+        world.send_value(v, peer, 1);
+      }
+    }
+  };
+  core::BatchOptions opts;
+  opts.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto results = core::run_many(configs, core::AppFn(app), opts);
+    benchmark::DoNotOptimize(results.front().makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_RunManyBatch)->Arg(1)->Arg(4)->UseRealTime();
 
 void BM_Hashing(benchmark::State& state) {
   std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)),

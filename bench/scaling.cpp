@@ -10,19 +10,20 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
-  bench::banner("scaling sweep: ranks x network",
+  bench::banner(opts, "scaling sweep: ranks x network",
                 "extension (paper fixes 256 ranks, IB-20G)");
 
   const auto ranks = opts.get_int_list("ranks", {2, 4, 8, 16});
 
-  util::Table table(
-      {"Network", "Ranks", "Native (s)", "SDR-MPI (s)", "Overhead (%)"});
   struct Net {
     const char* name;
     net::NetParams params;
   };
-  for (const Net net : {Net{"ib-20g", net::NetParams::infiniband_20g()},
-                        Net{"gige", net::NetParams::gigabit_ethernet()}}) {
+  const std::vector<Net> nets = {{"ib-20g", net::NetParams::infiniband_20g()},
+                                 {"gige", net::NetParams::gigabit_ethernet()}};
+  // Full (network × ranks × protocol) grid as one batch.
+  std::vector<bench::Point> points;
+  for (const Net& net : nets) {
     for (const auto r : ranks) {
       util::Options wl_opts = opts;
       if (!opts.has("nrows")) {
@@ -30,16 +31,34 @@ int main(int argc, char** argv) {
       }
       const auto app = wl::make_workload("cg", wl_opts);
 
-      core::RunConfig native;
-      native.nranks = static_cast<int>(r);
-      native.net = net.params;
-      const double t_native = bench::mean_seconds(native, app);
+      core::Sweep sweep;
+      sweep.base.nranks = static_cast<int>(r);
+      sweep.base.net = net.params;
+      sweep.base.replication = 2;
+      sweep.protocols = {core::ProtocolKind::Native, core::ProtocolKind::Sdr};
+      for (core::RunConfig& cfg : sweep.expand()) {
+        const bool is_native = cfg.protocol == core::ProtocolKind::Native;
+        points.push_back({std::string(net.name) + "/" + std::to_string(r) +
+                              (is_native ? "/native" : "/sdr"),
+                          std::move(cfg), app});
+      }
+    }
+  }
+  const auto results = bench::run_points(points, opts);
 
-      core::RunConfig sdr = native;
-      sdr.replication = 2;
-      sdr.protocol = core::ProtocolKind::Sdr;
-      const double t_sdr = bench::mean_seconds(sdr, app);
+  if (bench::json_mode(opts)) {
+    bench::emit_json(std::cout, "scaling", points, results);
+    return 0;
+  }
 
+  util::Table table(
+      {"Network", "Ranks", "Native (s)", "SDR-MPI (s)", "Overhead (%)"});
+  std::size_t i = 0;
+  for (const Net& net : nets) {
+    for (const auto r : ranks) {
+      const double t_native = results[i].mean_sec;
+      const double t_sdr = results[i + 1].mean_sec;
+      i += 2;
       table.add_row({net.name, std::to_string(r),
                      util::format_double(t_native, 5),
                      util::format_double(t_sdr, 5),

@@ -13,20 +13,22 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
-  bench::banner("NAS kernels, native vs SDR-MPI (r=2)",
+  bench::banner(opts, "NAS kernels, native vs SDR-MPI (r=2)",
                 "Table 1 (class D, 256 procs in the paper)");
 
   const int nranks = static_cast<int>(opts.get_int("ranks", 8));
   const int reps = static_cast<int>(opts.get_int("reps", 1));
 
-  util::Table table({"Kernel", "Native (s)", "Replicated (s)", "Overhead (%)",
-                     "Paper (%)"});
   struct Row {
     const char* name;
     const char* paper;
   };
-  for (const Row row : {Row{"bt", "1.49"}, Row{"cg", "4.92"}, Row{"ft", "3.04"},
-                        Row{"mg", "2.56"}, Row{"sp", "2.41"}}) {
+  const std::vector<Row> rows = {{"bt", "1.49"}, {"cg", "4.92"},
+                                 {"ft", "3.04"}, {"mg", "2.56"},
+                                 {"sp", "2.41"}};
+  // Whole table as one batch: (kernel × protocol) points on one pool.
+  std::vector<bench::Point> points;
+  for (const Row& row : rows) {
     util::Options wl_opts = opts;
     if (std::string(row.name) == "cg") {
       // Calibrated so the mini kernel's compute/communication ratio is in
@@ -36,21 +38,33 @@ int main(int argc, char** argv) {
     }
     const auto app = wl::make_workload(row.name, wl_opts);
 
-    core::RunConfig native;
-    native.nranks = nranks;
-    const double t_native = bench::mean_seconds(native, app, reps);
+    core::Sweep sweep;
+    sweep.base.nranks = nranks;
+    sweep.base.replication = 2;
+    sweep.protocols = {core::ProtocolKind::Native, core::ProtocolKind::Sdr};
+    for (core::RunConfig& cfg : sweep.expand()) {
+      const bool is_native = cfg.protocol == core::ProtocolKind::Native;
+      points.push_back({std::string(row.name) + (is_native ? "/native" : "/sdr"),
+                        std::move(cfg), app});
+    }
+  }
+  const auto results = bench::run_points(points, opts, reps);
 
-    core::RunConfig rep;
-    rep.nranks = nranks;
-    rep.replication = 2;
-    rep.protocol = core::ProtocolKind::Sdr;
-    const double t_rep = bench::mean_seconds(rep, app, reps);
+  if (bench::json_mode(opts)) {
+    bench::emit_json(std::cout, "table1_nas", points, results);
+    return 0;
+  }
 
-    table.add_row({row.name, util::format_double(t_native, 4),
+  util::Table table({"Kernel", "Native (s)", "Replicated (s)", "Overhead (%)",
+                     "Paper (%)"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double t_native = results[2 * i].mean_sec;
+    const double t_rep = results[2 * i + 1].mean_sec;
+    table.add_row({rows[i].name, util::format_double(t_native, 4),
                    util::format_double(t_rep, 4),
                    util::format_double(
                        util::overhead_percent(t_native, t_rep), 2),
-                   row.paper});
+                   rows[i].paper});
   }
   table.print(std::cout);
   std::cout << "\npaper claim: SDR-MPI overhead < 5% on all NAS kernels\n";

@@ -12,42 +12,51 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
-  bench::banner("ANY_SOURCE applications, native vs SDR-MPI (r=2)",
+  bench::banner(opts, "ANY_SOURCE applications, native vs SDR-MPI (r=2)",
                 "Table 2 (HPCCG 128x128x64, CM1 160^3 in the paper)");
 
   const int nranks = static_cast<int>(opts.get_int("ranks", 8));
   const int reps = static_cast<int>(opts.get_int("reps", 1));
 
-  util::Table table({"App", "Native (s)", "SDR-MPI (s)", "SDR ovh (%)",
-                     "Leader (s)", "Leader ovh (%)", "Paper SDR (%)"});
   struct Row {
     const char* name;
     const char* paper;
   };
-  for (const Row row : {Row{"hpccg", "0.00"}, Row{"cm1", "3.14"}}) {
+  const std::vector<Row> rows = {{"hpccg", "0.00"}, {"cm1", "3.14"}};
+  std::vector<bench::Point> points;
+  for (const Row& row : rows) {
     const auto app = wl::make_workload(row.name, opts);
+    core::Sweep sweep;
+    sweep.base.nranks = nranks;
+    sweep.base.replication = 2;
+    sweep.protocols = {core::ProtocolKind::Native, core::ProtocolKind::Sdr,
+                       core::ProtocolKind::Leader};
+    for (core::RunConfig& cfg : sweep.expand()) {
+      points.push_back({std::string(row.name) + "/" +
+                            core::to_string(cfg.protocol),
+                        std::move(cfg), app});
+    }
+  }
+  const auto results = bench::run_points(points, opts, reps);
 
-    core::RunConfig native;
-    native.nranks = nranks;
-    const double t_native = bench::mean_seconds(native, app, reps);
+  if (bench::json_mode(opts)) {
+    bench::emit_json(std::cout, "table2_apps", points, results);
+    return 0;
+  }
 
-    core::RunConfig sdr;
-    sdr.nranks = nranks;
-    sdr.replication = 2;
-    sdr.protocol = core::ProtocolKind::Sdr;
-    const double t_sdr = bench::mean_seconds(sdr, app, reps);
-
-    core::RunConfig leader = sdr;
-    leader.protocol = core::ProtocolKind::Leader;
-    const double t_leader = bench::mean_seconds(leader, app, reps);
-
+  util::Table table({"App", "Native (s)", "SDR-MPI (s)", "SDR ovh (%)",
+                     "Leader (s)", "Leader ovh (%)", "Paper SDR (%)"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double t_native = results[3 * i].mean_sec;
+    const double t_sdr = results[3 * i + 1].mean_sec;
+    const double t_leader = results[3 * i + 2].mean_sec;
     table.add_row(
-        {row.name, util::format_double(t_native, 4),
+        {rows[i].name, util::format_double(t_native, 4),
          util::format_double(t_sdr, 4),
          util::format_double(util::overhead_percent(t_native, t_sdr), 2),
          util::format_double(t_leader, 4),
          util::format_double(util::overhead_percent(t_native, t_leader), 2),
-         row.paper});
+         rows[i].paper});
   }
   table.print(std::cout);
   std::cout << "\npaper claim: SDR-MPI performance does not degrade on "

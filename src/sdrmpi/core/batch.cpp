@@ -1,0 +1,101 @@
+#include "sdrmpi/core/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "sdrmpi/util/hash.hpp"
+
+namespace sdrmpi::core {
+
+std::vector<RunResult> run_many(const std::vector<RunConfig>& configs,
+                                const AppFactory& factory,
+                                const BatchOptions& opts) {
+  const std::size_t n = configs.size();
+  std::vector<RunResult> results(n);
+  if (n == 0) return results;
+
+  // Build apps up front on the submitting thread: factories stay simple
+  // (no thread-safety contract) and app identity is independent of the
+  // pool's execution order.
+  std::vector<AppFn> apps(n);
+  for (std::size_t i = 0; i < n; ++i) apps[i] = factory(configs[i], i);
+
+  int threads = opts.threads > 0
+                    ? opts.threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::clamp(threads, 1, static_cast<int>(n));
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(n);
+  auto worker = [&configs, &apps, &results, &errors, &next, n] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        results[i] = run(configs[i], apps[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  // Deterministic error surfacing: the lowest-index failure wins.
+  for (auto& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+std::vector<RunResult> run_many(const std::vector<RunConfig>& configs,
+                                const AppFn& app, const BatchOptions& opts) {
+  return run_many(
+      configs, [&app](const RunConfig&, std::size_t) { return app; }, opts);
+}
+
+std::vector<RunConfig> Sweep::expand() const {
+  const std::vector<ProtocolKind> protos =
+      protocols.empty() ? std::vector<ProtocolKind>{base.protocol} : protocols;
+  const std::vector<int> reps =
+      replications.empty() ? std::vector<int>{base.replication} : replications;
+  const std::vector<std::vector<FaultSpec>> faults =
+      fault_sets.empty() ? std::vector<std::vector<FaultSpec>>{base.faults}
+                         : fault_sets;
+
+  std::vector<RunConfig> out;
+  out.reserve(protos.size() * reps.size() * faults.size());
+  for (ProtocolKind p : protos) {
+    bool emitted_r1 = false;
+    for (int r : reps) {
+      if (r < 1) continue;
+      if (p == ProtocolKind::Native) r = 1;  // native is unreplicated
+      if (r == 1) {
+        if (emitted_r1) continue;
+        emitted_r1 = true;
+      }
+      for (const auto& f : faults) {
+        RunConfig cfg = base;
+        cfg.protocol = p;
+        cfg.replication = r;
+        cfg.faults = f;
+        if (unique_seeds) {
+          cfg.seed = util::hash_combine(base.seed, out.size());
+        }
+        out.push_back(std::move(cfg));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sdrmpi::core

@@ -1,22 +1,15 @@
 #include "sdrmpi/core/launcher.hpp"
 
-#include <algorithm>
-#include <cstring>
-#include <numeric>
+#include <memory>
 #include <stdexcept>
-#include <string>
 
-#include "sdrmpi/core/failure.hpp"
 #include "sdrmpi/core/job.hpp"
 #include "sdrmpi/core/leader.hpp"
 #include "sdrmpi/core/mirror.hpp"
 #include "sdrmpi/core/native.hpp"
 #include "sdrmpi/core/protocol.hpp"
-#include "sdrmpi/core/recovery.hpp"
 #include "sdrmpi/core/redmpi.hpp"
 #include "sdrmpi/core/sdr.hpp"
-#include "sdrmpi/util/hash.hpp"
-#include "sdrmpi/util/log.hpp"
 
 namespace sdrmpi::core {
 
@@ -38,198 +31,9 @@ std::unique_ptr<mpi::Vprotocol> make_protocol(JobContext& job, int slot) {
   throw std::invalid_argument("unknown protocol kind");
 }
 
-namespace {
-
-void validate(const RunConfig& cfg) {
-  if (cfg.nranks < 1) throw std::invalid_argument("nranks must be >= 1");
-  if (cfg.replication < 1) {
-    throw std::invalid_argument("replication must be >= 1");
-  }
-  if (cfg.protocol == ProtocolKind::Native && cfg.replication != 1) {
-    throw std::invalid_argument("native protocol requires replication == 1");
-  }
-}
-
-}  // namespace
-
 RunResult run(const RunConfig& config, const AppFn& app) {
-  validate(config);
-  const Topology topo{config.nranks, config.replication};
-  const int nslots = topo.nslots();
-
-  sim::Engine engine;
-  engine.set_time_limit(config.time_limit);
-  net::Fabric fabric(engine, config.net, nslots);
-
-  JobContext job;
-  job.engine = &engine;
-  job.fabric = &fabric;
-  job.config = config;
-  job.topo = topo;
-  job.endpoints.resize(static_cast<std::size_t>(nslots));
-  job.pids.assign(static_cast<std::size_t>(nslots), -1);
-  job.results.resize(static_cast<std::size_t>(nslots));
-  job.snapshots.resize(static_cast<std::size_t>(nslots));
-  job.restart_state.resize(static_cast<std::size_t>(nslots));
-  job.fault_fired.assign(config.faults.size(), false);
-  job.sdc_fired.assign(config.sdc.size(), false);
-  for (int s = 0; s < nslots; ++s) {
-    auto& res = job.results[static_cast<std::size_t>(s)];
-    res.slot = s;
-    res.rank = topo.rank_of(s);
-    res.world = topo.world_of(s);
-  }
-
-  FailureDetector detector(job);
-  job.trigger_crash = [&detector](int slot) { detector.crash_now(slot); };
-
-  // ---- endpoints and communicators (Figure 6 world layout) ----
-  std::vector<int> all_slots(static_cast<std::size_t>(nslots));
-  std::iota(all_slots.begin(), all_slots.end(), 0);
-  for (int s = 0; s < nslots; ++s) {
-    const int w = topo.world_of(s);
-    const int r = topo.rank_of(s);
-    auto ep = std::make_unique<mpi::Endpoint>(fabric, s, w, topo.nworlds);
-    // ctx 0/1: the internal launch-time world (kept inside the protocol).
-    job.internal_comm_handle = ep->register_comm_fixed(0, 1, s, all_slots);
-    // ctx 2/3: this replica's application world.
-    std::vector<int> world_slots(static_cast<std::size_t>(topo.nranks));
-    std::iota(world_slots.begin(), world_slots.end(), w * topo.nranks);
-    job.app_comm_handle = ep->register_comm_fixed(2, 3, r, world_slots);
-    ep->set_protocol(make_protocol(job, s));
-    job.endpoints[static_cast<std::size_t>(s)] = std::move(ep);
-  }
-
-  // ---- the per-slot application body ----
-  auto body = [&job, &engine, &app](int slot) {
-    mpi::Endpoint& ep = job.endpoint(slot);
-    mpi::Comm world(&ep, job.app_comm_handle);
-    mpi::Env::Hooks hooks;
-    hooks.report_checksum = [&job, slot](std::uint64_t d) {
-      auto& res = job.results[static_cast<std::size_t>(slot)];
-      res.checksum = res.reported_checksum ? util::hash_combine(res.checksum, d)
-                                           : d;
-      res.reported_checksum = true;
-    };
-    hooks.report_value = [&job, slot](const std::string& k, double v) {
-      job.results[static_cast<std::size_t>(slot)].values[k] = v;
-    };
-    hooks.offer_snapshot = [&job, slot](std::vector<std::byte> state) {
-      job.snapshots[static_cast<std::size_t>(slot)] = std::move(state);
-    };
-    mpi::Env env(ep, world, std::move(hooks),
-                 job.restart_state[static_cast<std::size_t>(slot)]);
-    app(env);
-    job.results[static_cast<std::size_t>(slot)].finish_time = engine.now();
-    // Implicit MPI_Finalize: serve a last recovery safe point, then keep
-    // progressing until every buffered message has been acknowledged (or
-    // its receiver's failure cancelled the expectation). Without this a
-    // finished process could no longer retransmit on a sibling's crash.
-    ep.recovery_point();
-    ep.progress_until([&ep] { return ep.protocol().quiescent(); },
-                      "finalize");
-  };
-
-  // ---- recovery respawn (paper §3.4) ----
-  job.respawn = [&job, &engine, &body](int slot, std::vector<std::byte> state,
-                                       int from_slot) {
-    auto cloned = clone_endpoint_for_recovery(job, slot, from_slot);
-    if (cloned == nullptr) {
-      // The protocol checks fork feasibility before calling respawn; this
-      // is a safety net.
-      throw std::logic_error("respawn: recovery cut not clean");
-    }
-    job.endpoints[static_cast<std::size_t>(slot)] = std::move(cloned);
-    auto proto = make_protocol(job, slot);
-    // The recovered replica adopts the substitute's (consistent) view of
-    // which processes are alive; its own tables start from world defaults.
-    auto* sub_proto = dynamic_cast<ReplicatedProtocol*>(
-        &job.endpoint(from_slot).protocol());
-    auto* new_proto = dynamic_cast<ReplicatedProtocol*>(proto.get());
-    if (sub_proto != nullptr && new_proto != nullptr) {
-      for (int s = 0; s < job.topo.nslots(); ++s) {
-        new_proto->map().set_alive(s, sub_proto->map().alive(s));
-      }
-      new_proto->map().set_alive(slot, true);
-    }
-    job.endpoint(slot).set_protocol(std::move(proto));
-    if (util::log_level() >= util::LogLevel::Debug && state.size() >= 4) {
-      int iter = 0;
-      std::memcpy(&iter, state.data(), sizeof(int));
-      SDR_LOG(Debug, "core") << "respawn slot " << slot << " app-iter~" << iter
-                             << " exp(ctx2,src0)="
-                             << job.endpoint(slot).next_recv_seq(2, 0)
-                             << " exp(ctx2,src1)="
-                             << job.endpoint(slot).next_recv_seq(2, 1)
-                             << " send(ctx2,dst0)="
-                             << job.endpoint(slot).next_send_seq(2, 0)
-                             << " send(ctx2,dst1)="
-                             << job.endpoint(slot).next_send_seq(2, 1);
-    }
-    job.restart_state[static_cast<std::size_t>(slot)] = std::move(state);
-
-    const std::string name = "r" + std::to_string(job.topo.rank_of(slot)) +
-                             ".w" + std::to_string(job.topo.world_of(slot)) +
-                             ".rec";
-    const int pid = engine.spawn(name, [&body, slot] { body(slot); });
-    job.endpoint(slot).rebind_process(pid);
-    job.pids[static_cast<std::size_t>(slot)] = pid;
-  };
-
-  // ---- spawn and run ----
-  for (int s = 0; s < nslots; ++s) {
-    const std::string name = "r" + std::to_string(topo.rank_of(s)) + ".w" +
-                             std::to_string(topo.world_of(s));
-    const int pid = engine.spawn(name, [&body, s] { body(s); });
-    job.endpoint(s).bind_process(pid);
-    job.pids[static_cast<std::size_t>(s)] = pid;
-  }
-  detector.arm_time_faults();
-  const sim::RunOutcome outcome = engine.run();
-
-  // ---- collect ----
-  RunResult res;
-  res.deadlock = outcome.deadlock;
-  res.time_limit_hit = outcome.time_limit_hit;
-  if (outcome.deadlock) {
-    for (int s = 0; s < nslots; ++s) {
-      const int pid = job.pids[static_cast<std::size_t>(s)];
-      if (engine.process(pid).state() == sim::ProcState::Blocked) {
-        SDR_LOG(Warn, "core") << job.endpoint(s).debug_state()
-                              << job.endpoint(s).protocol().debug_state();
-      }
-    }
-  }
-  res.rank_lost = job.rank_lost;
-  res.errors = std::move(job.errors);
-  res.protocol = job.pstats;
-
-  for (int s = 0; s < nslots; ++s) {
-    SlotResult& sr = job.results[static_cast<std::size_t>(s)];
-    const int pid = job.pids[static_cast<std::size_t>(s)];
-    const sim::Process& proc = engine.process(pid);
-    sr.final_state = sim::to_string(proc.state());
-    if (proc.state() == sim::ProcState::Finished) {
-      res.makespan = std::max(res.makespan, sr.finish_time);
-    }
-    if (proc.state() == sim::ProcState::Failed && proc.error() != nullptr) {
-      try {
-        std::rethrow_exception(proc.error());
-      } catch (const std::exception& e) {
-        res.errors.push_back(proc.name() + ": " + e.what());
-      } catch (...) {
-        res.errors.push_back(proc.name() + ": unknown error");
-      }
-    }
-    const mpi::EndpointStats& st = job.endpoint(s).stats();
-    res.app_sends += st.app_sends;
-    res.data_frames += st.data_frames_sent;
-    res.ctl_frames += st.ctl_frames_sent;
-    res.unexpected += st.unexpected;
-    res.duplicates_dropped += st.duplicates_dropped;
-    res.slots.push_back(std::move(sr));
-  }
-  return res;
+  World world(config, app);
+  return world.run_to_completion();
 }
 
 std::uint64_t RunResult::checksum_of(int rank, int world) const {

@@ -1,22 +1,16 @@
 // Launcher: runs an application function under a replication protocol.
 //
-// Following the paper (§4.1, Figure 6): r*n physical processes are started;
-// the launch-time world communicator is kept internal to the protocol layer
-// (acks and cross-world control traffic), and is split into r application
-// worlds. The application only ever sees its own world as MPI_COMM_WORLD,
-// which makes replication — including all collectives and communicator
-// operations — transparent.
+// The heavy lifting — constructing the r*n physical processes, the internal
+// and per-replica application communicators, protocols and failure detector —
+// lives in core::World (world.hpp); run() is the one-shot composition of
+// construction, drive loop and result collection. For executing whole sweeps
+// in parallel see core::run_many (batch.hpp).
 #pragma once
 
-#include <functional>
-
 #include "sdrmpi/core/run_config.hpp"
-#include "sdrmpi/mpi/env.hpp"
+#include "sdrmpi/core/world.hpp"
 
 namespace sdrmpi::core {
-
-/// An application: an SPMD function every physical process executes.
-using AppFn = std::function<void(mpi::Env&)>;
 
 /// Runs `app` under `config` and returns timing, checksums and statistics.
 [[nodiscard]] RunResult run(const RunConfig& config, const AppFn& app);

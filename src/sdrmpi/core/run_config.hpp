@@ -103,6 +103,10 @@ struct RunResult {
   std::uint64_t ctl_frames = 0;
   std::uint64_t unexpected = 0;
   std::uint64_t duplicates_dropped = 0;
+  // Engine totals (host-side determinism fingerprint: bit-identical runs
+  // must agree on these as well as on makespan and checksums).
+  std::uint64_t events_executed = 0;
+  std::uint64_t context_switches = 0;
   ProtocolStats protocol;
 
   [[nodiscard]] bool clean() const noexcept {

@@ -13,8 +13,10 @@
 //   });
 #pragma once
 
+#include "sdrmpi/core/batch.hpp"
 #include "sdrmpi/core/launcher.hpp"
 #include "sdrmpi/core/run_config.hpp"
+#include "sdrmpi/core/world.hpp"
 #include "sdrmpi/mpi/comm.hpp"
 #include "sdrmpi/mpi/endpoint.hpp"
 #include "sdrmpi/mpi/env.hpp"

@@ -2,22 +2,41 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "sdrmpi/util/log.hpp"
 
 namespace sdrmpi::sim {
 
+namespace {
+
+// Default fiber stack size. Workload state lives on the heap (vectors), so
+// the stack only holds call frames; 256 KiB leaves generous headroom for
+// deep protocol/collective recursion. Overridable via SDRMPI_FIBER_STACK_KB
+// for unusually stack-hungry apps.
+std::size_t fiber_stack_bytes() {
+  static const std::size_t bytes = [] {
+    if (const char* env = std::getenv("SDRMPI_FIBER_STACK_KB")) {
+      const long kb = std::atol(env);
+      if (kb >= 64) return static_cast<std::size_t>(kb) * 1024;
+    }
+    return std::size_t{256 * 1024};
+  }();
+  return bytes;
+}
+
+}  // namespace
+
 Engine::Engine() = default;
 
 Engine::~Engine() {
-  // Unwind any still-parked process threads so their stacks unwind (RAII)
-  // and the std::thread objects can be joined.
-  shutting_down_ = true;
+  // Unwind any still-live fibers so their stacks unwind (RAII) before the
+  // Process objects and the stack cache are destroyed.
   for (auto& p : procs_) {
     if (p->terminated()) continue;
     p->crash_req_ = true;
-    resume(*p);  // the baton comes back once the thread exits
+    resume(*p);  // CrashUnwind runs the fiber to termination
   }
 }
 
@@ -27,7 +46,7 @@ int Engine::spawn(std::string name, std::function<void()> body, Time start_at) {
                                         std::move(body));
   proc->clock_ = start_at >= 0 ? start_at : now();
   proc->state_ = ProcState::Runnable;
-  proc->start_thread();
+  proc->make_fiber(acquire_stack());
   procs_.push_back(std::move(proc));
   SDR_LOG(Debug, "sim") << "spawned pid=" << pid << " '"
                         << procs_.back()->name() << "' at t="
@@ -108,21 +127,29 @@ void Engine::resume(Process& p) {
   running_ = &p;
   p.state_ = ProcState::Running;
   ++context_switches_;
-  p.hand_baton();
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return control_returned_; });
-    control_returned_ = false;
-  }
+  swapcontext(&sched_ctx_, &p.ctx_);
   running_ = nullptr;
+  if (p.terminated() && p.stack_.valid()) {
+    release_stack(std::move(p.stack_));
+  }
 }
 
 void Engine::return_control_to_engine() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    control_returned_ = true;
+  Process& self = *running_;
+  swapcontext(&self.ctx_, &sched_ctx_);
+}
+
+FiberStack Engine::acquire_stack() {
+  if (!stack_cache_.empty()) {
+    FiberStack s = std::move(stack_cache_.back());
+    stack_cache_.pop_back();
+    return s;
   }
-  cv_.notify_one();
+  return FiberStack(fiber_stack_bytes());
+}
+
+void Engine::release_stack(FiberStack stack) {
+  stack_cache_.push_back(std::move(stack));
 }
 
 Process& Engine::current() {
@@ -170,7 +197,6 @@ void Engine::yield() {
   if (self.crash_req_) throw CrashUnwind{};
   self.state_ = ProcState::Runnable;
   return_control_to_engine();
-  self.await_baton();
   if (self.crash_req_) throw CrashUnwind{};
 }
 
@@ -180,7 +206,6 @@ void Engine::block(std::string reason) {
   self.state_ = ProcState::Blocked;
   self.block_reason_ = std::move(reason);
   return_control_to_engine();
-  self.await_baton();
   if (self.crash_req_) throw CrashUnwind{};
 }
 

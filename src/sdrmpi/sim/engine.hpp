@@ -11,6 +11,8 @@
 // only through timestamped events and only consume them at MPI-call points.
 #pragma once
 
+#include <ucontext.h>
+
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -59,7 +61,9 @@ class Engine {
   void set_time_limit(Time t) noexcept { time_limit_ = t; }
 
   /// Drives the simulation until all processes terminate, deadlock, or the
-  /// time limit. Must be called from the thread that created the Engine.
+  /// time limit. The whole simulation executes on the calling host thread
+  /// (processes are fibers), so independent Engines may run concurrently on
+  /// different threads; a single Engine must not be shared across threads.
   RunOutcome run();
 
   // ---- process-context API ----
@@ -126,9 +130,15 @@ class Engine {
 
   /// Smallest-clock runnable process, pid tie-break; nullptr if none.
   [[nodiscard]] Process* next_runnable() noexcept;
+  /// Direct swapcontext into the process fiber; returns when the process
+  /// yields, blocks, or terminates (terminated fibers give their stack back
+  /// to the cache here).
   void resume(Process& p);
-  void return_control_to_engine();  // called from process context
-  void check_crash_unwind();        // throws CrashUnwind if requested
+  /// Direct swapcontext from the running fiber back to the scheduler.
+  void return_control_to_engine();
+
+  [[nodiscard]] FiberStack acquire_stack();
+  void release_stack(FiberStack stack);
 
   std::vector<std::unique_ptr<Process>> procs_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
@@ -139,11 +149,9 @@ class Engine {
   Time event_now_ = 0;     // timestamp of the event being executed
   Time time_limit_ = 0;    // 0 = unlimited
   Process* running_ = nullptr;
-  bool shutting_down_ = false;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool control_returned_ = false;
+  ucontext_t sched_ctx_{};          // where fibers switch back to
+  std::vector<FiberStack> stack_cache_;
 };
 
 }  // namespace sdrmpi::sim

@@ -1,18 +1,23 @@
-// A simulated process: a host thread cooperatively scheduled by sim::Engine.
+// A simulated process: a stackful fiber cooperatively scheduled by
+// sim::Engine.
 //
 // Exactly one entity (the engine loop or a single process) executes at any
-// host instant; control moves via a baton handshake. Each process carries a
+// host instant; control moves via direct ucontext switches on the engine's
+// host thread — no kernel involvement, no locks. Each process carries a
 // virtual clock that only moves forward. Processes interact with each other
 // exclusively through timestamped events, which is what makes the sequential
-// scheduling sound.
+// scheduling sound. Because a whole simulation occupies exactly one host
+// thread, independent Engine instances can run concurrently on a thread pool
+// (see core::run_many).
 #pragma once
 
-#include <condition_variable>
+#include <ucontext.h>
+
+#include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <thread>
 
 #include "sdrmpi/sim/time.hpp"
 
@@ -21,9 +26,9 @@ namespace sdrmpi::sim {
 class Engine;
 
 enum class ProcState : int {
-  Created,   // spawned, thread not yet given the baton
+  Created,   // spawned, fiber not yet entered
   Runnable,  // can be scheduled
-  Running,   // currently holds the baton
+  Running,   // currently executing on its fiber
   Blocked,   // parked in Engine::block(), waiting for wake()
   Finished,  // body returned normally
   Crashed,   // fail-stop injected (or engine shutdown unwound the stack)
@@ -36,6 +41,34 @@ enum class ProcState : int {
 /// Deliberately not derived from std::exception so that workload code using
 /// catch (const std::exception&) cannot accidentally swallow a crash.
 struct CrashUnwind {};
+
+/// A fiber stack: an mmap'd region with a PROT_NONE guard page below the
+/// usable range, so overflow faults immediately (as OS thread stacks did)
+/// instead of silently corrupting the heap. Recycled through the engine's
+/// stack cache so respawn-heavy runs (recovery tests) do not churn mmap.
+class FiberStack {
+ public:
+  FiberStack() = default;
+  /// Maps guard page + `usable` bytes (rounded up to page size); throws
+  /// std::bad_alloc on mmap failure.
+  explicit FiberStack(std::size_t usable);
+  ~FiberStack();
+
+  FiberStack(FiberStack&& o) noexcept;
+  FiberStack& operator=(FiberStack&& o) noexcept;
+  FiberStack(const FiberStack&) = delete;
+  FiberStack& operator=(const FiberStack&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return base_ != nullptr; }
+  /// Start of the usable range (just above the guard page).
+  [[nodiscard]] std::byte* sp() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return usable_; }
+
+ private:
+  std::byte* base_ = nullptr;  // mapped region, guard page first
+  std::size_t total_ = 0;      // mapped bytes incl. guard page
+  std::size_t usable_ = 0;
+};
 
 class Process {
  public:
@@ -69,9 +102,13 @@ class Process {
  private:
   friend class Engine;
 
-  void start_thread();
-  void hand_baton();   // engine -> process
-  void await_baton();  // process waits for its turn
+  /// Prepares the fiber context on `stack`; the body starts running at the
+  /// engine's first resume().
+  void make_fiber(FiberStack stack);
+  /// makecontext entry point; (hi, lo) reassemble the Process pointer.
+  static void trampoline(unsigned int hi, unsigned int lo);
+  /// Runs the body with crash/exception bookkeeping; executes on the fiber.
+  void run_body();
 
   Engine& engine_;
   const int pid_;
@@ -84,10 +121,8 @@ class Process {
   std::string block_reason_;
   std::exception_ptr error_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool turn_ = false;
-  std::thread thread_;
+  ucontext_t ctx_{};
+  FiberStack stack_;
 };
 
 }  // namespace sdrmpi::sim

@@ -72,7 +72,9 @@ TEST_P(Collectives, ReduceNonZeroRoot) {
     double out = 0.0;
     w.reduce(std::span<const double>(&v, 1), std::span<double>(&out, 1),
              mpi::Op::Sum, root);
-    if (env.rank() == root) EXPECT_DOUBLE_EQ(out, w.size());
+    if (env.rank() == root) {
+      EXPECT_DOUBLE_EQ(out, w.size());
+    }
   });
 }
 

@@ -1,9 +1,14 @@
 // Unit tests for the discrete-event engine: scheduling order, virtual
-// clocks, block/wake, crash unwinding, deadlock and time-limit detection.
+// clocks, block/wake, crash unwinding, deadlock and time-limit detection —
+// the semantics the fiber rewrite must preserve — plus determinism of
+// core::run_many across pool sizes (a run is confined to one host thread,
+// so pool parallelism must never leak into outcomes).
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "sdrmpi/core/batch.hpp"
 #include "sdrmpi/sim/engine.hpp"
 
 namespace sdrmpi::sim {
@@ -260,8 +265,104 @@ TEST(Engine, DeterministicOutcome) {
 
 TEST(Engine, CurrentOutsideProcessThrows) {
   Engine e;
-  EXPECT_THROW(e.current(), std::logic_error);
+  EXPECT_THROW((void)e.current(), std::logic_error);
   EXPECT_FALSE(e.in_process_context());
+}
+
+TEST(Engine, EventWinsTieAgainstProcess) {
+  // Scheduling rule: pending events win ties against runnable processes.
+  Engine e;
+  std::vector<int> order;
+  e.spawn("p", [&] {
+    e.advance(100);
+    e.yield();
+    order.push_back(1);
+  });
+  e.schedule(100, [&] { order.push_back(-1); });
+  auto out = e.run();
+  EXPECT_TRUE(out.clean());
+  EXPECT_EQ(order, (std::vector<int>{-1, 1}));
+}
+
+TEST(Engine, MaybeYieldSwitchesWhenOlderProcessExists) {
+  Engine e;
+  std::vector<char> order;
+  e.spawn("ahead", [&] {
+    e.advance(100);
+    // "behind" (clock 0) is older: maybe_yield must give it the engine.
+    e.maybe_yield();
+    order.push_back('a');
+  });
+  e.spawn("behind", [&] {
+    e.advance(10);
+    order.push_back('b');
+  });
+  auto out = e.run();
+  EXPECT_TRUE(out.clean());
+  EXPECT_EQ(order, (std::vector<char>{'b', 'a'}));
+}
+
+TEST(Engine, FiberStacksRecycledAcrossManyProcesses) {
+  // Spawn waves of short-lived processes; terminated fibers hand their
+  // stacks back to the engine cache, so this neither exhausts memory nor
+  // perturbs scheduling.
+  Engine e;
+  int done = 0;
+  e.spawn("spawner", [&] {
+    for (int wave = 0; wave < 50; ++wave) {
+      for (int i = 0; i < 8; ++i) {
+        e.spawn("w", [&] {
+          e.advance(1);
+          ++done;
+        });
+      }
+      e.advance(10);
+      e.yield();
+    }
+  });
+  auto out = e.run();
+  EXPECT_TRUE(out.clean());
+  EXPECT_EQ(done, 400);
+  EXPECT_EQ(e.process_count(), 401u);
+}
+
+TEST(Engine, RunManyDeterministicAcrossPoolSizes) {
+  // One simulated run occupies exactly one host thread, so outcomes must be
+  // bit-identical whatever the pool size: same end time, event count, and
+  // endpoint traffic totals on 1-thread and 8-thread pools.
+  std::vector<core::RunConfig> configs;
+  for (int n = 2; n <= 5; ++n) {
+    core::RunConfig cfg;
+    cfg.nranks = n;
+    cfg.replication = 2;
+    cfg.protocol = core::ProtocolKind::Sdr;
+    configs.push_back(cfg);
+  }
+  auto app = [](mpi::Env& env) {
+    double x = env.rank() * 3.0 + 1.0;
+    for (int i = 0; i < 4; ++i) {
+      x = env.world().allreduce_value(x, mpi::Op::Sum);
+    }
+    env.report_checksum(static_cast<std::uint64_t>(x));
+  };
+  auto serial = core::run_many(configs, core::AppFn(app), {.threads = 1});
+  auto parallel = core::run_many(configs, core::AppFn(app), {.threads = 8});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].clean());
+    EXPECT_EQ(serial[i].makespan, parallel[i].makespan);
+    EXPECT_EQ(serial[i].events_executed, parallel[i].events_executed);
+    EXPECT_EQ(serial[i].context_switches, parallel[i].context_switches);
+    EXPECT_EQ(serial[i].app_sends, parallel[i].app_sends);
+    EXPECT_EQ(serial[i].data_frames, parallel[i].data_frames);
+    EXPECT_EQ(serial[i].ctl_frames, parallel[i].ctl_frames);
+    ASSERT_EQ(serial[i].slots.size(), parallel[i].slots.size());
+    for (std::size_t s = 0; s < serial[i].slots.size(); ++s) {
+      EXPECT_EQ(serial[i].slots[s].checksum, parallel[i].slots[s].checksum);
+      EXPECT_EQ(serial[i].slots[s].finish_time,
+                parallel[i].slots[s].finish_time);
+    }
+  }
 }
 
 TEST(Engine, EndTimeIsMaxClock) {
