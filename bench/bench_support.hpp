@@ -112,6 +112,11 @@ inline void emit_json(std::ostream& os, const std::string& bench_name,
        << ", \"replication\": " << p.cfg.replication
        << ", \"faults\": " << p.cfg.faults.size()
        << ", \"seed\": " << p.cfg.seed
+       << ", \"topology\": \"" << net::to_string(p.cfg.net.topology.kind)
+       << "\""
+       << ", \"placement\": \"" << net::to_string(p.cfg.net.topology.placement)
+       << "\""
+       << ", \"oversubscription\": " << p.cfg.net.topology.oversubscription
        << ", \"mean_seconds\": " << results[i].mean_sec
        << ", \"clean\": " << (r.clean() ? "true" : "false")
        << ", \"deadlock\": " << (r.deadlock ? "true" : "false")
@@ -127,7 +132,15 @@ inline void emit_json(std::ostream& os, const std::string& bench_name,
        << ", \"decisions_sent\": " << r.protocol.decisions_sent
        << ", \"hashes_sent\": " << r.protocol.hashes_sent
        << ", \"sdc_detected\": " << r.protocol.sdc_detected
-       << ", \"recoveries\": " << r.protocol.recoveries << "}"
+       << ", \"recoveries\": " << r.protocol.recoveries
+       << ", \"frames_sent\": " << r.fabric.frames_sent
+       << ", \"payload_bytes\": " << r.fabric.payload_bytes
+       << ", \"intra_node_frames\": " << r.fabric.intra_node_frames
+       << ", \"intra_switch_frames\": " << r.fabric.intra_switch_frames
+       << ", \"inter_switch_frames\": " << r.fabric.inter_switch_frames
+       << ", \"link_stalls\": " << r.fabric.link_stalls
+       << ", \"link_stall_ns\": " << r.fabric.link_stall_ns
+       << ", \"link_busy_ns\": " << r.fabric.link_busy_ns << "}"
        << (i + 1 < pts.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

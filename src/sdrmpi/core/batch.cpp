@@ -71,9 +71,12 @@ std::vector<RunConfig> Sweep::expand() const {
   const std::vector<std::vector<FaultSpec>> faults =
       fault_sets.empty() ? std::vector<std::vector<FaultSpec>>{base.faults}
                          : fault_sets;
+  const std::vector<net::TopologySpec> topos =
+      topologies.empty() ? std::vector<net::TopologySpec>{base.net.topology}
+                         : topologies;
 
   std::vector<RunConfig> out;
-  out.reserve(protos.size() * reps.size() * faults.size());
+  out.reserve(protos.size() * reps.size() * faults.size() * topos.size());
   for (ProtocolKind p : protos) {
     bool emitted_r1 = false;
     for (int r : reps) {
@@ -84,14 +87,17 @@ std::vector<RunConfig> Sweep::expand() const {
         emitted_r1 = true;
       }
       for (const auto& f : faults) {
-        RunConfig cfg = base;
-        cfg.protocol = p;
-        cfg.replication = r;
-        cfg.faults = f;
-        if (unique_seeds) {
-          cfg.seed = util::hash_combine(base.seed, out.size());
+        for (const auto& t : topos) {
+          RunConfig cfg = base;
+          cfg.protocol = p;
+          cfg.replication = r;
+          cfg.faults = f;
+          cfg.net.topology = t;
+          if (unique_seeds) {
+            cfg.seed = util::hash_combine(base.seed, out.size());
+          }
+          out.push_back(std::move(cfg));
         }
-        out.push_back(std::move(cfg));
       }
     }
   }

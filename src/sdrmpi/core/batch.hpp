@@ -46,8 +46,8 @@ using AppFactory = std::function<AppFn(const RunConfig& cfg, std::size_t index)>
 
 /// A sweep over a base config. Empty axis = keep the base's value. expand()
 /// emits the full cross product in axis-major order (protocol, replication,
-/// fault set). Native collapses to replication 1 and is emitted for at most
-/// one replication value (it is the unreplicated baseline);
+/// fault set, topology). Native collapses to replication 1 and is emitted
+/// for at most one replication value (it is the unreplicated baseline);
 /// with unique_seeds each point's seed is derived deterministically from
 /// (base seed, point index) so workload RNG streams never collide.
 struct Sweep {
@@ -55,6 +55,7 @@ struct Sweep {
   std::vector<ProtocolKind> protocols;
   std::vector<int> replications;
   std::vector<std::vector<FaultSpec>> fault_sets;
+  std::vector<net::TopologySpec> topologies;  ///< fabric backend axis
   bool unique_seeds = false;
 
   [[nodiscard]] std::vector<RunConfig> expand() const;

@@ -61,6 +61,8 @@ struct RunConfig {
 };
 
 /// Protocol-level counters aggregated over all physical processes.
+/// Field-wise comparable: the determinism fuzzer asserts bit-identical
+/// stats across run_many pool sizes.
 struct ProtocolStats {
   std::uint64_t acks_sent = 0;
   std::uint64_t acks_received = 0;
@@ -74,6 +76,8 @@ struct ProtocolStats {
   std::uint64_t failures_observed = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t extra_copies = 0;     // eager_copy_completion ablation
+
+  [[nodiscard]] bool operator==(const ProtocolStats&) const = default;
 };
 
 /// Per-physical-process outcome.
@@ -108,6 +112,7 @@ struct RunResult {
   std::uint64_t events_executed = 0;
   std::uint64_t context_switches = 0;
   ProtocolStats protocol;
+  net::FabricStats fabric;  ///< traffic + link-contention counters
 
   [[nodiscard]] bool clean() const noexcept {
     return !deadlock && !time_limit_hit && !rank_lost && errors.empty();

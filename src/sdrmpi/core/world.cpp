@@ -34,15 +34,17 @@ void validate(const RunConfig& cfg) {
 
 World::World(RunConfig config, AppFn app)
     : app_(std::move(app)),
-      fabric_(engine_, validated(config).net,
-              Topology{config.nranks, config.replication}.nslots()),
+      fabric_(net::make_fabric(engine_, validated(config).net,
+                               Topology{config.nranks, config.replication}
+                                   .nslots(),
+                               config.nranks)),
       detector_(job_) {
   engine_.set_time_limit(config.time_limit);
 
   const Topology topo{config.nranks, config.replication};
   const int nslots = topo.nslots();
   job_.engine = &engine_;
-  job_.fabric = &fabric_;
+  job_.fabric = fabric_.get();
   job_.config = std::move(config);
   job_.topo = topo;
   job_.endpoints.resize(static_cast<std::size_t>(nslots));
@@ -76,7 +78,7 @@ void World::build_endpoints() {
   for (int s = 0; s < nslots; ++s) {
     const int w = topo.world_of(s);
     const int r = topo.rank_of(s);
-    auto ep = std::make_unique<mpi::Endpoint>(fabric_, s, w, topo.nworlds);
+    auto ep = std::make_unique<mpi::Endpoint>(*fabric_, s, w, topo.nworlds);
     // ctx 0/1: the internal launch-time world (kept inside the protocol).
     job_.internal_comm_handle = ep->register_comm_fixed(0, 1, s, all_slots);
     // ctx 2/3: this replica's application world.
@@ -198,6 +200,7 @@ RunResult World::collect(const sim::RunOutcome& outcome) {
   res.rank_lost = job_.rank_lost;
   res.errors = std::move(job_.errors);
   res.protocol = job_.pstats;
+  res.fabric = fabric_->stats();
   res.events_executed = outcome.events_executed;
   res.context_switches = outcome.context_switches;
 

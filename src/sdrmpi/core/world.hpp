@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "sdrmpi/core/failure.hpp"
 #include "sdrmpi/core/job.hpp"
@@ -58,7 +59,7 @@ class World {
 
   AppFn app_;
   sim::Engine engine_;
-  net::Fabric fabric_;
+  std::unique_ptr<net::Fabric> fabric_;  // backend per config.net.topology
   JobContext job_;
   FailureDetector detector_;
   bool spawned_ = false;

@@ -5,10 +5,20 @@
 // mirrors a recovered MPI process rejoining the job. Frames addressed to a
 // dead slot are dropped; frames already in flight when the *sender* dies are
 // still delivered (the paper's reliable-channel crash model).
+//
+// Fabric is the backend interface: attachment, liveness, injection and
+// delivery are common; only route() — where and when a frame lands given the
+// fabric's link state — is backend-specific. FlatFabric is the original
+// LogGP model (per-NIC egress serialization, uniform latency); FatTreeFabric
+// adds a node → leaf switch → spine hierarchy with per-link serialization
+// queues, so frames sharing a node uplink or an oversubscribed spine link
+// contend in virtual time. make_fabric() dispatches on
+// NetParams::topology.kind.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "sdrmpi/net/params.hpp"
@@ -28,18 +38,14 @@ struct Delivery {
   std::vector<std::byte> data;
 };
 
-/// Aggregate traffic counters (per fabric).
-struct FabricStats {
-  std::uint64_t frames_sent = 0;
-  std::uint64_t payload_bytes = 0;  // modeled wire bytes incl. headers
-  std::uint64_t frames_dropped_dead_dst = 0;
-};
-
 class Fabric {
  public:
   using Sink = std::function<void(Delivery&&)>;
 
-  Fabric(sim::Engine& engine, NetParams params, int nslots);
+  virtual ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
 
   /// Registers the consumer for a slot. `owner_pid` is the engine pid woken
   /// on delivery when it is blocked inside an MPI progress loop.
@@ -63,12 +69,35 @@ class Fabric {
   /// service). FIFO with respect to nothing; marked out_of_band.
   void inject_oob(int dst_slot, std::vector<std::byte> data, Time at);
 
+  [[nodiscard]] virtual TopologyKind kind() const noexcept = 0;
   [[nodiscard]] const NetParams& params() const noexcept { return params_; }
   [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
   [[nodiscard]] int nslots() const noexcept {
     return static_cast<int>(slots_.size());
   }
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+ protected:
+  Fabric(sim::Engine& engine, NetParams params, int nslots);
+
+  /// Backend hook: given a frame ready for injection at `ready` (sender
+  /// clock after o_send), advance the backend's link horizons and return
+  /// the arrival time at `dst_slot`. Called once per send, in deterministic
+  /// engine order.
+  [[nodiscard]] virtual Time route(int src_slot, int dst_slot,
+                                   Time ready, std::size_t wire_bytes) = 0;
+
+  /// Passes a frame through one serializing link: waits for the horizon,
+  /// occupies it for `ser` ns, records stall/busy stats. A non-positive
+  /// `ser` never queues (infinite-bandwidth link).
+  [[nodiscard]] Time pass_link(Time t, Time& link_free, Time ser);
+
+  /// The per-slot NIC egress horizon (both backends serialise on it).
+  [[nodiscard]] Time& egress_free(int slot) {
+    return slots_[static_cast<std::size_t>(slot)].egress_free;
+  }
+
+  FabricStats stats_;
 
  private:
   struct Slot {
@@ -83,8 +112,84 @@ class Fabric {
   sim::Engine& engine_;
   NetParams params_;
   std::vector<Slot> slots_;
-  FabricStats stats_;
   std::uint64_t frame_no_ = 0;
 };
+
+/// The original flat LogGP model: every pair of slots is one hop apart,
+/// only the sender's NIC serialises.
+class FlatFabric final : public Fabric {
+ public:
+  FlatFabric(sim::Engine& engine, NetParams params, int nslots);
+
+  [[nodiscard]] TopologyKind kind() const noexcept override {
+    return TopologyKind::Flat;
+  }
+
+ protected:
+  [[nodiscard]] Time route(int src_slot, int dst_slot, Time ready,
+                           std::size_t wire_bytes) override;
+};
+
+/// k-ary fat-tree: slots map to nodes (per TopologySpec::placement), nodes
+/// to leaf switches, leaves to one spine. A frame store-and-forwards
+/// through NIC → node uplink [→ spine uplink → spine downlink] → node
+/// downlink, each with its own serialization horizon; spine links are
+/// slowed by the oversubscription factor.
+class FatTreeFabric final : public Fabric {
+ public:
+  /// How a (src, dst) pair relates in the tree.
+  enum class PathClass : int { Loopback, IntraNode, IntraSwitch, InterSwitch };
+
+  /// `nranks` is the application world size (slot = world * nranks + rank),
+  /// used by the PackRanks placement; pass 0 for single-world layouts.
+  FatTreeFabric(sim::Engine& engine, NetParams params, int nslots,
+                int nranks = 0);
+
+  [[nodiscard]] TopologyKind kind() const noexcept override {
+    return TopologyKind::FatTree;
+  }
+
+  [[nodiscard]] int node_of(int slot) const {
+    return node_of_.at(static_cast<std::size_t>(slot));
+  }
+  [[nodiscard]] int switch_of(int slot) const {
+    return node_of(slot) / spec_.nodes_per_switch;
+  }
+  [[nodiscard]] PathClass path_class(int src_slot, int dst_slot) const;
+  /// Topological distance in the tree: 0 same slot, 1 same node (loopback
+  /// NIC hop), 2 via the shared leaf switch (node up + node down), 4 via
+  /// the spine (+ leaf up/down pair). A distance metric, not a
+  /// serialization count — loopback and intra-node frames serialize on
+  /// exactly the same link (the sender's NIC).
+  [[nodiscard]] int hop_count(int src_slot, int dst_slot) const;
+  [[nodiscard]] int nnodes() const noexcept {
+    return static_cast<int>(node_up_free_.size());
+  }
+
+ protected:
+  [[nodiscard]] Time route(int src_slot, int dst_slot, Time ready,
+                           std::size_t wire_bytes) override;
+
+ private:
+  TopologySpec spec_;
+  double link_ns_per_byte_ = 0.0;   // resolved node↔leaf inverse bandwidth
+  double spine_ns_per_byte_ = 0.0;  // resolved (oversubscribed) spine bw
+  Time lat_intra_node_ = 0;
+  Time lat_intra_switch_ = 0;
+  Time lat_inter_switch_ = 0;
+
+  std::vector<int> node_of_;        // slot → node
+  std::vector<Time> node_up_free_;  // node → leaf link horizon
+  std::vector<Time> node_down_free_;
+  std::vector<Time> leaf_up_free_;  // leaf → spine link horizon
+  std::vector<Time> leaf_down_free_;
+};
+
+/// Builds the backend selected by `params.topology.kind`. `nranks` is the
+/// application world size (see FatTreeFabric); 0 treats the whole fabric as
+/// one world.
+[[nodiscard]] std::unique_ptr<Fabric> make_fabric(sim::Engine& engine,
+                                                  NetParams params, int nslots,
+                                                  int nranks = 0);
 
 }  // namespace sdrmpi::net

@@ -1,0 +1,54 @@
+// AddressSanitizer fiber-switch annotations for the ucontext engine.
+//
+// ASan tracks one stack per thread; swapcontext onto a fiber stack without
+// telling it corrupts its shadow bookkeeping — most visibly when an
+// exception unwinds a fiber (__asan_handle_no_return walks the wrong
+// stack, e.g. the CrashUnwind path). The fix is the documented protocol:
+// __sanitizer_start_switch_fiber before every switch (saving the leaving
+// context's fake stack, or dropping it when the fiber is dying) and
+// __sanitizer_finish_switch_fiber right after control lands on the target
+// stack. Compiled to no-ops without ASan.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SDRMPI_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SDRMPI_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(SDRMPI_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace sdrmpi::sim::asan {
+
+#if defined(SDRMPI_ASAN_FIBERS)
+
+/// Announce a switch to the stack [bottom, bottom+size). `fake_save`
+/// receives the leaving context's fake-stack handle; pass nullptr when the
+/// leaving fiber terminates (its fake stack is destroyed).
+inline void start_switch(void** fake_save, const void* bottom,
+                         std::size_t size) {
+  __sanitizer_start_switch_fiber(fake_save, bottom, size);
+}
+
+/// Complete a switch after landing on the target stack. `fake` is the
+/// handle saved when this context last left (nullptr on first entry);
+/// old_bottom/old_size receive the stack we came from.
+inline void finish_switch(void* fake, const void** old_bottom,
+                          std::size_t* old_size) {
+  __sanitizer_finish_switch_fiber(fake, old_bottom, old_size);
+}
+
+#else
+
+inline void start_switch(void**, const void*, std::size_t) {}
+inline void finish_switch(void*, const void**, std::size_t*) {}
+
+#endif
+
+}  // namespace sdrmpi::sim::asan

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "sdrmpi/sim/asan_fiber.hpp"
 #include "sdrmpi/util/log.hpp"
 
 namespace sdrmpi::sim {
@@ -127,7 +128,9 @@ void Engine::resume(Process& p) {
   running_ = &p;
   p.state_ = ProcState::Running;
   ++context_switches_;
+  asan::start_switch(&asan_sched_fake_, p.stack_.sp(), p.stack_.size());
   swapcontext(&sched_ctx_, &p.ctx_);
+  asan::finish_switch(asan_sched_fake_, nullptr, nullptr);
   running_ = nullptr;
   if (p.terminated() && p.stack_.valid()) {
     release_stack(std::move(p.stack_));
@@ -136,7 +139,11 @@ void Engine::resume(Process& p) {
 
 void Engine::return_control_to_engine() {
   Process& self = *running_;
+  // A terminating fiber hands its fake stack back to ASan (nullptr save).
+  asan::start_switch(self.terminated() ? nullptr : &self.asan_fake_stack_,
+                     asan_sched_bottom_, asan_sched_size_);
   swapcontext(&self.ctx_, &sched_ctx_);
+  asan::finish_switch(self.asan_fake_stack_, nullptr, nullptr);
 }
 
 FiberStack Engine::acquire_stack() {

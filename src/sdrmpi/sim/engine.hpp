@@ -152,6 +152,13 @@ class Engine {
 
   ucontext_t sched_ctx_{};          // where fibers switch back to
   std::vector<FiberStack> stack_cache_;
+
+  // ASan fiber bookkeeping (no-ops without ASan, see asan_fiber.hpp): the
+  // scheduler context's fake-stack handle and its stack bounds as reported
+  // by the first fiber entry.
+  void* asan_sched_fake_ = nullptr;
+  const void* asan_sched_bottom_ = nullptr;
+  std::size_t asan_sched_size_ = 0;
 };
 
 }  // namespace sdrmpi::sim

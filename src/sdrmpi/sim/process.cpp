@@ -8,6 +8,7 @@
 #include <new>
 #include <utility>
 
+#include "sdrmpi/sim/asan_fiber.hpp"
 #include "sdrmpi/sim/engine.hpp"
 #include "sdrmpi/util/log.hpp"
 
@@ -92,6 +93,10 @@ void Process::make_fiber(FiberStack stack) {
 void Process::trampoline(unsigned int hi, unsigned int lo) {
   auto* self = reinterpret_cast<Process*>(static_cast<std::uintptr_t>(
       (static_cast<std::uint64_t>(hi) << 32) | lo));
+  // First landing on this fiber: complete the switch and learn the
+  // scheduler's stack bounds for the way back (ASan only; no-op otherwise).
+  asan::finish_switch(nullptr, &self->engine_.asan_sched_bottom_,
+                      &self->engine_.asan_sched_size_);
   self->run_body();
   // Final switch back to the scheduler; this context must never be resumed
   // again (the engine releases the stack once the process terminated).

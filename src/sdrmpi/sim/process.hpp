@@ -123,6 +123,7 @@ class Process {
 
   ucontext_t ctx_{};
   FiberStack stack_;
+  void* asan_fake_stack_ = nullptr;  // ASan fake-stack handle (asan_fiber.hpp)
 };
 
 }  // namespace sdrmpi::sim

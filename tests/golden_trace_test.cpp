@@ -1,0 +1,208 @@
+// Golden-trace regression corpus.
+//
+// A fixed set of configurations — every protocol on both fabric backends,
+// plus failover and placement variants — is run and folded into a
+// (final virtual time, counter digest) pair per case, then compared against
+// the checked-in corpus in tests/golden/traces.txt. Any engine, protocol or
+// network-model refactor that changes virtual-time behaviour shows up as a
+// corpus diff, reviewed like any other code change.
+//
+// Regenerate after an *intentional* behaviour change with:
+//   ./golden_trace_test --regen-golden
+// (writes tests/golden/traces.txt in the source tree; commit the diff).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sdrmpi/util/hash.hpp"
+#include "test_support.hpp"
+
+#ifndef SDRMPI_GOLDEN_DIR
+#error "SDRMPI_GOLDEN_DIR must point at the checked-in golden corpus"
+#endif
+
+namespace sdrmpi {
+namespace {
+
+struct GoldenCase {
+  std::string name;
+  core::RunConfig cfg;
+  std::string workload;
+};
+
+std::vector<GoldenCase> corpus() {
+  using core::ProtocolKind;
+  const ProtocolKind kinds[] = {ProtocolKind::Native,
+                                ProtocolKind::Sdr,
+                                ProtocolKind::Mirror,
+                                ProtocolKind::Leader,
+                                ProtocolKind::RedMpiLeader,
+                                ProtocolKind::RedMpiSd};
+  std::vector<GoldenCase> cases;
+  for (const ProtocolKind p : kinds) {
+    const int r = p == ProtocolKind::Native ? 1 : 2;
+    {
+      GoldenCase c{std::string(core::to_string(p)) + "/flat",
+                   test::quick_config(4, r, p), "cg"};
+      cases.push_back(std::move(c));
+    }
+    {
+      GoldenCase c{std::string(core::to_string(p)) + "/fat-tree",
+                   test::quick_config(4, r, p), "cg"};
+      c.cfg.net.topology = net::TopologySpec::fat_tree(2, 2, 4.0);
+      cases.push_back(std::move(c));
+    }
+  }
+  // Failover: a world-1 replica dies mid-run under SDR.
+  {
+    GoldenCase c{"sdr/fat-tree/failover",
+                 test::quick_config(4, 2, core::ProtocolKind::Sdr), "cg"};
+    c.cfg.net.topology = net::TopologySpec::fat_tree(2, 2, 4.0);
+    c.cfg.faults.push_back({.slot = 6, .at_time = -1, .at_send = 5});
+    cases.push_back(std::move(c));
+  }
+  // Packed replica placement changes which links contend.
+  {
+    GoldenCase c{"sdr/fat-tree/pack",
+                 test::quick_config(4, 2, core::ProtocolKind::Sdr), "hpccg"};
+    c.cfg.net.topology = net::TopologySpec::fat_tree(2, 2, 4.0);
+    c.cfg.net.topology.placement = net::PlacementPolicy::PackRanks;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+/// Order-dependent digest over everything the determinism contract covers.
+std::uint64_t trace_digest(const core::RunResult& r) {
+  util::Checksum cs;
+  cs.add_u64(static_cast<std::uint64_t>(r.makespan));
+  cs.add_u64(r.app_sends);
+  cs.add_u64(r.data_frames);
+  cs.add_u64(r.ctl_frames);
+  cs.add_u64(r.unexpected);
+  cs.add_u64(r.duplicates_dropped);
+  cs.add_u64(r.events_executed);
+  cs.add_u64(r.context_switches);
+  const core::ProtocolStats& p = r.protocol;
+  for (std::uint64_t v :
+       {p.acks_sent, p.acks_received, p.stale_acks, p.resends,
+        p.decisions_sent, p.decisions_used, p.hashes_sent, p.hashes_compared,
+        p.sdc_detected, p.failures_observed, p.recoveries, p.extra_copies}) {
+    cs.add_u64(v);
+  }
+  const net::FabricStats& f = r.fabric;
+  for (std::uint64_t v :
+       {f.frames_sent, f.payload_bytes, f.frames_dropped_dead_dst,
+        f.intra_node_frames, f.intra_switch_frames, f.inter_switch_frames,
+        f.link_stalls, f.link_stall_ns, f.link_busy_ns}) {
+    cs.add_u64(v);
+  }
+  for (const core::SlotResult& s : r.slots) {
+    cs.add_u64(static_cast<std::uint64_t>(s.finish_time));
+    cs.add_u64(s.checksum);
+  }
+  return cs.digest();
+}
+
+std::string golden_path() {
+  return std::string(SDRMPI_GOLDEN_DIR) + "/traces.txt";
+}
+
+struct GoldenEntry {
+  Time makespan = 0;
+  std::uint64_t digest = 0;
+};
+
+std::map<std::string, GoldenEntry> load_golden() {
+  std::map<std::string, GoldenEntry> out;
+  std::ifstream in(golden_path());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string name;
+    GoldenEntry e;
+    ls >> name >> e.makespan >> std::hex >> e.digest;
+    if (!ls.fail()) out[name] = e;
+  }
+  return out;
+}
+
+TEST(GoldenTrace, MatchesCorpus) {
+  const auto golden = load_golden();
+  ASSERT_FALSE(golden.empty())
+      << "no golden corpus at " << golden_path()
+      << " — regenerate with: golden_trace_test --regen-golden";
+
+  for (const GoldenCase& c : corpus()) {
+    auto res = core::run(c.cfg, test::small_workload(c.workload));
+    ASSERT_TRUE(test::run_clean(res)) << c.name;
+    const auto it = golden.find(c.name);
+    ASSERT_NE(it, golden.end())
+        << "case '" << c.name << "' missing from corpus — regenerate with "
+        << "--regen-golden and review the diff";
+    EXPECT_EQ(res.makespan, it->second.makespan)
+        << c.name << ": final virtual time drifted from the golden trace; "
+        << "if intentional, regenerate with --regen-golden";
+    EXPECT_EQ(trace_digest(res), it->second.digest)
+        << c.name << ": counter digest drifted from the golden trace; "
+        << "if intentional, regenerate with --regen-golden";
+  }
+}
+
+// Every corpus case must itself be reproducible, otherwise the golden file
+// would be flaky by construction.
+TEST(GoldenTrace, CorpusCasesAreReproducible) {
+  for (const GoldenCase& c : corpus()) {
+    auto r1 = core::run(c.cfg, test::small_workload(c.workload));
+    auto r2 = core::run(c.cfg, test::small_workload(c.workload));
+    EXPECT_EQ(r1.makespan, r2.makespan) << c.name;
+    EXPECT_EQ(trace_digest(r1), trace_digest(r2)) << c.name;
+  }
+}
+
+}  // namespace
+
+int regen_golden() {
+  std::ofstream out(golden_path());
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", golden_path().c_str());
+    return 1;
+  }
+  out << "# Golden virtual-time traces: <case> <makespan_ns> <digest_hex>\n"
+      << "# Regenerate with: golden_trace_test --regen-golden (and review "
+         "the diff!)\n";
+  for (const GoldenCase& c : corpus()) {
+    auto res = core::run(c.cfg, test::small_workload(c.workload));
+    if (!res.clean()) {
+      std::fprintf(stderr, "golden case '%s' did not run clean\n",
+                   c.name.c_str());
+      return 1;
+    }
+    std::ostringstream line;
+    line << c.name << ' ' << res.makespan << ' ' << std::hex
+         << trace_digest(res);
+    out << line.str() << '\n';
+    std::printf("%s\n", line.str().c_str());
+  }
+  std::printf("wrote %s\n", golden_path().c_str());
+  return 0;
+}
+
+}  // namespace sdrmpi
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regen-golden") {
+      return sdrmpi::regen_golden();
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

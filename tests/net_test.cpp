@@ -6,35 +6,18 @@
 #include <vector>
 
 #include "sdrmpi/net/fabric.hpp"
+#include "test_support.hpp"
 
 namespace sdrmpi::net {
 namespace {
 
-struct Harness {
-  sim::Engine engine;
-  NetParams params;
-  Fabric fabric;
-  std::vector<std::vector<Delivery>> received;
-
-  explicit Harness(int nslots, NetParams p = NetParams::infiniband_20g())
-      : params(p), fabric(engine, p, nslots), received(nslots) {
-    for (int s = 0; s < nslots; ++s) {
-      fabric.attach(s, /*owner_pid=*/-1, [this, s](Delivery&& d) {
-        received[static_cast<std::size_t>(s)].push_back(std::move(d));
-      });
-    }
-  }
-
-  std::vector<std::byte> blob(std::size_t n, unsigned char fill = 0xab) {
-    return std::vector<std::byte>(n, std::byte{fill});
-  }
-};
+using Harness = test::FabricHarness;
 
 TEST(Fabric, DeliversPayloadIntact) {
   Harness h(2);
   h.engine.spawn("sender", [&] {
     auto data = h.blob(16, 0x5c);
-    h.fabric.send(0, 1, data);
+    h.fabric->send(0, 1, data);
   });
   auto out = h.engine.run();
   EXPECT_TRUE(out.clean());
@@ -46,7 +29,7 @@ TEST(Fabric, DeliversPayloadIntact) {
 
 TEST(Fabric, ArrivalMatchesCostModel) {
   Harness h(2);
-  h.engine.spawn("sender", [&] { h.fabric.send(0, 1, h.blob(100)); });
+  h.engine.spawn("sender", [&] { h.fabric->send(0, 1, h.blob(100)); });
   h.engine.run();
   ASSERT_EQ(h.received[1].size(), 1u);
   const auto& d = h.received[1][0];
@@ -62,7 +45,7 @@ TEST(Fabric, SenderChargedOverhead) {
   Harness h(2);
   Time after = -1;
   h.engine.spawn("sender", [&] {
-    h.fabric.send(0, 1, h.blob(8));
+    h.fabric->send(0, 1, h.blob(8));
     after = h.engine.now();
   });
   h.engine.run();
@@ -72,7 +55,7 @@ TEST(Fabric, SenderChargedOverhead) {
 TEST(Fabric, FifoPerChannel) {
   Harness h(2);
   h.engine.spawn("sender", [&] {
-    for (unsigned char i = 0; i < 10; ++i) h.fabric.send(0, 1, h.blob(4, i));
+    for (unsigned char i = 0; i < 10; ++i) h.fabric->send(0, 1, h.blob(4, i));
   });
   h.engine.run();
   ASSERT_EQ(h.received[1].size(), 10u);
@@ -89,8 +72,8 @@ TEST(Fabric, EgressSerialization) {
   // the first's wire time (one NIC per process).
   Harness h(3);
   h.engine.spawn("sender", [&] {
-    h.fabric.send(0, 1, h.blob(10000));
-    h.fabric.send(0, 2, h.blob(10000));
+    h.fabric->send(0, 1, h.blob(10000));
+    h.fabric->send(0, 2, h.blob(10000));
   });
   h.engine.run();
   ASSERT_EQ(h.received[1].size(), 1u);
@@ -105,14 +88,14 @@ TEST(Fabric, EgressSerialization) {
 TEST(Fabric, BiggerFramesTakeLonger) {
   Harness h(2);
   h.engine.spawn("s", [&] {
-    h.fabric.send(0, 1, h.blob(1));
+    h.fabric->send(0, 1, h.blob(1));
   });
   h.engine.run();
   const Time small = h.received[1][0].arrival;
 
   Harness h2(2);
   h2.engine.spawn("s", [&] {
-    h2.fabric.send(0, 1, h2.blob(1 << 20));
+    h2.fabric->send(0, 1, h2.blob(1 << 20));
   });
   h2.engine.run();
   EXPECT_GT(h2.received[1][0].arrival, small + 100000);
@@ -122,7 +105,7 @@ TEST(Fabric, ExplicitWireBytesOverride) {
   Harness h(2);
   h.engine.spawn("s", [&] {
     // Tiny payload but modeled as a 48-byte control frame.
-    h.fabric.send(0, 1, h.blob(4), h.params.ctl_frame_bytes);
+    h.fabric->send(0, 1, h.blob(4), h.params.ctl_frame_bytes);
   });
   h.engine.run();
   const Time expect =
@@ -135,11 +118,11 @@ TEST(Fabric, ExplicitWireBytesOverride) {
 
 TEST(Fabric, DeadDestinationDropsFrames) {
   Harness h(2);
-  h.fabric.set_alive(1, false);
-  h.engine.spawn("s", [&] { h.fabric.send(0, 1, h.blob(8)); });
+  h.fabric->set_alive(1, false);
+  h.engine.spawn("s", [&] { h.fabric->send(0, 1, h.blob(8)); });
   h.engine.run();
   EXPECT_TRUE(h.received[1].empty());
-  EXPECT_EQ(h.fabric.stats().frames_dropped_dead_dst, 1u);
+  EXPECT_EQ(h.fabric->stats().frames_dropped_dead_dst, 1u);
 }
 
 TEST(Fabric, InFlightFramesFromDeadSenderStillDeliver) {
@@ -147,9 +130,9 @@ TEST(Fabric, InFlightFramesFromDeadSenderStillDeliver) {
   // reaches its destination.
   Harness h(2);
   h.engine.spawn("s", [&] {
-    h.fabric.send(0, 1, h.blob(8));
+    h.fabric->send(0, 1, h.blob(8));
     // Sender dies immediately after injection.
-    h.fabric.set_alive(0, false);
+    h.fabric->set_alive(0, false);
   });
   h.engine.run();
   EXPECT_EQ(h.received[1].size(), 1u);
@@ -157,7 +140,7 @@ TEST(Fabric, InFlightFramesFromDeadSenderStillDeliver) {
 
 TEST(Fabric, OobInjectionArrivesAtRequestedTime) {
   Harness h(2);
-  h.fabric.inject_oob(1, h.blob(4), 12345);
+  h.fabric->inject_oob(1, h.blob(4), 12345);
   h.engine.run();
   ASSERT_EQ(h.received[1].size(), 1u);
   EXPECT_EQ(h.received[1][0].arrival, 12345);
@@ -168,22 +151,22 @@ TEST(Fabric, OobInjectionArrivesAtRequestedTime) {
 TEST(Fabric, StatsCountFrames) {
   Harness h(2);
   h.engine.spawn("s", [&] {
-    h.fabric.send(0, 1, h.blob(100));
-    h.fabric.send(0, 1, h.blob(100));
+    h.fabric->send(0, 1, h.blob(100));
+    h.fabric->send(0, 1, h.blob(100));
   });
   h.engine.run();
-  EXPECT_EQ(h.fabric.stats().frames_sent, 2u);
-  EXPECT_EQ(h.fabric.stats().payload_bytes,
+  EXPECT_EQ(h.fabric->stats().frames_sent, 2u);
+  EXPECT_EQ(h.fabric->stats().payload_bytes,
             2 * (100 + h.params.header_bytes));
 }
 
 TEST(Fabric, ReattachReplacesSink) {
   Harness h(2);
   std::vector<Delivery> second;
-  h.fabric.set_alive(1, false);
-  h.fabric.reattach(1, -1, [&](Delivery&& d) { second.push_back(std::move(d)); });
-  EXPECT_TRUE(h.fabric.alive(1));  // reattach revives the slot
-  h.engine.spawn("s", [&] { h.fabric.send(0, 1, h.blob(8)); });
+  h.fabric->set_alive(1, false);
+  h.fabric->reattach(1, -1, [&](Delivery&& d) { second.push_back(std::move(d)); });
+  EXPECT_TRUE(h.fabric->alive(1));  // reattach revives the slot
+  h.engine.spawn("s", [&] { h.fabric->send(0, 1, h.blob(8)); });
   h.engine.run();
   EXPECT_TRUE(h.received[1].empty());
   EXPECT_EQ(second.size(), 1u);
@@ -191,7 +174,7 @@ TEST(Fabric, ReattachReplacesSink) {
 
 TEST(Fabric, DoubleAttachThrows) {
   Harness h(2);
-  EXPECT_THROW(h.fabric.attach(0, -1, [](Delivery&&) {}), std::logic_error);
+  EXPECT_THROW(h.fabric->attach(0, -1, [](Delivery&&) {}), std::logic_error);
 }
 
 TEST(NetParamsTest, PresetsAreSane) {

@@ -1,12 +1,36 @@
+// Fast smoke tier (`ctest -L smoke`): every protocol family on both fabric
+// backends runs a ping-pong and a replicated allreduce. Seconds, not
+// minutes — the full matrix lives in the unit and fuzz tiers.
 #include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
 #include "sdrmpi/sdrmpi.hpp"
 
-using namespace sdrmpi;
+namespace sdrmpi {
+namespace {
 
-TEST(Smoke, NativePingPong) {
+struct SmokeCase {
+  core::ProtocolKind proto;
+  net::TopologyKind topo;
+};
+
+core::RunConfig smoke_config(const SmokeCase& sc, int nranks) {
   core::RunConfig cfg;
-  cfg.nranks = 2;
-  auto res = core::run(cfg, [](mpi::Env& env) {
+  cfg.nranks = nranks;
+  cfg.replication = sc.proto == core::ProtocolKind::Native ? 1 : 2;
+  cfg.protocol = sc.proto;
+  if (sc.topo == net::TopologyKind::FatTree) {
+    cfg.net.topology = net::TopologySpec::fat_tree(2, 2, 2.0);
+  }
+  return cfg;
+}
+
+class Smoke : public ::testing::TestWithParam<SmokeCase> {};
+
+TEST_P(Smoke, PingPong) {
+  auto res = core::run(smoke_config(GetParam(), 2), [](mpi::Env& env) {
     auto& w = env.world();
     double v = 0;
     if (env.rank() == 0) {
@@ -21,20 +45,42 @@ TEST(Smoke, NativePingPong) {
   });
   ASSERT_TRUE(res.clean()) << (res.deadlock ? "deadlock" : "error");
   EXPECT_EQ(res.checksum_of(0), 85u);
+  EXPECT_TRUE(res.checksums_consistent());
 }
 
-TEST(Smoke, SdrAllreduce) {
-  core::RunConfig cfg;
-  cfg.nranks = 4;
-  cfg.replication = 2;
-  cfg.protocol = core::ProtocolKind::Sdr;
-  auto res = core::run(cfg, [](mpi::Env& env) {
+TEST_P(Smoke, Allreduce) {
+  auto res = core::run(smoke_config(GetParam(), 4), [](mpi::Env& env) {
     double x = env.rank() + 1;
     x = env.world().allreduce_value(x, mpi::Op::Sum);
     env.report_checksum(static_cast<std::uint64_t>(x));
   });
   ASSERT_TRUE(res.clean());
   EXPECT_EQ(res.checksum_of(0, 0), 10u);
-  EXPECT_EQ(res.checksum_of(0, 1), 10u);
+  if (res.slots.size() > 4) {
+    EXPECT_EQ(res.checksum_of(0, 1), 10u);
+  }
   EXPECT_TRUE(res.checksums_consistent());
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolsTimesFabrics, Smoke,
+    ::testing::Values(
+        SmokeCase{core::ProtocolKind::Native, net::TopologyKind::Flat},
+        SmokeCase{core::ProtocolKind::Native, net::TopologyKind::FatTree},
+        SmokeCase{core::ProtocolKind::Sdr, net::TopologyKind::Flat},
+        SmokeCase{core::ProtocolKind::Sdr, net::TopologyKind::FatTree},
+        SmokeCase{core::ProtocolKind::Leader, net::TopologyKind::Flat},
+        SmokeCase{core::ProtocolKind::Leader, net::TopologyKind::FatTree},
+        SmokeCase{core::ProtocolKind::RedMpiSd, net::TopologyKind::Flat},
+        SmokeCase{core::ProtocolKind::RedMpiSd, net::TopologyKind::FatTree}),
+    [](const auto& info) {
+      std::string name = std::string(core::to_string(info.param.proto)) + "_" +
+                         net::to_string(info.param.topo);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace sdrmpi

@@ -3,12 +3,43 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "sdrmpi/net/fabric.hpp"
 #include "sdrmpi/sdrmpi.hpp"
 #include "sdrmpi/workloads/registry.hpp"
 
 namespace sdrmpi::test {
+
+/// Raw-fabric harness (no endpoints): builds the backend selected by
+/// `p.topology` via make_fabric and records deliveries per slot. Used by
+/// the net-layer suites (net_test, fabric_topology_test).
+struct FabricHarness {
+  sim::Engine engine;
+  net::NetParams params;
+  std::unique_ptr<net::Fabric> fabric;
+  std::vector<std::vector<net::Delivery>> received;
+
+  explicit FabricHarness(int nslots,
+                         net::NetParams p = net::NetParams::infiniband_20g(),
+                         int nranks = 0)
+      : params(p),
+        fabric(net::make_fabric(engine, p, nslots, nranks)),
+        received(static_cast<std::size_t>(nslots)) {
+    for (int s = 0; s < nslots; ++s) {
+      fabric->attach(s, /*owner_pid=*/-1, [this, s](net::Delivery&& d) {
+        received[static_cast<std::size_t>(s)].push_back(std::move(d));
+      });
+    }
+  }
+
+  static std::vector<std::byte> blob(std::size_t n,
+                                     unsigned char fill = 0xab) {
+    return std::vector<std::byte>(n, std::byte{fill});
+  }
+};
 
 /// Fast network for protocol-logic tests.
 inline core::RunConfig quick_config(int nranks, int replication,

@@ -51,7 +51,7 @@ class SpyProtocol : public mpi::Vprotocol {
 
 struct Rig {
   sim::Engine engine;
-  net::Fabric fabric;
+  net::FlatFabric fabric;
   std::vector<std::unique_ptr<mpi::Endpoint>> eps;
   std::vector<SpyProtocol::Log> logs;
 
