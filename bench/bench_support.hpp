@@ -31,6 +31,22 @@ struct PointResult {
   core::RunResult run;  ///< last repetition's full result
 };
 
+/// Warns on stderr when the bench binary was not built in a Release
+/// configuration (host-side perf numbers from Debug/RelWithDebInfo builds
+/// are not comparable with the committed BENCH_*.json trajectory).
+inline void warn_if_not_release() {
+#ifdef SDRMPI_CMAKE_BUILD_TYPE
+  const std::string build_type = SDRMPI_CMAKE_BUILD_TYPE;
+#else
+  const std::string build_type = "unknown";
+#endif
+  if (build_type != "Release") {
+    std::cerr << "[bench] WARNING: built as '" << build_type
+              << "', not Release — host-perf numbers (sends/sec, events/sec) "
+                 "are not comparable with the committed baselines\n";
+  }
+}
+
 /// Host thread-pool size for the sweep: --pool=N (0 = hardware concurrency).
 inline core::BatchOptions pool_options(const util::Options& opts) {
   core::BatchOptions b;
@@ -146,9 +162,12 @@ inline void emit_json(std::ostream& os, const std::string& bench_name,
   os << "  ]\n}\n";
 }
 
-/// Paper-style header printed by each bench binary (suppressed under --json).
+/// Paper-style header printed by each bench binary (suppressed under
+/// --json; the non-Release warning still fires — it goes to stderr and
+/// guards the committed BENCH_*.json trajectory).
 inline void banner(const util::Options& opts, const std::string& what,
                    const std::string& paper_ref) {
+  warn_if_not_release();
   if (json_mode(opts)) return;
   std::cout << "== " << what << " ==\n"
             << "   reproduces: " << paper_ref << "\n"

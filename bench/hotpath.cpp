@@ -1,0 +1,216 @@
+// Hot-path host-throughput bench: how fast does the simulator simulate?
+//
+// Unlike the fig*/table* benches (virtual-time reproductions of the paper's
+// figures), this one measures HOST-side metrics of the send/deliver/schedule
+// path: simulated sends per host second, engine events per host second, and
+// global operator-new invocations per simulated message, on fig7b-style
+// NetPipe traffic (native and SDR r=2). These are the numbers the
+// zero-allocation hot-path work is pinned against (BENCH_hotpath.json).
+//
+//   --json            machine-readable output for the BENCH_* trajectory
+//   --check           exit non-zero if allocs/send regress past the pinned
+//                     bound (CI bench-smoke gate)
+//   --reps=N          NetPipe timed round trips per size (default 10)
+//   --variant=NAME    label recorded in the JSON (default "current")
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "sdrmpi/util/alloc_counter.hpp"
+#include "sdrmpi/workloads/netpipe.hpp"
+
+namespace {
+
+using namespace sdrmpi;
+
+// Pinned allocation budget for --check: heap allocations per application
+// send on the fig7b-style workloads below (max over native and SDR r=2).
+// Measured steady state after the zero-allocation hot-path work: ~0.5
+// (native) / ~0.7 (SDR r=2), almost all cold-start (pool warmup, request
+// objects, app buffers); the pre-PR baseline sat at 9.4 / 16.5. The bound
+// leaves headroom for allocator/libstdc++ variation while still firing on
+// any real regression (a single new per-message allocation adds +1.0).
+constexpr double kAllocsPerSendBound = 3.0;
+
+struct HotpathPoint {
+  std::string label;
+  double host_seconds = 0.0;
+  std::uint64_t app_sends = 0;
+  std::uint64_t data_frames = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t alloc_bytes = 0;
+  double sends_per_sec = 0.0;
+  double events_per_sec = 0.0;
+  double allocs_per_send = 0.0;
+  double allocs_per_frame = 0.0;
+  bool clean = true;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Raw event-queue throughput: kChains self-rescheduling callbacks, no MPI
+// machinery. Isolates schedule/pop/dispatch (the InlineFn + d-ary heap path).
+HotpathPoint bench_events_raw() {
+  constexpr int kChains = 64;
+  constexpr std::uint64_t kSteps = 20000;
+
+  HotpathPoint pt;
+  pt.label = "events_raw";
+
+  sim::Engine engine;
+  struct Step {
+    sim::Engine* eng;
+    std::uint64_t left;
+    void operator()() {
+      if (left == 0) return;
+      Step next{eng, left - 1};
+      eng->schedule(eng->now() + 100, next);
+    }
+  };
+  for (int c = 0; c < kChains; ++c) {
+    engine.schedule(c, Step{&engine, kSteps});
+  }
+
+  const std::uint64_t a0 = util::alloc_count();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto out = engine.run();
+  pt.host_seconds = seconds_since(t0);
+  pt.allocs = util::alloc_count() - a0;
+  pt.events_executed = out.events_executed;
+  pt.events_per_sec =
+      static_cast<double>(out.events_executed) / pt.host_seconds;
+  pt.allocs_per_frame =
+      static_cast<double>(pt.allocs) / static_cast<double>(out.events_executed);
+  pt.clean = out.clean();
+  return pt;
+}
+
+// fig7b-style traffic: the NetPipe ping-pong sweep (sizes 1 B .. 8 MiB)
+// under the given protocol/replication, measured on the host clock.
+HotpathPoint bench_fig7b_style(const std::string& label,
+                               core::ProtocolKind proto, int replication,
+                               int reps) {
+  HotpathPoint pt;
+  pt.label = label;
+
+  wl::NetpipeParams np;
+  np.reps = reps;
+
+  core::RunConfig cfg;
+  cfg.nranks = 2;
+  cfg.replication = replication;
+  cfg.protocol = proto;
+
+  const std::uint64_t a0 = util::alloc_count();
+  const std::uint64_t b0 = util::alloc_bytes();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = core::run(cfg, wl::make_netpipe(np));
+  pt.host_seconds = seconds_since(t0);
+  pt.allocs = util::alloc_count() - a0;
+  pt.alloc_bytes = util::alloc_bytes() - b0;
+
+  pt.app_sends = res.app_sends;
+  pt.data_frames = res.fabric.frames_sent;
+  pt.events_executed = res.events_executed;
+  pt.clean = res.clean();
+  pt.sends_per_sec = static_cast<double>(res.app_sends) / pt.host_seconds;
+  pt.events_per_sec =
+      static_cast<double>(res.events_executed) / pt.host_seconds;
+  if (res.app_sends > 0) {
+    pt.allocs_per_send =
+        static_cast<double>(pt.allocs) / static_cast<double>(res.app_sends);
+  }
+  if (res.fabric.frames_sent > 0) {
+    pt.allocs_per_frame = static_cast<double>(pt.allocs) /
+                          static_cast<double>(res.fabric.frames_sent);
+  }
+  return pt;
+}
+
+void emit_json(std::ostream& os, const std::string& variant,
+               const std::vector<HotpathPoint>& pts) {
+  os << "{\n  \"bench\": \"hotpath\",\n"
+     << "  \"variant\": \"" << bench::json_escape(variant) << "\",\n"
+     << "  \"alloc_counting\": "
+     << (util::alloc_counting_enabled() ? "true" : "false") << ",\n"
+     << "  \"allocs_per_send_bound\": " << kAllocsPerSendBound << ",\n"
+     << "  \"points\": [\n";
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const HotpathPoint& p = pts[i];
+    os << "    {\"label\": \"" << bench::json_escape(p.label) << "\""
+       << ", \"host_seconds\": " << p.host_seconds
+       << ", \"app_sends\": " << p.app_sends
+       << ", \"data_frames\": " << p.data_frames
+       << ", \"events_executed\": " << p.events_executed
+       << ", \"allocs\": " << p.allocs
+       << ", \"alloc_bytes\": " << p.alloc_bytes
+       << ", \"sends_per_sec\": " << p.sends_per_sec
+       << ", \"events_per_sec\": " << p.events_per_sec
+       << ", \"allocs_per_send\": " << p.allocs_per_send
+       << ", \"allocs_per_frame\": " << p.allocs_per_frame
+       << ", \"clean\": " << (p.clean ? "true" : "false") << "}"
+       << (i + 1 < pts.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sdrmpi;
+  util::Options opts(argc, argv);
+  bench::warn_if_not_release();
+
+  const int reps = static_cast<int>(opts.get_int("reps", 10));
+  const std::string variant = opts.get_string("variant", "current");
+
+  std::vector<HotpathPoint> pts;
+  pts.push_back(bench_events_raw());
+  pts.push_back(bench_fig7b_style("fig7b_native", core::ProtocolKind::Native,
+                                  1, reps));
+  pts.push_back(
+      bench_fig7b_style("fig7b_sdr_r2", core::ProtocolKind::Sdr, 2, reps));
+
+  if (bench::json_mode(opts)) {
+    emit_json(std::cout, variant, pts);
+  } else {
+    util::Table table({"point", "host sec", "sends/sec", "events/sec",
+                       "allocs/send", "allocs/frame"});
+    for (const HotpathPoint& p : pts) {
+      table.add_row({p.label, util::format_double(p.host_seconds, 3),
+                     util::format_double(p.sends_per_sec, 0),
+                     util::format_double(p.events_per_sec, 0),
+                     util::format_double(p.allocs_per_send, 2),
+                     util::format_double(p.allocs_per_frame, 2)});
+    }
+    table.print(std::cout);
+    if (!util::alloc_counting_enabled()) {
+      std::cout << "(allocation counting disabled in this build)\n";
+    }
+  }
+
+  for (const HotpathPoint& p : pts) {
+    if (!p.clean) {
+      std::cerr << "hotpath: point '" << p.label << "' did not run clean\n";
+      return 2;
+    }
+  }
+  if (opts.get_bool("check", false) && util::alloc_counting_enabled()) {
+    for (const HotpathPoint& p : pts) {
+      if (p.app_sends > 0 && p.allocs_per_send > kAllocsPerSendBound) {
+        std::cerr << "hotpath: allocs/send regression on '" << p.label
+                  << "': " << p.allocs_per_send << " > bound "
+                  << kAllocsPerSendBound << "\n";
+        return 1;
+      }
+    }
+  }
+  return 0;
+}

@@ -1,9 +1,14 @@
 // Substrate microbenchmarks (google-benchmark): costs of the simulator and
 // runtime primitives that everything above is built on. These measure HOST
 // performance of the simulation itself, not virtual time.
+//
+// The hot-path counters (events/sec, sends/sec, allocs/msg) mirror the
+// standalone bench/hotpath binary, which is what emits the committed
+// BENCH_hotpath.json trajectory.
 #include <benchmark/benchmark.h>
 
 #include "sdrmpi/sdrmpi.hpp"
+#include "sdrmpi/util/alloc_counter.hpp"
 
 namespace {
 
@@ -52,6 +57,9 @@ BENCHMARK(BM_EngineSpawnRun);
 
 void BM_PingPongHostCost(benchmark::State& state) {
   const auto bytes = static_cast<std::size_t>(state.range(0));
+  std::uint64_t sends = 0;
+  std::uint64_t events = 0;
+  const std::uint64_t allocs0 = util::alloc_count();
   for (auto _ : state) {
     core::RunConfig cfg;
     cfg.nranks = 2;
@@ -69,14 +77,28 @@ void BM_PingPongHostCost(benchmark::State& state) {
         }
       }
     });
+    sends += res.app_sends;
+    events += res.events_executed;
     benchmark::DoNotOptimize(res.makespan);
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 20 *
                           static_cast<std::int64_t>(bytes));
+  state.counters["sends/s"] = benchmark::Counter(
+      static_cast<double>(sends), benchmark::Counter::kIsRate);
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  if (util::alloc_counting_enabled() && sends > 0) {
+    state.counters["allocs/msg"] =
+        static_cast<double>(util::alloc_count() - allocs0) /
+        static_cast<double>(sends);
+  }
 }
 BENCHMARK(BM_PingPongHostCost)->Arg(64)->Arg(65536);
 
 void BM_SdrPingPongHostCost(benchmark::State& state) {
+  std::uint64_t sends = 0;
+  std::uint64_t events = 0;
+  const std::uint64_t allocs0 = util::alloc_count();
   for (auto _ : state) {
     core::RunConfig cfg;
     cfg.nranks = 2;
@@ -96,10 +118,44 @@ void BM_SdrPingPongHostCost(benchmark::State& state) {
         }
       }
     });
+    sends += res.app_sends;
+    events += res.events_executed;
     benchmark::DoNotOptimize(res.makespan);
+  }
+  state.counters["sends/s"] = benchmark::Counter(
+      static_cast<double>(sends), benchmark::Counter::kIsRate);
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  if (util::alloc_counting_enabled() && sends > 0) {
+    state.counters["allocs/msg"] =
+        static_cast<double>(util::alloc_count() - allocs0) /
+        static_cast<double>(sends);
   }
 }
 BENCHMARK(BM_SdrPingPongHostCost);
+
+// Raw event-queue throughput: self-rescheduling InlineFn chains, no MPI
+// machinery — isolates the slab-backed d-ary heap dispatch path.
+void BM_EventQueueThroughput(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    struct Step {
+      sim::Engine* eng;
+      int left;
+      void operator()() {
+        if (left-- > 0) eng->schedule(eng->now() + 10, *this);
+      }
+    };
+    for (int c = 0; c < 8; ++c) engine.schedule(c, Step{&engine, 4096});
+    auto out = engine.run();
+    events += out.events_executed;
+    benchmark::DoNotOptimize(out.end_time);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventQueueThroughput);
 
 void BM_Collective(benchmark::State& state) {
   const int nranks = static_cast<int>(state.range(0));

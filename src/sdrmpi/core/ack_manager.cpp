@@ -1,21 +1,66 @@
 #include "sdrmpi/core/ack_manager.hpp"
 
+#include <algorithm>
+
 namespace sdrmpi::core {
+
+namespace {
+
+[[nodiscard]] bool entry_before(const AckManager::Entry& e,
+                                const AckManager::Key& key) noexcept {
+  return e.key < key;
+}
+
+[[nodiscard]] bool pending_contains(const std::vector<int>& pending,
+                                    int slot) noexcept {
+  return std::find(pending.begin(), pending.end(), slot) != pending.end();
+}
+
+}  // namespace
+
+std::size_t AckManager::index_of(const Key& key) const noexcept {
+  const auto it =
+      std::lower_bound(records_.begin(), records_.end(), key, entry_before);
+  if (it == records_.end() || !(it->key == key)) return records_.size();
+  return static_cast<std::size_t>(it - records_.begin());
+}
 
 void AckManager::track(const Key& key, Record rec) {
   if (rec.pending.empty()) return;  // nothing to wait for, nothing to buffer
-  auto [it, inserted] = records_.emplace(key, std::move(rec));
-  if (!inserted) return;
-  // Consume acks that beat the send (the receiving world ran ahead).
-  auto eit = early_acks_.find(key);
-  if (eit != early_acks_.end()) {
-    const std::set<int> early = std::move(eit->second);
-    early_acks_.erase(eit);
-    for (int slot : early) {
-      if (records_.count(key) != 0 &&
-          records_.at(key).pending.count(slot) != 0) {
-        release_one(records_.find(key), slot);
-      }
+  std::sort(rec.pending.begin(), rec.pending.end());
+  const auto it =
+      std::lower_bound(records_.begin(), records_.end(), key, entry_before);
+  if (it != records_.end() && it->key == key) return;  // already tracked
+  records_.insert(it, Entry{key, std::move(rec)});
+  consume_early_acks(key);
+}
+
+void AckManager::track(const Key& key, net::Payload payload, int tag,
+                       int dst_world_rank, std::span<const int> ackers,
+                       const mpi::Request& req) {
+  if (ackers.empty()) return;
+  Record rec;
+  if (!spare_.empty()) {
+    rec = std::move(spare_.back());
+    spare_.pop_back();
+  }
+  rec.payload = std::move(payload);
+  rec.tag = tag;
+  rec.dst_world_rank = dst_world_rank;
+  rec.pending.assign(ackers.begin(), ackers.end());
+  rec.req = req;
+  track(key, std::move(rec));
+}
+
+void AckManager::consume_early_acks(const Key& key) {
+  const auto eit = early_acks_.find(key);
+  if (eit == early_acks_.end()) return;
+  const std::set<int> early = std::move(eit->second);
+  early_acks_.erase(eit);
+  for (int slot : early) {
+    const std::size_t i = index_of(key);
+    if (i < records_.size() && pending_contains(records_[i].rec.pending, slot)) {
+      release_one(i, slot);
     }
   }
 }
@@ -23,25 +68,27 @@ void AckManager::track(const Key& key, Record rec) {
 void AckManager::on_ack(const mpi::FrameHeader& h, ProtocolStats& stats) {
   ++stats.acks_received;
   const Key key{h.ctx, h.src_rank, h.seq};
-  auto it = records_.find(key);
-  if (it == records_.end()) {
+  const std::size_t i = index_of(key);
+  if (i == records_.size()) {
     // The matching send has not been posted yet: queue like an unexpected
     // MPI message (Alg. 1 line 9's irecv would match it later).
     early_acks_[key].insert(h.src_slot);
     return;
   }
-  if (it->second.pending.count(h.src_slot) == 0) {
+  if (!pending_contains(records_[i].rec.pending, h.src_slot)) {
     ++stats.stale_acks;  // late ack after failover cancellation
     return;
   }
-  release_one(it, h.src_slot);
+  release_one(i, h.src_slot);
 }
 
 void AckManager::cancel_from(int slot) {
-  for (auto it = records_.begin(); it != records_.end();) {
-    auto next = std::next(it);
-    if (it->second.pending.count(slot) > 0) release_one(it, slot);
-    it = next;
+  for (std::size_t i = 0; i < records_.size();) {
+    if (pending_contains(records_[i].rec.pending, slot) &&
+        release_one(i, slot)) {
+      continue;  // erased: records_[i] is now the next entry
+    }
+    ++i;
   }
   // A dead receiver's early acks will never be consumed: purge them.
   for (auto it = early_acks_.begin(); it != early_acks_.end();) {
@@ -51,17 +98,24 @@ void AckManager::cancel_from(int slot) {
 }
 
 void AckManager::settle(const Key& key, int slot) {
-  auto it = records_.find(key);
-  if (it == records_.end()) return;
-  if (it->second.pending.count(slot) == 0) return;
-  release_one(it, slot);
+  const std::size_t i = index_of(key);
+  if (i == records_.size()) return;
+  if (!pending_contains(records_[i].rec.pending, slot)) return;
+  release_one(i, slot);
 }
 
-void AckManager::release_one(std::map<Key, Record>::iterator it, int slot) {
-  Record& rec = it->second;
-  rec.pending.erase(slot);
+bool AckManager::release_one(std::size_t i, int slot) {
+  Record& rec = records_[i].rec;
+  rec.pending.erase(std::find(rec.pending.begin(), rec.pending.end(), slot));
   if (rec.req != nullptr) --rec.req->gates;
-  if (rec.pending.empty()) records_.erase(it);
+  if (!rec.pending.empty()) return false;
+  // Recycle the shell: the pending vector keeps its capacity for the next
+  // tracked message.
+  rec.payload.reset();
+  rec.req.reset();
+  spare_.push_back(std::move(rec));
+  records_.erase(records_.begin() + static_cast<std::ptrdiff_t>(i));
+  return true;
 }
 
 }  // namespace sdrmpi::core

@@ -4,18 +4,26 @@
 // expected cross-replica acknowledgement has arrived (paper §3.2: "when
 // replica p_i^k sends a message m to p_j^k, it has to wait for an ack from
 // all other replicas of rank j before deleting m"). The buffered payload is
-// what a substitute resends after a failure (Alg. 1 lines 24-25).
+// what a substitute resends after a failure (Alg. 1 lines 24-25) — held as
+// a refcounted net::Payload aliasing the transmitted buffer, not a copy.
+//
+// Hot-path storage is allocation-free in steady state: records live in a
+// key-sorted vector (same iteration order as the std::map it replaces —
+// failover resend order is part of the deterministic trace), and completed
+// record shells are recycled so their pending-vectors keep their capacity.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "sdrmpi/core/run_config.hpp"
 #include "sdrmpi/mpi/request.hpp"
 #include "sdrmpi/mpi/types.hpp"
 #include "sdrmpi/mpi/wire.hpp"
+#include "sdrmpi/net/payload.hpp"
 
 namespace sdrmpi::core {
 
@@ -29,18 +37,30 @@ class AckManager {
   };
 
   struct Record {
-    std::vector<std::byte> payload;
+    net::Payload payload;     ///< aliases the transmitted buffer (no copy)
     int tag = 0;
     int dst_world_rank = -1;  ///< destination's rank in the world layout:
                               ///< record keys use communicator ranks, but
                               ///< failover routing needs the world rank
-    std::set<int> pending;    ///< slots whose ack we still await
+    std::vector<int> pending; ///< slots whose ack we still await (sorted)
     mpi::Request req;  ///< gated app request (null for detached records)
+  };
+
+  /// One tracked message; records() iterates in ascending key order.
+  struct Entry {
+    Key key;
+    Record rec;
   };
 
   /// Starts tracking a message. If rec.req is non-null its gates must
   /// already include rec.pending.size().
   void track(const Key& key, Record rec);
+
+  /// Allocation-recycling variant: fills a recycled record shell from the
+  /// arguments (pending capacity and the entry slot are reused across
+  /// messages).
+  void track(const Key& key, net::Payload payload, int tag, int dst_world_rank,
+             std::span<const int> ackers, const mpi::Request& req);
 
   /// Handles an incoming Ack frame; updates stats.
   void on_ack(const mpi::FrameHeader& h, ProtocolStats& stats);
@@ -52,22 +72,29 @@ class AckManager {
   /// takeover: the message is being resent directly).
   void settle(const Key& key, int slot);
 
-  [[nodiscard]] std::map<Key, Record>& records() noexcept { return records_; }
-  [[nodiscard]] const std::map<Key, Record>& records() const noexcept {
+  [[nodiscard]] std::vector<Entry>& records() noexcept { return records_; }
+  [[nodiscard]] const std::vector<Entry>& records() const noexcept {
     return records_;
   }
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
 
  private:
-  /// Releases one pending entry: decrements the request gate and erases the
-  /// record when nothing remains outstanding.
-  void release_one(std::map<Key, Record>::iterator it, int slot);
+  [[nodiscard]] std::size_t index_of(const Key& key) const noexcept;
 
-  std::map<Key, Record> records_;
+  /// Releases one pending entry of records_[i]: decrements the request gate
+  /// and recycles the record when nothing remains outstanding. Returns true
+  /// when the record was erased.
+  bool release_one(std::size_t i, int slot);
+
+  void consume_early_acks(const Key& key);
+
+  std::vector<Entry> records_;  // sorted by key
+  std::vector<Record> spare_;   // recycled shells (vectors keep capacity)
   /// Acks that arrived before their send was posted (the receiving world
   /// ran ahead). The real implementation gets this for free from the MPI
   /// unexpected-message queue: the ack irecv of Alg. 1 line 9 matches a
-  /// queued ack. Keyed by message; values are the acking slots.
+  /// queued ack. Keyed by message; values are the acking slots. Cold path:
+  /// plain node-based containers are fine here.
   std::map<Key, std::set<int>> early_acks_;
 };
 

@@ -7,10 +7,11 @@ void MirrorProtocol::isend(mpi::Endpoint& ep, const mpi::SendArgs& a,
   const auto data = begin_app_send(a.data);
   const Topology& topo = map_.topo();
   const int dst_world_rank = topo.rank_of(a.dst_slot_default);
+  mpi::Endpoint::SendShared shared;  // one payload buffer for all copies
   for (int w = 0; w < topo.nworlds; ++w) {
     const int t = topo.slot(w, dst_world_rank);
     if (map_.alive(t)) {
-      ep.base_isend(a.ctx, a.dst_rank, t, a.tag, a.seq, data, req);
+      ep.base_isend(a.ctx, a.dst_rank, t, a.tag, a.seq, data, req, &shared);
     }
   }
 }

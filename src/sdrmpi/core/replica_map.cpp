@@ -30,23 +30,34 @@ int ReplicaMap::elect_substitute(int rank) const {
   return worlds.empty() ? -1 : worlds.front();
 }
 
-std::vector<int> ReplicaMap::ack_targets(int rank, int except_world) const {
-  std::vector<int> out;
+void ReplicaMap::ack_targets_into(int rank, int except_world,
+                                  std::vector<int>& out) const {
+  out.clear();
   for (int w = 0; w < topo_.nworlds; ++w) {
     if (w == except_world) continue;
     const int s = topo_.slot(w, rank);
     if (alive(s)) out.push_back(s);
   }
+}
+
+std::vector<int> ReplicaMap::ack_targets(int rank, int except_world) const {
+  std::vector<int> out;
+  ack_targets_into(rank, except_world, out);
   return out;
 }
 
-std::vector<int> ReplicaMap::expected_ackers(int rank) const {
-  std::vector<int> out;
+void ReplicaMap::expected_ackers_into(int rank, std::vector<int>& out) const {
+  out.clear();
   const auto& d = dests(rank);
   for (int w = 0; w < topo_.nworlds; ++w) {
     const int s = topo_.slot(w, rank);
     if (alive(s) && d.find(s) == d.end()) out.push_back(s);
   }
+}
+
+std::vector<int> ReplicaMap::expected_ackers(int rank) const {
+  std::vector<int> out;
+  expected_ackers_into(rank, out);
   return out;
 }
 

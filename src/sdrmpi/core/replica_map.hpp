@@ -84,10 +84,16 @@ class ReplicaMap {
 
   /// Slots of alive replicas of `rank` excluding world `except_world`.
   [[nodiscard]] std::vector<int> ack_targets(int rank, int except_world) const;
+  /// Scratch-buffer variant for the send path: clears and refills `out`
+  /// (the caller reuses one vector across sends — no allocation).
+  void ack_targets_into(int rank, int except_world,
+                        std::vector<int>& out) const;
 
   /// Slots of alive replicas of `rank` that are NOT in dests(rank): the
   /// replicas whose acknowledgements a sender must collect (Alg. 1 l. 8-9).
   [[nodiscard]] std::vector<int> expected_ackers(int rank) const;
+  /// Scratch-buffer variant for the send path (see ack_targets_into).
+  void expected_ackers_into(int rank, std::vector<int>& out) const;
 
  private:
   Topology topo_;

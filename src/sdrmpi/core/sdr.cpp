@@ -1,11 +1,19 @@
 #include "sdrmpi/core/sdr.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "sdrmpi/util/log.hpp"
 
 namespace sdrmpi::core {
+
+namespace {
+[[nodiscard]] bool awaits(const AckManager::Record& rec, int slot) noexcept {
+  return std::find(rec.pending.begin(), rec.pending.end(), slot) !=
+         rec.pending.end();
+}
+}  // namespace
 
 void SdrProtocol::isend(mpi::Endpoint& ep, const mpi::SendArgs& a,
                         const mpi::Request& req) {
@@ -18,23 +26,22 @@ void SdrProtocol::isend(mpi::Endpoint& ep, const mpi::SendArgs& a,
 
   // Parallel protocol: one copy per destination replica this process is
   // responsible for (own world; plus inherited worlds after a failover).
+  // All copies — and the retransmission record below — share one pooled
+  // payload buffer through `shared`.
+  mpi::Endpoint::SendShared shared;
   for (int t : map_.dests(dst_world_rank)) {
     if (!map_.alive(t)) continue;
-    ep.base_isend(a.ctx, a.dst_rank, t, a.tag, a.seq, data, req);
+    ep.base_isend(a.ctx, a.dst_rank, t, a.tag, a.seq, data, req, &shared);
   }
 
   // Register the acknowledgements this send must collect (Alg. 1 l. 8-9):
   // one from every alive replica of the destination rank we do not send to
   // directly. The payload stays buffered until they all arrive so a
   // substitute can resend it (§3.2).
-  const auto ackers = map_.expected_ackers(dst_world_rank);
-  if (ackers.empty()) return;
+  map_.expected_ackers_into(dst_world_rank, acker_scratch_);
+  if (acker_scratch_.empty()) return;
 
-  AckManager::Record rec;
-  rec.payload.assign(data.begin(), data.end());
-  rec.tag = a.tag;
-  rec.dst_world_rank = dst_world_rank;
-  rec.pending.insert(ackers.begin(), ackers.end());
+  mpi::Request gated;
   if (job_.config.eager_copy_completion) {
     // Ablation (§3.2): complete the send request immediately by paying for
     // an extra payload copy instead of gating on acks.
@@ -43,17 +50,22 @@ void SdrProtocol::isend(mpi::Endpoint& ep, const mpi::SendArgs& a,
         std::llround(static_cast<double>(data.size()) *
                      job_.config.copy_cost_ns_per_byte)));
   } else {
-    rec.req = req;
-    req->gates += static_cast<int>(ackers.size());
+    gated = req;
+    req->gates += static_cast<int>(acker_scratch_.size());
   }
-  acks_.track({a.ctx, a.dst_rank, a.seq}, std::move(rec));
+  net::Payload buffered =
+      shared.data ? shared.data
+                  : net::Payload::copy_of(&ep.fabric().pool(), data);
+  acks_.track({a.ctx, a.dst_rank, a.seq}, std::move(buffered), a.tag,
+              dst_world_rank, acker_scratch_, gated);
 }
 
 void SdrProtocol::send_acks(mpi::Endpoint& ep, const mpi::FrameHeader& h) {
   // Replicas of the sender are found by its *world* rank (from the physical
   // slot); the ack itself is keyed by communicator ranks.
   const int sender_world_rank = map_.topo().rank_of(h.src_slot);
-  for (int t : map_.ack_targets(sender_world_rank, h.world)) {
+  map_.ack_targets_into(sender_world_rank, h.world, ack_target_scratch_);
+  for (int t : ack_target_scratch_) {
     mpi::FrameHeader ack;
     ack.kind = mpi::FrameKind::Ack;
     ack.ctx = h.ctx;
@@ -124,14 +136,14 @@ void SdrProtocol::handle_failure(mpi::Endpoint& ep, int failed_slot) {
         AckManager::Key key;
         int target;
         int tag;
-        std::vector<std::byte> payload;
+        net::Payload payload;  // aliases the buffered record
       };
       std::vector<Resend> resends;
-      for (auto& [key, rec] : acks_.records()) {
+      for (auto& e : acks_.records()) {
         for (int l : inherited) {
-          const int t = topo.slot(l, rec.dst_world_rank);
-          if (rec.pending.count(t) > 0 && map_.alive(t)) {
-            resends.push_back({key, t, rec.tag, rec.payload});
+          const int t = topo.slot(l, e.rec.dst_world_rank);
+          if (awaits(e.rec, t) && map_.alive(t)) {
+            resends.push_back({e.key, t, e.rec.tag, e.rec.payload});
           }
         }
       }
@@ -140,8 +152,9 @@ void SdrProtocol::handle_failure(mpi::Endpoint& ep, int failed_slot) {
                               << r.key.ctx << ", dst=" << r.key.dst_rank
                               << ", seq=" << r.key.seq << ") to slot "
                               << r.target;
+        mpi::Endpoint::SendShared shared{r.payload};
         ep.base_isend(r.key.ctx, r.key.dst_rank, r.target, r.tag, r.key.seq,
-                      r.payload, nullptr);
+                      r.payload.bytes(), nullptr, &shared);
         acks_.settle(r.key, r.target);
         ++job_.pstats.resends;
       }
@@ -225,11 +238,12 @@ void SdrProtocol::on_recovery_point(mpi::Endpoint& ep) {
 
 std::string SdrProtocol::debug_state() const {
   std::ostringstream os;
-  for (const auto& [key, rec] : acks_.records()) {
-    os << " await(ctx=" << key.ctx << ",dst=" << key.dst_rank
-       << ",seq=" << key.seq << ",from=";
-    for (int s : rec.pending) os << s << " ";
-    os << (rec.req != nullptr && !rec.req->ready() ? "GATING" : "idle") << ")";
+  for (const auto& e : acks_.records()) {
+    os << " await(ctx=" << e.key.ctx << ",dst=" << e.key.dst_rank
+       << ",seq=" << e.key.seq << ",from=";
+    for (int s : e.rec.pending) os << s << " ";
+    os << (e.rec.req != nullptr && !e.rec.req->ready() ? "GATING" : "idle")
+       << ")";
   }
   return os.str();
 }
@@ -257,20 +271,21 @@ void SdrProtocol::handle_recover_notify(mpi::Endpoint& ep,
     struct Resend {
       AckManager::Key key;
       int tag;
-      std::vector<std::byte> payload;
+      net::Payload payload;  // aliases the buffered record
     };
     std::vector<Resend> resends;
-    for (auto& [key, rec] : acks_.records()) {
-      if (rec.dst_world_rank == rr && rec.pending.count(h.src_slot) > 0) {
-        resends.push_back({key, rec.tag, rec.payload});
+    for (auto& e : acks_.records()) {
+      if (e.rec.dst_world_rank == rr && awaits(e.rec, h.src_slot)) {
+        resends.push_back({e.key, e.rec.tag, e.rec.payload});
       }
     }
     for (auto& r : resends) {
       SDR_LOG(Debug, "sdr") << "slot " << slot_ << " re-feeds (ctx="
                             << r.key.ctx << ", seq=" << r.key.seq
                             << ") to recovered slot " << rs;
+      mpi::Endpoint::SendShared shared{r.payload};
       ep.base_isend(r.key.ctx, r.key.dst_rank, rs, r.tag, r.key.seq,
-                    r.payload, nullptr);
+                    r.payload.bytes(), nullptr, &shared);
       ++job_.pstats.resends;
       // Keep awaiting the substitute's ack: it still covers us against a
       // failure of the recovered replica.

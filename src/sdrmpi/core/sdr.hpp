@@ -57,6 +57,9 @@ class SdrProtocol : public ReplicatedProtocol {
 
   AckManager acks_;
   std::vector<int> pending_recovery_worlds_;
+  // Send-path scratch buffers (reused across sends; see *_into variants).
+  std::vector<int> acker_scratch_;
+  std::vector<int> ack_target_scratch_;
 };
 
 }  // namespace sdrmpi::core

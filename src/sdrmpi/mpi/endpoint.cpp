@@ -27,16 +27,13 @@ Endpoint::~Endpoint() = default;
 
 void Endpoint::bind_process(int pid) {
   pid_ = pid;
-  fabric_.attach(slot_, pid, [this](net::Delivery&& d) {
-    on_delivery(std::move(d));
-  });
+  fabric_.attach(slot_, pid, net::Fabric::Sink::of<&Endpoint::on_delivery>(this));
 }
 
 void Endpoint::rebind_process(int pid) {
   pid_ = pid;
-  fabric_.reattach(slot_, pid, [this](net::Delivery&& d) {
-    on_delivery(std::move(d));
-  });
+  fabric_.reattach(slot_, pid,
+                   net::Fabric::Sink::of<&Endpoint::on_delivery>(this));
 }
 
 void Endpoint::set_protocol(std::unique_ptr<Vprotocol> protocol) {
@@ -56,8 +53,8 @@ int Endpoint::register_comm_fixed(CommCtx ctx_p2p, CommCtx ctx_coll,
   info.ctx_coll = ctx_coll;
   info.my_rank = my_rank;
   info.rank_to_slot = std::move(rank_to_slot);
-  ctx_to_comm_[ctx_p2p] = info.handle;
-  ctx_to_comm_[ctx_coll] = info.handle;
+  ctx_state(ctx_p2p).comm_handle = info.handle;
+  ctx_state(ctx_coll).comm_handle = info.handle;
   next_ctx_ = std::max(next_ctx_, std::max(ctx_p2p, ctx_coll) + 1);
   comms_.push_back(std::move(info));
   return comms_.back().handle;
@@ -75,9 +72,9 @@ const CommInfo& Endpoint::comm(int handle) const {
 }
 
 const CommInfo* Endpoint::comm_by_ctx(CommCtx ctx) const {
-  auto it = ctx_to_comm_.find(ctx);
-  if (it == ctx_to_comm_.end()) return nullptr;
-  return &comms_[static_cast<std::size_t>(it->second)];
+  const CtxState* st = ctx_state_if(ctx);
+  if (st == nullptr || st->comm_handle < 0) return nullptr;
+  return &comms_[static_cast<std::size_t>(st->comm_handle)];
 }
 
 int Endpoint::rank_in(CommCtx ctx) const {
@@ -86,32 +83,42 @@ int Endpoint::rank_in(CommCtx ctx) const {
 }
 
 std::uint64_t Endpoint::next_send_seq(CommCtx ctx, int dst_rank) const {
-  auto it = send_seq_.find({ctx, dst_rank});
-  return it != send_seq_.end() ? it->second : 0;
+  const CtxState* st = ctx_state_if(ctx);
+  return st != nullptr ? seq_at(st->send_seq, dst_rank) : 0;
 }
 
 std::uint64_t Endpoint::next_recv_seq(CommCtx ctx, int src_rank) const {
-  auto mit = matching_.find(ctx);
-  if (mit == matching_.end()) return 0;
-  auto sit = mit->second.expected_seq.find(src_rank);
-  return sit != mit->second.expected_seq.end() ? sit->second : 0;
+  const CtxState* st = ctx_state_if(ctx);
+  return st != nullptr ? seq_at(st->recv_seq, src_rank) : 0;
 }
 
 Endpoint::SeqSnapshot Endpoint::snapshot_seqs() const {
   SeqSnapshot snap;
-  snap.send_seq = send_seq_;
-  for (const auto& [ctx, m] : matching_) {
-    for (const auto& [src, seq] : m.expected_seq) {
-      snap.recv_seq[{ctx, src}] = seq;
+  for (CommCtx c = 0; c < ctx_.size(); ++c) {
+    const CtxState& st = ctx_[c];
+    for (std::size_t r = 0; r < st.send_seq.size(); ++r) {
+      if (st.send_seq[r] != 0) {
+        snap.channels[{c, static_cast<int>(r)}].send = st.send_seq[r];
+      }
+    }
+    for (std::size_t r = 0; r < st.recv_seq.size(); ++r) {
+      if (st.recv_seq[r] != 0) {
+        snap.channels[{c, static_cast<int>(r)}].recv = st.recv_seq[r];
+      }
     }
   }
   return snap;
 }
 
 void Endpoint::restore_seqs(const SeqSnapshot& snap) {
-  send_seq_ = snap.send_seq;
-  for (const auto& [key, seq] : snap.recv_seq) {
-    matching_[key.first].expected_seq[key.second] = seq;
+  for (CtxState& st : ctx_) {
+    st.send_seq.clear();
+    st.recv_seq.clear();
+  }
+  for (const auto& [key, seqs] : snap.channels) {
+    CtxState& st = ctx_state(key.first);
+    if (seqs.send != 0) seq_slot(st.send_seq, key.second) = seqs.send;
+    if (seqs.recv != 0) seq_slot(st.recv_seq, key.second) = seqs.recv;
   }
 }
 
@@ -119,13 +126,14 @@ bool Endpoint::snapshot_seqs_for_recovery(SeqSnapshot& out) const {
   out = snapshot_seqs();
   // Roll each channel's expected counter back over undelivered frames and
   // verify they form the channel's tail.
-  for (const auto& [ctx, m] : matching_) {
+  for (CommCtx c = 0; c < ctx_.size(); ++c) {
+    const CtxState& st = ctx_[c];
     std::map<int, std::vector<std::uint64_t>> undelivered;  // src -> seqs
-    for (const auto& f : m.unexpected) {
+    for (const auto& f : st.unexpected) {
       undelivered[f.h.src_rank].push_back(f.h.seq);
     }
     for (auto& [src, seqs] : undelivered) {
-      std::uint64_t& exp = out.recv_seq[{ctx, src}];
+      std::uint64_t& exp = out.channels[{c, src}].recv;
       const std::uint64_t adjusted = exp - seqs.size();
       for (std::uint64_t s : seqs) {
         if (s < adjusted || s >= exp) return false;  // non-tail consumption
@@ -137,7 +145,7 @@ bool Endpoint::snapshot_seqs_for_recovery(SeqSnapshot& out) const {
 }
 
 bool Endpoint::has_pending_rdv_recvs() const {
-  for (const auto& [key, rr] : rdv_recvs_) {
+  for (const RdvRecv& rr : rdv_recvs_) {
     if (!rr.discard) return true;
   }
   return false;
@@ -151,6 +159,26 @@ void Endpoint::charge(double ns) {
   engine().advance(static_cast<Time>(std::llround(ns)));
 }
 
+Request Endpoint::make_request_cached(ReqState::Kind kind) {
+  // Bounded probe over the cache ring for a request every other holder has
+  // dropped; fall back to a fresh allocation (which then joins the cache).
+  constexpr std::size_t kProbes = 4;
+  constexpr std::size_t kCacheCap = 64;
+  const std::size_t n = req_cache_.size();
+  for (std::size_t probe = 0; probe < kProbes && probe < n; ++probe) {
+    req_cache_scan_ = (req_cache_scan_ + 1) % n;
+    Request& r = req_cache_[req_cache_scan_];
+    if (r.use_count() == 1) {
+      *r = ReqState{};
+      r->kind = kind;
+      return r;
+    }
+  }
+  Request fresh = make_request(kind);
+  if (n < kCacheCap) req_cache_.push_back(fresh);
+  return fresh;
+}
+
 void Endpoint::enter_call() {
   assert(engine().in_process_context());
   charge(fabric_.params().call_cost_ns);
@@ -161,7 +189,7 @@ Request Endpoint::isend(CommCtx ctx, int dst_rank, int tag,
                         std::span<const std::byte> data) {
   enter_call();
   progress();  // drain arrivals first, like a PML entering any MPI call
-  auto req = make_request(ReqState::Kind::Send);
+  auto req = make_request_cached(ReqState::Kind::Send);
   if (dst_rank == kProcNull) {
     req->posted = true;
     return req;
@@ -175,7 +203,7 @@ Request Endpoint::isend(CommCtx ctx, int dst_rank, int tag,
   args.dst_slot_default = ci->rank_to_slot.at(static_cast<std::size_t>(dst_rank));
   args.tag = tag;
   args.data = data;
-  args.seq = send_seq_[{ctx, dst_rank}]++;
+  args.seq = seq_slot(ctx_state(ctx).send_seq, dst_rank)++;
 
   req->ctx = ctx;
   req->peer_rank = dst_rank;
@@ -194,7 +222,7 @@ Request Endpoint::irecv(CommCtx ctx, int src_rank, int tag,
   enter_call();
   progress();  // drain arrivals first: frames that beat this call land in
                // the unexpected queue (the cost Figure 2 talks about)
-  auto req = make_request(ReqState::Kind::Recv);
+  auto req = make_request_cached(ReqState::Kind::Recv);
   if (src_rank == kProcNull) {
     req->posted = true;
     return req;
@@ -283,7 +311,7 @@ Status Endpoint::probe(CommCtx ctx, int src_rank, int tag) {
   Status status;
   progress_until(
       [&] {
-        auto& m = matching_[ctx];
+        auto& m = ctx_state(ctx);
         for (const auto& f : m.unexpected) {
           const bool src_ok =
               src_rank == kAnySource || f.h.src_rank == src_rank;
@@ -293,7 +321,7 @@ Status Endpoint::probe(CommCtx ctx, int src_rank, int tag) {
             status.tag = f.h.tag;
             status.bytes = f.h.kind == FrameKind::Rts
                                ? static_cast<std::size_t>(f.h.value)
-                               : f.payload.size();
+                               : f.bulk.size();
             return true;
           }
         }
@@ -306,7 +334,7 @@ Status Endpoint::probe(CommCtx ctx, int src_rank, int tag) {
 std::optional<Status> Endpoint::iprobe(CommCtx ctx, int src_rank, int tag) {
   enter_call();
   progress();
-  auto& m = matching_[ctx];
+  auto& m = ctx_state(ctx);
   for (const auto& f : m.unexpected) {
     const bool src_ok = src_rank == kAnySource || f.h.src_rank == src_rank;
     const bool tag_ok = tag == kAnyTag || f.h.tag == tag;
@@ -316,7 +344,7 @@ std::optional<Status> Endpoint::iprobe(CommCtx ctx, int src_rank, int tag) {
       status.tag = f.h.tag;
       status.bytes = f.h.kind == FrameKind::Rts
                          ? static_cast<std::size_t>(f.h.value)
-                         : f.payload.size();
+                         : f.bulk.size();
       return status;
     }
   }
@@ -329,7 +357,7 @@ std::optional<Status> Endpoint::iprobe(CommCtx ctx, int src_rank, int tag) {
 
 void Endpoint::base_isend(CommCtx ctx, int dst_rank, int dst_slot, int tag,
                           std::uint64_t seq, std::span<const std::byte> data,
-                          const Request& req) {
+                          const Request& req, SendShared* shared) {
   const CommInfo* ci = comm_by_ctx(ctx);
   if (ci == nullptr) throw std::logic_error("base_isend: unknown ctx");
 
@@ -342,6 +370,16 @@ void Endpoint::base_isend(CommCtx ctx, int dst_rank, int dst_slot, int tag,
   h.world = static_cast<std::uint8_t>(world_);
   h.seq = seq;
 
+  // Materialise the payload buffer once per logical send; every physical
+  // copy of a fan-out (and the sender-side retransmission store) shares it.
+  net::Payload payload;
+  if (shared != nullptr && shared->data) {
+    payload = shared->data;
+  } else {
+    payload = net::Payload::copy_of(pool(), data);
+    if (shared != nullptr) shared->data = payload;
+  }
+
   ++stats_.data_frames_sent;
   // Detached sends (req == nullptr) are protocol retransmissions of
   // already-buffered payloads: they go eagerly regardless of size, because
@@ -351,7 +389,8 @@ void Endpoint::base_isend(CommCtx ctx, int dst_rank, int dst_slot, int tag,
     // Eager: the payload travels with the envelope and is buffered on the
     // wire, so the application buffer is immediately reusable.
     h.kind = FrameKind::Eager;
-    fabric_.send(slot_, dst_slot, encode_frame(h, data));
+    fabric_.send(slot_, dst_slot, encode_header(pool(), h),
+                 std::move(payload));
   } else {
     // Rendezvous: RTS now, payload after CTS; the buffer stays busy until
     // the payload is injected.
@@ -359,14 +398,15 @@ void Endpoint::base_isend(CommCtx ctx, int dst_rank, int dst_slot, int tag,
     h.value = data.size();
     h.aux = next_rdv_id_;
     RdvSend rec;
-    rec.payload.assign(data.begin(), data.end());
+    rec.id = next_rdv_id_;
+    rec.payload = std::move(payload);
     rec.dst_slot = dst_slot;
     rec.req = req;
     rec.header = h;
-    rdv_sends_.emplace(next_rdv_id_, std::move(rec));
+    rdv_sends_.push_back(std::move(rec));
     ++next_rdv_id_;
     if (req != nullptr) ++req->local_pending;
-    fabric_.send(slot_, dst_slot, encode_frame(h, {}),
+    fabric_.send(slot_, dst_slot, encode_header(pool(), h),
                  fabric_.params().header_bytes);
   }
 }
@@ -383,7 +423,7 @@ void Endpoint::base_irecv(CommCtx ctx, int src_rank, int tag,
   // actually match on (the leader protocol narrows it).
   req->tag = tag;
 
-  auto& m = matching_[ctx];
+  auto& m = ctx_state(ctx);
   // Look through already-arrived (unexpected) frames first, oldest first.
   for (auto it = m.unexpected.begin(); it != m.unexpected.end(); ++it) {
     const bool src_ok = src_rank == kAnySource || it->h.src_rank == src_rank;
@@ -413,7 +453,8 @@ void Endpoint::send_ctl(int dst_slot, FrameHeader h,
   const std::size_t wire = payload.empty()
                                ? fabric_.params().ctl_frame_bytes
                                : payload.size() + fabric_.params().header_bytes;
-  fabric_.send(slot_, dst_slot, encode_frame(h, payload), wire);
+  fabric_.send(slot_, dst_slot, encode_header(pool(), h),
+               net::Payload::copy_of(pool(), payload), wire);
 }
 
 // ---------------------------------------------------------------------------
@@ -429,7 +470,7 @@ void Endpoint::progress() {
   while (!inbox_.empty()) {
     net::Delivery d = std::move(inbox_.front());
     inbox_.pop_front();
-    handle_frame(d);
+    handle_frame(std::move(d));
   }
   protocol_->on_progress(*this);
 }
@@ -443,19 +484,18 @@ void Endpoint::progress_until(const std::function<bool()>& pred,
   }
 }
 
-void Endpoint::handle_frame(const net::Delivery& d) {
+void Endpoint::handle_frame(net::Delivery&& d) {
   ++stats_.frames_processed;
   engine().advance_to(d.arrival);
   charge(fabric_.params().o_recv_ns);
 
-  FrameHeader h = decode_header(d.data);
-  auto payload = frame_payload(d.data);
+  const FrameHeader h = decode_header(d.data.bytes());
   switch (h.kind) {
     case FrameKind::Eager:
     case FrameKind::Rts: {
       StoredFrame f;
       f.h = h;
-      f.payload.assign(payload.begin(), payload.end());
+      f.bulk = std::move(d.bulk);  // aliases the sender's buffer
       f.arrival = d.arrival;
       handle_data_frame(std::move(f));
       break;
@@ -466,13 +506,13 @@ void Endpoint::handle_frame(const net::Delivery& d) {
     case FrameKind::RdvData: {
       StoredFrame f;
       f.h = h;
-      f.payload.assign(payload.begin(), payload.end());
+      f.bulk = std::move(d.bulk);
       f.arrival = d.arrival;
       handle_rdv_data(std::move(f));
       break;
     }
     default:
-      protocol_->on_ctl(*this, h, payload);
+      protocol_->on_ctl(*this, h, d.bulk.bytes());
       break;
   }
 }
@@ -482,8 +522,8 @@ void Endpoint::handle_data_frame(StoredFrame&& f) {
     ++stats_.rejected;
     return;
   }
-  auto& m = matching_[f.h.ctx];
-  std::uint64_t& expected = m.expected_seq[f.h.src_rank];
+  auto& m = ctx_state(f.h.ctx);
+  std::uint64_t& expected = seq_slot(m.recv_seq, f.h.src_rank);
 
   if (f.h.seq < expected) {
     // Duplicate (failover resend or mirror sibling copy).
@@ -491,11 +531,10 @@ void Endpoint::handle_data_frame(StoredFrame&& f) {
       // A duplicate RTS may actually be the retransmission of a rendezvous
       // whose original sender died between RTS and payload: re-attach it.
       for (auto it = rdv_recvs_.begin(); it != rdv_recvs_.end(); ++it) {
-        RdvRecv& rr = it->second;
-        if (!rr.discard && rr.header.ctx == f.h.ctx &&
-            rr.header.src_rank == f.h.src_rank && rr.header.seq == f.h.seq &&
-            !fabric_.alive(rr.header.src_slot)) {
-          RdvRecv moved = std::move(rr);
+        if (!it->discard && it->header.ctx == f.h.ctx &&
+            it->header.src_rank == f.h.src_rank && it->header.seq == f.h.seq &&
+            !fabric_.alive(it->header.src_slot)) {
+          RdvRecv moved = std::move(*it);
           rdv_recvs_.erase(it);
           moved.header = f.h;
           start_rendezvous_recv(f, moved.req, /*discard=*/false);
@@ -522,14 +561,15 @@ void Endpoint::handle_data_frame(StoredFrame&& f) {
   const int src_rank = f.h.src_rank;
   accept_data_frame(std::move(f));
 
-  // Drain parked successors now unblocked.
+  // Drain parked successors now unblocked. (Re-fetch the counter each
+  // round: protocol callbacks ran in between.)
   auto pit = m.parked.find(src_rank);
   while (pit != m.parked.end() && !pit->second.empty()) {
     auto first = pit->second.begin();
-    if (first->first != m.expected_seq[src_rank]) break;
+    if (first->first != seq_slot(m.recv_seq, src_rank)) break;
     StoredFrame next = std::move(first->second);
     pit->second.erase(first);
-    ++m.expected_seq[src_rank];
+    ++seq_slot(m.recv_seq, src_rank);
     accept_data_frame(std::move(next));
     pit = m.parked.find(src_rank);
   }
@@ -545,7 +585,7 @@ bool Endpoint::matches(const Request& recv, const FrameHeader& h) {
 }
 
 void Endpoint::match_or_queue(StoredFrame&& f) {
-  auto& m = matching_[f.h.ctx];
+  auto& m = ctx_state(f.h.ctx);
   for (auto it = m.posted.begin(); it != m.posted.end(); ++it) {
     if (!matches(*it, f.h)) continue;
     Request req = *it;
@@ -563,13 +603,13 @@ void Endpoint::match_or_queue(StoredFrame&& f) {
 }
 
 void Endpoint::deliver_eager(StoredFrame&& f, const Request& req) {
-  if (f.payload.size() > req->recv_buf.size()) {
+  if (f.bulk.size() > req->recv_buf.size()) {
     throw std::runtime_error("sdrmpi: message truncation (eager recv)");
   }
-  if (!f.payload.empty()) {
-    std::memcpy(req->recv_buf.data(), f.payload.data(), f.payload.size());
+  if (!f.bulk.empty()) {
+    std::memcpy(req->recv_buf.data(), f.bulk.data(), f.bulk.size());
   }
-  req->status.bytes = f.payload.size();
+  req->status.bytes = f.bulk.size();
   complete_recv(f.h, req);
 }
 
@@ -579,10 +619,20 @@ void Endpoint::start_rendezvous_recv(const StoredFrame& f, const Request& req,
     throw std::runtime_error("sdrmpi: message truncation (rendezvous recv)");
   }
   RdvRecv rec;
+  rec.src_slot = f.h.src_slot;
+  rec.rdv_id = f.h.aux;
   rec.req = req;
   rec.header = f.h;
   rec.discard = discard;
-  rdv_recvs_[RdvRecvKey{f.h.src_slot, f.h.aux}] = std::move(rec);
+  bool replaced = false;
+  for (RdvRecv& rr : rdv_recvs_) {
+    if (rr.src_slot == rec.src_slot && rr.rdv_id == rec.rdv_id) {
+      rr = std::move(rec);
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) rdv_recvs_.push_back(std::move(rec));
 
   FrameHeader cts;
   cts.kind = FrameKind::Cts;
@@ -594,34 +644,42 @@ void Endpoint::start_rendezvous_recv(const StoredFrame& f, const Request& req,
 }
 
 void Endpoint::handle_cts(const FrameHeader& h) {
-  auto it = rdv_sends_.find(h.value);
+  auto it = rdv_sends_.begin();
+  while (it != rdv_sends_.end() && it->id != h.value) ++it;
   if (it == rdv_sends_.end()) return;  // stale CTS after failover
-  RdvSend rec = std::move(it->second);
+  RdvSend rec = std::move(*it);
   rdv_sends_.erase(it);
 
   FrameHeader dh = rec.header;
   dh.kind = FrameKind::RdvData;
   dh.aux = h.value;
-  fabric_.send(slot_, rec.dst_slot, encode_frame(dh, rec.payload));
+  // The staged payload rides as the bulk attachment — zero-copy from the
+  // rendezvous store to the receiver.
+  fabric_.send(slot_, rec.dst_slot, encode_header(pool(), dh),
+               std::move(rec.payload));
   if (rec.req != nullptr) --rec.req->local_pending;
 }
 
 void Endpoint::handle_rdv_data(StoredFrame&& f) {
-  auto it = rdv_recvs_.find(RdvRecvKey{f.h.src_slot, f.h.aux});
+  auto it = rdv_recvs_.begin();
+  while (it != rdv_recvs_.end() &&
+         !(it->src_slot == f.h.src_slot && it->rdv_id == f.h.aux)) {
+    ++it;
+  }
   if (it == rdv_recvs_.end()) return;
-  RdvRecv rec = std::move(it->second);
+  RdvRecv rec = std::move(*it);
   rdv_recvs_.erase(it);
   if (rec.discard) {
     ++stats_.duplicates_dropped;
     return;
   }
-  if (f.payload.size() > rec.req->recv_buf.size()) {
+  if (f.bulk.size() > rec.req->recv_buf.size()) {
     throw std::runtime_error("sdrmpi: message truncation (rendezvous data)");
   }
-  if (!f.payload.empty()) {
-    std::memcpy(rec.req->recv_buf.data(), f.payload.data(), f.payload.size());
+  if (!f.bulk.empty()) {
+    std::memcpy(rec.req->recv_buf.data(), f.bulk.data(), f.bulk.size());
   }
-  rec.req->status.bytes = f.payload.size();
+  rec.req->status.bytes = f.bulk.size();
   complete_recv(rec.header, rec.req);
 }
 
@@ -643,9 +701,12 @@ void Endpoint::recovery_point() {
 std::string Endpoint::debug_state() const {
   std::ostringstream os;
   os << "slot " << slot_ << " (world " << world_ << "):";
-  for (const auto& [ctx, m] : matching_) {
-    for (const auto& [src, seq] : m.expected_seq) {
-      os << " exp(ctx=" << ctx << ",src=" << src << ")=" << seq;
+  for (CommCtx ctx = 0; ctx < ctx_.size(); ++ctx) {
+    const CtxState& m = ctx_[ctx];
+    for (std::size_t src = 0; src < m.recv_seq.size(); ++src) {
+      if (m.recv_seq[src] != 0) {
+        os << " exp(ctx=" << ctx << ",src=" << src << ")=" << m.recv_seq[src];
+      }
     }
     for (const auto& req : m.posted) {
       os << " posted(ctx=" << ctx << ",src=" << req->status.source
@@ -659,19 +720,17 @@ std::string Endpoint::debug_state() const {
       if (!parked.empty()) {
         os << " parked(ctx=" << ctx << ",src=" << src
            << ",first=" << parked.begin()->first
-           << ",expected=" << (m.expected_seq.count(src) != 0U
-                                   ? m.expected_seq.at(src)
-                                   : 0)
+           << ",expected=" << seq_at(m.recv_seq, src)
            << ",n=" << parked.size() << ")";
       }
     }
   }
-  for (const auto& [id, rs] : rdv_sends_) {
-    os << " rdv_send(id=" << id << ",dst_slot=" << rs.dst_slot << ")";
+  for (const RdvSend& rs : rdv_sends_) {
+    os << " rdv_send(id=" << rs.id << ",dst_slot=" << rs.dst_slot << ")";
   }
-  for (const auto& [key, rr] : rdv_recvs_) {
+  for (const RdvRecv& rr : rdv_recvs_) {
     if (!rr.discard) {
-      os << " rdv_recv(src_slot=" << key.src_slot << ",seq=" << rr.header.seq
+      os << " rdv_recv(src_slot=" << rr.src_slot << ",seq=" << rr.header.seq
          << ")";
     }
   }

@@ -6,6 +6,13 @@
 // progress happens inside MPI calls — the default Open MPI / MPICH2
 // behaviour that the paper's ack-on-irecvComplete argument depends on.
 //
+// Hot-path layout: per-channel sequence counters and the context→comm
+// mapping are flat vectors indexed by the (dense) context id and peer rank
+// — the seed code's std::map<std::pair<CommCtx,int>,...> lookups are gone
+// from the send/receive path. Message payloads are refcounted pool-backed
+// net::Payload handles end to end: unexpected/parked frames and pending
+// rendezvous transfers alias the delivered buffer instead of copying it.
+//
 // Replication protocols intercept traffic through the Vprotocol hooks; the
 // endpoint provides them base operations (base_isend / base_irecv /
 // send_ctl) that bypass further interception.
@@ -14,7 +21,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <list>
 #include <map>
 #include <memory>
 #include <optional>
@@ -109,12 +115,21 @@ class Endpoint {
 
   // ---- base operations for protocols (no further interception) ----
 
+  /// Payload sharing across the physical copies of one logical send: the
+  /// first base_isend call materialises the pool-backed payload buffer
+  /// here, and every further copy (other replicas, the retransmission
+  /// store) aliases it instead of re-copying the bytes.
+  struct SendShared {
+    net::Payload data;
+  };
+
   /// Sends one physical copy of a data message to dst_slot. Chooses eager
   /// or rendezvous by size; bumps req->local_pending until the copy's
-  /// buffer-reuse point.
+  /// buffer-reuse point. Fan-out callers pass one SendShared per logical
+  /// send so all copies share one payload buffer.
   void base_isend(CommCtx ctx, int dst_rank, int dst_slot, int tag,
                   std::uint64_t seq, std::span<const std::byte> data,
-                  const Request& req);
+                  const Request& req, SendShared* shared = nullptr);
   /// Posts a receive into the matching engine.
   void base_irecv(CommCtx ctx, int src_rank, int tag, std::span<std::byte> buf,
                   const Request& req);
@@ -150,10 +165,16 @@ class Endpoint {
   /// Next sequence number expected on channel (ctx, src ->).
   [[nodiscard]] std::uint64_t next_recv_seq(CommCtx ctx, int src_rank) const;
 
-  /// Protocol state transfer for recovery: export/import sequence counters.
+  /// Protocol state transfer for recovery: an on-demand snapshot of the
+  /// per-channel sequence counters. One record per (ctx, peer) channel —
+  /// the endpoint itself keeps the counters only in its flat per-context
+  /// state, so snapshot and live state cannot drift.
   struct SeqSnapshot {
-    std::map<std::pair<CommCtx, int>, std::uint64_t> send_seq;
-    std::map<std::pair<CommCtx, int>, std::uint64_t> recv_seq;
+    struct Seqs {
+      std::uint64_t send = 0;  ///< next outgoing seq to peer
+      std::uint64_t recv = 0;  ///< next expected seq from peer
+    };
+    std::map<std::pair<CommCtx, int>, Seqs> channels;
   };
   [[nodiscard]] SeqSnapshot snapshot_seqs() const;
   void restore_seqs(const SeqSnapshot& snap);
@@ -179,34 +200,44 @@ class Endpoint {
  private:
   struct StoredFrame {
     FrameHeader h;
-    std::vector<std::byte> payload;
+    net::Payload bulk;  ///< aliases the delivered buffer (no copy)
     Time arrival = 0;
   };
-  struct Matching {
-    std::list<Request> posted;
-    std::list<StoredFrame> unexpected;
-    std::map<int, std::uint64_t> expected_seq;            // src_rank -> next
+  /// Per-context hot state: channel counters (flat, indexed by peer rank),
+  /// matching queues, and the owning communicator. Contexts are dense small
+  /// integers, so the whole table is a deque indexed by ctx (deque: grows
+  /// without invalidating references held across protocol callbacks).
+  struct CtxState {
+    std::vector<std::uint64_t> send_seq;  ///< next seq per dst_rank
+    std::vector<std::uint64_t> recv_seq;  ///< next expected per src_rank
+    // Posted/unexpected queues are vectors (ordered erase preserves MPI
+    // matching order); they are short, and their capacity recycles where
+    // the former std::list allocated a node per operation.
+    std::vector<Request> posted;
+    std::vector<StoredFrame> unexpected;
     std::map<int, std::map<std::uint64_t, StoredFrame>> parked;  // reorder
+    int comm_handle = -1;  ///< registered communicator, -1 if none yet
   };
+  /// Pending rendezvous transfers live in flat vectors looked up by their
+  /// unique id/key (a handful live at a time; the former std::map paid a
+  /// node allocation per large message).
   struct RdvSend {
-    std::vector<std::byte> payload;
+    std::uint64_t id = 0;
+    net::Payload payload;  ///< shared with sibling copies / ack store
     int dst_slot = -1;
     Request req;
     FrameHeader header;
   };
-  struct RdvRecvKey {
-    int src_slot;
-    std::uint64_t rdv_id;
-    auto operator<=>(const RdvRecvKey&) const = default;
-  };
   struct RdvRecv {
+    int src_slot = -1;
+    std::uint64_t rdv_id = 0;
     Request req;
     FrameHeader header;  // original Rts header
     bool discard = false;
   };
 
   void on_delivery(net::Delivery&& d);
-  void handle_frame(const net::Delivery& d);
+  void handle_frame(net::Delivery&& d);
   void handle_data_frame(StoredFrame&& f);
   void accept_data_frame(StoredFrame&& f);
   void match_or_queue(StoredFrame&& f);
@@ -220,6 +251,27 @@ class Endpoint {
   void fire_app_complete(const Request& req);
   void charge(double ns);
 
+  [[nodiscard]] CtxState& ctx_state(CommCtx ctx) {
+    while (ctx_.size() <= ctx) ctx_.emplace_back();
+    return ctx_[ctx];
+  }
+  [[nodiscard]] const CtxState* ctx_state_if(CommCtx ctx) const noexcept {
+    return ctx < ctx_.size() ? &ctx_[ctx] : nullptr;
+  }
+  /// Mutable counter for (state, peer), growing the flat table on demand.
+  [[nodiscard]] static std::uint64_t& seq_slot(std::vector<std::uint64_t>& v,
+                                               int rank) {
+    const auto i = static_cast<std::size_t>(rank);
+    if (v.size() <= i) v.resize(i + 1, 0);
+    return v[i];
+  }
+  [[nodiscard]] static std::uint64_t seq_at(
+      const std::vector<std::uint64_t>& v, int rank) noexcept {
+    const auto i = static_cast<std::size_t>(rank);
+    return i < v.size() ? v[i] : 0;
+  }
+  [[nodiscard]] util::BufferPool* pool() noexcept { return &fabric_.pool(); }
+
   net::Fabric& fabric_;
   const int slot_;
   const int world_;
@@ -230,14 +282,19 @@ class Endpoint {
   std::deque<net::Delivery> inbox_;
 
   std::vector<CommInfo> comms_;
-  std::map<CommCtx, int> ctx_to_comm_;
   CommCtx next_ctx_;
 
-  std::map<CommCtx, Matching> matching_;
-  std::map<std::pair<CommCtx, int>, std::uint64_t> send_seq_;
-  std::map<std::uint64_t, RdvSend> rdv_sends_;
-  std::map<RdvRecvKey, RdvRecv> rdv_recvs_;
+  std::deque<CtxState> ctx_;  // indexed by context id (dense, small)
+  std::vector<RdvSend> rdv_sends_;
+  std::vector<RdvRecv> rdv_recvs_;
   std::uint64_t next_rdv_id_ = 1;
+
+  /// Completed-request recycler: isend/irecv reuse a request object once
+  /// every other holder (application, queues, protocol stores) dropped it
+  /// — use_count()==1 means only the cache references it.
+  [[nodiscard]] Request make_request_cached(ReqState::Kind kind);
+  std::vector<Request> req_cache_;
+  std::size_t req_cache_scan_ = 0;
 
   EndpointStats stats_;
 };

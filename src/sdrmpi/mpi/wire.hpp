@@ -10,9 +10,9 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
-#include <vector>
 
 #include "sdrmpi/mpi/types.hpp"
+#include "sdrmpi/net/payload.hpp"
 
 namespace sdrmpi::mpi {
 
@@ -51,16 +51,13 @@ struct FrameHeader {
 };
 static_assert(std::is_trivially_copyable_v<FrameHeader>);
 
-/// Serializes header + payload into one wire buffer.
-inline std::vector<std::byte> encode_frame(const FrameHeader& h,
-                                           std::span<const std::byte> payload) {
-  std::vector<std::byte> buf(sizeof(FrameHeader) + payload.size());
-  std::memcpy(buf.data(), &h, sizeof(FrameHeader));
-  if (!payload.empty()) {
-    std::memcpy(buf.data() + sizeof(FrameHeader), payload.data(),
-                payload.size());
-  }
-  return buf;
+/// Serializes the wire envelope into a pool-backed buffer. Payload bytes
+/// never ride inside the frame: they travel as Delivery::bulk, a zero-copy
+/// attachment shared with the sender's buffer (the receive path reads
+/// d.bulk exclusively).
+inline net::Payload encode_header(util::BufferPool* pool,
+                                  const FrameHeader& h) {
+  return net::Payload::copy_of_object(pool, h);
 }
 
 /// Reads the header back out of a wire buffer.
@@ -68,12 +65,6 @@ inline FrameHeader decode_header(std::span<const std::byte> buf) {
   FrameHeader h;
   std::memcpy(&h, buf.data(), sizeof(FrameHeader));
   return h;
-}
-
-/// View of the payload portion of a wire buffer.
-inline std::span<const std::byte> frame_payload(
-    std::span<const std::byte> buf) noexcept {
-  return buf.subspan(sizeof(FrameHeader));
 }
 
 }  // namespace sdrmpi::mpi

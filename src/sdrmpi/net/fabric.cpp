@@ -59,11 +59,13 @@ Time Fabric::pass_link(Time t, Time& link_free, Time ser) {
   return start + ser;
 }
 
-void Fabric::send(int src_slot, int dst_slot, std::vector<std::byte> data,
+void Fabric::send(int src_slot, int dst_slot, Payload frame, Payload bulk,
                   std::size_t wire_bytes) {
   (void)slots_.at(static_cast<std::size_t>(src_slot));  // bounds check
   (void)slots_.at(static_cast<std::size_t>(dst_slot));
-  if (wire_bytes == 0) wire_bytes = data.size() + params_.header_bytes;
+  if (wire_bytes == 0) {
+    wire_bytes = frame.size() + bulk.size() + params_.header_bytes;
+  }
 
   // Charge the sender's CPU overhead, then hand the frame to the backend.
   engine_.advance(static_cast<Time>(std::llround(params_.o_send_ns)));
@@ -76,17 +78,20 @@ void Fabric::send(int src_slot, int dst_slot, std::vector<std::byte> data,
   d.sent_at = now;
   d.arrival = arrival;
   d.frame_no = frame_no_++;
-  d.data = std::move(data);
+  d.data = std::move(frame);
+  d.bulk = std::move(bulk);
 
   ++stats_.frames_sent;
   stats_.payload_bytes += wire_bytes;
 
+  // Fabric* + Delivery fit InlineFn's inline buffer: scheduling a frame
+  // allocates nothing.
   engine_.schedule(arrival, [this, d = std::move(d)]() mutable {
     deliver(std::move(d));
   });
 }
 
-void Fabric::inject_oob(int dst_slot, std::vector<std::byte> data, Time at) {
+void Fabric::inject_oob(int dst_slot, Payload frame, Time at) {
   Delivery d;
   d.src_slot = -1;
   d.dst_slot = dst_slot;
@@ -94,7 +99,7 @@ void Fabric::inject_oob(int dst_slot, std::vector<std::byte> data, Time at) {
   d.arrival = at;
   d.frame_no = frame_no_++;
   d.out_of_band = true;
-  d.data = std::move(data);
+  d.data = std::move(frame);
   engine_.schedule(at, [this, d = std::move(d)]() mutable {
     deliver(std::move(d));
   });

@@ -17,17 +17,21 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "sdrmpi/net/params.hpp"
+#include "sdrmpi/net/payload.hpp"
 #include "sdrmpi/sim/engine.hpp"
 #include "sdrmpi/sim/time.hpp"
 
 namespace sdrmpi::net {
 
-/// One frame arriving at a slot's inbox.
+/// One frame arriving at a slot's inbox. `data` is the wire frame (the
+/// envelope, plus any inline payload); `bulk` is an optional zero-copy
+/// attachment for large transfers — it shares the sender's buffer instead
+/// of copying it, while still being charged as wire bytes by the cost
+/// model. Both return their slabs to the engine's pool on destruction.
 struct Delivery {
   int src_slot = -1;
   int dst_slot = -1;
@@ -35,12 +39,36 @@ struct Delivery {
   Time arrival = 0;
   std::uint64_t frame_no = 0;  // global injection order (diagnostics)
   bool out_of_band = false;    // true for failure-detector notifications
-  std::vector<std::byte> data;
+  Payload data;
+  Payload bulk;
 };
 
 class Fabric {
  public:
-  using Sink = std::function<void(Delivery&&)>;
+  /// Non-owning delivery consumer: a plain function pointer plus context,
+  /// invoked once per arriving frame. Replaces the per-slot std::function
+  /// of the seed code (one heap-boxed closure per attach, an indirect
+  /// virtual-ish call plus a move per frame).
+  struct Sink {
+    using Fn = void (*)(void* ctx, Delivery&& d);
+
+    Fn fn = nullptr;
+    void* ctx = nullptr;
+
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return fn != nullptr;
+    }
+    void operator()(Delivery&& d) const { fn(ctx, std::move(d)); }
+
+    /// Adapts a member function: `Sink::of<&Endpoint::on_delivery>(this)`.
+    template <auto Member, class T>
+    [[nodiscard]] static Sink of(T* obj) noexcept {
+      return Sink{[](void* c, Delivery&& d) {
+                    (static_cast<T*>(c)->*Member)(std::move(d));
+                  },
+                  obj};
+    }
+  };
 
   virtual ~Fabric();
 
@@ -59,15 +87,32 @@ class Fabric {
   [[nodiscard]] bool alive(int slot) const;
 
   /// Injects a frame from the *currently running process* (charges o_send
-  /// to its clock and serialises on its egress). `wire_bytes` is the
-  /// modeled size; pass 0 to use data.size() + header_bytes.
-  void send(int src_slot, int dst_slot, std::vector<std::byte> data,
+  /// to its clock and serialises on its egress). `frame` is the wire
+  /// envelope (+ inline payload); `bulk` an optional zero-copy attachment
+  /// shared with the sender (see Delivery). `wire_bytes` is the modeled
+  /// size; pass 0 to use frame.size() + bulk.size() + header_bytes.
+  void send(int src_slot, int dst_slot, Payload frame, Payload bulk,
             std::size_t wire_bytes = 0);
+  void send(int src_slot, int dst_slot, Payload frame,
+            std::size_t wire_bytes = 0) {
+    send(src_slot, dst_slot, std::move(frame), Payload{}, wire_bytes);
+  }
 
   /// Delivers an out-of-band notification at absolute time `at` without
   /// consuming network resources (the paper's external failure-detection
   /// service). FIFO with respect to nothing; marked out_of_band.
-  void inject_oob(int dst_slot, std::vector<std::byte> data, Time at);
+  void inject_oob(int dst_slot, Payload frame, Time at);
+
+  /// The engine's buffer pool; all frame/payload buffers should draw from
+  /// it so they recycle instead of hitting the heap.
+  [[nodiscard]] util::BufferPool& pool() noexcept {
+    return engine_.buffer_pool();
+  }
+
+  /// Pool-backed copy of `bytes` (convenience for raw-fabric callers).
+  [[nodiscard]] Payload make_payload(std::span<const std::byte> bytes) {
+    return Payload::copy_of(&pool(), bytes);
+  }
 
   [[nodiscard]] virtual TopologyKind kind() const noexcept = 0;
   [[nodiscard]] const NetParams& params() const noexcept { return params_; }

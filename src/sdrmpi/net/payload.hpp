@@ -1,0 +1,161 @@
+// Payload: an immutable, refcounted byte buffer drawn from a BufferPool.
+//
+// One Payload handle is a single pointer; copying bumps a (non-atomic)
+// refcount, and the last handle returns the slab to the pool it came from
+// instead of the heap. This is what lets a replicated send share ONE buffer
+// across r replica copies, the sender-side retransmission store, and the
+// receiver's unexpected/parked queues — where the seed code re-copied the
+// bytes at every hand-off.
+//
+// Thread-confinement: a Payload must stay on the host thread of the Engine
+// whose pool it came from (one run = one thread, like everything else in a
+// World). Pool-less Payloads (pool = nullptr) use the plain heap and exist
+// for standalone tests.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <utility>
+
+#include "sdrmpi/util/buffer_pool.hpp"
+
+namespace sdrmpi::net {
+
+class Payload {
+ public:
+  Payload() noexcept = default;
+
+  Payload(const Payload& other) noexcept : h_(other.h_) {
+    if (h_ != nullptr) ++h_->refs;
+  }
+
+  Payload(Payload&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+
+  Payload& operator=(const Payload& other) noexcept {
+    Payload tmp(other);
+    std::swap(h_, tmp.h_);
+    return *this;
+  }
+
+  Payload& operator=(Payload&& other) noexcept {
+    if (this != &other) {
+      release();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+
+  ~Payload() { release(); }
+
+  /// Copies `bytes` into a slab from `pool` (heap when pool is null).
+  /// An empty span yields an empty (null) handle.
+  [[nodiscard]] static Payload copy_of(util::BufferPool* pool,
+                                       std::span<const std::byte> bytes) {
+    if (bytes.empty()) return {};
+    Payload p(pool, bytes.size());
+    std::memcpy(p.mutable_data(), bytes.data(), bytes.size());
+    return p;
+  }
+
+  /// Copies a trivially-copyable object's bytes (frame headers).
+  template <class T>
+  [[nodiscard]] static Payload copy_of_object(util::BufferPool* pool,
+                                              const T& obj) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return copy_of(pool, std::span<const std::byte>(
+                             reinterpret_cast<const std::byte*>(&obj),
+                             sizeof(T)));
+  }
+
+  /// Concatenates two spans into one buffer (header + inline payload).
+  [[nodiscard]] static Payload concat(util::BufferPool* pool,
+                                      std::span<const std::byte> head,
+                                      std::span<const std::byte> tail) {
+    if (head.empty() && tail.empty()) return {};
+    Payload p(pool, head.size() + tail.size());
+    if (!head.empty()) {
+      std::memcpy(p.mutable_data(), head.data(), head.size());
+    }
+    if (!tail.empty()) {
+      std::memcpy(p.mutable_data() + head.size(), tail.data(), tail.size());
+    }
+    return p;
+  }
+
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return h_ != nullptr ? slab_data(h_) : nullptr;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return h_ != nullptr ? h_->size : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return h_ != nullptr;
+  }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {data(), size()};
+  }
+
+  [[nodiscard]] std::byte operator[](std::size_t i) const noexcept {
+    assert(i < size());
+    return slab_data(h_)[i];
+  }
+
+  /// Handles sharing this buffer (test/diagnostic; 0 for empty handles).
+  [[nodiscard]] std::uint32_t use_count() const noexcept {
+    return h_ != nullptr ? h_->refs : 0;
+  }
+
+  void reset() noexcept {
+    release();
+    h_ = nullptr;
+  }
+
+ private:
+  /// Slab layout: [Header][data bytes]. The header records which pool (and
+  /// free-list class) the slab returns to, so a Payload can outlive the
+  /// Fabric/Endpoint that made it as long as the Engine (pool owner) lives.
+  struct Header {
+    std::uint32_t refs;
+    std::uint32_t size_class;
+    std::size_t size;
+    util::BufferPool* pool;
+  };
+
+  Payload(util::BufferPool* pool, std::size_t n) {
+    void* slab;
+    std::uint32_t size_class = util::BufferPool::kOversize;
+    if (pool != nullptr) {
+      slab = pool->acquire(sizeof(Header) + n, size_class);
+    } else {
+      slab = ::operator new(sizeof(Header) + n);
+    }
+    h_ = static_cast<Header*>(slab);
+    h_->refs = 1;
+    h_->size_class = size_class;
+    h_->size = n;
+    h_->pool = pool;
+  }
+
+  [[nodiscard]] static std::byte* slab_data(Header* h) noexcept {
+    return reinterpret_cast<std::byte*>(h + 1);
+  }
+  [[nodiscard]] std::byte* mutable_data() noexcept { return slab_data(h_); }
+
+  void release() noexcept {
+    if (h_ == nullptr || --h_->refs != 0) return;
+    if (h_->pool != nullptr) {
+      h_->pool->release(h_, h_->size_class);
+    } else {
+      ::operator delete(h_);
+    }
+  }
+
+  Header* h_ = nullptr;
+};
+
+}  // namespace sdrmpi::net

@@ -55,8 +55,8 @@ int Engine::spawn(std::string name, std::function<void()> body, Time start_at) {
   return pid;
 }
 
-void Engine::schedule(Time t, std::function<void()> action) {
-  events_.push(Event{std::max(t, now()), event_seq_++, std::move(action)});
+void Engine::schedule(Time t, InlineFn action) {
+  events_.push(std::max(t, now()), event_seq_++, std::move(action));
 }
 
 RunOutcome Engine::run() {
@@ -65,7 +65,7 @@ RunOutcome Engine::run() {
     Process* p = next_runnable();
     const bool have_event = !events_.empty();
     const Time pt = p != nullptr ? p->clock() : 0;
-    const Time et = have_event ? events_.top().t : 0;
+    const Time et = have_event ? events_.top_time() : 0;
 
     if (p == nullptr && !have_event) break;  // all quiet
 
@@ -79,9 +79,8 @@ RunOutcome Engine::run() {
     if (run_event) {
       // Move the event out of the queue before executing: the action may
       // schedule new events or spawn processes.
-      auto fn = std::move(const_cast<Event&>(events_.top()).fn);
+      InlineFn fn = events_.pop();
       event_now_ = et;
-      events_.pop();
       ++events_executed_;
       fn();
     } else {
@@ -187,7 +186,7 @@ void Engine::maybe_yield() {
   if (self.crash_req_) throw CrashUnwind{};
   // Single-writer safety: while this process runs, no other thread mutates
   // the event queue or process states, so peeking is race-free.
-  bool older_item = !events_.empty() && events_.top().t <= self.clock_;
+  bool older_item = !events_.empty() && events_.top_time() <= self.clock_;
   if (!older_item) {
     for (const auto& p : procs_) {
       if (p.get() != &self && p->runnable() && p->clock() < self.clock_) {

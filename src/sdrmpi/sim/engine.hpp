@@ -16,12 +16,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "sdrmpi/sim/event_queue.hpp"
+#include "sdrmpi/sim/inline_fn.hpp"
 #include "sdrmpi/sim/process.hpp"
 #include "sdrmpi/sim/time.hpp"
+#include "sdrmpi/util/buffer_pool.hpp"
 
 namespace sdrmpi::sim {
 
@@ -54,8 +56,14 @@ class Engine {
   /// `start_at` (default: now). Returns its pid.
   int spawn(std::string name, std::function<void()> body, Time start_at = -1);
 
-  /// Schedules an action at absolute virtual time t (>= now).
-  void schedule(Time t, std::function<void()> action);
+  /// Schedules an action at absolute virtual time t (>= now). The action is
+  /// an InlineFn: captures up to 64 bytes schedule without heap traffic.
+  void schedule(Time t, InlineFn action);
+
+  /// The engine-lifetime byte-buffer recycler (frames/payloads draw their
+  /// slabs here). Declared before all event/fiber state so outstanding
+  /// buffers drain back before the pool dies.
+  [[nodiscard]] util::BufferPool& buffer_pool() noexcept { return pool_; }
 
   /// Caps virtual time; run() stops with time_limit_hit when exceeded.
   void set_time_limit(Time t) noexcept { time_limit_ = t; }
@@ -117,17 +125,6 @@ class Engine {
  private:
   friend class Process;
 
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
-    }
-  };
-
   /// Smallest-clock runnable process, pid tie-break; nullptr if none.
   [[nodiscard]] Process* next_runnable() noexcept;
   /// Direct swapcontext into the process fiber; returns when the process
@@ -140,8 +137,13 @@ class Engine {
   [[nodiscard]] FiberStack acquire_stack();
   void release_stack(FiberStack stack);
 
+  // Destroyed LAST: pending events and unwinding fibers may still hold
+  // pool-backed buffers (net::Payload) that return their slabs on
+  // destruction.
+  util::BufferPool pool_;
+
   std::vector<std::unique_ptr<Process>> procs_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  EventQueue events_;
   std::uint64_t event_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   std::uint64_t context_switches_ = 0;

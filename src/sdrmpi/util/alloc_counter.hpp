@@ -1,0 +1,29 @@
+// Global heap-allocation counter for the perf trajectory.
+//
+// When linked into a binary (any reference to alloc_count() pulls the TU in),
+// the replaced global operator new/delete bump a process-wide counter on
+// every allocation. The hot-path benches and the allocation-regression test
+// read deltas around a measured section to report "heap allocations per
+// simulated message" — the machine-checkable form of the zero-allocation
+// hot-path claim.
+//
+// Counting is compiled out under AddressSanitizer (ASan interposes the
+// allocator itself); callers must gate on alloc_counting_enabled().
+#pragma once
+
+#include <cstdint>
+
+namespace sdrmpi::util {
+
+/// Process-wide count of global operator new invocations (all variants)
+/// since program start. Monotonic; meaningful only as deltas. Returns 0
+/// forever when counting is disabled.
+[[nodiscard]] std::uint64_t alloc_count() noexcept;
+
+/// Total bytes requested through global operator new. Deltas only.
+[[nodiscard]] std::uint64_t alloc_bytes() noexcept;
+
+/// False when the build cannot count (sanitizer builds).
+[[nodiscard]] bool alloc_counting_enabled() noexcept;
+
+}  // namespace sdrmpi::util

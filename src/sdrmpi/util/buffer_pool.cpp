@@ -1,0 +1,61 @@
+#include "sdrmpi/util/buffer_pool.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <new>
+
+namespace sdrmpi::util {
+
+BufferPool::~BufferPool() {
+  for (auto& list : free_) {
+    for (void* slab : list) ::operator delete(slab);
+  }
+}
+
+std::uint32_t BufferPool::class_for(std::size_t bytes) noexcept {
+  if (bytes > kMaxClassBytes) return kOversize;
+  const std::size_t rounded = std::max(bytes, kMinClassBytes);
+  const int log2 = std::bit_width(rounded - 1);  // ceil(log2)
+  return static_cast<std::uint32_t>(std::max(log2, kMinLog2) - kMinLog2);
+}
+
+std::size_t BufferPool::capacity(std::uint32_t size_class) noexcept {
+  if (size_class == kOversize) return 0;
+  return std::size_t{1} << (kMinLog2 + static_cast<int>(size_class));
+}
+
+void* BufferPool::acquire(std::size_t bytes, std::uint32_t& size_class) {
+  size_class = class_for(bytes);
+  if (size_class == kOversize) {
+    ++stats_.oversize_allocs;
+    stats_.bytes_allocated += bytes;
+    return ::operator new(bytes);
+  }
+  auto& list = free_[size_class];
+  if (!list.empty()) {
+    ++stats_.reuses;
+    void* slab = list.back();
+    list.pop_back();
+    return slab;
+  }
+  ++stats_.fresh_allocs;
+  stats_.bytes_allocated += capacity(size_class);
+  return ::operator new(capacity(size_class));
+}
+
+void BufferPool::release(void* slab, std::uint32_t size_class) noexcept {
+  if (slab == nullptr) return;
+  if (size_class == kOversize) {
+    ::operator delete(slab);
+    return;
+  }
+  free_[size_class].push_back(slab);
+}
+
+std::size_t BufferPool::cached_slabs() const noexcept {
+  std::size_t n = 0;
+  for (const auto& list : free_) n += list.size();
+  return n;
+}
+
+}  // namespace sdrmpi::util

@@ -1,0 +1,72 @@
+// Size-classed slab recycler for the simulator's hot-path byte buffers.
+//
+// The pool hands out raw slabs rounded up to power-of-two size classes
+// (64 B .. 16 MiB) and keeps released slabs on per-class free lists instead
+// of returning them to the heap, so a steady-state message flow allocates
+// nothing: every frame/payload buffer is a recycled slab. Oversize requests
+// fall through to the heap (counted separately).
+//
+// One pool per Engine, single-thread-confined like the Engine itself (one
+// run = one host thread; independent Engines own independent pools). The
+// pool must outlive every slab drawn from it — sim::Engine declares it
+// first so fiber stacks and pending events drain back before destruction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sdrmpi::util {
+
+class BufferPool {
+ public:
+  /// Smallest / largest pooled class (bytes, powers of two). Requests above
+  /// kMaxClassBytes bypass the free lists (exact heap alloc/free). 16 MiB
+  /// covers the largest paper workload messages (NetPipe tops out at 8 MiB
+  /// payload + frame header) so the whole fig7 sweep recycles.
+  static constexpr std::size_t kMinClassBytes = 64;
+  static constexpr std::size_t kMaxClassBytes = std::size_t{16} << 20;
+
+  /// Free-list identifier attached to a slab; kOversize marks heap slabs.
+  static constexpr std::uint32_t kOversize = 0xffffffffu;
+
+  struct Stats {
+    std::uint64_t fresh_allocs = 0;   ///< slabs drawn from the heap
+    std::uint64_t reuses = 0;         ///< slabs served from a free list
+    std::uint64_t oversize_allocs = 0;
+    std::uint64_t bytes_allocated = 0;  ///< heap bytes ever drawn
+  };
+
+  BufferPool() = default;
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a slab of at least `bytes` (never null; throws bad_alloc).
+  /// `size_class` receives the class id to pass back to release();
+  /// capacity() maps it back to the slab's usable size.
+  [[nodiscard]] void* acquire(std::size_t bytes, std::uint32_t& size_class);
+
+  /// Returns a slab to its class free list (heap-frees oversize slabs).
+  void release(void* slab, std::uint32_t size_class) noexcept;
+
+  /// Usable bytes of a slab of the given class (0 for kOversize).
+  [[nodiscard]] static std::size_t capacity(std::uint32_t size_class) noexcept;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Slabs currently parked on free lists (test/diagnostic).
+  [[nodiscard]] std::size_t cached_slabs() const noexcept;
+
+ private:
+  static constexpr int kMinLog2 = 6;   // 64 B
+  static constexpr int kMaxLog2 = 24;  // 16 MiB
+  static constexpr int kNumClasses = kMaxLog2 - kMinLog2 + 1;
+
+  [[nodiscard]] static std::uint32_t class_for(std::size_t bytes) noexcept;
+
+  std::vector<void*> free_[kNumClasses];
+  Stats stats_;
+};
+
+}  // namespace sdrmpi::util

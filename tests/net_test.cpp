@@ -162,19 +162,23 @@ TEST(Fabric, StatsCountFrames) {
 
 TEST(Fabric, ReattachReplacesSink) {
   Harness h(2);
-  std::vector<Delivery> second;
+  struct Recorder {
+    std::vector<Delivery> got;
+    void on_delivery(Delivery&& d) { got.push_back(std::move(d)); }
+  } second;
   h.fabric->set_alive(1, false);
-  h.fabric->reattach(1, -1, [&](Delivery&& d) { second.push_back(std::move(d)); });
+  h.fabric->reattach(1, -1, Fabric::Sink::of<&Recorder::on_delivery>(&second));
   EXPECT_TRUE(h.fabric->alive(1));  // reattach revives the slot
   h.engine.spawn("s", [&] { h.fabric->send(0, 1, h.blob(8)); });
   h.engine.run();
   EXPECT_TRUE(h.received[1].empty());
-  EXPECT_EQ(second.size(), 1u);
+  EXPECT_EQ(second.got.size(), 1u);
 }
 
 TEST(Fabric, DoubleAttachThrows) {
   Harness h(2);
-  EXPECT_THROW(h.fabric->attach(0, -1, [](Delivery&&) {}), std::logic_error);
+  const Fabric::Sink noop{[](void*, Delivery&&) {}, nullptr};
+  EXPECT_THROW(h.fabric->attach(0, -1, noop), std::logic_error);
 }
 
 TEST(NetParamsTest, PresetsAreSane) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,10 +18,22 @@ namespace sdrmpi::test {
 /// `p.topology` via make_fabric and records deliveries per slot. Used by
 /// the net-layer suites (net_test, fabric_topology_test).
 struct FabricHarness {
+  /// Non-owning per-slot sink target (the fabric's Sink is a raw
+  /// fn-pointer + context; deque keeps the contexts' addresses stable).
+  struct SlotSink {
+    FabricHarness* harness;
+    int slot;
+    void on_delivery(net::Delivery&& d) {
+      harness->received[static_cast<std::size_t>(slot)].push_back(
+          std::move(d));
+    }
+  };
+
   sim::Engine engine;
   net::NetParams params;
   std::unique_ptr<net::Fabric> fabric;
   std::vector<std::vector<net::Delivery>> received;
+  std::deque<SlotSink> sinks;
 
   explicit FabricHarness(int nslots,
                          net::NetParams p = net::NetParams::infiniband_20g(),
@@ -29,15 +42,17 @@ struct FabricHarness {
         fabric(net::make_fabric(engine, p, nslots, nranks)),
         received(static_cast<std::size_t>(nslots)) {
     for (int s = 0; s < nslots; ++s) {
-      fabric->attach(s, /*owner_pid=*/-1, [this, s](net::Delivery&& d) {
-        received[static_cast<std::size_t>(s)].push_back(std::move(d));
-      });
+      sinks.push_back(SlotSink{this, s});
+      fabric->attach(s, /*owner_pid=*/-1,
+                     net::Fabric::Sink::of<&SlotSink::on_delivery>(
+                         &sinks.back()));
     }
   }
 
-  static std::vector<std::byte> blob(std::size_t n,
-                                     unsigned char fill = 0xab) {
-    return std::vector<std::byte>(n, std::byte{fill});
+  /// Pool-backed payload of n bytes, every byte = fill.
+  [[nodiscard]] net::Payload blob(std::size_t n, unsigned char fill = 0xab) {
+    const std::vector<std::byte> bytes(n, std::byte{fill});
+    return fabric->make_payload(bytes);
   }
 };
 
