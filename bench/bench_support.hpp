@@ -143,6 +143,8 @@ inline void emit_json(std::ostream& os, const std::string& bench_name,
        << ", \"duplicates_dropped\": " << r.duplicates_dropped
        << ", \"events_executed\": " << r.events_executed
        << ", \"context_switches\": " << r.context_switches
+       << ", \"bytes_copied\": " << r.bytes_copied
+       << ", \"bytes_hashed\": " << r.bytes_hashed
        << ", \"acks_sent\": " << r.protocol.acks_sent
        << ", \"resends\": " << r.protocol.resends
        << ", \"decisions_sent\": " << r.protocol.decisions_sent

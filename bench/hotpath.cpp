@@ -20,6 +20,7 @@
 
 #include "bench_support.hpp"
 #include "sdrmpi/util/alloc_counter.hpp"
+#include "sdrmpi/util/byte_counter.hpp"
 #include "sdrmpi/workloads/netpipe.hpp"
 
 namespace {
@@ -35,6 +36,14 @@ using namespace sdrmpi;
 // any real regression (a single new per-message allocation adds +1.0).
 constexpr double kAllocsPerSendBound = 3.0;
 
+// Pinned host-bytes budget for --check on the *_sym points: bytes copied
+// per application send with symbolic payloads must stay O(1) — wire-frame
+// headers and control frames only, independent of the 1 MiB / 16 MiB
+// message size. Measured: ~100 B/send (native) to ~500 B/send (SDR r=2,
+// acks + replica header frames); the raw twin of the same sweep moves the
+// full payload (>= 2 MiB/send at the 1 MiB size).
+constexpr double kSymBytesCopiedPerSendBound = 2048.0;
+
 struct HotpathPoint {
   std::string label;
   double host_seconds = 0.0;
@@ -43,10 +52,17 @@ struct HotpathPoint {
   std::uint64_t events_executed = 0;
   std::uint64_t allocs = 0;
   std::uint64_t alloc_bytes = 0;
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t bytes_hashed = 0;
   double sends_per_sec = 0.0;
   double events_per_sec = 0.0;
   double allocs_per_send = 0.0;
   double allocs_per_frame = 0.0;
+  double bytes_copied_per_send = 0.0;
+  bool symbolic = false;     ///< gate bytes_copied_per_send in --check
+  bool gate_allocs = false;  ///< gate allocs_per_send in --check (the fig7b
+                             ///< sweep; single-size points run too few sends
+                             ///< to amortize engine cold-start allocations)
   bool clean = true;
 };
 
@@ -92,16 +108,22 @@ HotpathPoint bench_events_raw() {
   return pt;
 }
 
-// fig7b-style traffic: the NetPipe ping-pong sweep (sizes 1 B .. 8 MiB)
-// under the given protocol/replication, measured on the host clock.
-HotpathPoint bench_fig7b_style(const std::string& label,
-                               core::ProtocolKind proto, int replication,
-                               int reps) {
+// NetPipe ping-pong traffic under the given protocol/replication, measured
+// on the host clock. An empty `sizes` runs the fig7b sweep (1 B .. 8 MiB);
+// otherwise the given message sizes. `symbolic` switches the workload to
+// descriptor sends + sink receives (same virtual-time trace).
+HotpathPoint bench_netpipe(const std::string& label, core::ProtocolKind proto,
+                           int replication, int reps,
+                           std::vector<std::size_t> sizes = {},
+                           bool symbolic = false) {
   HotpathPoint pt;
   pt.label = label;
+  pt.symbolic = symbolic;
 
   wl::NetpipeParams np;
   np.reps = reps;
+  np.symbolic = symbolic;
+  if (!sizes.empty()) np.sizes = std::move(sizes);
 
   core::RunConfig cfg;
   cfg.nranks = 2;
@@ -115,6 +137,8 @@ HotpathPoint bench_fig7b_style(const std::string& label,
   pt.host_seconds = seconds_since(t0);
   pt.allocs = util::alloc_count() - a0;
   pt.alloc_bytes = util::alloc_bytes() - b0;
+  pt.bytes_copied = res.bytes_copied;
+  pt.bytes_hashed = res.bytes_hashed;
 
   pt.app_sends = res.app_sends;
   pt.data_frames = res.fabric.frames_sent;
@@ -126,6 +150,8 @@ HotpathPoint bench_fig7b_style(const std::string& label,
   if (res.app_sends > 0) {
     pt.allocs_per_send =
         static_cast<double>(pt.allocs) / static_cast<double>(res.app_sends);
+    pt.bytes_copied_per_send = static_cast<double>(pt.bytes_copied) /
+                               static_cast<double>(res.app_sends);
   }
   if (res.fabric.frames_sent > 0) {
     pt.allocs_per_frame = static_cast<double>(pt.allocs) /
@@ -151,10 +177,14 @@ void emit_json(std::ostream& os, const std::string& variant,
        << ", \"events_executed\": " << p.events_executed
        << ", \"allocs\": " << p.allocs
        << ", \"alloc_bytes\": " << p.alloc_bytes
+       << ", \"bytes_copied\": " << p.bytes_copied
+       << ", \"bytes_hashed\": " << p.bytes_hashed
        << ", \"sends_per_sec\": " << p.sends_per_sec
        << ", \"events_per_sec\": " << p.events_per_sec
        << ", \"allocs_per_send\": " << p.allocs_per_send
        << ", \"allocs_per_frame\": " << p.allocs_per_frame
+       << ", \"bytes_copied_per_send\": " << p.bytes_copied_per_send
+       << ", \"symbolic\": " << (p.symbolic ? "true" : "false")
        << ", \"clean\": " << (p.clean ? "true" : "false") << "}"
        << (i + 1 < pts.size() ? "," : "") << "\n";
   }
@@ -173,22 +203,47 @@ int main(int argc, char** argv) {
 
   std::vector<HotpathPoint> pts;
   pts.push_back(bench_events_raw());
-  pts.push_back(bench_fig7b_style("fig7b_native", core::ProtocolKind::Native,
-                                  1, reps));
   pts.push_back(
-      bench_fig7b_style("fig7b_sdr_r2", core::ProtocolKind::Sdr, 2, reps));
+      bench_netpipe("fig7b_native", core::ProtocolKind::Native, 1, reps));
+  pts.back().gate_allocs = true;
+  pts.push_back(
+      bench_netpipe("fig7b_sdr_r2", core::ProtocolKind::Sdr, 2, reps));
+  pts.back().gate_allocs = true;
+  // Large-message points, raw vs symbolic: the raw twin moves and hashes
+  // every payload byte on the host (PR 3 behaviour); the symbolic twin
+  // runs the identical virtual-time trace touching O(1) bytes per send.
+  const struct {
+    const char* name;
+    std::size_t bytes;
+  } big[] = {{"1mib", std::size_t{1} << 20}, {"16mib", std::size_t{16} << 20}};
+  for (const auto& b : big) {
+    pts.push_back(bench_netpipe(std::string("netpipe_") + b.name + "_raw",
+                                core::ProtocolKind::Native, 1, reps,
+                                {b.bytes}, /*symbolic=*/false));
+    pts.push_back(bench_netpipe(std::string("netpipe_") + b.name + "_sym",
+                                core::ProtocolKind::Native, 1, reps,
+                                {b.bytes}, /*symbolic=*/true));
+    pts.push_back(bench_netpipe(std::string("netpipe_") + b.name +
+                                    "_sdr_r2_raw",
+                                core::ProtocolKind::Sdr, 2, reps, {b.bytes},
+                                /*symbolic=*/false));
+    pts.push_back(bench_netpipe(std::string("netpipe_") + b.name +
+                                    "_sdr_r2_sym",
+                                core::ProtocolKind::Sdr, 2, reps, {b.bytes},
+                                /*symbolic=*/true));
+  }
 
   if (bench::json_mode(opts)) {
     emit_json(std::cout, variant, pts);
   } else {
     util::Table table({"point", "host sec", "sends/sec", "events/sec",
-                       "allocs/send", "allocs/frame"});
+                       "allocs/send", "bytes-copied/send"});
     for (const HotpathPoint& p : pts) {
       table.add_row({p.label, util::format_double(p.host_seconds, 3),
                      util::format_double(p.sends_per_sec, 0),
                      util::format_double(p.events_per_sec, 0),
                      util::format_double(p.allocs_per_send, 2),
-                     util::format_double(p.allocs_per_frame, 2)});
+                     util::format_double(p.bytes_copied_per_send, 0)});
     }
     table.print(std::cout);
     if (!util::alloc_counting_enabled()) {
@@ -202,12 +257,26 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (opts.get_bool("check", false) && util::alloc_counting_enabled()) {
+  if (opts.get_bool("check", false)) {
+    if (util::alloc_counting_enabled()) {
+      for (const HotpathPoint& p : pts) {
+        if (p.gate_allocs && p.app_sends > 0 &&
+            p.allocs_per_send > kAllocsPerSendBound) {
+          std::cerr << "hotpath: allocs/send regression on '" << p.label
+                    << "': " << p.allocs_per_send << " > bound "
+                    << kAllocsPerSendBound << "\n";
+          return 1;
+        }
+      }
+    }
+    // Symbolic large-message points must stay O(1) host bytes per send
+    // (headers + control frames), regardless of the payload size.
     for (const HotpathPoint& p : pts) {
-      if (p.app_sends > 0 && p.allocs_per_send > kAllocsPerSendBound) {
-        std::cerr << "hotpath: allocs/send regression on '" << p.label
-                  << "': " << p.allocs_per_send << " > bound "
-                  << kAllocsPerSendBound << "\n";
+      if (p.symbolic && p.app_sends > 0 &&
+          p.bytes_copied_per_send > kSymBytesCopiedPerSendBound) {
+        std::cerr << "hotpath: bytes-copied/send regression on '" << p.label
+                  << "': " << p.bytes_copied_per_send << " > bound "
+                  << kSymBytesCopiedPerSendBound << "\n";
         return 1;
       }
     }

@@ -9,6 +9,7 @@
 
 #include "sdrmpi/sdrmpi.hpp"
 #include "sdrmpi/util/alloc_counter.hpp"
+#include "sdrmpi/util/byte_counter.hpp"
 
 namespace {
 
@@ -133,6 +134,46 @@ void BM_SdrPingPongHostCost(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SdrPingPongHostCost);
+
+// Symbolic large-message ping-pong: the host never touches the payload
+// bytes (descriptor sends + sink receives), so host cost is independent of
+// the message size — compare bytes-copied/msg against BM_PingPongHostCost.
+void BM_SymbolicPingPongHostCost(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  std::uint64_t sends = 0;
+  const util::ByteCounters bc0 = util::byte_counters();
+  for (auto _ : state) {
+    core::RunConfig cfg;
+    cfg.nranks = 2;
+    auto res = core::run(cfg, [bytes](mpi::Env& env) {
+      auto& world = env.world();
+      const auto desc = net::ContentDesc::pattern(0x517b01ULL, bytes);
+      const int peer = env.rank() ^ 1;
+      for (int i = 0; i < 10; ++i) {
+        if (env.rank() == 0) {
+          world.send_symbolic(desc, peer, 1);
+          (void)world.recv_sink(bytes, peer, 1);
+        } else {
+          (void)world.recv_sink(bytes, peer, 1);
+          world.send_symbolic(desc, peer, 1);
+        }
+      }
+    });
+    sends += res.app_sends;
+    benchmark::DoNotOptimize(res.makespan);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 20 *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["sends/s"] = benchmark::Counter(
+      static_cast<double>(sends), benchmark::Counter::kIsRate);
+  if (sends > 0) {
+    state.counters["bytes-copied/msg"] =
+        static_cast<double>(util::byte_counters().bytes_copied -
+                            bc0.bytes_copied) /
+        static_cast<double>(sends);
+  }
+}
+BENCHMARK(BM_SymbolicPingPongHostCost)->Arg(1 << 20)->Arg(16 << 20);
 
 // Raw event-queue throughput: self-rescheduling InlineFn chains, no MPI
 // machinery — isolates the slab-backed d-ary heap dispatch path.

@@ -4,14 +4,14 @@ namespace sdrmpi::core {
 
 void MirrorProtocol::isend(mpi::Endpoint& ep, const mpi::SendArgs& a,
                            const mpi::Request& req) {
-  const auto data = begin_app_send(a.data);
+  // One shared payload handle for all copies — the fan-out never re-copies.
+  const net::Payload payload = begin_app_send(a.payload);
   const Topology& topo = map_.topo();
   const int dst_world_rank = topo.rank_of(a.dst_slot_default);
-  mpi::Endpoint::SendShared shared;  // one payload buffer for all copies
   for (int w = 0; w < topo.nworlds; ++w) {
     const int t = topo.slot(w, dst_world_rank);
     if (map_.alive(t)) {
-      ep.base_isend(a.ctx, a.dst_rank, t, a.tag, a.seq, data, req, &shared);
+      ep.base_isend(a.ctx, a.dst_rank, t, a.tag, a.seq, payload, req);
     }
   }
 }

@@ -4,8 +4,9 @@ namespace sdrmpi::core {
 
 void NativeProtocol::isend(mpi::Endpoint& ep, const mpi::SendArgs& a,
                            const mpi::Request& req) {
-  const auto data = begin_app_send(a.data);
-  ep.base_isend(a.ctx, a.dst_rank, a.dst_slot_default, a.tag, a.seq, data, req);
+  const net::Payload payload = begin_app_send(a.payload);
+  ep.base_isend(a.ctx, a.dst_rank, a.dst_slot_default, a.tag, a.seq, payload,
+                req);
 }
 
 }  // namespace sdrmpi::core

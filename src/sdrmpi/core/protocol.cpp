@@ -22,8 +22,7 @@ ReplicatedProtocol::ReplicatedProtocol(JobContext& job, int slot)
       slot_(slot),
       map_(job.topo, job.topo.world_of(slot), job.topo.rank_of(slot)) {}
 
-std::span<const std::byte> ReplicatedProtocol::begin_app_send(
-    std::span<const std::byte> data) {
+net::Payload ReplicatedProtocol::begin_app_send(const net::Payload& payload) {
   const std::int64_t n = app_send_count_++;
   for (std::size_t fi = 0; fi < job_.config.faults.size(); ++fi) {
     const FaultSpec& f = job_.config.faults[fi];
@@ -38,23 +37,26 @@ std::span<const std::byte> ReplicatedProtocol::begin_app_send(
   }
   for (std::size_t si = 0; si < job_.config.sdc.size(); ++si) {
     const SdcSpec& s = job_.config.sdc[si];
-    if (s.slot == slot_ && s.at_send == n && !data.empty() &&
+    if (s.slot == slot_ && s.at_send == n && !payload.empty() &&
         !job_.sdc_fired[si]) {
       job_.sdc_fired[si] = true;
       // Bit-flip a high-order bit of the first payload word in this
       // process's own copy (a low mantissa bit could be absorbed by
       // floating-point rounding downstream). The sibling replica transmits
       // the correct data, so results diverge — exactly the silent
-      // corruption redMPI detects via hash comparison.
-      sdc_scratch_.assign(data.begin(), data.end());
-      sdc_scratch_[std::min<std::size_t>(7, sdc_scratch_.size() - 1)] ^=
-          std::byte{0x40};
+      // corruption redMPI detects via hash comparison. The Corrupt wrapper
+      // is O(1): it aliases the original buffer/descriptor and applies the
+      // flip lazily (bit 6 of byte min(7, len-1), the former in-place
+      // corruption position, so delivered bytes are unchanged).
+      const std::uint64_t byte =
+          std::min<std::uint64_t>(7, payload.size() - 1);
       SDR_LOG(Info, "fault") << "slot " << slot_
                              << " silently corrupts send #" << n;
-      return sdc_scratch_;
+      return net::Payload::corrupt(&job_.fabric->pool(), payload,
+                                   byte * 8 + 6);
     }
   }
-  return data;
+  return payload;
 }
 
 void ReplicatedProtocol::on_ctl(mpi::Endpoint& ep, const mpi::FrameHeader& h,

@@ -30,10 +30,12 @@ class ReplicatedProtocol : public mpi::Vprotocol {
 
  protected:
   /// Crash/SDC injection shared by every protocol's send path. Returns the
-  /// payload to actually transmit for this process's own copy (corrupted if
-  /// an SdcSpec matches this send). Throws CrashUnwind when a send-count
-  /// fault fires (the process dies *before* emitting the message).
-  std::span<const std::byte> begin_app_send(std::span<const std::byte> data);
+  /// payload to actually transmit for this process's own copy — an O(1)
+  /// Corrupt wrapper around the original handle when an SdcSpec matches
+  /// this send (no bytes are cloned; the flip applies on materialization /
+  /// digest). Throws CrashUnwind when a send-count fault fires (the
+  /// process dies *before* emitting the message).
+  net::Payload begin_app_send(const net::Payload& payload);
 
   /// Failure-notification handler (Alg. 1 lines 18-35 live in SDR; the base
   /// just maintains the alive view).
@@ -55,7 +57,6 @@ class ReplicatedProtocol : public mpi::Vprotocol {
   const int slot_;
   ReplicaMap map_;
   std::int64_t app_send_count_ = 0;
-  std::vector<std::byte> sdc_scratch_;  // corrupted payload storage
 };
 
 /// Creates the protocol instance for one physical process.

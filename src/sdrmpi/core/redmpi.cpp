@@ -7,15 +7,19 @@ namespace sdrmpi::core {
 
 void RedMpiProtocol::isend(mpi::Endpoint& ep, const mpi::SendArgs& a,
                            const mpi::Request& req) {
-  const auto data = begin_app_send(a.data);
+  const net::Payload payload = begin_app_send(a.payload);
   const Topology& topo = map_.topo();
 
   // Full message to the own-world receiver only (parallel data path).
-  ep.base_isend(a.ctx, a.dst_rank, a.dst_slot_default, a.tag, a.seq, data,
+  ep.base_isend(a.ctx, a.dst_rank, a.dst_slot_default, a.tag, a.seq, payload,
                 req);
 
-  // Payload hash to every other receiver replica for comparison.
-  const std::uint64_t digest = util::fnv1a(data);
+  // Payload hash to every other receiver replica for comparison. The
+  // digest is cached in the shared payload header (and memoized per
+  // symbolic shape), so neither this sender nor the zero-copy receiver of
+  // the same buffer ever hashes the bytes twice — and symbolic contents
+  // are never materialized at all.
+  const std::uint64_t digest = payload.digest();
   const int dst_world_rank = topo.rank_of(a.dst_slot_default);
   for (int w = 0; w < topo.nworlds; ++w) {
     if (w == map_.my_world()) continue;
@@ -50,8 +54,19 @@ void RedMpiProtocol::on_recv_complete(mpi::Endpoint& ep,
                                       const mpi::Request& req) {
   (void)ep;
   const MsgKey key{h.ctx, h.src_rank, h.seq};
-  const auto delivered = req->recv_buf.subspan(0, req->status.bytes);
-  const std::uint64_t own = util::fnv1a(delivered);
+  // The delivered payload handle aliases the sender's buffer, so its
+  // digest is already cached from the sender-side hash frame — comparing
+  // here is O(1). Fall back to hashing the receive buffer only when no
+  // handle exists (zero-byte messages).
+  const std::uint64_t own =
+      req->recv_payload
+          ? req->recv_payload.digest()
+          : [&] {
+              const auto delivered =
+                  req->recv_buf.subspan(0, req->status.bytes);
+              util::count_bytes_hashed(delivered.size());
+              return util::fnv1a(delivered);
+            }();
   auto it = sibling_hash_.find(key);
   if (it != sibling_hash_.end()) {
     compare(key, own, it->second);

@@ -111,6 +111,13 @@ struct RunResult {
   // must agree on these as well as on makespan and checksums).
   std::uint64_t events_executed = 0;
   std::uint64_t context_switches = 0;
+  // Host bytes touched for simulated payload contents during this run
+  // (util::byte_counter deltas): memcpy/fill traffic and digest hashing.
+  // Deterministic per run (the digest memo is reset at run start), but
+  // deliberately NOT folded into the golden-trace digest: they measure
+  // host-side work, which performance PRs change on purpose.
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t bytes_hashed = 0;
   ProtocolStats protocol;
   net::FabricStats fabric;  ///< traffic + link-contention counters
 

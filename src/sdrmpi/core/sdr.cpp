@@ -17,7 +17,7 @@ namespace {
 
 void SdrProtocol::isend(mpi::Endpoint& ep, const mpi::SendArgs& a,
                         const mpi::Request& req) {
-  const auto data = begin_app_send(a.data);
+  const net::Payload payload = begin_app_send(a.payload);
 
   // a.dst_rank is the rank within the communicator; the replica tables are
   // indexed by world rank, resolved through the communicator's own-world
@@ -26,12 +26,11 @@ void SdrProtocol::isend(mpi::Endpoint& ep, const mpi::SendArgs& a,
 
   // Parallel protocol: one copy per destination replica this process is
   // responsible for (own world; plus inherited worlds after a failover).
-  // All copies — and the retransmission record below — share one pooled
-  // payload buffer through `shared`.
-  mpi::Endpoint::SendShared shared;
+  // All copies — and the retransmission record below — alias one payload
+  // handle; symbolic contents stay symbolic end to end.
   for (int t : map_.dests(dst_world_rank)) {
     if (!map_.alive(t)) continue;
-    ep.base_isend(a.ctx, a.dst_rank, t, a.tag, a.seq, data, req, &shared);
+    ep.base_isend(a.ctx, a.dst_rank, t, a.tag, a.seq, payload, req);
   }
 
   // Register the acknowledgements this send must collect (Alg. 1 l. 8-9):
@@ -47,17 +46,14 @@ void SdrProtocol::isend(mpi::Endpoint& ep, const mpi::SendArgs& a,
     // an extra payload copy instead of gating on acks.
     ++job_.pstats.extra_copies;
     ep.engine().advance(static_cast<Time>(
-        std::llround(static_cast<double>(data.size()) *
+        std::llround(static_cast<double>(payload.size()) *
                      job_.config.copy_cost_ns_per_byte)));
   } else {
     gated = req;
     req->gates += static_cast<int>(acker_scratch_.size());
   }
-  net::Payload buffered =
-      shared.data ? shared.data
-                  : net::Payload::copy_of(&ep.fabric().pool(), data);
-  acks_.track({a.ctx, a.dst_rank, a.seq}, std::move(buffered), a.tag,
-              dst_world_rank, acker_scratch_, gated);
+  acks_.track({a.ctx, a.dst_rank, a.seq}, payload, a.tag, dst_world_rank,
+              acker_scratch_, gated);
 }
 
 void SdrProtocol::send_acks(mpi::Endpoint& ep, const mpi::FrameHeader& h) {
@@ -152,9 +148,8 @@ void SdrProtocol::handle_failure(mpi::Endpoint& ep, int failed_slot) {
                               << r.key.ctx << ", dst=" << r.key.dst_rank
                               << ", seq=" << r.key.seq << ") to slot "
                               << r.target;
-        mpi::Endpoint::SendShared shared{r.payload};
         ep.base_isend(r.key.ctx, r.key.dst_rank, r.target, r.tag, r.key.seq,
-                      r.payload.bytes(), nullptr, &shared);
+                      r.payload, nullptr);
         acks_.settle(r.key, r.target);
         ++job_.pstats.resends;
       }
@@ -283,9 +278,8 @@ void SdrProtocol::handle_recover_notify(mpi::Endpoint& ep,
       SDR_LOG(Debug, "sdr") << "slot " << slot_ << " re-feeds (ctx="
                             << r.key.ctx << ", seq=" << r.key.seq
                             << ") to recovered slot " << rs;
-      mpi::Endpoint::SendShared shared{r.payload};
       ep.base_isend(r.key.ctx, r.key.dst_rank, rs, r.tag, r.key.seq,
-                    r.payload.bytes(), nullptr, &shared);
+                    r.payload, nullptr);
       ++job_.pstats.resends;
       // Keep awaiting the substitute's ack: it still covers us against a
       // failure of the recovered replica.

@@ -170,6 +170,12 @@ void World::install_recovery() {
 sim::RunOutcome World::drive() {
   if (!spawned_) {
     spawned_ = true;
+    // Every run starts with a cold digest memo so bytes_hashed is a pure
+    // function of the run (independent of which pool thread executes it or
+    // what ran on that thread before); within the run, repeated symbolic
+    // shapes still digest for free.
+    net::clear_pattern_digest_memo();
+    bytes_at_start_ = util::byte_counters();
     const Topology& topo = job_.topo;
     for (int s = 0; s < topo.nslots(); ++s) {
       const std::string name = "r" + std::to_string(topo.rank_of(s)) + ".w" +
@@ -203,6 +209,9 @@ RunResult World::collect(const sim::RunOutcome& outcome) {
   res.fabric = fabric_->stats();
   res.events_executed = outcome.events_executed;
   res.context_switches = outcome.context_switches;
+  const util::ByteCounters& bc = util::byte_counters();
+  res.bytes_copied = bc.bytes_copied - bytes_at_start_.bytes_copied;
+  res.bytes_hashed = bc.bytes_hashed - bytes_at_start_.bytes_hashed;
 
   for (int s = 0; s < nslots; ++s) {
     SlotResult& sr = job_.results[static_cast<std::size_t>(s)];

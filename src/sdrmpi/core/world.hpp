@@ -22,6 +22,7 @@
 #include "sdrmpi/mpi/env.hpp"
 #include "sdrmpi/net/fabric.hpp"
 #include "sdrmpi/sim/engine.hpp"
+#include "sdrmpi/util/byte_counter.hpp"
 
 namespace sdrmpi::core {
 
@@ -63,6 +64,9 @@ class World {
   JobContext job_;
   FailureDetector detector_;
   bool spawned_ = false;
+  /// Thread-local byte-counter snapshot at drive() start; collect()
+  /// reports the delta (a run stays on one host thread for its lifetime).
+  util::ByteCounters bytes_at_start_{};
 };
 
 }  // namespace sdrmpi::core

@@ -48,6 +48,32 @@ class Comm {
     return ep_->irecv(info().ctx_p2p, src, tag, buf);
   }
 
+  // ---- symbolic point-to-point (no application buffer exists) ----
+
+  /// Sends a content descriptor (Zeros/Pattern): identical wire bytes and
+  /// virtual time as a raw send of the same length, O(1) host bytes.
+  [[nodiscard]] Request isend_symbolic(const net::ContentDesc& desc, int dst,
+                                       int tag = 0) const {
+    return ep_->isend_symbolic(info().ctx_p2p, dst, tag, desc);
+  }
+  void send_symbolic(const net::ContentDesc& desc, int dst,
+                     int tag = 0) const {
+    auto req = isend_symbolic(desc, dst, tag);
+    wait(req);
+  }
+  /// Zero-copy receive: completes like a buffered recv of up to `cap`
+  /// bytes but fills nothing; the delivered contents stay available as
+  /// req->recv_payload (size/digest).
+  [[nodiscard]] Request irecv_sink(std::size_t cap, int src,
+                                   int tag = 0) const {
+    return ep_->irecv_sink(info().ctx_p2p, src, tag, cap);
+  }
+  Status recv_sink(std::size_t cap, int src, int tag = 0) const {
+    auto req = irecv_sink(cap, src, tag);
+    wait(req);
+    return req->status;
+  }
+
   // ---- typed point-to-point ----
 
   template <class T>

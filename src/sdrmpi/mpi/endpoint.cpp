@@ -187,6 +187,24 @@ void Endpoint::enter_call() {
 
 Request Endpoint::isend(CommCtx ctx, int dst_rank, int tag,
                         std::span<const std::byte> data) {
+  // Materialise the pooled payload buffer once per logical send; protocols
+  // alias the same handle for every physical copy and buffered store.
+  return isend_payload(ctx, dst_rank, tag,
+                       dst_rank == kProcNull
+                           ? net::Payload{}
+                           : net::Payload::copy_of(pool(), data));
+}
+
+Request Endpoint::isend_symbolic(CommCtx ctx, int dst_rank, int tag,
+                                 const net::ContentDesc& desc) {
+  return isend_payload(ctx, dst_rank, tag,
+                       dst_rank == kProcNull
+                           ? net::Payload{}
+                           : net::Payload::symbolic(pool(), desc));
+}
+
+Request Endpoint::isend_payload(CommCtx ctx, int dst_rank, int tag,
+                                net::Payload payload) {
   enter_call();
   progress();  // drain arrivals first, like a PML entering any MPI call
   auto req = make_request_cached(ReqState::Kind::Send);
@@ -202,7 +220,7 @@ Request Endpoint::isend(CommCtx ctx, int dst_rank, int tag,
   args.dst_rank = dst_rank;
   args.dst_slot_default = ci->rank_to_slot.at(static_cast<std::size_t>(dst_rank));
   args.tag = tag;
-  args.data = data;
+  args.payload = std::move(payload);
   args.seq = seq_slot(ctx_state(ctx).send_seq, dst_rank)++;
 
   req->ctx = ctx;
@@ -219,6 +237,17 @@ Request Endpoint::isend(CommCtx ctx, int dst_rank, int tag,
 
 Request Endpoint::irecv(CommCtx ctx, int src_rank, int tag,
                         std::span<std::byte> buf) {
+  return irecv_common(ctx, src_rank, tag, buf, /*sink=*/false, /*cap=*/0);
+}
+
+Request Endpoint::irecv_sink(CommCtx ctx, int src_rank, int tag,
+                             std::size_t cap) {
+  return irecv_common(ctx, src_rank, tag, {}, /*sink=*/true, cap);
+}
+
+Request Endpoint::irecv_common(CommCtx ctx, int src_rank, int tag,
+                               std::span<std::byte> buf, bool sink,
+                               std::size_t cap) {
   enter_call();
   progress();  // drain arrivals first: frames that beat this call land in
                // the unexpected queue (the cost Figure 2 talks about)
@@ -237,6 +266,8 @@ Request Endpoint::irecv(CommCtx ctx, int src_rank, int tag,
   req->peer_rank = src_rank;
   req->tag = tag;
   req->recv_buf = buf;
+  req->sink = sink;
+  req->sink_cap = cap;
 
   protocol_->irecv(*this, args, req);
   progress();
@@ -356,8 +387,8 @@ std::optional<Status> Endpoint::iprobe(CommCtx ctx, int src_rank, int tag) {
 // ---------------------------------------------------------------------------
 
 void Endpoint::base_isend(CommCtx ctx, int dst_rank, int dst_slot, int tag,
-                          std::uint64_t seq, std::span<const std::byte> data,
-                          const Request& req, SendShared* shared) {
+                          std::uint64_t seq, const net::Payload& payload,
+                          const Request& req) {
   const CommInfo* ci = comm_by_ctx(ctx);
   if (ci == nullptr) throw std::logic_error("base_isend: unknown ctx");
 
@@ -370,36 +401,26 @@ void Endpoint::base_isend(CommCtx ctx, int dst_rank, int dst_slot, int tag,
   h.world = static_cast<std::uint8_t>(world_);
   h.seq = seq;
 
-  // Materialise the payload buffer once per logical send; every physical
-  // copy of a fan-out (and the sender-side retransmission store) shares it.
-  net::Payload payload;
-  if (shared != nullptr && shared->data) {
-    payload = shared->data;
-  } else {
-    payload = net::Payload::copy_of(pool(), data);
-    if (shared != nullptr) shared->data = payload;
-  }
-
   ++stats_.data_frames_sent;
   // Detached sends (req == nullptr) are protocol retransmissions of
   // already-buffered payloads: they go eagerly regardless of size, because
   // nothing guarantees this process will still be making MPI calls (and
   // thus progressing a rendezvous) by the time a CTS would arrive.
-  if (req == nullptr || data.size() <= fabric_.params().eager_threshold) {
+  if (req == nullptr || payload.size() <= fabric_.params().eager_threshold) {
     // Eager: the payload travels with the envelope and is buffered on the
-    // wire, so the application buffer is immediately reusable.
+    // wire, so the application buffer is immediately reusable. The handle
+    // aliases the logical send's buffer/descriptor — no bytes move here.
     h.kind = FrameKind::Eager;
-    fabric_.send(slot_, dst_slot, encode_header(pool(), h),
-                 std::move(payload));
+    fabric_.send(slot_, dst_slot, encode_header(pool(), h), payload);
   } else {
     // Rendezvous: RTS now, payload after CTS; the buffer stays busy until
     // the payload is injected.
     h.kind = FrameKind::Rts;
-    h.value = data.size();
+    h.value = payload.size();
     h.aux = next_rdv_id_;
     RdvSend rec;
     rec.id = next_rdv_id_;
-    rec.payload = std::move(payload);
+    rec.payload = payload;
     rec.dst_slot = dst_slot;
     rec.req = req;
     rec.header = h;
@@ -603,19 +624,25 @@ void Endpoint::match_or_queue(StoredFrame&& f) {
 }
 
 void Endpoint::deliver_eager(StoredFrame&& f, const Request& req) {
-  if (f.bulk.size() > req->recv_buf.size()) {
+  const std::size_t cap = req->sink ? req->sink_cap : req->recv_buf.size();
+  if (f.bulk.size() > cap) {
     throw std::runtime_error("sdrmpi: message truncation (eager recv)");
   }
-  if (!f.bulk.empty()) {
+  if (!req->sink && !f.bulk.empty()) {
+    // Buffer mode: fill the application buffer (materializing symbolic
+    // contents). Sink mode records the delivered handle only — no bytes.
     std::memcpy(req->recv_buf.data(), f.bulk.data(), f.bulk.size());
+    util::count_bytes_copied(f.bulk.size());
   }
   req->status.bytes = f.bulk.size();
+  req->recv_payload = std::move(f.bulk);
   complete_recv(f.h, req);
 }
 
 void Endpoint::start_rendezvous_recv(const StoredFrame& f, const Request& req,
                                      bool discard) {
-  if (!discard && f.h.value > req->recv_buf.size()) {
+  if (!discard &&
+      f.h.value > (req->sink ? req->sink_cap : req->recv_buf.size())) {
     throw std::runtime_error("sdrmpi: message truncation (rendezvous recv)");
   }
   RdvRecv rec;
@@ -673,13 +700,17 @@ void Endpoint::handle_rdv_data(StoredFrame&& f) {
     ++stats_.duplicates_dropped;
     return;
   }
-  if (f.bulk.size() > rec.req->recv_buf.size()) {
+  const std::size_t cap =
+      rec.req->sink ? rec.req->sink_cap : rec.req->recv_buf.size();
+  if (f.bulk.size() > cap) {
     throw std::runtime_error("sdrmpi: message truncation (rendezvous data)");
   }
-  if (!f.bulk.empty()) {
+  if (!rec.req->sink && !f.bulk.empty()) {
     std::memcpy(rec.req->recv_buf.data(), f.bulk.data(), f.bulk.size());
+    util::count_bytes_copied(f.bulk.size());
   }
   rec.req->status.bytes = f.bulk.size();
+  rec.req->recv_payload = std::move(f.bulk);
   complete_recv(rec.header, rec.req);
 }
 
@@ -690,6 +721,11 @@ void Endpoint::complete_recv(const FrameHeader& h, const Request& req) {
   req->recv_frame = h;
   req->local_pending = 0;
   protocol_->on_recv_complete(*this, h, req);
+  // Buffer-mode receives drop the delivered handle right after the
+  // protocol hook (redMPI digests it there without rehashing); holding it
+  // longer would pin large slabs in the request recycler. Sink receives
+  // keep it — the handle IS the delivered data.
+  if (!req->sink) req->recv_payload.reset();
 }
 
 void Endpoint::recovery_point() {
@@ -740,7 +776,7 @@ std::string Endpoint::debug_state() const {
 
 // Default Vprotocol implementations live here to keep vprotocol.hpp light.
 void Vprotocol::isend(Endpoint& ep, const SendArgs& a, const Request& req) {
-  ep.base_isend(a.ctx, a.dst_rank, a.dst_slot_default, a.tag, a.seq, a.data,
+  ep.base_isend(a.ctx, a.dst_rank, a.dst_slot_default, a.tag, a.seq, a.payload,
                 req);
 }
 

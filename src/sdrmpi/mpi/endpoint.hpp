@@ -104,7 +104,19 @@ class Endpoint {
 
   Request isend(CommCtx ctx, int dst_rank, int tag,
                 std::span<const std::byte> data);
+  /// Symbolic send: the contents are a descriptor (Zeros/Pattern), no app
+  /// buffer exists and no byte is copied or touched on the send path —
+  /// wire-byte accounting and virtual time are identical to a raw send of
+  /// the same length.
+  Request isend_symbolic(CommCtx ctx, int dst_rank, int tag,
+                         const net::ContentDesc& desc);
   Request irecv(CommCtx ctx, int src_rank, int tag, std::span<std::byte> buf);
+  /// Zero-copy receive: completes like irecv but records only the byte
+  /// count and the delivered payload handle (req->recv_payload) instead of
+  /// filling a buffer; `cap` bounds the acceptable message size
+  /// (truncation check). Symbolic senders + sink receivers move GB-scale
+  /// messages with O(1) host bytes touched.
+  Request irecv_sink(CommCtx ctx, int src_rank, int tag, std::size_t cap);
   void wait(Request& req);
   [[nodiscard]] bool test(Request& req);
   void waitall(std::span<Request> reqs);
@@ -115,21 +127,14 @@ class Endpoint {
 
   // ---- base operations for protocols (no further interception) ----
 
-  /// Payload sharing across the physical copies of one logical send: the
-  /// first base_isend call materialises the pool-backed payload buffer
-  /// here, and every further copy (other replicas, the retransmission
-  /// store) aliases it instead of re-copying the bytes.
-  struct SendShared {
-    net::Payload data;
-  };
-
   /// Sends one physical copy of a data message to dst_slot. Chooses eager
   /// or rendezvous by size; bumps req->local_pending until the copy's
-  /// buffer-reuse point. Fan-out callers pass one SendShared per logical
-  /// send so all copies share one payload buffer.
+  /// buffer-reuse point. The payload handle is shared — fan-out callers
+  /// (replica copies, the retransmission store, failover resends) pass the
+  /// same (possibly symbolic) payload and no byte is ever re-copied.
   void base_isend(CommCtx ctx, int dst_rank, int dst_slot, int tag,
-                  std::uint64_t seq, std::span<const std::byte> data,
-                  const Request& req, SendShared* shared = nullptr);
+                  std::uint64_t seq, const net::Payload& payload,
+                  const Request& req);
   /// Posts a receive into the matching engine.
   void base_irecv(CommCtx ctx, int src_rank, int tag, std::span<std::byte> buf,
                   const Request& req);
@@ -236,6 +241,10 @@ class Endpoint {
     bool discard = false;
   };
 
+  Request isend_payload(CommCtx ctx, int dst_rank, int tag,
+                        net::Payload payload);
+  Request irecv_common(CommCtx ctx, int src_rank, int tag,
+                       std::span<std::byte> buf, bool sink, std::size_t cap);
   void on_delivery(net::Delivery&& d);
   void handle_frame(net::Delivery&& d);
   void handle_data_frame(StoredFrame&& f);

@@ -36,7 +36,14 @@ struct ReqState {
 
   Status status;              ///< filled on recv completion
 
-  std::span<std::byte> recv_buf{};  ///< recv destination
+  std::span<std::byte> recv_buf{};  ///< recv destination (empty in sink mode)
+  bool sink = false;          ///< zero-copy recv: record bytes, fill nothing
+  std::size_t sink_cap = 0;   ///< truncation bound for sink receives
+  /// Delivered contents, aliasing the sender's buffer (no copy). In sink
+  /// mode this is the only handle the application gets (digest/size); in
+  /// buffer mode it exists transiently so protocols (redMPI) can digest
+  /// without rehashing, and is dropped right after on_recv_complete.
+  net::Payload recv_payload;
   FrameHeader recv_frame{};         ///< header of the delivered message
   bool app_completed = false;       ///< app-level completion hook fired
 

@@ -21,13 +21,16 @@ namespace sdrmpi::mpi {
 
 class Endpoint;
 
-/// Arguments of an application-level send as they enter the PML.
+/// Arguments of an application-level send as they enter the PML. The
+/// contents travel as a refcounted (possibly symbolic) net::Payload built
+/// once by the endpoint; protocols fan the same handle out to every
+/// physical copy and the retransmission store without touching the bytes.
 struct SendArgs {
   CommCtx ctx = 0;
   int dst_rank = kProcNull;
   int dst_slot_default = -1;  ///< own-world slot for dst_rank
   int tag = 0;
-  std::span<const std::byte> data{};
+  net::Payload payload;
   std::uint64_t seq = 0;  ///< logical channel sequence assigned by the PML
 };
 

@@ -1,0 +1,208 @@
+// Symbolic payload machinery: lazy materialization and digests that never
+// touch more bytes than they must (see payload.hpp / content.hpp).
+#include "sdrmpi/net/payload.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sdrmpi::net {
+
+namespace {
+
+/// Per-thread (seed, len) -> digest memo for Pattern contents: repeated
+/// message shapes (the normal case — a workload sends the same halo/block
+/// size every iteration) digest in O(1) after the first computation. One
+/// simulated run owns one host thread, so no locking; core::World clears
+/// the memo at the start of every run (clear_pattern_digest_memo) so the
+/// bytes_hashed counter stays a pure function of the run — bit-identical
+/// across batch-runner pool sizes like every other counter.
+struct ShapeKey {
+  std::uint64_t seed;
+  std::uint64_t len;
+  [[nodiscard]] bool operator==(const ShapeKey&) const = default;
+};
+
+struct ShapeKeyHash {
+  [[nodiscard]] std::size_t operator()(const ShapeKey& k) const noexcept {
+    return static_cast<std::size_t>(
+        util::hash_combine(util::mix64(k.seed), k.len));
+  }
+};
+
+[[nodiscard]] std::unordered_map<ShapeKey, std::uint64_t, ShapeKeyHash>&
+pattern_memo() {
+  thread_local std::unordered_map<ShapeKey, std::uint64_t, ShapeKeyHash> memo;
+  return memo;
+}
+
+[[nodiscard]] std::uint64_t pattern_digest_memoized(std::uint64_t seed,
+                                                    std::uint64_t len) {
+  auto& memo = pattern_memo();
+  const ShapeKey key{seed, len};
+  if (const auto it = memo.find(key); it != memo.end()) return it->second;
+  util::count_bytes_hashed(len);
+  const std::uint64_t d = fnv1a_pattern(seed, 0, len);
+  memo.emplace(key, d);
+  return d;
+}
+
+[[nodiscard]] constexpr std::uint64_t fnv1a_step(std::uint64_t h,
+                                                 unsigned char b) noexcept {
+  return (h ^ b) * util::kFnvPrime;
+}
+
+}  // namespace
+
+void clear_pattern_digest_memo() noexcept { pattern_memo().clear(); }
+
+Payload Payload::symbolic(util::BufferPool* pool, const ContentDesc& desc) {
+  if (desc.len == 0) return {};
+  if (desc.kind == ContentKind::Raw || desc.kind == ContentKind::Corrupt) {
+    throw std::invalid_argument(
+        "Payload::symbolic: descriptor must be Zeros or Pattern");
+  }
+  Payload p(pool, desc.len, /*inline_bytes=*/0);
+  p.h_->kind = desc.kind;
+  p.h_->seed = desc.seed;
+  return p;
+}
+
+Payload Payload::corrupt(util::BufferPool* pool, const Payload& base,
+                         std::uint64_t bit_index) {
+  if (base.empty()) return {};
+  assert(bit_index < base.size() * 8);
+  Payload p(pool, base.size(), /*inline_bytes=*/0);
+  p.h_->kind = ContentKind::Corrupt;
+  p.h_->bit_index = bit_index;
+  p.h_->base = base.h_;
+  ++base.h_->refs;
+  return p;
+}
+
+void Payload::fill_contents(const Header* h, std::byte* out) {
+  switch (h->kind) {
+    case ContentKind::Raw:
+      std::memcpy(out, slab_data(const_cast<Header*>(h)), h->size);
+      return;
+    case ContentKind::Zeros:
+      std::memset(out, 0, h->size);
+      return;
+    case ContentKind::Pattern: {
+      const std::uint64_t seed = h->seed;
+      const std::size_t n = h->size;
+      const std::size_t words = n / 8;
+      for (std::size_t w = 0; w < words; ++w) {
+        const std::uint64_t v = pattern_word(seed, w);
+        for (int j = 0; j < 8; ++j) {
+          out[w * 8 + static_cast<std::size_t>(j)] =
+              static_cast<std::byte>((v >> (8 * j)) & 0xff);
+        }
+      }
+      for (std::size_t i = words * 8; i < n; ++i) {
+        out[i] = pattern_byte(seed, i);
+      }
+      return;
+    }
+    case ContentKind::Corrupt: {
+      // Materialize the base contents (which may themselves be symbolic;
+      // if the base is already materialized this is a plain memcpy), then
+      // apply the one-bit flip.
+      const Header* base = h->base;
+      if (base->kind == ContentKind::Raw || base->mat != nullptr) {
+        std::memcpy(out,
+                    base->kind == ContentKind::Raw
+                        ? slab_data(const_cast<Header*>(base))
+                        : static_cast<const std::byte*>(base->mat),
+                    h->size);
+      } else {
+        fill_contents(base, out);
+      }
+      out[h->bit_index / 8] ^= std::byte{1} << (h->bit_index % 8);
+      return;
+    }
+  }
+}
+
+const std::byte* Payload::materialize(Header* h) {
+  if (h->mat == nullptr) {
+    void* buf;
+    std::uint32_t cls = util::BufferPool::kOversize;
+    if (h->pool != nullptr) {
+      buf = h->pool->acquire(h->size, cls);
+    } else {
+      buf = ::operator new(h->size);
+    }
+    fill_contents(h, static_cast<std::byte*>(buf));
+    h->mat = buf;
+    h->mat_class = cls;
+    util::count_bytes_copied(h->size);
+    ++util::byte_counters().materializations;
+  }
+  return static_cast<const std::byte*>(h->mat);
+}
+
+std::uint64_t Payload::compute_digest(const Header* h) {
+  switch (h->kind) {
+    case ContentKind::Raw:
+      util::count_bytes_hashed(h->size);
+      return util::fnv1a(
+          {slab_data(const_cast<Header*>(h)), h->size});
+    case ContentKind::Zeros:
+      return fnv1a_zeros(h->size);
+    case ContentKind::Pattern:
+      return pattern_digest_memoized(h->seed, h->size);
+    case ContentKind::Corrupt: {
+      const Header* base = h->base;
+      const std::uint64_t flip = h->bit_index;
+      const std::uint64_t i = flip / 8;
+      const auto mask =
+          static_cast<unsigned char>(1u << (flip % 8));
+      // Stream the base contents with byte i flipped. fnv1a cannot absorb a
+      // mid-stream flip incrementally, but this runs once per injected
+      // corruption (rare by construction) and never clones the buffer.
+      if (base->kind == ContentKind::Raw || base->mat != nullptr) {
+        const std::byte* bytes =
+            base->kind == ContentKind::Raw
+                ? slab_data(const_cast<Header*>(base))
+                : static_cast<const std::byte*>(base->mat);
+        util::count_bytes_hashed(h->size);
+        std::uint64_t d = util::fnv1a({bytes, i});
+        d = fnv1a_step(d, std::to_integer<unsigned char>(bytes[i]) ^ mask);
+        return util::fnv1a({bytes + i + 1, h->size - i - 1}, d);
+      }
+      if (base->kind == ContentKind::Zeros) {
+        std::uint64_t d = fnv1a_zeros(i);
+        d = fnv1a_step(d, mask);
+        return fnv1a_zeros(h->size - i - 1, d);
+      }
+      if (base->kind == ContentKind::Pattern) {
+        util::count_bytes_hashed(h->size);
+        std::uint64_t d = fnv1a_pattern(base->seed, 0, i);
+        d = fnv1a_step(
+            d, std::to_integer<unsigned char>(pattern_byte(base->seed, i)) ^
+                   mask);
+        return fnv1a_pattern(base->seed, i + 1, h->size, d);
+      }
+      // Corrupt-over-Corrupt: digest the base's digest path via its own
+      // materialization-free stream is not worth special-casing; compute
+      // through a materialized view of the base.
+      const std::byte* bytes = materialize(const_cast<Header*>(base));
+      util::count_bytes_hashed(h->size);
+      std::uint64_t d = util::fnv1a({bytes, i});
+      d = fnv1a_step(d, std::to_integer<unsigned char>(bytes[i]) ^ mask);
+      return util::fnv1a({bytes + i + 1, h->size - i - 1}, d);
+    }
+  }
+  return util::kFnvOffset;
+}
+
+std::uint64_t Payload::digest() const {
+  if (h_ == nullptr) return util::kFnvOffset;
+  if (!h_->digest_valid) {
+    h_->digest = compute_digest(h_);
+    h_->digest_valid = true;
+  }
+  return h_->digest;
+}
+
+}  // namespace sdrmpi::net

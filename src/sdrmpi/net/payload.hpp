@@ -1,4 +1,5 @@
-// Payload: an immutable, refcounted byte buffer drawn from a BufferPool.
+// Payload: an immutable, refcounted byte buffer drawn from a BufferPool —
+// or a *symbolic* content descriptor that never stores its bytes at all.
 //
 // One Payload handle is a single pointer; copying bumps a (non-atomic)
 // refcount, and the last handle returns the slab to the pool it came from
@@ -6,6 +7,18 @@
 // across r replica copies, the sender-side retransmission store, and the
 // receiver's unexpected/parked queues — where the seed code re-copied the
 // bytes at every hand-off.
+//
+// Symbolic payloads (Zeros / Pattern / Corrupt, see content.hpp) carry only
+// a header: size() and wire-byte accounting see the logical length, but no
+// host byte is touched until someone actually asks for contents:
+//   * data()/bytes() materialize lazily — exactly once per payload, into a
+//     pool slab shared by every aliasing handle;
+//   * digest() never materializes: Zeros digests in O(log n) closed form,
+//     Pattern digests stream the generator once per (seed, len) shape and
+//     are memoized per host thread, Corrupt streams its base with the bit
+//     flipped. digest() always equals fnv1a over the materialized bytes.
+// That makes GB-scale simulated messages O(1) host work end to end (send,
+// redMPI hash compare, SDC injection, ack/retransmission buffering).
 //
 // Thread-confinement: a Payload must stay on the host thread of the Engine
 // whose pool it came from (one run = one thread, like everything else in a
@@ -20,7 +33,9 @@
 #include <span>
 #include <utility>
 
+#include "sdrmpi/net/content.hpp"
 #include "sdrmpi/util/buffer_pool.hpp"
+#include "sdrmpi/util/byte_counter.hpp"
 
 namespace sdrmpi::net {
 
@@ -55,8 +70,9 @@ class Payload {
   [[nodiscard]] static Payload copy_of(util::BufferPool* pool,
                                        std::span<const std::byte> bytes) {
     if (bytes.empty()) return {};
-    Payload p(pool, bytes.size());
+    Payload p(pool, bytes.size(), bytes.size());
     std::memcpy(p.mutable_data(), bytes.data(), bytes.size());
+    util::count_bytes_copied(bytes.size());
     return p;
   }
 
@@ -75,18 +91,45 @@ class Payload {
                                       std::span<const std::byte> head,
                                       std::span<const std::byte> tail) {
     if (head.empty() && tail.empty()) return {};
-    Payload p(pool, head.size() + tail.size());
+    Payload p(pool, head.size() + tail.size(), head.size() + tail.size());
     if (!head.empty()) {
       std::memcpy(p.mutable_data(), head.data(), head.size());
     }
     if (!tail.empty()) {
       std::memcpy(p.mutable_data() + head.size(), tail.data(), tail.size());
     }
+    util::count_bytes_copied(head.size() + tail.size());
     return p;
   }
 
-  [[nodiscard]] const std::byte* data() const noexcept {
-    return h_ != nullptr ? slab_data(h_) : nullptr;
+  /// Symbolic payload from a content descriptor: O(1) regardless of
+  /// desc.len (allocates only the header slab). Empty lengths yield an
+  /// empty handle; Raw descriptors are invalid here (they have no bytes to
+  /// draw from).
+  [[nodiscard]] static Payload symbolic(util::BufferPool* pool,
+                                        const ContentDesc& desc);
+  [[nodiscard]] static Payload zeros(util::BufferPool* pool, std::size_t n) {
+    return symbolic(pool, ContentDesc::zeros(n));
+  }
+  [[nodiscard]] static Payload pattern(util::BufferPool* pool,
+                                       std::uint64_t seed, std::size_t n) {
+    return symbolic(pool, ContentDesc::pattern(seed, n));
+  }
+
+  /// `base` with bit `bit_index` (byte bit_index/8, bit bit_index%8)
+  /// flipped — the O(1) SDC-injection wrapper: no bytes are cloned, the
+  /// base buffer is aliased via refcount and the flip is applied on
+  /// materialization / streamed into the digest.
+  [[nodiscard]] static Payload corrupt(util::BufferPool* pool,
+                                       const Payload& base,
+                                       std::uint64_t bit_index);
+
+  /// Contents as bytes; symbolic payloads materialize lazily (exactly once,
+  /// shared by all aliasing handles). Prefer size()/digest() where possible
+  /// — they never materialize.
+  [[nodiscard]] const std::byte* data() const {
+    if (h_ == nullptr) return nullptr;
+    return h_->kind == ContentKind::Raw ? slab_data(h_) : materialize(h_);
   }
   [[nodiscard]] std::size_t size() const noexcept {
     return h_ != nullptr ? h_->size : 0;
@@ -96,13 +139,34 @@ class Payload {
     return h_ != nullptr;
   }
 
-  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+  [[nodiscard]] std::span<const std::byte> bytes() const {
     return {data(), size()};
   }
 
-  [[nodiscard]] std::byte operator[](std::size_t i) const noexcept {
+  [[nodiscard]] std::byte operator[](std::size_t i) const {
     assert(i < size());
-    return slab_data(h_)[i];
+    return data()[i];
+  }
+
+  /// fnv1a digest of the contents (== util::fnv1a(bytes()) always), cached
+  /// in the shared header so aliases — including the receive side of a
+  /// zero-copy delivery — reuse one computation. Symbolic payloads digest
+  /// without materializing; repeated Pattern shapes hit a per-thread
+  /// (seed, len) memo and cost O(1). Empty handles digest to kFnvOffset
+  /// like the empty span.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  [[nodiscard]] ContentKind kind() const noexcept {
+    return h_ != nullptr ? h_->kind : ContentKind::Raw;
+  }
+  [[nodiscard]] bool is_symbolic() const noexcept {
+    return h_ != nullptr && h_->kind != ContentKind::Raw;
+  }
+  /// True once contents exist as host bytes (Raw always; symbolic after
+  /// the first data() call).
+  [[nodiscard]] bool is_materialized() const noexcept {
+    return h_ != nullptr &&
+           (h_->kind == ContentKind::Raw || h_->mat != nullptr);
   }
 
   /// Handles sharing this buffer (test/diagnostic; 0 for empty handles).
@@ -116,29 +180,49 @@ class Payload {
   }
 
  private:
-  /// Slab layout: [Header][data bytes]. The header records which pool (and
-  /// free-list class) the slab returns to, so a Payload can outlive the
-  /// Fabric/Endpoint that made it as long as the Engine (pool owner) lives.
+  /// Slab layout: [Header][data bytes for Raw]. The header records which
+  /// pool (and free-list class) the slab returns to, so a Payload can
+  /// outlive the Fabric/Endpoint that made it as long as the Engine (pool
+  /// owner) lives. Symbolic kinds store no inline bytes; their lazily
+  /// materialized buffer and cached digest live in the shared header so
+  /// every aliasing handle benefits.
   struct Header {
     std::uint32_t refs;
     std::uint32_t size_class;
     std::size_t size;
     util::BufferPool* pool;
+
+    ContentKind kind;
+    bool digest_valid;
+    std::uint64_t seed;       // Pattern generator seed
+    std::uint64_t bit_index;  // Corrupt flip position
+    Header* base;             // Corrupt base contents (refcounted)
+    void* mat;                // lazily materialized bytes (symbolic kinds)
+    std::uint32_t mat_class;
+    std::uint64_t digest;
   };
 
-  Payload(util::BufferPool* pool, std::size_t n) {
+  Payload(util::BufferPool* pool, std::size_t n, std::size_t inline_bytes) {
     void* slab;
     std::uint32_t size_class = util::BufferPool::kOversize;
     if (pool != nullptr) {
-      slab = pool->acquire(sizeof(Header) + n, size_class);
+      slab = pool->acquire(sizeof(Header) + inline_bytes, size_class);
     } else {
-      slab = ::operator new(sizeof(Header) + n);
+      slab = ::operator new(sizeof(Header) + inline_bytes);
     }
     h_ = static_cast<Header*>(slab);
     h_->refs = 1;
     h_->size_class = size_class;
     h_->size = n;
     h_->pool = pool;
+    h_->kind = ContentKind::Raw;
+    h_->digest_valid = false;
+    h_->seed = 0;
+    h_->bit_index = 0;
+    h_->base = nullptr;
+    h_->mat = nullptr;
+    h_->mat_class = util::BufferPool::kOversize;
+    h_->digest = 0;
   }
 
   [[nodiscard]] static std::byte* slab_data(Header* h) noexcept {
@@ -146,13 +230,36 @@ class Payload {
   }
   [[nodiscard]] std::byte* mutable_data() noexcept { return slab_data(h_); }
 
+  // Symbolic machinery (payload.cpp): produce/lookup bytes and digests.
+  [[nodiscard]] static const std::byte* materialize(Header* h);
+  static void fill_contents(const Header* h, std::byte* out);
+  [[nodiscard]] static std::uint64_t compute_digest(const Header* h);
+
+  static void destroy(Header* h) noexcept {
+    // Iterative base-chain walk (Corrupt-over-Corrupt stays shallow in
+    // practice, but recursion depth should not depend on data).
+    while (h != nullptr) {
+      Header* base = h->base;
+      if (h->mat != nullptr) {
+        if (h->pool != nullptr) {
+          h->pool->release(h->mat, h->mat_class);
+        } else {
+          ::operator delete(h->mat);
+        }
+      }
+      if (h->pool != nullptr) {
+        h->pool->release(h, h->size_class);
+      } else {
+        ::operator delete(h);
+      }
+      if (base == nullptr || --base->refs != 0) break;
+      h = base;
+    }
+  }
+
   void release() noexcept {
     if (h_ == nullptr || --h_->refs != 0) return;
-    if (h_->pool != nullptr) {
-      h_->pool->release(h_, h_->size_class);
-    } else {
-      ::operator delete(h_);
-    }
+    destroy(h_);
   }
 
   Header* h_ = nullptr;

@@ -186,10 +186,45 @@ void Engine::maybe_yield() {
   if (self.crash_req_) throw CrashUnwind{};
   // Single-writer safety: while this process runs, no other thread mutates
   // the event queue or process states, so peeking is race-free.
+  //
+  // Due events are executed INLINE from this fiber instead of yielding to
+  // the scheduler: the global action order is exactly what the scheduler
+  // would produce (events win ties, and we stop as soon as a runnable
+  // process precedes the next event), but the yield→event→resume round
+  // trip — two swapcontext calls per consumed frame, the dominant
+  // fiber-switch churn on ping-pong traffic — disappears. Virtual time is
+  // untouched by construction; only the host-side context_switches counter
+  // shrinks.
+  bool drained = false;
+  while (!events_.empty()) {
+    const Time et = events_.top_time();
+    if (et > self.clock_) break;
+    // run() stops the whole simulation when the next item crosses the
+    // virtual-time cap; a real yield reproduces that.
+    if (time_limit_ > 0 && et > time_limit_) break;
+    bool older_proc = false;
+    for (const auto& p : procs_) {
+      if (p.get() != &self && p->runnable() && p->clock() < et) {
+        older_proc = true;
+        break;
+      }
+    }
+    if (older_proc) break;  // the scheduler would resume that process first
+    run_event_inline(self);
+    drained = true;
+    if (self.crash_req_) throw CrashUnwind{};
+  }
   bool older_item = !events_.empty() && events_.top_time() <= self.clock_;
   if (!older_item) {
     for (const auto& p : procs_) {
-      if (p.get() != &self && p->runnable() && p->clock() < self.clock_) {
+      if (p.get() == &self || !p->runnable()) continue;
+      // Strictly-older processes always force a yield. Equal-clock
+      // processes with a smaller pid force one only when events ran here:
+      // had we yielded for those events instead, the scheduler's pid
+      // tie-break would have resumed that process before us, and the
+      // deterministic order must not depend on which path was taken.
+      if (p->clock() < self.clock_ ||
+          (drained && p->clock() == self.clock_ && p->pid() < self.pid())) {
         older_item = true;
         break;
       }
@@ -206,11 +241,61 @@ void Engine::yield() {
   if (self.crash_req_) throw CrashUnwind{};
 }
 
+void Engine::run_event_inline(Process& self) {
+  const Time et = events_.top_time();
+  InlineFn fn = events_.pop();
+  event_now_ = et;
+  ++events_executed_;
+  // Event context, exactly as in the run() loop. The guard restores
+  // process context even if the event throws: the exception then unwinds
+  // this fiber with the engine's bookkeeping intact (and is attributed to
+  // it), instead of leaving running_ null for return_control_to_engine.
+  struct ContextGuard {
+    Engine* eng;
+    Process* proc;
+    ~ContextGuard() { eng->running_ = proc; }
+  } guard{this, &self};
+  running_ = nullptr;
+  fn();
+}
+
 void Engine::block(std::string reason) {
   Process& self = *running_;
   if (self.crash_req_) throw CrashUnwind{};
   self.state_ = ProcState::Blocked;
   self.block_reason_ = std::move(reason);
+  // In-fiber wait: replay the scheduler's own decision loop without leaving
+  // this fiber. Due events execute inline (they run in engine context and
+  // never switch stacks); when one of them wakes this process AND the
+  // scheduler's next pick would be this process, we simply return — the
+  // block→wake→resume round trip (two swapcontext calls per consumed
+  // frame, the dominant fiber-switch churn on request/response traffic)
+  // never happens. The moment the scheduler would do anything else — resume
+  // another process, stop on the time limit, or report a deadlock — we swap
+  // back to it for real. Action order, and therefore virtual time, is
+  // identical to the swapping implementation by construction.
+  for (;;) {
+    Process* p = next_runnable();  // includes self once an event woke it
+    const bool have_event = !events_.empty();
+    if (p == nullptr && !have_event) break;  // deadlock: let run() see it
+
+    const Time et = have_event ? events_.top_time() : 0;
+    const bool run_event = have_event && (p == nullptr || et <= p->clock());
+    const Time next_t = run_event ? et : p->clock();
+    if (time_limit_ > 0 && next_t > time_limit_) break;  // run() stops
+
+    if (run_event) {
+      run_event_inline(self);
+      continue;
+    }
+    if (p == &self) {
+      // The scheduler would resume us next: keep running, no switch.
+      self.state_ = ProcState::Running;
+      if (self.crash_req_) throw CrashUnwind{};
+      return;
+    }
+    break;  // another process is due first: really yield the host stack
+  }
   return_control_to_engine();
   if (self.crash_req_) throw CrashUnwind{};
 }

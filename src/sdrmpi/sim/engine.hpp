@@ -127,6 +127,11 @@ class Engine {
 
   /// Smallest-clock runnable process, pid tie-break; nullptr if none.
   [[nodiscard]] Process* next_runnable() noexcept;
+  /// Pops and executes the due event from within a process fiber, in exact
+  /// engine-context semantics (event_now_, running_ == nullptr). Used by
+  /// maybe_yield()/block() to consume events without two fiber switches
+  /// per event; action order matches the run() loop by construction.
+  void run_event_inline(Process& self);
   /// Direct swapcontext into the process fiber; returns when the process
   /// yields, blocks, or terminates (terminated fibers give their stack back
   /// to the cache here).

@@ -9,6 +9,7 @@
 namespace sdrmpi::wl {
 
 core::AppFn make_cm1(Cm1Params p) {
+  if (p.payload != PayloadMode::Real) return detail::make_cm1_skeleton(p);
   return [p](mpi::Env& env) {
     auto& world = env.world();
     const auto pg = decompose_2d(world.size());

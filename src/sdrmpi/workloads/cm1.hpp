@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "sdrmpi/core/launcher.hpp"
+#include "sdrmpi/workloads/symbolic.hpp"
 
 namespace sdrmpi::wl {
 
@@ -18,8 +19,13 @@ struct Cm1Params {
   std::uint64_t seed = 0x5eed31ULL;
   double compute_scale = 1.0;
   bool any_source = true;
+  PayloadMode payload = PayloadMode::Real;  ///< non-Real: skeleton kernel
 };
 
 [[nodiscard]] core::AppFn make_cm1(Cm1Params p = {});
+
+namespace detail {
+[[nodiscard]] core::AppFn make_cm1_skeleton(Cm1Params p);
+}  // namespace detail
 
 }  // namespace sdrmpi::wl

@@ -30,6 +30,7 @@ void matvec27(const Field3D& x, Field3D& y) {
 }  // namespace
 
 core::AppFn make_hpccg(HpccgParams p) {
+  if (p.payload != PayloadMode::Real) return detail::make_hpccg_skeleton(p);
   return [p](mpi::Env& env) {
     auto& world = env.world();
     const int np = world.size();

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "sdrmpi/core/launcher.hpp"
+#include "sdrmpi/workloads/symbolic.hpp"
 
 namespace sdrmpi::wl {
 
@@ -19,8 +20,13 @@ struct HpccgParams {
   std::uint64_t seed = 0x5eedccULL;
   double compute_scale = 1.0;
   bool any_source = true;  ///< post wildcard receives (the miniapp default)
+  PayloadMode payload = PayloadMode::Real;  ///< non-Real: skeleton kernel
 };
 
 [[nodiscard]] core::AppFn make_hpccg(HpccgParams p = {});
+
+namespace detail {
+[[nodiscard]] core::AppFn make_hpccg_skeleton(HpccgParams p);
+}  // namespace detail
 
 }  // namespace sdrmpi::wl

@@ -12,16 +12,29 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sdrmpi/core/launcher.hpp"
+#include "sdrmpi/workloads/symbolic.hpp"
 
 namespace sdrmpi::wl {
+
+/// NAS problem classes. S/W/A/B are runnable with real arithmetic; C and D
+/// are skeleton-only (the field arrays would be GBs per rank), so selecting
+/// them implies a symbolic communication skeleton unless the caller forces
+/// PayloadMode::Materialized for oracle runs at small classes.
+enum class NasClass : int { S, W, A, B, C, D };
+
+[[nodiscard]] const char* to_string(NasClass c) noexcept;
+/// Parses "S".."D" (case-insensitive); throws std::invalid_argument.
+[[nodiscard]] NasClass parse_nas_class(const std::string& s);
 
 struct CgParams {
   int nrows = 4096;      ///< global matrix rows (divisible by nranks)
   int iters = 25;        ///< CG iterations
   std::uint64_t seed = 0x5eedc6ULL;
   double compute_scale = 1.0;
+  PayloadMode payload = PayloadMode::Real;  ///< non-Real: skeleton kernel
 };
 [[nodiscard]] core::AppFn make_nas_cg(CgParams p = {});
 
@@ -30,6 +43,7 @@ struct MgParams {
   int iters = 4;                  ///< V-cycles
   std::uint64_t seed = 0x5eed36ULL;
   double compute_scale = 1.0;
+  PayloadMode payload = PayloadMode::Real;
 };
 [[nodiscard]] core::AppFn make_nas_mg(MgParams p = {});
 
@@ -38,6 +52,7 @@ struct FtParams {
   int iters = 3;
   std::uint64_t seed = 0x5eedf7ULL;
   double compute_scale = 1.0;
+  PayloadMode payload = PayloadMode::Real;
 };
 [[nodiscard]] core::AppFn make_nas_ft(FtParams p = {});
 
@@ -47,8 +62,24 @@ struct AdiParams {
   int iters = 5;
   std::uint64_t seed = 0x5eedb7ULL;
   double compute_scale = 1.0;
+  PayloadMode payload = PayloadMode::Real;
 };
 [[nodiscard]] core::AppFn make_nas_bt(AdiParams p = {});
 [[nodiscard]] core::AppFn make_nas_sp(AdiParams p = {});
+
+/// Problem-size tables (NAS convention, adapted to the mini kernels).
+void apply_class(CgParams& p, NasClass c);
+void apply_class(MgParams& p, NasClass c);
+void apply_class(FtParams& p, NasClass c);
+void apply_class(AdiParams& p, NasClass c);
+
+namespace detail {
+// Communication skeletons (nas_skeleton.cpp): same message pattern and
+// modeled flops as the real kernels, payloads per PayloadMode.
+[[nodiscard]] core::AppFn make_cg_skeleton(CgParams p);
+[[nodiscard]] core::AppFn make_mg_skeleton(MgParams p);
+[[nodiscard]] core::AppFn make_ft_skeleton(FtParams p);
+[[nodiscard]] core::AppFn make_adi_skeleton(AdiParams p, bool bt);
+}  // namespace detail
 
 }  // namespace sdrmpi::wl

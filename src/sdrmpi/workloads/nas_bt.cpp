@@ -70,6 +70,9 @@ void block_row(int gi, std::uint64_t seed, Mat3& A, Mat3& B, Mat3& C) {
 }  // namespace
 
 core::AppFn make_nas_bt(AdiParams p) {
+  if (p.payload != PayloadMode::Real) {
+    return detail::make_adi_skeleton(p, /*bt=*/true);
+  }
   return [p](mpi::Env& env) {
     auto& world = env.world();
     const int np = world.size();

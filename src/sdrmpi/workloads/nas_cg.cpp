@@ -60,6 +60,7 @@ struct BandedMatrix {
 }  // namespace
 
 core::AppFn make_nas_cg(CgParams p) {
+  if (p.payload != PayloadMode::Real) return detail::make_cg_skeleton(p);
   return [p](mpi::Env& env) {
     auto& world = env.world();
     const int np = world.size();

@@ -66,6 +66,7 @@ void fft_line(Cx* data, int n, int stride, bool inverse) {
 }  // namespace
 
 core::AppFn make_nas_ft(FtParams p) {
+  if (p.payload != PayloadMode::Real) return detail::make_ft_skeleton(p);
   return [p](mpi::Env& env) {
     auto& world = env.world();
     const int np = world.size();

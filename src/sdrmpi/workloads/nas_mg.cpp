@@ -101,6 +101,7 @@ void prolong(mpi::Env& env, Level& coarse, Level& fine, double scale) {
 }  // namespace
 
 core::AppFn make_nas_mg(MgParams p) {
+  if (p.payload != PayloadMode::Real) return detail::make_mg_skeleton(p);
   return [p](mpi::Env& env) {
     auto& world = env.world();
     const auto pg = decompose_3d(world.size());

@@ -35,6 +35,9 @@ PentaRow penta_row(int gi, int nx, std::uint64_t seed) {
 }  // namespace
 
 core::AppFn make_nas_sp(AdiParams p) {
+  if (p.payload != PayloadMode::Real) {
+    return detail::make_adi_skeleton(p, /*bt=*/false);
+  }
   return [p](mpi::Env& env) {
     auto& world = env.world();
     const int np = world.size();

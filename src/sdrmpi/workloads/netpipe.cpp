@@ -2,6 +2,9 @@
 
 #include <string>
 
+#include "sdrmpi/net/content.hpp"
+#include "sdrmpi/util/hash.hpp"
+
 namespace sdrmpi::wl {
 
 std::vector<std::size_t> NetpipeParams::default_sizes() {
@@ -20,27 +23,46 @@ core::AppFn make_netpipe(NetpipeParams p) {
 
     std::vector<std::byte> buf;
     for (const std::size_t size : p.sizes) {
-      buf.assign(size, std::byte{0x5a});
+      if (!p.symbolic) buf.assign(size, std::byte{0x5a});
       const std::span<std::byte> view(buf);
+      // One shape seed per size: the symbolic digest memo makes repeated
+      // round trips of the same size free.
+      const net::ContentDesc desc = net::ContentDesc::pattern(
+          util::mix64(0x9e7f1beULL ^ size), size);
+
+      auto ping = [&] {
+        if (p.symbolic) {
+          world.send_symbolic(desc, peer, 7);
+        } else {
+          world.send(std::span<const std::byte>(view), peer, 7);
+        }
+      };
+      auto pong = [&] {
+        if (p.symbolic) {
+          (void)world.recv_sink(size, peer, 7);
+        } else {
+          world.recv(view, peer, 7);
+        }
+      };
 
       for (int i = 0; i < p.warmup; ++i) {
         if (rank == 0) {
-          world.send(std::span<const std::byte>(view), peer, 7);
-          world.recv(view, peer, 7);
+          ping();
+          pong();
         } else {
-          world.recv(view, peer, 7);
-          world.send(std::span<const std::byte>(view), peer, 7);
+          pong();
+          ping();
         }
       }
 
       const double t0 = env.wtime();
       for (int i = 0; i < p.reps; ++i) {
         if (rank == 0) {
-          world.send(std::span<const std::byte>(view), peer, 7);
-          world.recv(view, peer, 7);
+          ping();
+          pong();
         } else {
-          world.recv(view, peer, 7);
-          world.send(std::span<const std::byte>(view), peer, 7);
+          pong();
+          ping();
         }
       }
       const double elapsed = env.wtime() - t0;

@@ -18,6 +18,11 @@ struct NetpipeParams {
   std::vector<std::size_t> sizes = default_sizes();
   int reps = 20;     ///< timed round trips per size
   int warmup = 4;    ///< untimed round trips per size
+  /// Symbolic contents: messages travel as Pattern descriptors with
+  /// zero-copy sink receives — bit-identical virtual-time trace to the
+  /// buffered sweep of the same sizes, O(1) host bytes per message, which
+  /// is what lets the sweep extend to GB-scale sizes.
+  bool symbolic = false;
 
   /// 1 B .. 8 MiB, powers of two (the paper's x axis).
   [[nodiscard]] static std::vector<std::size_t> default_sizes();

@@ -1,0 +1,125 @@
+// Symbolic workload support: payload modes and the skeleton transfer
+// helper shared by the class C/D communication skeletons.
+//
+// A skeleton workload reproduces a kernel's communication pattern (message
+// sizes, sequence, tags) and modeled compute charges without allocating the
+// field arrays — which is what makes NAS class C/D problem sizes runnable:
+// a class D FT alltoall block is half a GB per message, far beyond what a
+// host can afford to memcpy-and-hash per simulated send. Two modes exist:
+//
+//   Symbolic      sends content descriptors (net::ContentDesc::pattern) and
+//                 posts zero-copy sink receives — O(1) host bytes/message;
+//   Materialized  sends the *identical* pattern bytes through real buffers
+//                 and buffered receives — the oracle twin the determinism
+//                 fuzzer runs against Symbolic, asserting bit-identical
+//                 virtual-time traces and identical content digests.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sdrmpi/mpi/comm.hpp"
+#include "sdrmpi/net/content.hpp"
+#include "sdrmpi/util/hash.hpp"
+
+namespace sdrmpi::wl {
+
+/// How a workload moves payload bytes.
+enum class PayloadMode : int {
+  Real,          ///< full arithmetic on real buffers (the default kernels)
+  Symbolic,      ///< skeleton traffic as content descriptors (O(1) bytes)
+  Materialized,  ///< skeleton traffic as real pattern bytes (oracle twin)
+};
+
+[[nodiscard]] constexpr const char* to_string(PayloadMode m) noexcept {
+  switch (m) {
+    case PayloadMode::Real: return "real";
+    case PayloadMode::Symbolic: return "symbolic";
+    case PayloadMode::Materialized: return "materialized";
+  }
+  return "?";
+}
+
+/// Skeleton point-to-point transfers. Symbolic and Materialized produce
+/// bit-identical traces (same lengths, tags and ordering) and identical
+/// per-message digests: the shape seed of a channel depends only on the
+/// workload seed and the tag, so the same (seed, len) repeats every
+/// iteration and symbolic digests hit the per-thread memo.
+class SymXfer {
+ public:
+  SymXfer(mpi::Comm comm, PayloadMode mode, std::uint64_t seed)
+      : comm_(comm),
+        symbolic_(mode != PayloadMode::Materialized),
+        seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t shape_seed(int tag) const {
+    return util::hash_combine(seed_, static_cast<std::uint64_t>(tag));
+  }
+
+  /// Nonblocking skeleton send of `bytes` pattern bytes. The application
+  /// buffer (materialized mode) is reusable on return — the endpoint pools
+  /// the payload inside isend — so one scratch buffer serves all sends.
+  [[nodiscard]] mpi::Request isend(std::size_t bytes, int dst, int tag) {
+    if (symbolic_ || dst == mpi::kProcNull) {
+      return comm_.isend_symbolic(
+          net::ContentDesc::pattern(shape_seed(tag), bytes), dst, tag);
+    }
+    fill_pattern(send_scratch_, shape_seed(tag), bytes);
+    return comm_.isend_bytes(
+        std::span<const std::byte>(send_scratch_.data(), bytes), dst, tag);
+  }
+
+  /// Nonblocking skeleton receive of up to `cap` bytes. Materialized mode
+  /// owns a live buffer per outstanding receive; take_digest releases it.
+  [[nodiscard]] mpi::Request irecv(std::size_t cap, int src, int tag) {
+    if (symbolic_) return comm_.irecv_sink(cap, src, tag);
+    live_.emplace_back(nullptr, std::vector<std::byte>(cap));
+    auto req = comm_.irecv_bytes(std::span<std::byte>(live_.back().second),
+                                 src, tag);
+    live_.back().first = req.get();
+    return req;
+  }
+
+  /// Content digest of a completed receive — identical in both modes
+  /// (fnv1a over the delivered bytes; symbolic payloads digest without
+  /// materializing). Call once per irecv after completion.
+  [[nodiscard]] std::uint64_t take_digest(const mpi::Request& req) {
+    if (symbolic_) return req->recv_payload.digest();
+    for (auto it = live_.begin(); it != live_.end(); ++it) {
+      if (it->first == req.get()) {
+        const std::uint64_t d = util::fnv1a(
+            {it->second.data(), req->status.bytes});
+        live_.erase(it);
+        return d;
+      }
+    }
+    return util::kFnvOffset;  // kProcNull / zero-byte receive
+  }
+
+  /// Blocking sendrecv convenience: posts both sides, waits, folds the
+  /// received digest into `cs`.
+  void sendrecv(std::size_t bytes, int dst, std::size_t cap, int src, int tag,
+                util::Checksum& cs) {
+    mpi::Request reqs[2] = {irecv(cap, src, tag), isend(bytes, dst, tag)};
+    comm_.waitall(reqs);
+    cs.add_u64(take_digest(reqs[0]));
+  }
+
+ private:
+  static void fill_pattern(std::vector<std::byte>& buf, std::uint64_t seed,
+                           std::size_t n) {
+    if (buf.size() < n) buf.resize(n);
+    for (std::size_t i = 0; i < n; ++i) buf[i] = net::pattern_byte(seed, i);
+  }
+
+  mpi::Comm comm_;
+  bool symbolic_;
+  std::uint64_t seed_;
+  std::vector<std::byte> send_scratch_;
+  /// Outstanding materialized receives (heap storage is address-stable
+  /// under vector growth, so the posted spans stay valid).
+  std::vector<std::pair<const mpi::ReqState*, std::vector<std::byte>>> live_;
+};
+
+}  // namespace sdrmpi::wl

@@ -233,11 +233,80 @@ TEST(FuzzDeterminism, PoolSizeNeverLeaksIntoResults) {
   int clean = 0;
   for (std::size_t i = 0; i < serial.size(); ++i) {
     expect_identical(serial[i], pooled[i], cases[i].label);
+    // Host byte counters are per-run deltas off a run-scoped digest memo,
+    // so they must not leak pool size either. (Not part of
+    // expect_identical: the symbolic/materialized twin test uses that
+    // helper, and twins differ in bytes_copied by design.)
+    EXPECT_EQ(serial[i].bytes_copied, pooled[i].bytes_copied)
+        << cases[i].label;
+    EXPECT_EQ(serial[i].bytes_hashed, pooled[i].bytes_hashed)
+        << cases[i].label;
     if (serial[i].clean()) ++clean;
   }
   // The fuzzer must mostly generate runnable configs, or it tests nothing.
   EXPECT_GE(clean, static_cast<int>(serial.size()) * 9 / 10)
       << "only " << clean << "/" << serial.size() << " runs were clean";
+}
+
+// Symbolic payloads are timing-transparent: a workload sending content
+// descriptors with sink receives must produce a bit-identical trace —
+// virtual times, wire bytes, traffic counters, per-slot checksums — to its
+// materialized twin pushing the same pattern bytes through real buffers.
+// Randomizes (workload × protocol × topology × seed) pairs.
+TEST(FuzzDeterminism, SymbolicMatchesMaterializedTwin) {
+  constexpr int kPairs = 36;
+  util::Rng rng(0x5fabc0deULL);
+  const core::ProtocolKind kinds[] = {
+      core::ProtocolKind::Native,       core::ProtocolKind::Sdr,
+      core::ProtocolKind::Mirror,       core::ProtocolKind::Leader,
+      core::ProtocolKind::RedMpiLeader, core::ProtocolKind::RedMpiSd};
+  const char* skeletons[] = {"cg", "mg", "ft", "bt", "sp", "hpccg", "cm1"};
+
+  std::vector<core::RunConfig> configs;
+  std::vector<core::AppFn> apps;
+  std::vector<std::string> labels;
+  for (int i = 0; i < kPairs; ++i) {
+    core::RunConfig cfg;
+    const auto proto = kinds[rng.below(6)];
+    cfg.protocol = proto;
+    cfg.replication = proto == core::ProtocolKind::Native ? 1 : 2;
+    cfg.nranks = static_cast<int>(2 + rng.below(3));
+    cfg.net.topology = draw_topology(rng);
+    cfg.seed = rng();
+    cfg.time_limit = timeunits::seconds(300.0);
+
+    util::Options opts;
+    std::string wl_name;
+    if (rng.below(4) == 0) {
+      wl_name = "netpipe";
+      opts.set("sizes", "1,512,4096,65536");
+      opts.set("reps", "3");
+    } else {
+      wl_name = skeletons[rng.below(7)];
+      opts.set("class", rng.below(2) == 0 ? "S" : "W");
+      opts.set("iters", "2");
+    }
+    opts.set("seed", std::to_string(rng.below(1u << 20)));
+    for (const char* mode : {"symbolic", "materialize"}) {
+      util::Options mode_opts = opts;
+      mode_opts.set(mode, "true");
+      configs.push_back(cfg);
+      apps.push_back(wl::make_workload(wl_name, mode_opts));
+    }
+    labels.push_back(wl_name + "/" + core::to_string(proto) + "/i" +
+                     std::to_string(i));
+  }
+
+  auto factory = [&apps](const core::RunConfig&, std::size_t i) {
+    return apps[i];
+  };
+  const auto runs = core::run_many(configs, factory, {.threads = 4});
+  ASSERT_EQ(runs.size(), static_cast<std::size_t>(2 * kPairs));
+  for (int i = 0; i < kPairs; ++i) {
+    expect_identical(runs[2 * static_cast<std::size_t>(i)],
+                     runs[2 * static_cast<std::size_t>(i) + 1],
+                     labels[static_cast<std::size_t>(i)]);
+  }
 }
 
 // The same batch must also be invariant under re-execution with an

@@ -1,0 +1,292 @@
+// Symbolic payload contents: digests equal fnv1a ground truth, lazy
+// materialization happens exactly once, Corrupt is an O(1) wrapper whose
+// digest differs from its base, the per-shape digest memo makes repeated
+// shapes free, and the symbolic end-to-end path (symbolic send → sink or
+// buffered receive, redMPI detection) behaves exactly like raw bytes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sdrmpi/net/content.hpp"
+#include "sdrmpi/net/payload.hpp"
+#include "sdrmpi/util/byte_counter.hpp"
+#include "sdrmpi/util/hash.hpp"
+#include "test_support.hpp"
+
+namespace sdrmpi {
+namespace {
+
+using net::ContentDesc;
+using net::ContentKind;
+using net::Payload;
+
+// ------------------------------------------------------ digest ground truth
+
+TEST(SymbolicPayload, ZerosDigestMatchesFnv1aGroundTruth) {
+  util::BufferPool pool;
+  for (std::size_t n : {1u, 7u, 8u, 63u, 64u, 1000u, 4097u}) {
+    Payload p = Payload::zeros(&pool, n);
+    const std::vector<std::byte> ref(n, std::byte{0});
+    EXPECT_EQ(p.digest(), util::fnv1a(ref)) << "n=" << n;
+    // And the closed form agrees with the materialized bytes.
+    EXPECT_EQ(p.digest(), util::fnv1a(p.bytes())) << "n=" << n;
+  }
+}
+
+TEST(SymbolicPayload, PatternDigestMatchesMaterializedBytes) {
+  util::BufferPool pool;
+  for (std::size_t n : {1u, 3u, 8u, 9u, 255u, 256u, 10000u}) {
+    Payload p = Payload::pattern(&pool, 0xfeedULL + n, n);
+    const std::uint64_t symbolic_digest = p.digest();  // before materializing
+    EXPECT_FALSE(p.is_materialized()) << "digest() must not materialize";
+    EXPECT_EQ(symbolic_digest, util::fnv1a(p.bytes())) << "n=" << n;
+  }
+}
+
+TEST(SymbolicPayload, PatternBytesAreTheDocumentedGenerator) {
+  util::BufferPool pool;
+  Payload p = Payload::pattern(&pool, 0xabcULL, 100);
+  const std::byte* d = p.data();
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(d[i], net::pattern_byte(0xabcULL, i)) << "i=" << i;
+  }
+}
+
+TEST(SymbolicPayload, EmptyHandleDigestsLikeEmptySpan) {
+  EXPECT_EQ(Payload{}.digest(), util::kFnvOffset);
+  EXPECT_EQ(util::fnv1a({}), util::kFnvOffset);
+}
+
+// ------------------------------------------------------ lazy materialization
+
+TEST(SymbolicPayload, MaterializationHappensExactlyOnce) {
+  util::BufferPool pool;
+  Payload p = Payload::pattern(&pool, 0x11ULL, 5000);
+  Payload alias = p;
+  EXPECT_FALSE(p.is_materialized());
+
+  const std::uint64_t mat0 = util::byte_counters().materializations;
+  const std::uint64_t copied0 = util::byte_counters().bytes_copied;
+  const std::byte* d1 = p.data();
+  EXPECT_TRUE(p.is_materialized());
+  EXPECT_TRUE(alias.is_materialized());  // shared header
+  EXPECT_EQ(util::byte_counters().materializations - mat0, 1u);
+  EXPECT_EQ(util::byte_counters().bytes_copied - copied0, 5000u);
+
+  // Further access — including through the alias — reuses the same bytes.
+  const std::byte* d2 = alias.data();
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(util::byte_counters().materializations - mat0, 1u);
+  EXPECT_EQ(util::byte_counters().bytes_copied - copied0, 5000u);
+}
+
+TEST(SymbolicPayload, DigestNeverMaterializesAndIsCached) {
+  util::BufferPool pool;
+  const std::uint64_t mat0 = util::byte_counters().materializations;
+  Payload p = Payload::pattern(&pool, 0x222ULL, 1 << 20);
+  const std::uint64_t h0 = util::byte_counters().bytes_hashed;
+  (void)p.digest();
+  EXPECT_EQ(util::byte_counters().materializations, mat0);
+  EXPECT_GE(util::byte_counters().bytes_hashed - h0, 1u << 20);
+  // Cached in the header: a second digest() hashes nothing.
+  const std::uint64_t h1 = util::byte_counters().bytes_hashed;
+  (void)p.digest();
+  EXPECT_EQ(util::byte_counters().bytes_hashed, h1);
+}
+
+TEST(SymbolicPayload, PatternDigestMemoMakesRepeatedShapesFree) {
+  util::BufferPool pool;
+  // Same (seed, len) as a fresh payload: the per-thread memo serves it.
+  Payload a = Payload::pattern(&pool, 0x333ULL, 123457);
+  (void)a.digest();
+  const std::uint64_t h0 = util::byte_counters().bytes_hashed;
+  Payload b = Payload::pattern(&pool, 0x333ULL, 123457);
+  EXPECT_EQ(b.digest(), a.digest());
+  EXPECT_EQ(util::byte_counters().bytes_hashed, h0) << "memo miss";
+}
+
+TEST(SymbolicPayload, GigabyteZerosDigestIsClosedForm) {
+  // O(log n) closed form: no hashing, no materialization, no allocation of
+  // the logical size — this is the GB-scale case the design exists for.
+  util::BufferPool pool;
+  const std::size_t gb = std::size_t{1} << 30;
+  Payload p = Payload::zeros(&pool, gb);
+  const std::uint64_t h0 = util::byte_counters().bytes_hashed;
+  const std::uint64_t c0 = util::byte_counters().bytes_copied;
+  EXPECT_EQ(p.digest(), net::fnv1a_zeros(gb));
+  EXPECT_EQ(util::byte_counters().bytes_hashed, h0);
+  EXPECT_EQ(util::byte_counters().bytes_copied, c0);
+  EXPECT_FALSE(p.is_materialized());
+  EXPECT_EQ(p.size(), gb);
+}
+
+// ----------------------------------------------------------------- Corrupt
+
+TEST(SymbolicPayload, CorruptDigestDiffersFromBaseAndMatchesBytes) {
+  util::BufferPool pool;
+  // Over every base kind, including a Raw buffer.
+  const std::vector<std::byte> raw_bytes(300, std::byte{0x5a});
+  const Payload bases[] = {
+      Payload::copy_of(&pool, raw_bytes),
+      Payload::zeros(&pool, 300),
+      Payload::pattern(&pool, 0x444ULL, 300),
+  };
+  for (const Payload& base : bases) {
+    const std::uint64_t bit = 7 * 8 + 6;  // byte 7, bit 6 (the SDC position)
+    Payload c = Payload::corrupt(&pool, base, bit);
+    EXPECT_EQ(c.size(), base.size());
+    EXPECT_NE(c.digest(), base.digest());
+    EXPECT_EQ(c.digest(), util::fnv1a(c.bytes()));
+    // Exactly one bit differs from the base contents.
+    const std::byte* cb = c.data();
+    const std::byte* bb = base.data();
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (i == 7) {
+        EXPECT_EQ(cb[i], bb[i] ^ std::byte{0x40});
+      } else {
+        EXPECT_EQ(cb[i], bb[i]) << "i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SymbolicPayload, CorruptIsO1AtCreation) {
+  util::BufferPool pool;
+  Payload base = Payload::pattern(&pool, 0x555ULL, 1 << 22);
+  const std::uint64_t c0 = util::byte_counters().bytes_copied;
+  Payload c = Payload::corrupt(&pool, base, 6);
+  EXPECT_EQ(util::byte_counters().bytes_copied, c0) << "corrupt cloned bytes";
+  EXPECT_FALSE(c.is_materialized());
+  EXPECT_EQ(base.use_count(), 2u);  // aliased, not copied
+}
+
+// ----------------------------------------------------- pool/slab mechanics
+
+TEST(SymbolicPayload, MaterializedSlabReturnsToItsOwnPool) {
+  util::BufferPool pool_a;
+  util::BufferPool pool_b;
+  {
+    Payload pa = Payload::pattern(&pool_a, 1, 500);
+    Payload pb = Payload::pattern(&pool_b, 2, 500);
+    (void)pa.data();
+    (void)pb.data();
+  }
+  // Header slab + materialized slab per payload, each home again.
+  EXPECT_EQ(pool_a.cached_slabs(), 2u);
+  EXPECT_EQ(pool_b.cached_slabs(), 2u);
+}
+
+TEST(SymbolicPayload, PoollessSymbolicHandlesUseTheHeap) {
+  Payload p = Payload::pattern(nullptr, 3, 64);
+  EXPECT_EQ(p.digest(), util::fnv1a(p.bytes()));
+}
+
+// --------------------------------------------------------- end-to-end MPI
+
+TEST(SymbolicEndToEnd, SymbolicSendToSinkRecvNeverTouchesBytes) {
+  core::RunConfig cfg;
+  cfg.nranks = 2;
+  const std::size_t size = std::size_t{4} << 20;  // rendezvous-sized
+  auto res = core::run(cfg, [size](mpi::Env& env) {
+    auto& world = env.world();
+    const auto desc = net::ContentDesc::pattern(0x777ULL, size);
+    if (env.rank() == 0) {
+      world.send_symbolic(desc, 1, 5);
+    } else {
+      auto req = world.irecv_sink(size, 0, 5);
+      world.wait(req);
+      EXPECT_EQ(req->status.bytes, size);
+      EXPECT_FALSE(req->recv_payload.is_materialized());
+      // The delivered handle digests to the sender's contents.
+      util::Checksum cs;
+      cs.add_u64(req->recv_payload.digest());
+      env.report_checksum(cs.digest());
+    }
+  });
+  ASSERT_TRUE(test::run_clean(res));
+  // Wire accounting saw the full message; the host never copied it.
+  EXPECT_GE(res.fabric.payload_bytes, size);
+  EXPECT_LT(res.bytes_copied, std::size_t{64} << 10);
+}
+
+TEST(SymbolicEndToEnd, SymbolicSendIntoRealBufferMaterializesTheContents) {
+  core::RunConfig cfg;
+  cfg.nranks = 2;
+  constexpr std::size_t kSize = 2048;
+  auto res = core::run(cfg, [](mpi::Env& env) {
+    auto& world = env.world();
+    if (env.rank() == 0) {
+      world.send_symbolic(net::ContentDesc::pattern(0x888ULL, kSize), 1, 5);
+    } else {
+      std::vector<std::byte> buf(kSize);
+      world.recv(std::span<std::byte>(buf), 0, 5);
+      for (std::size_t i = 0; i < kSize; ++i) {
+        ASSERT_EQ(buf[i], net::pattern_byte(0x888ULL, i)) << "i=" << i;
+      }
+    }
+  });
+  ASSERT_TRUE(test::run_clean(res));
+}
+
+TEST(SymbolicEndToEnd, SinkRecvOfRawSendKeepsDeliveredContents) {
+  core::RunConfig cfg;
+  cfg.nranks = 2;
+  auto res = core::run(cfg, [](mpi::Env& env) {
+    auto& world = env.world();
+    const std::vector<std::byte> data(777, std::byte{0x31});
+    if (env.rank() == 0) {
+      world.send(std::span<const std::byte>(data), 1, 5);
+    } else {
+      auto req = world.irecv_sink(1024, 0, 5);
+      world.wait(req);
+      EXPECT_EQ(req->status.bytes, 777u);
+      EXPECT_EQ(req->recv_payload.digest(), util::fnv1a(data));
+    }
+  });
+  ASSERT_TRUE(test::run_clean(res));
+}
+
+// redMPI SDC pin: the O(1) Corrupt wrapper must still be detected through
+// digest comparison — on the raw path AND on the fully symbolic path.
+TEST(SymbolicEndToEnd, RedMpiDetectsCorruptWrapperOnSymbolicTraffic) {
+  for (const bool symbolic : {false, true}) {
+    core::RunConfig cfg;
+    cfg.nranks = 2;
+    cfg.replication = 2;
+    cfg.protocol = core::ProtocolKind::RedMpiSd;
+    cfg.sdc.push_back({.slot = 0, .at_send = 1});
+    auto res = core::run(cfg, [symbolic](mpi::Env& env) {
+      auto& world = env.world();
+      const std::size_t size = 4096;
+      const std::vector<std::byte> data(size, std::byte{0x21});
+      const auto desc = net::ContentDesc::pattern(0x999ULL, size);
+      const int peer = env.rank() ^ 1;
+      for (int i = 0; i < 3; ++i) {
+        if (env.rank() == 0) {
+          if (symbolic) {
+            world.send_symbolic(desc, peer, 1);
+            (void)world.recv_sink(size, peer, 1);
+          } else {
+            std::vector<std::byte> buf(size);
+            world.send(std::span<const std::byte>(data), peer, 1);
+            world.recv(std::span<std::byte>(buf), peer, 1);
+          }
+        } else {
+          if (symbolic) {
+            (void)world.recv_sink(size, peer, 1);
+            world.send_symbolic(desc, peer, 1);
+          } else {
+            std::vector<std::byte> buf(size);
+            world.recv(std::span<std::byte>(buf), peer, 1);
+            world.send(std::span<const std::byte>(data), peer, 1);
+          }
+        }
+      }
+    });
+    ASSERT_TRUE(test::run_clean(res)) << "symbolic=" << symbolic;
+    EXPECT_GE(res.protocol.sdc_detected, 1u) << "symbolic=" << symbolic;
+  }
+}
+
+}  // namespace
+}  // namespace sdrmpi
