@@ -74,9 +74,13 @@ std::vector<RunConfig> Sweep::expand() const {
   const std::vector<net::TopologySpec> topos =
       topologies.empty() ? std::vector<net::TopologySpec>{base.net.topology}
                          : topologies;
+  const std::vector<mpi::CollTuning> tunings =
+      coll_tunings.empty() ? std::vector<mpi::CollTuning>{base.coll}
+                           : coll_tunings;
 
   std::vector<RunConfig> out;
-  out.reserve(protos.size() * reps.size() * faults.size() * topos.size());
+  out.reserve(protos.size() * reps.size() * faults.size() * topos.size() *
+              tunings.size());
   for (ProtocolKind p : protos) {
     bool emitted_r1 = false;
     for (int r : reps) {
@@ -88,15 +92,18 @@ std::vector<RunConfig> Sweep::expand() const {
       }
       for (const auto& f : faults) {
         for (const auto& t : topos) {
-          RunConfig cfg = base;
-          cfg.protocol = p;
-          cfg.replication = r;
-          cfg.faults = f;
-          cfg.net.topology = t;
-          if (unique_seeds) {
-            cfg.seed = util::hash_combine(base.seed, out.size());
+          for (const auto& ct : tunings) {
+            RunConfig cfg = base;
+            cfg.protocol = p;
+            cfg.replication = r;
+            cfg.faults = f;
+            cfg.net.topology = t;
+            cfg.coll = ct;
+            if (unique_seeds) {
+              cfg.seed = util::hash_combine(base.seed, out.size());
+            }
+            out.push_back(std::move(cfg));
           }
-          out.push_back(std::move(cfg));
         }
       }
     }

@@ -53,6 +53,8 @@ std::unique_ptr<mpi::Endpoint> clone_endpoint_for_recovery(JobContext& job,
   const bool ok = sub.snapshot_seqs_for_recovery(snap);
   if (!ok) return nullptr;  // caller defers the fork
   ep->restore_seqs(snap);
+  // The recovered replica must run the same collective schedules.
+  ep->set_coll_tuning(sub.coll_tuning());
   return ep;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sdrmpi/mpi/coll/tuning.hpp"
 #include "sdrmpi/net/params.hpp"
 #include "sdrmpi/sim/time.hpp"
 
@@ -45,6 +46,10 @@ struct RunConfig {
   int replication = 1;   ///< replicas per rank (paper evaluates r=2)
   ProtocolKind protocol = ProtocolKind::Native;
   net::NetParams net = net::NetParams::infiniband_20g();
+  /// Collective algorithm selection (mpi/coll/tuning.hpp). Algorithm
+  /// choice moves virtual time, so it is run configuration — a Sweep axis
+  /// with golden-trace variants — not an implementation detail.
+  mpi::CollTuning coll;
 
   std::vector<FaultSpec> faults;
   std::vector<SdcSpec> sdc;

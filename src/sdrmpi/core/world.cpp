@@ -85,6 +85,7 @@ void World::build_endpoints() {
     std::vector<int> world_slots(static_cast<std::size_t>(topo.nranks));
     std::iota(world_slots.begin(), world_slots.end(), w * topo.nranks);
     job_.app_comm_handle = ep->register_comm_fixed(2, 3, r, world_slots);
+    ep->set_coll_tuning(job_.config.coll);
     ep->set_protocol(make_protocol(job_, s));
     job_.endpoints[static_cast<std::size_t>(s)] = std::move(ep);
   }

@@ -1,0 +1,925 @@
+// Collective schedules (see engine.hpp for the algorithm registry).
+//
+// Implementation notes:
+//  * Every receive is a zero-copy sink; the delivered handle is the unit
+//    of forwarding, so a block crosses the host at most once no matter how
+//    many hops the schedule routes it through.
+//  * Reduction combines are commutative (the IEEE ops in reduce_ops.hpp
+//    are bitwise-commutative), which is what lets recursive doubling and
+//    Rabenseifner produce bit-identical results on every rank; the combine
+//    *tree shape* differs per algorithm, so floating-point sums may differ
+//    across algorithms in the last ulp — tuning is part of the run
+//    configuration precisely because of this.
+//  * Rabenseifner falls back to recursive doubling when the vector has
+//    fewer elements than the power-of-two participant count (or a ragged
+//    element size) — deterministic, like MPICH's count >= pof2 guard.
+#include "sdrmpi/mpi/coll/engine.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "sdrmpi/mpi/comm.hpp"
+#include "sdrmpi/mpi/endpoint.hpp"
+
+namespace sdrmpi::mpi::coll {
+namespace {
+
+constexpr int kTagBarrier = 0x1001;
+constexpr int kTagBcast = 0x1002;
+constexpr int kTagReduce = 0x1003;
+constexpr int kTagGather = 0x1004;
+constexpr int kTagScatter = 0x1005;
+constexpr int kTagAllgather = 0x1006;
+constexpr int kTagAlltoall = 0x1007;
+constexpr int kTagScan = 0x1008;
+constexpr int kTagBcastScatter = 0x1009;
+constexpr int kTagBcastRing = 0x100a;
+constexpr int kTagAllreduce = 0x100b;
+
+[[nodiscard]] int floor_pof2(int n) noexcept {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+CollEngine::CollEngine(Endpoint& ep, const CommInfo& info)
+    : ep_(ep),
+      ctx_(info.ctx_coll),
+      rank_(info.my_rank),
+      size_(static_cast<int>(info.rank_to_slot.size())),
+      tune_(ep.coll_tuning()),
+      pool_(&ep.buffer_pool()),
+      scratch_(ep.coll_scratch()) {}
+
+// ---------------------------------------------------------------------------
+// p2p primitives
+// ---------------------------------------------------------------------------
+
+Request CollEngine::isend_p(const net::Payload& p, int dst, int tag) {
+  return ep_.isend_payload(ctx_, dst, tag, p);
+}
+
+void CollEngine::send_p(const net::Payload& p, int dst, int tag) {
+  Request req = isend_p(p, dst, tag);
+  ep_.wait(req);
+}
+
+net::Payload CollEngine::recv_p(std::size_t cap, int src, int tag) {
+  Request req = ep_.irecv_sink(ctx_, src, tag, cap);
+  ep_.wait(req);
+  return std::move(req->recv_payload);
+}
+
+net::Payload CollEngine::sendrecv_p(const net::Payload& s, int dst,
+                                    std::size_t cap, int src, int tag) {
+  Request reqs[2] = {ep_.irecv_sink(ctx_, src, tag, cap),
+                     isend_p(s, dst, tag)};
+  ep_.waitall(reqs);
+  return std::move(reqs[0]->recv_payload);
+}
+
+net::Payload CollEngine::combine(const net::Payload& a, const net::Payload& b,
+                                 std::size_t elem, const ReduceFn& fn) {
+  assert(a.size() == b.size());
+  if (a.empty()) return {};
+  // Reductions over Zeros short-circuit: every predefined op maps
+  // (0, 0) -> 0, so an all-Zeros reduction stays a descriptor end to end
+  // and a class-D symbolic reduction vector never materializes.
+  if (a.kind() == net::ContentKind::Zeros &&
+      b.kind() == net::ContentKind::Zeros) {
+    return a;
+  }
+  const std::size_t count = elem > 0 ? a.size() / elem : 0;
+  // One copy: operand a lands in the result slab (materializing lazily if
+  // symbolic), then operand b folds in place before the handle is shared.
+  std::byte* inout = nullptr;
+  net::Payload out = net::Payload::copy_of_mutable(pool_, a.bytes(), inout);
+  fn(inout, b.data(), count);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// barrier: dissemination
+// ---------------------------------------------------------------------------
+
+void CollEngine::barrier() {
+  if (size_ <= 1) return;
+  for (int dist = 1; dist < size_; dist <<= 1) {
+    const int dst = (rank_ + dist) % size_;
+    const int src = (rank_ - dist + size_) % size_;
+    (void)sendrecv_p({}, dst, 0, src, kTagBarrier);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// bcast
+// ---------------------------------------------------------------------------
+
+net::Payload CollEngine::bcast_payload(const net::Payload& mine,
+                                       std::size_t len, int root) {
+  if (size_ <= 1) return mine;
+  switch (tune_.resolve_bcast(len, size_)) {
+    case BcastAlg::ScatterAllgather:
+      return bcast_scatter_allgather(mine, len, root);
+    case BcastAlg::Binomial:
+    case BcastAlg::Auto:
+      break;
+  }
+  return bcast_binomial(mine, len, root);
+}
+
+net::Payload CollEngine::bcast_binomial(const net::Payload& mine,
+                                        std::size_t len, int root) {
+  const int n = size_;
+  const int rel = (rank_ - root + n) % n;
+  net::Payload data = mine;
+
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      const int src = abs_rank(rel - mask, root);
+      data = recv_p(len, src, kTagBcast);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  // Nonblocking fan-out: every child send aliases the one delivered handle.
+  auto& reqs = scratch_.reqs;
+  reqs.clear();
+  while (mask > 0) {
+    if (rel + mask < n) {
+      reqs.push_back(isend_p(data, abs_rank(rel + mask, root), kTagBcast));
+    }
+    mask >>= 1;
+  }
+  if (!reqs.empty()) ep_.waitall(reqs);
+  reqs.clear();
+  return data;
+}
+
+net::Payload CollEngine::bcast_scatter_allgather(const net::Payload& mine,
+                                                 std::size_t len, int root) {
+  const int n = size_;
+  const int rel = (rank_ - root + n) % n;
+  const auto off = [len, n](int i) {
+    return static_cast<std::size_t>(i) * len / static_cast<std::size_t>(n);
+  };
+  const auto cnt = [&off](int i) { return off(i + 1) - off(i); };
+
+  // Phase 1 — binomial scatter by range halving: the holder of relative
+  // range [lo, hi] hands the upper half (one contiguous slice handle) to
+  // the range's midpoint. Symbolic slices stay symbolic.
+  net::Payload part;          // my current range's contents
+  std::size_t part_base = 0;  // byte offset of `part` in the full message
+  int lo = 0;
+  int hi = n - 1;
+  if (rel == 0) part = mine;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo + 1) / 2;  // upper half starts here
+    if (rel < mid) {
+      if (rel == lo) {
+        const std::size_t beg = off(mid);
+        net::Payload upper =
+            net::Payload::slice(pool_, part, beg - part_base, off(hi + 1) - beg);
+        send_p(upper, abs_rank(mid, root), kTagBcastScatter);
+      }
+      hi = mid - 1;
+    } else {
+      if (rel == mid) {
+        const std::size_t beg = off(mid);
+        part = recv_p(off(hi + 1) - beg, abs_rank(lo, root), kTagBcastScatter);
+        part_base = beg;
+      }
+      lo = mid;
+    }
+  }
+
+  // Phase 2 — ring allgather of the n segments.
+  auto& segs = scratch_.stage;
+  segs.assign(static_cast<std::size_t>(n), {});
+  segs[static_cast<std::size_t>(rel)] =
+      net::Payload::slice(pool_, part, off(rel) - part_base, cnt(rel));
+  const int right = abs_rank((rel + 1) % n, root);
+  const int left = abs_rank((rel - 1 + n) % n, root);
+  for (int s = 0; s < n - 1; ++s) {
+    const int sendblk = (rel - s + n) % n;
+    const int recvblk = (rel - s - 1 + n) % n;
+    segs[static_cast<std::size_t>(recvblk)] =
+        sendrecv_p(segs[static_cast<std::size_t>(sendblk)], right,
+                   cnt(recvblk), left, kTagBcastRing);
+  }
+  net::Payload out;
+  if (rank_ == root) {
+    out = mine;  // already whole; skip the re-join
+  } else {
+    // Contiguous symbolic segments re-merge into the original descriptor.
+    out = net::Payload::concat_payloads(pool_, segs);
+  }
+  segs.clear();  // drop the segment handles (returns slabs to the pool)
+  return out;
+}
+
+void CollEngine::bcast(std::span<std::byte> data, int root) {
+  if (size_ <= 1) return;
+  net::Payload mine;
+  if (rank_ == root) mine = net::Payload::copy_of(pool_, data);
+  net::Payload out = bcast_payload(mine, data.size(), root);
+  if (rank_ != root && !out.empty()) {
+    std::memcpy(data.data(), out.data(), out.size());
+    util::count_bytes_copied(out.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// reduce / allreduce
+// ---------------------------------------------------------------------------
+
+net::Payload CollEngine::reduce_binomial(const net::Payload& mine,
+                                         std::size_t elem, const ReduceFn& fn,
+                                         int root) {
+  const int n = size_;
+  const int rel = (rank_ - root + n) % n;
+  net::Payload accum = mine;
+  int mask = 1;
+  while (mask < n) {
+    if ((rel & mask) == 0) {
+      const int rel_src = rel | mask;
+      if (rel_src < n) {
+        net::Payload in =
+            recv_p(mine.size(), abs_rank(rel_src, root), kTagReduce);
+        accum = combine(accum, in, elem, fn);
+      }
+    } else {
+      send_p(accum, abs_rank(rel & ~mask, root), kTagReduce);
+      break;
+    }
+    mask <<= 1;
+  }
+  return rank_ == root ? accum : net::Payload{};
+}
+
+void CollEngine::reduce(std::span<const std::byte> send,
+                        std::span<std::byte> recv, std::size_t elem,
+                        const ReduceFn& fn, int root) {
+  if (rank_ == root && recv.size() < send.size()) {
+    throw std::invalid_argument("reduce: recv buffer too small");
+  }
+  net::Payload mine = net::Payload::copy_of(pool_, send);
+  net::Payload out = reduce_binomial(mine, elem, fn, root);
+  if (rank_ == root && !out.empty()) {
+    std::memcpy(recv.data(), out.data(), out.size());
+    util::count_bytes_copied(out.size());
+  }
+}
+
+net::Payload CollEngine::allreduce_recursive_doubling(const net::Payload& mine,
+                                                      std::size_t elem,
+                                                      const ReduceFn& fn) {
+  const int n = size_;
+  const std::size_t len = mine.size();
+  const int pof2 = floor_pof2(n);
+  const int rem = n - pof2;
+  net::Payload accum = mine;
+
+  // Non-power-of-two pre-phase: the first 2*rem ranks fold pairwise so a
+  // power-of-two set (the odd ones plus everyone >= 2*rem) continues.
+  int newrank;
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 0) {
+      send_p(accum, rank_ + 1, kTagAllreduce);
+      newrank = -1;
+    } else {
+      net::Payload in = recv_p(len, rank_ - 1, kTagAllreduce);
+      accum = combine(accum, in, elem, fn);
+      newrank = rank_ / 2;
+    }
+  } else {
+    newrank = rank_ - rem;
+  }
+
+  if (newrank != -1) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int newdst = newrank ^ mask;
+      const int dst = newdst < rem ? newdst * 2 + 1 : newdst + rem;
+      net::Payload in = sendrecv_p(accum, dst, len, dst, kTagAllreduce);
+      accum = combine(accum, in, elem, fn);
+    }
+  }
+
+  // Post-phase: odd ranks hand the finished vector back to their partner.
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 != 0) {
+      send_p(accum, rank_ - 1, kTagAllreduce);
+    } else {
+      accum = recv_p(len, rank_ + 1, kTagAllreduce);
+    }
+  }
+  return accum;
+}
+
+net::Payload CollEngine::allreduce_rabenseifner(const net::Payload& mine,
+                                                std::size_t elem,
+                                                const ReduceFn& fn) {
+  const int n = size_;
+  const std::size_t len = mine.size();
+  const int pof2 = floor_pof2(n);
+  const int rem = n - pof2;
+  const std::size_t nelem = elem > 0 ? len / elem : 0;
+  // Segment boundaries must land on element boundaries and every
+  // power-of-two participant needs a non-empty segment; otherwise fall
+  // back (deterministically) like MPICH's count >= pof2 guard.
+  if (nelem < static_cast<std::size_t>(pof2) || nelem * elem != len) {
+    return allreduce_recursive_doubling(mine, elem, fn);
+  }
+  const auto boff = [nelem, elem, pof2](int seg) {
+    return static_cast<std::size_t>(seg) * nelem /
+           static_cast<std::size_t>(pof2) * elem;
+  };
+
+  net::Payload accum = mine;
+  int newrank;
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 0) {
+      send_p(accum, rank_ + 1, kTagAllreduce);
+      newrank = -1;
+    } else {
+      net::Payload in = recv_p(len, rank_ - 1, kTagAllreduce);
+      accum = combine(accum, in, elem, fn);
+      newrank = rank_ / 2;
+    }
+  } else {
+    newrank = rank_ - rem;
+  }
+  const auto real_rank = [rem](int nr) {
+    return nr < rem ? nr * 2 + 1 : nr + rem;
+  };
+
+  if (newrank != -1) {
+    // Reduce-scatter by recursive halving: at each step I keep the half of
+    // my current segment range that contains newrank and trade away the
+    // other half (a contiguous slice — symbolic stays symbolic).
+    net::Payload cur = accum;
+    std::size_t cur_base = 0;
+    int slo = 0;
+    int shi = pof2;  // segment-index range I still hold, [slo, shi)
+    for (int mask = pof2 / 2; mask > 0; mask >>= 1) {
+      const int dst = real_rank(newrank ^ mask);
+      const int smid = slo + (shi - slo) / 2;
+      const bool upper = (newrank & mask) != 0;
+      const int klo = upper ? smid : slo;
+      const int khi = upper ? shi : smid;
+      const int olo = upper ? slo : smid;
+      const int ohi = upper ? smid : shi;
+      net::Payload out = net::Payload::slice(pool_, cur, boff(olo) - cur_base,
+                                             boff(ohi) - boff(olo));
+      net::Payload in =
+          sendrecv_p(out, dst, boff(khi) - boff(klo), dst, kTagAllreduce);
+      net::Payload kept = net::Payload::slice(pool_, cur, boff(klo) - cur_base,
+                                              boff(khi) - boff(klo));
+      cur = combine(kept, in, elem, fn);
+      cur_base = boff(klo);
+      slo = klo;
+      shi = khi;
+    }
+
+    // Allgather by recursive doubling: ranges grow back to [0, pof2).
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int newdst = newrank ^ mask;
+      const int dst = real_rank(newdst);
+      const int myblk = newrank & ~(mask - 1);
+      const int otherblk = newdst & ~(mask - 1);
+      net::Payload in = sendrecv_p(
+          cur, dst, boff(otherblk + mask) - boff(otherblk), dst, kTagAllreduce);
+      const net::Payload parts[2] = {otherblk < myblk ? in : cur,
+                                     otherblk < myblk ? cur : in};
+      cur = net::Payload::concat_payloads(pool_, parts);
+    }
+    accum = cur;
+  }
+
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 != 0) {
+      send_p(accum, rank_ - 1, kTagAllreduce);
+    } else {
+      accum = recv_p(len, rank_ + 1, kTagAllreduce);
+    }
+  }
+  return accum;
+}
+
+net::Payload CollEngine::allreduce_payload(const net::Payload& mine,
+                                           std::size_t elem,
+                                           const ReduceFn& fn) {
+  if (size_ <= 1) return mine;
+  switch (tune_.resolve_allreduce(mine.size(), size_)) {
+    case AllreduceAlg::ReduceBcast: {
+      // The seed's naive shape, kept as a registered reference algorithm.
+      net::Payload red = reduce_binomial(mine, elem, fn, /*root=*/0);
+      return bcast_binomial(red, mine.size(), /*root=*/0);
+    }
+    case AllreduceAlg::Rabenseifner:
+      return allreduce_rabenseifner(mine, elem, fn);
+    case AllreduceAlg::RecursiveDoubling:
+    case AllreduceAlg::Auto:
+      break;
+  }
+  return allreduce_recursive_doubling(mine, elem, fn);
+}
+
+void CollEngine::allreduce(std::span<const std::byte> send,
+                           std::span<std::byte> recv, std::size_t elem,
+                           const ReduceFn& fn) {
+  if (recv.size() < send.size()) {
+    throw std::invalid_argument("allreduce: recv buffer too small");
+  }
+  net::Payload mine = net::Payload::copy_of(pool_, send);
+  net::Payload out = allreduce_payload(mine, elem, fn);
+  if (!out.empty()) {
+    std::memcpy(recv.data(), out.data(), out.size());
+    util::count_bytes_copied(out.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// gather / gatherv / scatter (linear, nonblocking fan-in/out)
+// ---------------------------------------------------------------------------
+
+void CollEngine::gather(std::span<const std::byte> send,
+                        std::span<std::byte> recv, int root) {
+  const int n = size_;
+  const std::size_t block = send.size();
+  if (rank_ == root) {
+    if (recv.size() < block * static_cast<std::size_t>(n)) {
+      throw std::invalid_argument("gather: recv buffer too small");
+    }
+    auto& reqs = scratch_.reqs;
+    reqs.clear();
+    for (int i = 0; i < n; ++i) {
+      if (i == rank_) continue;
+      reqs.push_back(ep_.irecv_sink(ctx_, i, kTagGather, block));
+    }
+    if (!reqs.empty()) ep_.waitall(reqs);
+    std::size_t ri = 0;
+    for (int i = 0; i < n; ++i) {
+      auto dst = recv.subspan(static_cast<std::size_t>(i) * block, block);
+      if (i == rank_) {
+        std::memcpy(dst.data(), send.data(), block);
+      } else {
+        const net::Payload& got = reqs[ri++]->recv_payload;
+        if (!got.empty()) std::memcpy(dst.data(), got.data(), got.size());
+      }
+      util::count_bytes_copied(block);
+    }
+    reqs.clear();
+  } else {
+    send_p(net::Payload::copy_of(pool_, send), root, kTagGather);
+  }
+}
+
+void CollEngine::gatherv(std::span<const std::byte> send,
+                         std::span<std::byte> recv,
+                         std::span<const std::size_t> counts, int root) {
+  const int n = size_;
+  if (rank_ == root) {
+    std::size_t total = 0;
+    for (int i = 0; i < n; ++i) total += counts[static_cast<std::size_t>(i)];
+    if (recv.size() < total) {
+      throw std::invalid_argument("gatherv: recv buffer too small");
+    }
+    auto& reqs = scratch_.reqs;
+    reqs.clear();
+    for (int i = 0; i < n; ++i) {
+      if (i == rank_) continue;
+      reqs.push_back(ep_.irecv_sink(ctx_, i, kTagGather,
+                                    counts[static_cast<std::size_t>(i)]));
+    }
+    if (!reqs.empty()) ep_.waitall(reqs);
+    std::size_t offset = 0;
+    std::size_t ri = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t c = counts[static_cast<std::size_t>(i)];
+      auto dst = recv.subspan(offset, c);
+      if (i == rank_) {
+        std::memcpy(dst.data(), send.data(), c);
+      } else {
+        const net::Payload& got = reqs[ri++]->recv_payload;
+        if (!got.empty()) std::memcpy(dst.data(), got.data(), got.size());
+      }
+      util::count_bytes_copied(c);
+      offset += c;
+    }
+    reqs.clear();
+  } else {
+    send_p(net::Payload::copy_of(pool_, send), root, kTagGather);
+  }
+}
+
+void CollEngine::scatter(std::span<const std::byte> send,
+                         std::span<std::byte> recv, int root) {
+  const int n = size_;
+  const std::size_t block = recv.size();
+  if (rank_ == root) {
+    if (send.size() < block * static_cast<std::size_t>(n)) {
+      throw std::invalid_argument("scatter: send buffer too small");
+    }
+    auto& reqs = scratch_.reqs;
+    reqs.clear();
+    for (int i = 0; i < n; ++i) {
+      auto blk = send.subspan(static_cast<std::size_t>(i) * block, block);
+      if (i == rank_) {
+        std::memcpy(recv.data(), blk.data(), block);
+        util::count_bytes_copied(block);
+      } else {
+        reqs.push_back(
+            isend_p(net::Payload::copy_of(pool_, blk), i, kTagScatter));
+      }
+    }
+    if (!reqs.empty()) ep_.waitall(reqs);
+    reqs.clear();
+  } else {
+    net::Payload got = recv_p(block, root, kTagScatter);
+    if (!got.empty()) {
+      std::memcpy(recv.data(), got.data(), got.size());
+      util::count_bytes_copied(got.size());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// allgather
+// ---------------------------------------------------------------------------
+
+void CollEngine::allgather_ring(const net::Payload& mine, std::size_t block,
+                                std::vector<net::Payload>& out) {
+  const int n = size_;
+  out.assign(static_cast<std::size_t>(n), {});
+  out[static_cast<std::size_t>(rank_)] = mine;
+  const int right = (rank_ + 1) % n;
+  const int left = (rank_ - 1 + n) % n;
+  // At step s, forward the block received at step s-1 (a handle move).
+  for (int s = 0; s < n - 1; ++s) {
+    const int sendblk = (rank_ - s + n) % n;
+    const int recvblk = (rank_ - s - 1 + n) % n;
+    out[static_cast<std::size_t>(recvblk)] =
+        sendrecv_p(out[static_cast<std::size_t>(sendblk)], right, block, left,
+                   kTagAllgather);
+  }
+}
+
+void CollEngine::allgather_bruck(const net::Payload& mine, std::size_t block,
+                                 std::vector<net::Payload>& out) {
+  const int n = size_;
+  auto& tmp = scratch_.stage;
+  tmp.assign(static_cast<std::size_t>(n), {});
+  tmp[0] = mine;
+  int nfilled = 1;
+  for (int pof2 = 1; pof2 < n; pof2 *= 2) {
+    const int cnt = std::min(pof2, n - nfilled);
+    const int dst = (rank_ - pof2 + n) % n;
+    const int src = (rank_ + pof2) % n;
+    // Pack the first cnt blocks into one message; receive the peer's pack
+    // and slice it back into block handles (uniform block size).
+    net::Payload packed = net::Payload::concat_payloads(
+        pool_, std::span<const net::Payload>(tmp.data(),
+                                             static_cast<std::size_t>(cnt)));
+    net::Payload in = sendrecv_p(
+        packed, dst, static_cast<std::size_t>(cnt) * block, src, kTagAllgather);
+    for (int i = 0; i < cnt; ++i) {
+      tmp[static_cast<std::size_t>(nfilled + i)] = net::Payload::slice(
+          pool_, in, static_cast<std::size_t>(i) * block, block);
+    }
+    nfilled += cnt;
+  }
+  // tmp[i] holds the block of rank (rank_ + i) % n; rotate into rank order.
+  out.assign(static_cast<std::size_t>(n), {});
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>((rank_ + i) % n)] =
+        std::move(tmp[static_cast<std::size_t>(i)]);
+  }
+}
+
+void CollEngine::allgather_payload(const net::Payload& mine, std::size_t block,
+                                   std::vector<net::Payload>& out) {
+  if (size_ <= 1) {
+    out.assign(1, mine);
+    return;
+  }
+  switch (tune_.resolve_allgather(block, size_)) {
+    case AllgatherAlg::Bruck:
+      allgather_bruck(mine, block, out);
+      return;
+    case AllgatherAlg::Ring:
+    case AllgatherAlg::Auto:
+      break;
+  }
+  allgather_ring(mine, block, out);
+}
+
+void CollEngine::allgather(std::span<const std::byte> send,
+                           std::span<std::byte> recv) {
+  const int n = size_;
+  const std::size_t block = send.size();
+  if (recv.size() < block * static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("allgather: recv buffer too small");
+  }
+  auto& out = scratch_.out_blocks;
+  allgather_payload(net::Payload::copy_of(pool_, send), block, out);
+  for (int i = 0; i < n; ++i) {
+    const net::Payload& blk = out[static_cast<std::size_t>(i)];
+    if (blk.empty()) continue;
+    std::memcpy(recv.data() + static_cast<std::size_t>(i) * block, blk.data(),
+                blk.size());
+    util::count_bytes_copied(blk.size());
+  }
+  out.clear();
+}
+
+// ---------------------------------------------------------------------------
+// alltoall / alltoallv
+// ---------------------------------------------------------------------------
+
+void CollEngine::alltoall_pairwise(std::span<const net::Payload> blocks,
+                                   std::size_t block,
+                                   std::vector<net::Payload>& out) {
+  const int n = size_;
+  out.assign(static_cast<std::size_t>(n), {});
+  out[static_cast<std::size_t>(rank_)] =
+      blocks[static_cast<std::size_t>(rank_)];  // self: alias, no wire
+  for (int k = 1; k < n; ++k) {
+    const int dst = (rank_ + k) % n;
+    const int src = (rank_ - k + n) % n;
+    out[static_cast<std::size_t>(src)] = sendrecv_p(
+        blocks[static_cast<std::size_t>(dst)], dst, block, src, kTagAlltoall);
+  }
+}
+
+void CollEngine::alltoall_bruck(std::span<const net::Payload> blocks,
+                                std::size_t block,
+                                std::vector<net::Payload>& out) {
+  const int n = size_;
+  auto& tmp = scratch_.stage;
+  tmp.assign(static_cast<std::size_t>(n), {});
+  // Phase 1 — rotation: tmp[i] = my block for destination (rank + i) % n.
+  for (int i = 0; i < n; ++i) {
+    tmp[static_cast<std::size_t>(i)] =
+        blocks[static_cast<std::size_t>((rank_ + i) % n)];
+  }
+  // Phase 2 — for each bit, pack every block whose index has that bit set,
+  // trade with (rank +/- 2^k), and put the received slices back in place.
+  for (int pof2 = 1; pof2 < n; pof2 *= 2) {
+    const int dst = (rank_ + pof2) % n;
+    const int src = (rank_ - pof2 + n) % n;
+    auto& parts = scratch_.parts;
+    parts.clear();
+    for (int i = 0; i < n; ++i) {
+      if (i & pof2) parts.push_back(tmp[static_cast<std::size_t>(i)]);
+    }
+    net::Payload packed = net::Payload::concat_payloads(pool_, parts);
+    net::Payload in =
+        sendrecv_p(packed, dst, parts.size() * block, src, kTagAlltoall);
+    std::size_t j = 0;
+    for (int i = 0; i < n; ++i) {
+      if (i & pof2) {
+        tmp[static_cast<std::size_t>(i)] =
+            net::Payload::slice(pool_, in, j++ * block, block);
+      }
+    }
+    parts.clear();
+  }
+  // Phase 3 — inverse rotation: tmp[i] came from rank (rank - i + n) % n.
+  out.assign(static_cast<std::size_t>(n), {});
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>((rank_ - i + n) % n)] =
+        std::move(tmp[static_cast<std::size_t>(i)]);
+  }
+}
+
+void CollEngine::alltoall_payload(std::span<const net::Payload> blocks,
+                                  std::size_t block,
+                                  std::vector<net::Payload>& out) {
+  if (size_ <= 1) {
+    out.assign(1, blocks.empty() ? net::Payload{} : blocks[0]);
+    return;
+  }
+  switch (tune_.resolve_alltoall(block, size_)) {
+    case AlltoallAlg::Bruck:
+      alltoall_bruck(blocks, block, out);
+      return;
+    case AlltoallAlg::Pairwise:
+    case AlltoallAlg::Auto:
+      break;
+  }
+  alltoall_pairwise(blocks, block, out);
+}
+
+void CollEngine::alltoall(std::span<const std::byte> send,
+                          std::span<std::byte> recv) {
+  const int n = size_;
+  if (n > 0 && send.size() % static_cast<std::size_t>(n) != 0) {
+    throw std::invalid_argument(
+        "alltoall: send size not divisible by communicator size");
+  }
+  const std::size_t block = send.size() / static_cast<std::size_t>(n);
+  if (recv.size() < send.size()) {
+    throw std::invalid_argument("alltoall: recv buffer too small");
+  }
+  auto& in = scratch_.in_blocks;
+  in.assign(static_cast<std::size_t>(n), {});
+  for (int i = 0; i < n; ++i) {
+    in[static_cast<std::size_t>(i)] = net::Payload::copy_of(
+        pool_, send.subspan(static_cast<std::size_t>(i) * block, block));
+  }
+  auto& out = scratch_.out_blocks;
+  alltoall_payload(in, block, out);
+  for (int i = 0; i < n; ++i) {
+    const net::Payload& blk = out[static_cast<std::size_t>(i)];
+    if (blk.empty()) continue;
+    std::memcpy(recv.data() + static_cast<std::size_t>(i) * block, blk.data(),
+                blk.size());
+    util::count_bytes_copied(blk.size());
+  }
+  in.clear();
+  out.clear();
+}
+
+void CollEngine::alltoallv(std::span<const std::byte> send,
+                           std::span<const std::size_t> send_counts,
+                           std::span<std::byte> recv,
+                           std::span<const std::size_t> recv_counts) {
+  const int n = size_;
+  auto& soff = scratch_.offs;
+  auto& roff = scratch_.offs2;
+  soff.assign(static_cast<std::size_t>(n) + 1, 0);
+  roff.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    soff[static_cast<std::size_t>(i) + 1] =
+        soff[static_cast<std::size_t>(i)] +
+        send_counts[static_cast<std::size_t>(i)];
+    roff[static_cast<std::size_t>(i) + 1] =
+        roff[static_cast<std::size_t>(i)] +
+        recv_counts[static_cast<std::size_t>(i)];
+  }
+  if (send.size() < soff[static_cast<std::size_t>(n)]) {
+    throw std::invalid_argument(
+        "alltoallv: send buffer smaller than the sum of send counts");
+  }
+  if (recv.size() < roff[static_cast<std::size_t>(n)]) {
+    throw std::invalid_argument(
+        "alltoallv: recv buffer smaller than the sum of recv counts");
+  }
+  const std::size_t self = send_counts[static_cast<std::size_t>(rank_)];
+  if (self > 0) {
+    std::memcpy(recv.data() + roff[static_cast<std::size_t>(rank_)],
+                send.data() + soff[static_cast<std::size_t>(rank_)], self);
+    util::count_bytes_copied(self);
+  }
+  if (n <= 1) return;
+  for (int k = 1; k < n; ++k) {
+    const int dst = (rank_ + k) % n;
+    const int src = (rank_ - k + n) % n;
+    net::Payload out = net::Payload::copy_of(
+        pool_, send.subspan(soff[static_cast<std::size_t>(dst)],
+                            send_counts[static_cast<std::size_t>(dst)]));
+    net::Payload got =
+        sendrecv_p(out, dst, recv_counts[static_cast<std::size_t>(src)], src,
+                   kTagAlltoall);
+    if (!got.empty()) {
+      std::memcpy(recv.data() + roff[static_cast<std::size_t>(src)],
+                  got.data(), got.size());
+      util::count_bytes_copied(got.size());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// scan / exscan (chain)
+// ---------------------------------------------------------------------------
+
+net::Payload CollEngine::scan_payload(const net::Payload& mine,
+                                      std::size_t elem, const ReduceFn& fn,
+                                      bool exclusive,
+                                      net::Payload& excl_prefix) {
+  // The inclusive prefix over ranks 0..r travels down the chain; pooled
+  // payload handles replace the seed's per-call vector scratch.
+  net::Payload incl = mine;
+  if (rank_ > 0) {
+    excl_prefix = recv_p(mine.size(), rank_ - 1, kTagScan);
+    incl = combine(excl_prefix, mine, elem, fn);
+  }
+  if (rank_ + 1 < size_) send_p(incl, rank_ + 1, kTagScan);
+  return exclusive ? excl_prefix : incl;
+}
+
+void CollEngine::scan(std::span<const std::byte> send,
+                      std::span<std::byte> recv, std::size_t elem,
+                      const ReduceFn& fn, bool exclusive) {
+  if (recv.size() < send.size()) {
+    throw std::invalid_argument("scan: recv buffer too small");
+  }
+  net::Payload mine = net::Payload::copy_of(pool_, send);
+  net::Payload excl;
+  net::Payload out = scan_payload(mine, elem, fn, exclusive, excl);
+  // MPI leaves exscan's rank-0 recv buffer untouched (out is empty there).
+  if (!out.empty()) {
+    std::memcpy(recv.data(), out.data(), out.size());
+    util::count_bytes_copied(out.size());
+  }
+}
+
+}  // namespace sdrmpi::mpi::coll
+
+// ---------------------------------------------------------------------------
+// Comm facade: collective entry points delegate to the engine.
+// ---------------------------------------------------------------------------
+
+namespace sdrmpi::mpi {
+
+void Comm::barrier() const {
+  if (size() <= 1) return;
+  coll::CollEngine(*ep_, info()).barrier();
+}
+
+void Comm::bcast_bytes(std::span<std::byte> data, int root) const {
+  if (size() <= 1) return;
+  coll::CollEngine(*ep_, info()).bcast(data, root);
+}
+
+void Comm::reduce_bytes(std::span<const std::byte> send,
+                        std::span<std::byte> recv, std::size_t elem_size,
+                        const ReduceFn& fn, int root) const {
+  coll::CollEngine(*ep_, info()).reduce(send, recv, elem_size, fn, root);
+}
+
+void Comm::allreduce_bytes(std::span<const std::byte> send,
+                           std::span<std::byte> recv, std::size_t elem_size,
+                           const ReduceFn& fn) const {
+  coll::CollEngine(*ep_, info()).allreduce(send, recv, elem_size, fn);
+}
+
+void Comm::gather_bytes(std::span<const std::byte> send,
+                        std::span<std::byte> recv, int root) const {
+  coll::CollEngine(*ep_, info()).gather(send, recv, root);
+}
+
+void Comm::gatherv_bytes(std::span<const std::byte> send,
+                         std::span<std::byte> recv,
+                         std::span<const std::size_t> counts, int root) const {
+  coll::CollEngine(*ep_, info()).gatherv(send, recv, counts, root);
+}
+
+void Comm::allgather_bytes(std::span<const std::byte> send,
+                           std::span<std::byte> recv) const {
+  coll::CollEngine(*ep_, info()).allgather(send, recv);
+}
+
+void Comm::scatter_bytes(std::span<const std::byte> send,
+                         std::span<std::byte> recv, int root) const {
+  coll::CollEngine(*ep_, info()).scatter(send, recv, root);
+}
+
+void Comm::alltoall_bytes(std::span<const std::byte> send,
+                          std::span<std::byte> recv) const {
+  coll::CollEngine(*ep_, info()).alltoall(send, recv);
+}
+
+void Comm::alltoallv_bytes(std::span<const std::byte> send,
+                           std::span<const std::size_t> send_counts,
+                           std::span<std::byte> recv,
+                           std::span<const std::size_t> recv_counts) const {
+  coll::CollEngine(*ep_, info())
+      .alltoallv(send, send_counts, recv, recv_counts);
+}
+
+void Comm::scan_bytes(std::span<const std::byte> send,
+                      std::span<std::byte> recv, std::size_t elem_size,
+                      const ReduceFn& fn, bool exclusive) const {
+  coll::CollEngine(*ep_, info()).scan(send, recv, elem_size, fn, exclusive);
+}
+
+net::Payload Comm::bcast_payload(const net::Payload& mine, std::size_t len,
+                                 int root) const {
+  return coll::CollEngine(*ep_, info()).bcast_payload(mine, len, root);
+}
+
+void Comm::allgather_payload(const net::Payload& mine, std::size_t block,
+                             std::vector<net::Payload>& out) const {
+  coll::CollEngine(*ep_, info()).allgather_payload(mine, block, out);
+}
+
+void Comm::alltoall_payload(std::span<const net::Payload> blocks,
+                            std::size_t block,
+                            std::vector<net::Payload>& out) const {
+  coll::CollEngine(*ep_, info()).alltoall_payload(blocks, block, out);
+}
+
+net::Payload Comm::allreduce_payload(const net::Payload& mine,
+                                     std::size_t elem_size,
+                                     const ReduceFn& fn) const {
+  return coll::CollEngine(*ep_, info()).allreduce_payload(mine, elem_size, fn);
+}
+
+}  // namespace sdrmpi::mpi

@@ -137,7 +137,8 @@ class Comm {
     return ep_->iprobe(info().ctx_p2p, src, tag);
   }
 
-  // ---- collectives (byte-level cores in collectives.cpp) ----
+  // ---- collectives (schedules in mpi/coll/engine.cpp; algorithm choice
+  //      per Endpoint::coll_tuning(), see mpi/coll/tuning.hpp) ----
 
   void barrier() const;
   void bcast_bytes(std::span<std::byte> data, int root) const;
@@ -163,6 +164,43 @@ class Comm {
   void scan_bytes(std::span<const std::byte> send, std::span<std::byte> recv,
                   std::size_t elem_size, const ReduceFn& fn,
                   bool exclusive) const;
+
+  // ---- payload-native collectives ----
+  //
+  // The same schedules as the byte-level entry points, but contents stay
+  // refcounted net::Payload handles end to end: no user buffer exists and
+  // no host byte moves unless an algorithm has to pack (Bruck) or reduce
+  // non-Zeros data. With symbolic payloads (make_payload(ContentDesc))
+  // this runs GB-scale collectives in O(1) host bytes while keeping wire
+  // traffic and virtual time bit-identical to the raw-buffer twin — the
+  // SymColl path the class C/D skeletons use.
+
+  /// Pooled payload helpers for the payload-native entry points.
+  [[nodiscard]] net::Payload make_payload(
+      std::span<const std::byte> bytes) const {
+    return ep_->fabric().make_payload(bytes);
+  }
+  [[nodiscard]] net::Payload make_payload(const net::ContentDesc& desc) const {
+    return net::Payload::symbolic(&ep_->buffer_pool(), desc);
+  }
+
+  /// Broadcast `mine` (valid at root, `len` bytes everywhere); returns the
+  /// delivered handle (the root's aliased, never copied).
+  [[nodiscard]] net::Payload bcast_payload(const net::Payload& mine,
+                                           std::size_t len, int root) const;
+  /// One block per rank in, rank-indexed handles out (out[rank] aliases
+  /// mine).
+  void allgather_payload(const net::Payload& mine, std::size_t block,
+                         std::vector<net::Payload>& out) const;
+  /// blocks[i] goes to rank i; out[i] is the block rank i sent here.
+  void alltoall_payload(std::span<const net::Payload> blocks,
+                        std::size_t block,
+                        std::vector<net::Payload>& out) const;
+  /// Element-wise reduction over every rank's payload; all-Zeros inputs
+  /// short-circuit and stay symbolic.
+  [[nodiscard]] net::Payload allreduce_payload(const net::Payload& mine,
+                                               std::size_t elem_size,
+                                               const ReduceFn& fn) const;
 
   // ---- typed collective wrappers ----
 

@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "sdrmpi/mpi/coll/scratch.hpp"
+#include "sdrmpi/mpi/coll/tuning.hpp"
 #include "sdrmpi/mpi/request.hpp"
 #include "sdrmpi/mpi/types.hpp"
 #include "sdrmpi/mpi/vprotocol.hpp"
@@ -110,6 +112,11 @@ class Endpoint {
   /// the same length.
   Request isend_symbolic(CommCtx ctx, int dst_rank, int tag,
                          const net::ContentDesc& desc);
+  /// Sends an existing payload handle (no copy, refcount bump only). The
+  /// collective engine's currency: bcast fan-outs and forwarded allgather
+  /// blocks alias one buffer across every hop.
+  Request isend_payload(CommCtx ctx, int dst_rank, int tag,
+                        net::Payload payload);
   Request irecv(CommCtx ctx, int src_rank, int tag, std::span<std::byte> buf);
   /// Zero-copy receive: completes like irecv but records only the byte
   /// count and the delivered payload handle (req->recv_payload) instead of
@@ -160,6 +167,23 @@ class Endpoint {
 
   [[nodiscard]] const EndpointStats& stats() const noexcept { return stats_; }
   [[nodiscard]] EndpointStats& stats() noexcept { return stats_; }
+
+  // ---- collective engine state (see mpi/coll/) ----
+
+  /// Algorithm-selection policy; installed from RunConfig by the launcher
+  /// so tuning is a sweep axis. Identical on every endpoint of a run.
+  void set_coll_tuning(const CollTuning& t) noexcept { coll_tuning_ = t; }
+  [[nodiscard]] const CollTuning& coll_tuning() const noexcept {
+    return coll_tuning_;
+  }
+  /// Recycled schedule scratch (collectives are blocking per process, so
+  /// one set serves every communicator of this endpoint).
+  [[nodiscard]] coll::Scratch& coll_scratch() noexcept {
+    return coll_scratch_;
+  }
+  [[nodiscard]] util::BufferPool& buffer_pool() noexcept {
+    return fabric_.pool();
+  }
 
   /// Rank of this endpoint within the communicator owning ctx; -1 if the
   /// context is unknown here.
@@ -241,8 +265,6 @@ class Endpoint {
     bool discard = false;
   };
 
-  Request isend_payload(CommCtx ctx, int dst_rank, int tag,
-                        net::Payload payload);
   Request irecv_common(CommCtx ctx, int src_rank, int tag,
                        std::span<std::byte> buf, bool sink, std::size_t cap);
   void on_delivery(net::Delivery&& d);
@@ -304,6 +326,9 @@ class Endpoint {
   [[nodiscard]] Request make_request_cached(ReqState::Kind kind);
   std::vector<Request> req_cache_;
   std::size_t req_cache_scan_ = 0;
+
+  CollTuning coll_tuning_;
+  coll::Scratch coll_scratch_;
 
   EndpointStats stats_;
 };

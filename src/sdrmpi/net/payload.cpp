@@ -18,14 +18,15 @@ namespace {
 /// across batch-runner pool sizes like every other counter.
 struct ShapeKey {
   std::uint64_t seed;
+  std::uint64_t offset;
   std::uint64_t len;
   [[nodiscard]] bool operator==(const ShapeKey&) const = default;
 };
 
 struct ShapeKeyHash {
   [[nodiscard]] std::size_t operator()(const ShapeKey& k) const noexcept {
-    return static_cast<std::size_t>(
-        util::hash_combine(util::mix64(k.seed), k.len));
+    return static_cast<std::size_t>(util::hash_combine(
+        util::hash_combine(util::mix64(k.seed), k.offset), k.len));
   }
 };
 
@@ -36,12 +37,13 @@ pattern_memo() {
 }
 
 [[nodiscard]] std::uint64_t pattern_digest_memoized(std::uint64_t seed,
+                                                    std::uint64_t offset,
                                                     std::uint64_t len) {
   auto& memo = pattern_memo();
-  const ShapeKey key{seed, len};
+  const ShapeKey key{seed, offset, len};
   if (const auto it = memo.find(key); it != memo.end()) return it->second;
   util::count_bytes_hashed(len);
-  const std::uint64_t d = fnv1a_pattern(seed, 0, len);
+  const std::uint64_t d = fnv1a_pattern(seed, offset, offset + len);
   memo.emplace(key, d);
   return d;
 }
@@ -64,7 +66,87 @@ Payload Payload::symbolic(util::BufferPool* pool, const ContentDesc& desc) {
   Payload p(pool, desc.len, /*inline_bytes=*/0);
   p.h_->kind = desc.kind;
   p.h_->seed = desc.seed;
+  p.h_->offset = desc.offset;
   return p;
+}
+
+Payload Payload::slice(util::BufferPool* pool, const Payload& base,
+                       std::size_t off, std::size_t len) {
+  assert(off + len <= base.size());
+  if (len == 0) return {};
+  if (off == 0 && len == base.size()) return base;  // alias, no copy
+  switch (base.kind()) {
+    case ContentKind::Zeros:
+      return symbolic(pool, ContentDesc::zeros(len));
+    case ContentKind::Pattern:
+      // A Pattern sub-range is the same stream at a shifted offset: stays
+      // symbolic even when the base has already been materialized.
+      return symbolic(pool, ContentDesc::pattern_at(base.h_->seed, len,
+                                                    base.h_->offset + off));
+    case ContentKind::Raw:
+    case ContentKind::Corrupt:
+      // No exact sub-descriptor exists; copy the range (materializing a
+      // Corrupt base exactly once, shared by every aliasing handle).
+      return copy_of(pool, base.bytes().subspan(off, len));
+  }
+  return {};
+}
+
+Payload Payload::concat_payloads(util::BufferPool* pool,
+                                 std::span<const Payload> parts) {
+  // Skip empties; a single survivor is aliased outright.
+  std::size_t total = 0;
+  const Payload* only = nullptr;
+  std::size_t live = 0;
+  for (const Payload& p : parts) {
+    if (p.empty()) continue;
+    total += p.size();
+    only = &p;
+    ++live;
+  }
+  if (live == 0) return {};
+  if (live == 1) return *only;
+
+  // Exact algebra: all-Zeros stays Zeros; stream-contiguous same-seed
+  // Patterns merge back into one Pattern (the inverse of slice).
+  bool all_zeros = true;
+  bool contiguous_pattern = true;
+  std::uint64_t seed = 0;
+  std::uint64_t next_offset = 0;
+  bool first = true;
+  for (const Payload& p : parts) {
+    if (p.empty()) continue;
+    if (p.kind() != ContentKind::Zeros) all_zeros = false;
+    if (p.kind() != ContentKind::Pattern) {
+      contiguous_pattern = false;
+      continue;
+    }
+    if (first) {
+      seed = p.h_->seed;
+      next_offset = p.h_->offset;
+      first = false;
+    }
+    if (p.h_->seed != seed || p.h_->offset != next_offset) {
+      contiguous_pattern = false;
+    }
+    next_offset += p.size();
+  }
+  if (all_zeros) return symbolic(pool, ContentDesc::zeros(total));
+  if (contiguous_pattern) {
+    const std::uint64_t begin = next_offset - total;
+    return symbolic(pool, ContentDesc::pattern_at(seed, total, begin));
+  }
+
+  // Generic join: materialize each part once, pack into one Raw slab.
+  Payload out(pool, total, total);
+  std::size_t off = 0;
+  for (const Payload& p : parts) {
+    if (p.empty()) continue;
+    std::memcpy(out.mutable_data() + off, p.data(), p.size());
+    off += p.size();
+  }
+  util::count_bytes_copied(total);
+  return out;
 }
 
 Payload Payload::corrupt(util::BufferPool* pool, const Payload& base,
@@ -89,17 +171,26 @@ void Payload::fill_contents(const Header* h, std::byte* out) {
       return;
     case ContentKind::Pattern: {
       const std::uint64_t seed = h->seed;
+      const std::uint64_t off = h->offset;
       const std::size_t n = h->size;
-      const std::size_t words = n / 8;
-      for (std::size_t w = 0; w < words; ++w) {
-        const std::uint64_t v = pattern_word(seed, w);
-        for (int j = 0; j < 8; ++j) {
-          out[w * 8 + static_cast<std::size_t>(j)] =
-              static_cast<std::byte>((v >> (8 * j)) & 0xff);
+      if (off % 8 == 0) {
+        // Word-aligned stream position: generate whole words.
+        const std::uint64_t word0 = off / 8;
+        const std::size_t words = n / 8;
+        for (std::size_t w = 0; w < words; ++w) {
+          const std::uint64_t v = pattern_word(seed, word0 + w);
+          for (int j = 0; j < 8; ++j) {
+            out[w * 8 + static_cast<std::size_t>(j)] =
+                static_cast<std::byte>((v >> (8 * j)) & 0xff);
+          }
         }
-      }
-      for (std::size_t i = words * 8; i < n; ++i) {
-        out[i] = pattern_byte(seed, i);
+        for (std::size_t i = words * 8; i < n; ++i) {
+          out[i] = pattern_byte(seed, off + i);
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = pattern_byte(seed, off + i);
+        }
       }
       return;
     }
@@ -150,7 +241,7 @@ std::uint64_t Payload::compute_digest(const Header* h) {
     case ContentKind::Zeros:
       return fnv1a_zeros(h->size);
     case ContentKind::Pattern:
-      return pattern_digest_memoized(h->seed, h->size);
+      return pattern_digest_memoized(h->seed, h->offset, h->size);
     case ContentKind::Corrupt: {
       const Header* base = h->base;
       const std::uint64_t flip = h->bit_index;
@@ -176,12 +267,13 @@ std::uint64_t Payload::compute_digest(const Header* h) {
         return fnv1a_zeros(h->size - i - 1, d);
       }
       if (base->kind == ContentKind::Pattern) {
+        const std::uint64_t boff = base->offset;
         util::count_bytes_hashed(h->size);
-        std::uint64_t d = fnv1a_pattern(base->seed, 0, i);
-        d = fnv1a_step(
-            d, std::to_integer<unsigned char>(pattern_byte(base->seed, i)) ^
-                   mask);
-        return fnv1a_pattern(base->seed, i + 1, h->size, d);
+        std::uint64_t d = fnv1a_pattern(base->seed, boff, boff + i);
+        d = fnv1a_step(d, std::to_integer<unsigned char>(
+                              pattern_byte(base->seed, boff + i)) ^
+                              mask);
+        return fnv1a_pattern(base->seed, boff + i + 1, boff + h->size, d);
       }
       // Corrupt-over-Corrupt: digest the base's digest path via its own
       // materialization-free stream is not worth special-casing; compute

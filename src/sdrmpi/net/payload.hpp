@@ -76,6 +76,20 @@ class Payload {
     return p;
   }
 
+  /// Copies `bytes` like copy_of, but hands back a mutable view of the
+  /// fresh slab through `data` so the caller can transform the contents in
+  /// place *before* the handle is shared — the collective engine's
+  /// reduction combine (copy operand a, fold operand b in) costs one copy
+  /// instead of scratch + copy. The view is only valid until the handle
+  /// is aliased; after that the payload is immutable like any other.
+  [[nodiscard]] static Payload copy_of_mutable(util::BufferPool* pool,
+                                               std::span<const std::byte> bytes,
+                                               std::byte*& data) {
+    Payload p = copy_of(pool, bytes);
+    data = p.h_ != nullptr ? slab_data(p.h_) : nullptr;
+    return p;
+  }
+
   /// Copies a trivially-copyable object's bytes (frame headers).
   template <class T>
   [[nodiscard]] static Payload copy_of_object(util::BufferPool* pool,
@@ -115,6 +129,26 @@ class Payload {
                                        std::uint64_t seed, std::size_t n) {
     return symbolic(pool, ContentDesc::pattern(seed, n));
   }
+
+  /// Sub-range [off, off+len) of `base`'s contents. Exact descriptor
+  /// algebra where it exists: a slice of Zeros is Zeros, a slice of
+  /// Pattern(seed) is Pattern(seed) at a shifted stream offset — both O(1),
+  /// no byte touched. Raw (and materialized/Corrupt) bases copy the
+  /// sub-span into a fresh slab. The collective engine's scatter and Bruck
+  /// schedules are built on this: segments of a symbolic broadcast stay
+  /// symbolic end to end.
+  [[nodiscard]] static Payload slice(util::BufferPool* pool,
+                                     const Payload& base, std::size_t off,
+                                     std::size_t len);
+
+  /// Joins `parts` in order into one payload. Exact where the descriptor
+  /// algebra allows: all-Zeros parts stay Zeros, stream-contiguous
+  /// same-seed Pattern parts merge back into one Pattern descriptor (the
+  /// inverse of slice) — otherwise every part materializes once and the
+  /// bytes are packed into a fresh Raw slab. Empty parts are skipped; a
+  /// single non-empty part is aliased, not copied.
+  [[nodiscard]] static Payload concat_payloads(util::BufferPool* pool,
+                                               std::span<const Payload> parts);
 
   /// `base` with bit `bit_index` (byte bit_index/8, bit bit_index%8)
   /// flipped — the O(1) SDC-injection wrapper: no bytes are cloned, the
@@ -159,6 +193,12 @@ class Payload {
   [[nodiscard]] ContentKind kind() const noexcept {
     return h_ != nullptr ? h_->kind : ContentKind::Raw;
   }
+  /// Content descriptor view (kind/len/seed/offset) — lets callers reason
+  /// about the slice/concat algebra without touching bytes.
+  [[nodiscard]] ContentDesc desc() const noexcept {
+    if (h_ == nullptr) return ContentDesc{ContentKind::Zeros, 0, 0, 0};
+    return {h_->kind, h_->size, h_->seed, h_->offset};
+  }
   [[nodiscard]] bool is_symbolic() const noexcept {
     return h_ != nullptr && h_->kind != ContentKind::Raw;
   }
@@ -195,6 +235,7 @@ class Payload {
     ContentKind kind;
     bool digest_valid;
     std::uint64_t seed;       // Pattern generator seed
+    std::uint64_t offset;     // Pattern stream position of byte 0
     std::uint64_t bit_index;  // Corrupt flip position
     Header* base;             // Corrupt base contents (refcounted)
     void* mat;                // lazily materialized bytes (symbolic kinds)
@@ -218,6 +259,7 @@ class Payload {
     h_->kind = ContentKind::Raw;
     h_->digest_valid = false;
     h_->seed = 0;
+    h_->offset = 0;
     h_->bit_index = 0;
     h_->base = nullptr;
     h_->mat = nullptr;

@@ -1,0 +1,33 @@
+#include "sdrmpi/workloads/coll_mix.hpp"
+
+#include "sdrmpi/util/hash.hpp"
+
+namespace sdrmpi::wl {
+
+core::AppFn make_coll_mix(CollMixParams p) {
+  return [p](mpi::Env& env) {
+    auto& world = env.world();
+    const int np = world.size();
+    const PayloadMode mode =
+        p.payload == PayloadMode::Real ? PayloadMode::Materialized : p.payload;
+    SymColl coll(world, mode, p.seed);
+    util::Checksum cs;
+
+    double x = 1.0 + env.rank();
+    for (int it = 0; it < p.iters; ++it) {
+      coll.bcast(p.bcast_bytes, /*root=*/it % np, /*tag=*/10 + it, cs);
+      coll.allgather(p.block_bytes, /*tag=*/40, cs);
+      coll.alltoall(p.block_bytes, /*tag=*/70, cs);
+      coll.allreduce_zeros(p.reduce_bytes, cs);
+      // One scalar typed allreduce: the latency shape every kernel has.
+      x = world.allreduce_value(x / np, mpi::Op::Sum);
+      world.barrier();
+    }
+
+    cs.add_double(x);
+    env.report_checksum(cs.digest());
+    env.report_value("x", x);
+  };
+}
+
+}  // namespace sdrmpi::wl

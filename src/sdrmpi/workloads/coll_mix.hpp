@@ -1,0 +1,33 @@
+// Synthetic collective mix: a workload that is nothing but collective
+// traffic, for pinning and sweeping the mpi/coll/ engine.
+//
+// Each iteration runs a rotating-root bcast, an allgather, an alltoall and
+// a bulk all-zeros allreduce through the payload-native SymColl path, plus
+// one scalar typed allreduce, folding every delivered content digest into
+// the checksum. Message sizes are parameters, so a sweep can straddle the
+// CollTuning auto-selection thresholds; the golden corpus pins one case
+// per non-default algorithm on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sdrmpi/core/launcher.hpp"
+#include "sdrmpi/workloads/symbolic.hpp"
+
+namespace sdrmpi::wl {
+
+struct CollMixParams {
+  std::size_t bcast_bytes = 65536;   ///< broadcast message length
+  std::size_t block_bytes = 1024;    ///< allgather/alltoall per-rank block
+  std::size_t reduce_bytes = 8192;   ///< bulk all-zeros allreduce vector
+  int iters = 3;
+  /// Real behaves like Materialized here: the workload is pure skeleton
+  /// traffic, so "real buffers" means real pattern bytes.
+  PayloadMode payload = PayloadMode::Materialized;
+  std::uint64_t seed = 0xc0117eedULL;
+};
+
+[[nodiscard]] core::AppFn make_coll_mix(CollMixParams p = {});
+
+}  // namespace sdrmpi::wl

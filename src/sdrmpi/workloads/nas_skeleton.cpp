@@ -116,17 +116,15 @@ core::AppFn make_cg_skeleton(CgParams p) {
     const int rank = env.rank();
     const int local = p.nrows / np;
     const std::size_t block = static_cast<std::size_t>(local) * kDouble;
-    SymXfer x(world, p.payload, p.seed);
+    SymColl coll(world, p.payload, p.seed);
     util::Checksum cs;
 
     double rr = 1.0 + rank;
     for (int it = 0; it < p.iters; ++it) {
-      // Allgather of the full search direction as a ring: np-1 steps of
-      // one local block to the right neighbour.
-      for (int s = 0; s < np - 1; ++s) {
-        x.sendrecv(block, (rank + 1) % np, block, (rank + np - 1) % np,
-                   /*tag=*/500 + s, cs);
-      }
+      // Allgather of the full search direction through the collective
+      // engine (ring or Bruck per the run's CollTuning; symbolic blocks
+      // stay descriptors end to end).
+      coll.allgather(block, /*tag=*/500, cs);
       // Matvec over the gathered vector (same flops as the real kernel).
       charge_flops(env, 18.0 * static_cast<double>(local), p.compute_scale);
       // Three scalar allreduces per iteration (p·q, two r·r), each paired
@@ -250,13 +248,12 @@ core::AppFn make_ft_skeleton(FtParams p) {
   return [p](mpi::Env& env) {
     auto& world = env.world();
     const int np = world.size();
-    const int rank = env.rank();
     const int nzl = p.nz / np;
     const int nxl = p.nx / np;
     // Complex per-pair transpose block, exactly the real kernel's sendbuf
     // slice: (nx/np) * ny * (nz/np) elements of 16 bytes.
     const std::size_t block = static_cast<std::size_t>(nxl) * p.ny * nzl * 16;
-    SymXfer x(world, p.payload, p.seed);
+    SymColl coll(world, p.payload, p.seed);
     util::Checksum cs;
 
     auto fft_xy_flops = [&] {
@@ -273,12 +270,9 @@ core::AppFn make_ft_skeleton(FtParams p) {
                    p.compute_scale);
     };
     auto alltoall = [&](int tag_base) {
-      // Pairwise exchange: at step d every rank trades blocks with
-      // (rank ± d); the self-block is a local copy with no wire traffic.
-      for (int d = 1; d < np; ++d) {
-        x.sendrecv(block, (rank + d) % np, block, (rank + np - d) % np,
-                   tag_base + d, cs);
-      }
+      // Transpose through the collective engine (pairwise or Bruck per the
+      // run's CollTuning); the self-block stays a local handle alias.
+      coll.alltoall(block, tag_base, cs);
     };
 
     for (int it = 1; it <= p.iters; ++it) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "sdrmpi/workloads/cm1.hpp"
+#include "sdrmpi/workloads/coll_mix.hpp"
 #include "sdrmpi/workloads/hpccg.hpp"
 #include "sdrmpi/workloads/nas.hpp"
 #include "sdrmpi/workloads/netpipe.hpp"
@@ -42,6 +43,8 @@ void apply_cm1_class(Cm1Params& p, NasClass c) {
 const std::vector<WorkloadInfo>& workloads() {
   static const std::vector<WorkloadInfo> kAll = {
       {"netpipe", "ping-pong latency/throughput sweep", false, 2},
+      {"coll", "synthetic collective mix (bcast/allgather/alltoall/allreduce)",
+       false, 8},
       {"bt", "NAS-like BT: block-tridiagonal ADI sweeps", false, 8},
       {"cg", "NAS-like CG: conjugate gradient", false, 8},
       {"ft", "NAS-like FT: 3D FFT with alltoall transpose", false, 8},
@@ -84,6 +87,19 @@ core::AppFn make_workload(const std::string& name, const util::Options& opts) {
       for (auto s : sizes) p.sizes.push_back(static_cast<std::size_t>(s));
     }
     return make_netpipe(p);
+  }
+  if (name == "coll") {
+    CollMixParams p;
+    p.payload = mode;
+    p.bcast_bytes = static_cast<std::size_t>(opts.get_int(
+        "bcast-bytes", static_cast<std::int64_t>(p.bcast_bytes)));
+    p.block_bytes = static_cast<std::size_t>(opts.get_int(
+        "block-bytes", static_cast<std::int64_t>(p.block_bytes)));
+    p.reduce_bytes = static_cast<std::size_t>(opts.get_int(
+        "reduce-bytes", static_cast<std::int64_t>(p.reduce_bytes)));
+    if (iters > 0) p.iters = iters;
+    p.seed ^= seed;
+    return make_coll_mix(p);
   }
   if (name == "cg") {
     CgParams p;

@@ -15,7 +15,9 @@
 //                 virtual-time traces and identical content digests.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -120,6 +122,104 @@ class SymXfer {
   /// Outstanding materialized receives (heap storage is address-stable
   /// under vector growth, so the posted spans stay valid).
   std::vector<std::pair<const mpi::ReqState*, std::vector<std::byte>>> live_;
+};
+
+/// Skeleton collectives over the payload-native CollEngine path.
+///
+/// Both payload modes run the *identical* schedule (whichever algorithm the
+/// run's CollTuning selects), so wire bytes and virtual time are
+/// bit-identical between Symbolic and Materialized twins; only the content
+/// representation differs — descriptors that digest without materializing
+/// vs real pattern bytes. Checksums fold per-block digests in rank-index
+/// order, which also makes them independent of the delivery order any
+/// particular algorithm produces.
+///
+/// Content convention (same as SymXfer): a block's bytes depend only on
+/// (workload seed, shape tag) — every sender of a given collective emits
+/// the same pattern, so symbolic digests hit the per-run (seed, len) memo
+/// and a class-D collective phase costs O(1) host bytes per call after the
+/// first.
+class SymColl {
+ public:
+  SymColl(mpi::Comm comm, PayloadMode mode, std::uint64_t seed)
+      : comm_(comm),
+        symbolic_(mode != PayloadMode::Materialized),
+        seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t shape_seed(int tag) const {
+    return util::hash_combine(seed_, static_cast<std::uint64_t>(tag));
+  }
+
+  /// Allgather of one `bytes` block per rank; folds every rank's delivered
+  /// block digest (rank order) into `cs`.
+  void allgather(std::size_t bytes, int tag, util::Checksum& cs) {
+    comm_.allgather_payload(make_block(tag, bytes), bytes, blocks_);
+    for (const auto& b : blocks_) cs.add_u64(b.digest());
+    blocks_.clear();
+  }
+
+  /// Alltoall with one `bytes` block per destination. All destinations
+  /// alias one payload handle (the SymXfer content convention), so the
+  /// send side is O(1) host bytes even materialized.
+  void alltoall(std::size_t bytes, int tag, util::Checksum& cs) {
+    sendblocks_.assign(static_cast<std::size_t>(comm_.size()),
+                       make_block(tag, bytes));
+    comm_.alltoall_payload(sendblocks_, bytes, blocks_);
+    for (const auto& b : blocks_) cs.add_u64(b.digest());
+    sendblocks_.clear();
+    blocks_.clear();
+  }
+
+  /// Broadcast of `bytes` pattern bytes from `root`; every rank folds the
+  /// delivered content digest. Under the scatter-allgather algorithm the
+  /// symbolic segments re-merge into the root's descriptor exactly
+  /// (Payload::slice/concat algebra), so the digest stays memoized.
+  void bcast(std::size_t bytes, int root, int tag, util::Checksum& cs) {
+    net::Payload mine;
+    if (comm_.rank() == root) mine = make_block(tag, bytes);
+    const net::Payload out = comm_.bcast_payload(mine, bytes, root);
+    cs.add_u64(out.digest());
+  }
+
+  /// Bulk allreduce of a `bytes` all-zeros vector (double Sum). Symbolic
+  /// mode short-circuits every combine — the reduction never materializes
+  /// and the result stays a Zeros descriptor; the materialized twin sums
+  /// real zero bytes to the bit-identical result.
+  void allreduce_zeros(std::size_t bytes, util::Checksum& cs) {
+    net::Payload mine;
+    if (symbolic_) {
+      mine = comm_.make_payload(net::ContentDesc::zeros(bytes));
+    } else {
+      if (scratch_.size() < bytes) scratch_.resize(bytes);
+      std::fill_n(scratch_.begin(), bytes, std::byte{0});
+      mine = comm_.make_payload(
+          std::span<const std::byte>(scratch_.data(), bytes));
+    }
+    const net::Payload out = comm_.allreduce_payload(
+        mine, sizeof(double), mpi::reduce_fn<double>(mpi::Op::Sum));
+    cs.add_u64(out.digest());
+  }
+
+ private:
+  [[nodiscard]] net::Payload make_block(int tag, std::size_t bytes) {
+    const std::uint64_t seed = shape_seed(tag);
+    if (symbolic_) {
+      return comm_.make_payload(net::ContentDesc::pattern(seed, bytes));
+    }
+    if (scratch_.size() < bytes) scratch_.resize(bytes);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      scratch_[i] = net::pattern_byte(seed, i);
+    }
+    return comm_.make_payload(
+        std::span<const std::byte>(scratch_.data(), bytes));
+  }
+
+  mpi::Comm comm_;
+  bool symbolic_;
+  std::uint64_t seed_;
+  std::vector<std::byte> scratch_;
+  std::vector<net::Payload> blocks_;
+  std::vector<net::Payload> sendblocks_;
 };
 
 }  // namespace sdrmpi::wl

@@ -104,6 +104,22 @@ core::AppFn allreduce_app(int iters) {
 
 // ---- config generator -------------------------------------------------------
 
+mpi::CollTuning draw_coll_tuning(util::Rng& rng) {
+  mpi::CollTuning t;
+  t.bcast = static_cast<mpi::BcastAlg>(rng.below(3));
+  t.allreduce = static_cast<mpi::AllreduceAlg>(rng.below(4));
+  t.allgather = static_cast<mpi::AllgatherAlg>(rng.below(3));
+  t.alltoall = static_cast<mpi::AlltoallAlg>(rng.below(3));
+  if (rng.below(3) == 0) {
+    // Occasionally move the Auto thresholds so size-based selection flips.
+    t.bcast_long_bytes = 1u << (6 + rng.below(10));
+    t.allreduce_long_bytes = 1u << (4 + rng.below(10));
+    t.allgather_bruck_bytes = 1u << (4 + rng.below(10));
+    t.alltoall_bruck_bytes = 1u << (4 + rng.below(10));
+  }
+  return t;
+}
+
 net::TopologySpec draw_topology(util::Rng& rng) {
   switch (rng.below(4)) {
     case 0: return net::TopologySpec::flat();
@@ -140,6 +156,7 @@ std::vector<FuzzCase> draw_cases() {
     cfg.net = rng.below(8) == 0 ? net::NetParams::gigabit_ethernet()
                                 : net::NetParams::infiniband_20g();
     cfg.net.topology = draw_topology(rng);
+    cfg.coll = draw_coll_tuning(rng);
     cfg.seed = rng();
     cfg.time_limit = timeunits::seconds(30.0);
 
@@ -270,21 +287,34 @@ TEST(FuzzDeterminism, SymbolicMatchesMaterializedTwin) {
     const auto proto = kinds[rng.below(6)];
     cfg.protocol = proto;
     cfg.replication = proto == core::ProtocolKind::Native ? 1 : 2;
-    cfg.nranks = static_cast<int>(2 + rng.below(3));
+    cfg.nranks = static_cast<int>(2 + rng.below(4));  // 2..5, incl. non-pow2
     cfg.net.topology = draw_topology(rng);
+    cfg.coll = draw_coll_tuning(rng);
     cfg.seed = rng();
     cfg.time_limit = timeunits::seconds(300.0);
 
     util::Options opts;
     std::string wl_name;
-    if (rng.below(4) == 0) {
-      wl_name = "netpipe";
-      opts.set("sizes", "1,512,4096,65536");
-      opts.set("reps", "3");
-    } else {
-      wl_name = skeletons[rng.below(7)];
-      opts.set("class", rng.below(2) == 0 ? "S" : "W");
-      opts.set("iters", "2");
+    switch (rng.below(5)) {
+      case 0:
+        wl_name = "netpipe";
+        opts.set("sizes", "1,512,4096,65536");
+        opts.set("reps", "3");
+        break;
+      case 1:
+        // Pure collective traffic: every schedule of the engine, sizes
+        // straddling both the eager threshold and the Auto thresholds.
+        wl_name = "coll";
+        opts.set("bcast-bytes", std::to_string(64u << rng.below(11)));
+        opts.set("block-bytes", std::to_string(16u << rng.below(10)));
+        opts.set("reduce-bytes", std::to_string(8u << rng.below(12)));
+        opts.set("iters", "2");
+        break;
+      default:
+        wl_name = skeletons[rng.below(7)];
+        opts.set("class", rng.below(2) == 0 ? "S" : "W");
+        opts.set("iters", "2");
+        break;
     }
     opts.set("seed", std::to_string(rng.below(1u << 20)));
     for (const char* mode : {"symbolic", "materialize"}) {

@@ -75,6 +75,42 @@ std::vector<GoldenCase> corpus() {
     c.cfg.net.topology.placement = net::PlacementPolicy::PackRanks;
     cases.push_back(std::move(c));
   }
+  // Collective-tuning variants: one pinned trace per non-default algorithm
+  // on the synthetic collective mix (5 ranks — non-power-of-two — under
+  // SDR r=2 so the pre/post folding paths are part of the pinned trace).
+  {
+    std::vector<mpi::CollTuning> points;
+    for (const auto b :
+         {mpi::BcastAlg::Binomial, mpi::BcastAlg::ScatterAllgather}) {
+      mpi::CollTuning t;
+      t.bcast = b;
+      points.push_back(t);
+    }
+    for (const auto a :
+         {mpi::AllreduceAlg::ReduceBcast, mpi::AllreduceAlg::RecursiveDoubling,
+          mpi::AllreduceAlg::Rabenseifner}) {
+      mpi::CollTuning t;
+      t.allreduce = a;
+      points.push_back(t);
+    }
+    for (const auto g : {mpi::AllgatherAlg::Ring, mpi::AllgatherAlg::Bruck}) {
+      mpi::CollTuning t;
+      t.allgather = g;
+      points.push_back(t);
+    }
+    for (const auto a :
+         {mpi::AlltoallAlg::Pairwise, mpi::AlltoallAlg::Bruck}) {
+      mpi::CollTuning t;
+      t.alltoall = a;
+      points.push_back(t);
+    }
+    for (const mpi::CollTuning& t : points) {
+      GoldenCase c{"coll/" + t.name(),
+                   test::quick_config(5, 2, core::ProtocolKind::Sdr), "coll"};
+      c.cfg.coll = t;
+      cases.push_back(std::move(c));
+    }
+  }
   return cases;
 }
 

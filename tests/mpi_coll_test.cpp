@@ -1,9 +1,19 @@
 // Collective operations: correctness for every algorithm, parameterized
 // over communicator sizes (including non-powers of two).
+//
+// Three layers of coverage:
+//  * the classic per-collective suites below (default Auto tuning, sizes
+//    1..16);
+//  * the algorithm matrix: every registered algorithm x non-power-of-two
+//    comm sizes (3, 5, 7) x {real, symbolic} payloads, results checked
+//    against the naive reference semantics (typed values) and against the
+//    reference-shape tuning point (content checksums);
+//  * regression tests for the alltoall(v) argument validation.
 #include <gtest/gtest.h>
 
 #include <numeric>
 
+#include "sdrmpi/workloads/symbolic.hpp"
 #include "test_support.hpp"
 
 namespace sdrmpi {
@@ -356,6 +366,255 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// ---------------------------------------------------------------------------
+// Algorithm matrix: every registered algorithm of every collective, on
+// non-power-of-two communicators, with real and symbolic payloads.
+// ---------------------------------------------------------------------------
+
+/// One forced-algorithm tuning per registered algorithm (others Auto),
+/// index 0 = the naive reference shapes (the seed's collectives).
+std::vector<std::pair<std::string, mpi::CollTuning>> tuning_matrix() {
+  std::vector<std::pair<std::string, mpi::CollTuning>> out;
+  {
+    mpi::CollTuning ref;
+    ref.bcast = mpi::BcastAlg::Binomial;
+    ref.allreduce = mpi::AllreduceAlg::ReduceBcast;
+    ref.allgather = mpi::AllgatherAlg::Ring;
+    ref.alltoall = mpi::AlltoallAlg::Pairwise;
+    out.emplace_back("reference", ref);
+  }
+  {
+    mpi::CollTuning t;
+    out.emplace_back("auto", t);
+  }
+  auto add = [&out](const char* name, auto set) {
+    mpi::CollTuning t;
+    set(t);
+    out.emplace_back(name, t);
+  };
+  add("bcast_sag",
+      [](mpi::CollTuning& t) { t.bcast = mpi::BcastAlg::ScatterAllgather; });
+  add("allreduce_rd", [](mpi::CollTuning& t) {
+    t.allreduce = mpi::AllreduceAlg::RecursiveDoubling;
+  });
+  add("allreduce_rab", [](mpi::CollTuning& t) {
+    t.allreduce = mpi::AllreduceAlg::Rabenseifner;
+  });
+  add("allgather_bruck",
+      [](mpi::CollTuning& t) { t.allgather = mpi::AllgatherAlg::Bruck; });
+  add("alltoall_bruck",
+      [](mpi::CollTuning& t) { t.alltoall = mpi::AlltoallAlg::Bruck; });
+  return out;
+}
+
+struct MatrixCase {
+  std::string name;
+  mpi::CollTuning tuning;
+  int np;
+};
+
+class CollAlgorithmMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+/// Typed collectives under the forced algorithm, verified against the
+/// mathematically expected (naive-reference) results. Integer ops compare
+/// exactly; floating-point sums compare with a tolerance because the
+/// combine-tree shape differs per algorithm.
+TEST_P(CollAlgorithmMatrix, RealPayloadsMatchReference) {
+  const auto& [name, tuning, np] = GetParam();
+  auto cfg = quick_config(np, 1, core::ProtocolKind::Native);
+  cfg.coll = tuning;
+  auto res = core::run(cfg, [](mpi::Env& env) {
+    auto& w = env.world();
+    const int n = w.size();
+    const int r = env.rank();
+
+    // bcast: short (40 B, segments smaller than some ranks' share) and
+    // long (100 KB, past the Auto threshold) from every root.
+    for (const int root : {0, n - 1}) {
+      std::vector<double> small(5, r == root ? 3.5 + root : 0.0);
+      w.bcast(std::span<double>(small), root);
+      for (double v : small) EXPECT_DOUBLE_EQ(v, 3.5 + root);
+      std::vector<std::int64_t> big(12800);
+      if (r == root) {
+        for (std::size_t i = 0; i < big.size(); ++i) {
+          big[i] = root * 1000 + static_cast<std::int64_t>(i);
+        }
+      }
+      w.bcast(std::span<std::int64_t>(big), root);
+      for (std::size_t i = 0; i < big.size(); i += 997) {
+        EXPECT_EQ(big[i], root * 1000 + static_cast<std::int64_t>(i));
+      }
+    }
+
+    // allreduce: exact for integers (any combine order), tolerance for
+    // doubles; a 1-element vector also exercises the Rabenseifner
+    // count < pof2 fallback.
+    const std::int64_t isum = w.allreduce_value<std::int64_t>(1LL << r,
+                                                              mpi::Op::Bor);
+    EXPECT_EQ(isum, (1LL << n) - 1);
+    const double dsum = w.allreduce_value(0.5 + r, mpi::Op::Sum);
+    EXPECT_NEAR(dsum, 0.5 * n + n * (n - 1) / 2.0, 1e-9);
+    std::vector<std::int64_t> vec(300, r + 1);
+    std::vector<std::int64_t> vout(300);
+    w.allreduce(std::span<const std::int64_t>(vec),
+                std::span<std::int64_t>(vout), mpi::Op::Sum);
+    for (auto v : vout) EXPECT_EQ(v, n * (n + 1) / 2);
+    EXPECT_EQ(w.allreduce_value<std::int64_t>(r, mpi::Op::Max), n - 1);
+
+    // allgather: per-rank blocks of 3 values.
+    std::vector<std::int64_t> mine{r, 10 * r, 100 * r};
+    std::vector<std::int64_t> all(static_cast<std::size_t>(3 * n));
+    w.allgather(std::span<const std::int64_t>(mine),
+                std::span<std::int64_t>(all));
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(all[static_cast<std::size_t>(3 * i)], i);
+      EXPECT_EQ(all[static_cast<std::size_t>(3 * i + 1)], 10 * i);
+      EXPECT_EQ(all[static_cast<std::size_t>(3 * i + 2)], 100 * i);
+    }
+
+    // alltoall: distinct value per (src, dst) pair.
+    std::vector<std::int64_t> sendv(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      sendv[static_cast<std::size_t>(d)] = r * 1000 + d;
+    }
+    std::vector<std::int64_t> recvv(static_cast<std::size_t>(n));
+    w.alltoall(std::span<const std::int64_t>(sendv),
+               std::span<std::int64_t>(recvv));
+    for (int s = 0; s < n; ++s) {
+      EXPECT_EQ(recvv[static_cast<std::size_t>(s)], s * 1000 + r);
+    }
+  });
+  ASSERT_TRUE(run_clean(res)) << name;
+}
+
+/// Symbolic vs materialized twins under the forced algorithm: identical
+/// virtual time and identical content checksums. Checksums fold per-block
+/// digests in rank order, so they must also agree with the naive
+/// reference tuning point — pinned by CollChecksumsAreAlgorithmIndependent.
+TEST_P(CollAlgorithmMatrix, SymbolicTwinMatchesMaterialized) {
+  const auto& [name, tuning, np] = GetParam();
+  auto coll_app = [](wl::PayloadMode mode) {
+    return [mode](mpi::Env& env) {
+      wl::SymColl c(env.world(), mode, /*seed=*/0x5eedc011ULL);
+      util::Checksum cs;
+      const int n = env.size();
+      for (const std::size_t bytes : {std::size_t{48}, std::size_t{100000}}) {
+        c.bcast(bytes, /*root=*/n - 1, /*tag=*/11, cs);
+      }
+      for (const std::size_t block : {std::size_t{96}, std::size_t{20000}}) {
+        c.allgather(block, /*tag=*/22, cs);
+        c.alltoall(block, /*tag=*/33, cs);
+      }
+      for (const std::size_t bytes : {std::size_t{8}, std::size_t{4096}}) {
+        c.allreduce_zeros(bytes, cs);
+      }
+      env.report_checksum(cs.digest());
+    };
+  };
+  auto cfg = quick_config(np, 1, core::ProtocolKind::Native);
+  cfg.coll = tuning;
+  auto sym = core::run(cfg, coll_app(wl::PayloadMode::Symbolic));
+  auto mat = core::run(cfg, coll_app(wl::PayloadMode::Materialized));
+  ASSERT_TRUE(run_clean(sym)) << name;
+  ASSERT_TRUE(run_clean(mat)) << name;
+  EXPECT_EQ(sym.makespan, mat.makespan) << name;
+  EXPECT_EQ(sym.data_frames, mat.data_frames) << name;
+  EXPECT_EQ(sym.fabric.payload_bytes, mat.fabric.payload_bytes) << name;
+  ASSERT_EQ(sym.slots.size(), mat.slots.size());
+  for (std::size_t i = 0; i < sym.slots.size(); ++i) {
+    EXPECT_EQ(sym.slots[i].checksum, mat.slots[i].checksum)
+        << name << " slot " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CollAlgorithmMatrix,
+    ::testing::ValuesIn([] {
+      std::vector<MatrixCase> cases;
+      for (const auto& [name, tuning] : tuning_matrix()) {
+        for (const int np : {3, 5, 7}) {
+          cases.push_back({name + "_np" + std::to_string(np), tuning, np});
+        }
+      }
+      return cases;
+    }()),
+    [](const auto& info) { return info.param.name; });
+
+/// Content checksums are a pure function of the traffic contents, not of
+/// the algorithm: every tuning point must report the same checksums as the
+/// naive reference shapes (this is the matrix's cross-algorithm oracle).
+TEST(CollAlgorithmMatrixOracle, CollChecksumsAreAlgorithmIndependent) {
+  for (const int np : {3, 5, 7}) {
+    std::vector<std::uint64_t> reference;
+    for (const auto& [name, tuning] : tuning_matrix()) {
+      auto cfg = quick_config(np, 1, core::ProtocolKind::Native);
+      cfg.coll = tuning;
+      auto res = core::run(cfg, test::small_workload("coll"));
+      ASSERT_TRUE(run_clean(res)) << name << " np" << np;
+      std::vector<std::uint64_t> sums;
+      for (const auto& s : res.slots) sums.push_back(s.checksum);
+      if (reference.empty()) {
+        reference = sums;  // index 0 = the naive reference shapes
+      } else {
+        EXPECT_EQ(sums, reference) << name << " np" << np;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Argument validation (regression: the seed's alltoall never validated).
+// ---------------------------------------------------------------------------
+
+TEST(CollValidation, AlltoallRejectsNonDivisibleSend) {
+  auto res = core::run(quick_config(3, 1, core::ProtocolKind::Native),
+                       [](mpi::Env& env) {
+                         std::vector<std::byte> send(10);  // 10 % 3 != 0
+                         std::vector<std::byte> recv(10);
+                         env.world().alltoall_bytes(send, recv);
+                       });
+  ASSERT_FALSE(res.errors.empty());
+  EXPECT_NE(res.errors.front().find("not divisible"), std::string::npos)
+      << res.errors.front();
+}
+
+TEST(CollValidation, AlltoallRejectsSmallRecv) {
+  auto res = core::run(quick_config(3, 1, core::ProtocolKind::Native),
+                       [](mpi::Env& env) {
+                         std::vector<std::byte> send(12);
+                         std::vector<std::byte> recv(8);  // needs 12
+                         env.world().alltoall_bytes(send, recv);
+                       });
+  ASSERT_FALSE(res.errors.empty());
+  EXPECT_NE(res.errors.front().find("recv buffer too small"),
+            std::string::npos)
+      << res.errors.front();
+}
+
+TEST(CollValidation, AlltoallvRejectsUndersizedBuffers) {
+  auto res = core::run(
+      quick_config(3, 1, core::ProtocolKind::Native), [](mpi::Env& env) {
+        const std::vector<std::size_t> counts(3, 4);  // 12 bytes each way
+        std::vector<std::byte> send(8);               // too small
+        std::vector<std::byte> recv(12);
+        env.world().alltoallv_bytes(send, counts, recv, counts);
+      });
+  ASSERT_FALSE(res.errors.empty());
+  EXPECT_NE(res.errors.front().find("send buffer"), std::string::npos)
+      << res.errors.front();
+
+  auto res2 = core::run(
+      quick_config(3, 1, core::ProtocolKind::Native), [](mpi::Env& env) {
+        const std::vector<std::size_t> counts(3, 4);
+        std::vector<std::byte> send(12);
+        std::vector<std::byte> recv(8);  // too small
+        env.world().alltoallv_bytes(send, counts, recv, counts);
+      });
+  ASSERT_FALSE(res2.errors.empty());
+  EXPECT_NE(res2.errors.front().find("recv buffer"), std::string::npos)
+      << res2.errors.front();
+}
 
 }  // namespace
 }  // namespace sdrmpi

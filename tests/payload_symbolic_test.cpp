@@ -57,6 +57,96 @@ TEST(SymbolicPayload, EmptyHandleDigestsLikeEmptySpan) {
   EXPECT_EQ(util::fnv1a({}), util::kFnvOffset);
 }
 
+// --------------------------------------------------- slice/concat algebra
+
+TEST(SymbolicPayload, SliceOfPatternStaysSymbolicAndExact) {
+  util::BufferPool pool;
+  Payload base = Payload::pattern(&pool, 0x51edULL, 1000);
+  Payload mid = Payload::slice(&pool, base, 123, 456);
+  EXPECT_EQ(mid.kind(), net::ContentKind::Pattern);
+  EXPECT_FALSE(mid.is_materialized());
+  EXPECT_EQ(mid.size(), 456u);
+  const std::uint64_t d = mid.digest();
+  EXPECT_FALSE(mid.is_materialized()) << "digest() must not materialize";
+  EXPECT_EQ(d, util::fnv1a(base.bytes().subspan(123, 456)));
+  // Slices of slices compose: stream offsets add.
+  Payload nested = Payload::slice(&pool, mid, 7, 100);
+  EXPECT_EQ(nested.desc().offset, 130u);
+  EXPECT_EQ(nested.digest(), util::fnv1a(base.bytes().subspan(130, 100)));
+}
+
+TEST(SymbolicPayload, SliceOfZerosStaysZeros) {
+  util::BufferPool pool;
+  Payload base = Payload::zeros(&pool, 1 << 20);
+  Payload s = Payload::slice(&pool, base, 12345, 6789);
+  EXPECT_EQ(s.kind(), net::ContentKind::Zeros);
+  EXPECT_EQ(s.digest(), net::fnv1a_zeros(6789));
+}
+
+TEST(SymbolicPayload, SliceOfRawCopiesTheRange) {
+  util::BufferPool pool;
+  std::vector<std::byte> bytes(64);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::byte>(i);
+  }
+  Payload base = Payload::copy_of(&pool, bytes);
+  Payload s = Payload::slice(&pool, base, 8, 16);
+  EXPECT_EQ(s.kind(), net::ContentKind::Raw);
+  EXPECT_EQ(s.size(), 16u);
+  EXPECT_EQ(s[0], std::byte{8});
+  EXPECT_EQ(s[15], std::byte{23});
+  // Full-range slices alias instead of copying.
+  Payload whole = Payload::slice(&pool, base, 0, 64);
+  EXPECT_EQ(whole.data(), base.data());
+  EXPECT_EQ(base.use_count(), 2u);
+}
+
+TEST(SymbolicPayload, ConcatRejoinsContiguousPatternSlices) {
+  util::BufferPool pool;
+  Payload base = Payload::pattern(&pool, 0xc4a7ULL, 999);
+  // Split into three uneven segments and rejoin: the inverse of slice.
+  const Payload parts[3] = {Payload::slice(&pool, base, 0, 100),
+                            Payload::slice(&pool, base, 100, 500),
+                            Payload::slice(&pool, base, 600, 399)};
+  Payload joined = Payload::concat_payloads(&pool, parts);
+  EXPECT_EQ(joined.kind(), net::ContentKind::Pattern);
+  EXPECT_FALSE(joined.is_materialized());
+  EXPECT_EQ(joined.size(), 999u);
+  EXPECT_EQ(joined.digest(), base.digest());
+}
+
+TEST(SymbolicPayload, ConcatOfZerosStaysZeros) {
+  util::BufferPool pool;
+  const Payload parts[3] = {Payload::zeros(&pool, 10), Payload{},
+                            Payload::zeros(&pool, 30)};
+  Payload joined = Payload::concat_payloads(&pool, parts);
+  EXPECT_EQ(joined.kind(), net::ContentKind::Zeros);
+  EXPECT_EQ(joined.size(), 40u);
+  EXPECT_EQ(joined.digest(), net::fnv1a_zeros(40));
+}
+
+TEST(SymbolicPayload, ConcatOfMixedContentsMaterializesExactBytes) {
+  util::BufferPool pool;
+  // Non-contiguous pattern parts (both restart at offset 0) cannot merge
+  // symbolically; the generic path must still produce the exact bytes.
+  const Payload parts[2] = {Payload::pattern(&pool, 0x1ULL, 24),
+                            Payload::pattern(&pool, 0x2ULL, 40)};
+  Payload joined = Payload::concat_payloads(&pool, parts);
+  EXPECT_EQ(joined.kind(), net::ContentKind::Raw);
+  ASSERT_EQ(joined.size(), 64u);
+  for (std::size_t i = 0; i < 24; ++i) {
+    EXPECT_EQ(joined[i], net::pattern_byte(0x1ULL, i));
+  }
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(joined[24 + i], net::pattern_byte(0x2ULL, i));
+  }
+  // Single-part concat aliases.
+  const Payload one[1] = {parts[0]};
+  Payload same = Payload::concat_payloads(&pool, one);
+  EXPECT_EQ(same.desc().seed, 0x1ULL);
+  EXPECT_EQ(same.size(), 24u);
+}
+
 // ------------------------------------------------------ lazy materialization
 
 TEST(SymbolicPayload, MaterializationHappensExactlyOnce) {

@@ -320,5 +320,45 @@ TEST(AllocRegression, PingPongMessagesStayUnderPinnedBound) {
                           << " over " << res.app_sends << " sends)";
 }
 
+TEST(AllocRegression, WarmCollectiveLoopStaysUnderPinnedBound) {
+  if (!util::alloc_counting_enabled()) {
+    GTEST_SKIP() << "allocation counting disabled (sanitizer build)";
+  }
+  // The collective engine's accumulators are pool slabs and its schedule
+  // tables live in per-endpoint scratch, so a steady-state collective loop
+  // must not touch the heap: block handles, combine scratch, fan-out
+  // request lists and Bruck staging all recycle. Whole-run bound per
+  // collective call, cold start included (pool warmup, app vectors).
+  constexpr int kRounds = 100;
+  constexpr int kCollsPerRound = 4;
+  core::RunConfig cfg;
+  cfg.nranks = 4;
+  const std::uint64_t before = util::alloc_count();
+  auto res = core::run(cfg, [](mpi::Env& env) {
+    auto& w = env.world();
+    std::vector<double> vec(64, 1.0 + env.rank());
+    std::vector<double> out(64);
+    std::vector<double> gathered(static_cast<std::size_t>(64 * w.size()));
+    for (int round = 0; round < kRounds; ++round) {
+      w.allreduce(std::span<const double>(vec), std::span<double>(out),
+                  mpi::Op::Sum);
+      w.allgather(std::span<const double>(vec),
+                  std::span<double>(gathered));
+      w.alltoall(std::span<const double>(
+                     gathered.data(), static_cast<std::size_t>(w.size())),
+                 std::span<double>(out.data(),
+                                   static_cast<std::size_t>(w.size())));
+      w.bcast(std::span<double>(vec), round % w.size());
+    }
+  });
+  const std::uint64_t delta = util::alloc_count() - before;
+  ASSERT_TRUE(test::run_clean(res));
+  constexpr double kCollCalls = 4.0 * kRounds * kCollsPerRound;  // per rank
+  const double per_coll = static_cast<double>(delta) / kCollCalls;
+  EXPECT_LT(per_coll, 2.0)
+      << "allocs per collective call regressed (delta=" << delta << " over "
+      << kCollCalls << " collective calls)";
+}
+
 }  // namespace
 }  // namespace sdrmpi

@@ -105,6 +105,14 @@ inline core::AppFn small_workload(const std::string& name) {
     opts.set("sizes", "1,64,4096");
     opts.set("reps", "4");
   }
+  if (name == "coll") {
+    // Odd sizes on purpose: segments of 3000/np bytes exercise the
+    // non-divisible slice arithmetic of the scatter/Bruck schedules.
+    opts.set("bcast-bytes", "3000");
+    opts.set("block-bytes", "96");
+    opts.set("reduce-bytes", "1024");
+    opts.set("iters", "2");
+  }
   return wl::make_workload(name, opts);
 }
 
