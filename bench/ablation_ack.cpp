@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
+  bench::check_options(opts, bench::with_workload_flags({"ranks"}));
   bench::banner(opts, "acknowledgement-placement ablation",
                 "paragraphs 3.2-3.3 (ack timing and send completion)");
 

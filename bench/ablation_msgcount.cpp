@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
+  bench::check_options(opts, bench::with_workload_flags({"ranks"}));
   bench::banner(opts, "message complexity: mirror vs parallel protocols",
                 "paragraph 2.4 (O(q*r^2) vs O(q*r))");
 

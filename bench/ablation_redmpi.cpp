@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
+  bench::check_options(opts, bench::with_workload_flags({"ranks"}));
   bench::banner(opts, "redMPI wildcard-handling ablation",
                 "paragraph 2.4 (redMPI 6.8% deterministic vs 29% with "
                 "non-determinism)");

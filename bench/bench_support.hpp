@@ -1,16 +1,27 @@
 // Shared harness for the paper-reproduction benches.
 //
 // Benches describe their sweep as a vector of labelled Points (config +
-// app), execute the whole sweep in one core::run_many() call (--pool=N
-// selects the host thread-pool size), and report either the human-readable
+// app), execute the whole sweep through the content-addressed sweep
+// service (sweep::SweepService), and report either the human-readable
 // table (default) or machine-readable JSON (--json) for the perf
 // trajectory (BENCH_*.json).
+//
+// Harness flags every run_points() bench accepts:
+//   --pool=N      in-process worker threads (0 = hardware concurrency)
+//   --workers=N   forked process-level workers instead of pool threads
+//   --chunks=N    work chunks the sweep is sharded into (0 = auto)
+//   --cache=PATH  persistent result store; warm points skip simulation
+//   --stream      emit one JSON line per completed point on stderr
+//   --json        machine-readable document on stdout
+// Unknown flags are rejected with the accepted list (check_options).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <ostream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "sdrmpi/sdrmpi.hpp"
@@ -28,7 +39,13 @@ struct Point {
 /// Aggregated outcome of one point (over `reps` repetitions).
 struct PointResult {
   double mean_sec = 0.0;
-  core::RunResult run;  ///< last repetition's full result
+  double stddev_sec = 0.0;  ///< sample stddev over the reps (Hunold-style
+                            ///< repetition reporting; 0 when reps collapse
+                            ///< to one cached/deduped execution)
+  int reps = 1;
+  std::uint64_t digest = 0;  ///< content address of the point's config
+  bool cached = false;       ///< served from the result store, no dispatch
+  core::RunResult run;       ///< last repetition's full result
 };
 
 /// Warns on stderr when the bench binary was not built in a Release
@@ -54,48 +71,58 @@ inline core::BatchOptions pool_options(const util::Options& opts) {
   return b;
 }
 
+/// Sweep-service configuration from the harness flags. --workers=N picks
+/// forked process-level workers; plain --pool=N keeps in-process threads.
+inline sweep::ServiceOptions service_options(const util::Options& opts) {
+  sweep::ServiceOptions s;
+  s.workers = static_cast<int>(opts.get_int("pool", 0));
+  if (opts.has("workers")) {
+    s.workers = static_cast<int>(opts.get_int("workers", 0));
+    s.process_workers = true;
+  }
+  s.chunks = static_cast<int>(opts.get_int("chunks", 0));
+  s.cache_path = opts.get_string("cache", "");
+  return s;
+}
+
 /// True when the bench should emit JSON instead of tables (--json).
 inline bool json_mode(const util::Options& opts) {
   return opts.get_bool("json", false);
 }
 
-/// Runs every point `reps` times (the paper averages five executions)
-/// through core::run_many on one pool and returns one PointResult per
-/// point, in point order. Aborts loudly if any run fails, unless
-/// `allow_unclean` (ablations that demonstrate deadlocks set it).
-inline std::vector<PointResult> run_points(const std::vector<Point>& pts,
-                                           const util::Options& opts,
-                                           int reps = 1,
-                                           bool allow_unclean = false) {
-  std::vector<core::RunConfig> configs;
-  configs.reserve(pts.size() * static_cast<std::size_t>(reps));
-  for (const Point& p : pts) {
-    for (int i = 0; i < reps; ++i) configs.push_back(p.cfg);
+/// Validates the bench's flag set: the harness flags above plus the
+/// bench's own `extra` keys. A typo'd flag aborts with the accepted list
+/// instead of silently running with a default (--pol=8 used to run the
+/// sweep on the wrong pool size).
+inline void check_options(const util::Options& opts,
+                          std::vector<std::string> extra = {},
+                          bool service_flags = true) {
+  std::vector<std::string> accepted;
+  if (service_flags) {
+    accepted = {"json", "pool", "workers", "chunks", "cache", "stream"};
   }
-  auto factory = [&pts, reps](const core::RunConfig&, std::size_t index) {
-    return pts[index / static_cast<std::size_t>(reps)].app;
-  };
-  const auto runs = core::run_many(configs, factory, pool_options(opts));
+  accepted.insert(accepted.end(), extra.begin(), extra.end());
+  try {
+    opts.expect(accepted);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << (opts.program().empty() ? "bench" : opts.program()) << ": "
+              << e.what() << "\n";
+    std::exit(2);
+  }
+}
 
-  std::vector<PointResult> out(pts.size());
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const std::size_t p = i / static_cast<std::size_t>(reps);
-    const core::RunResult& res = runs[i];
-    if (!res.clean() && !allow_unclean) {
-      std::cerr << "bench point '" << pts[p].label << "' failed:"
-                << (res.deadlock ? " deadlock" : "")
-                << (res.rank_lost ? " rank-lost" : "")
-                << (res.time_limit_hit ? " time-limit" : "");
-      for (const auto& e : res.errors) std::cerr << " [" << e << "]";
-      std::cerr << "\n";
-      std::exit(2);
-    }
-    out[p].mean_sec += res.seconds() / reps;
-    if ((i + 1) % static_cast<std::size_t>(reps) == 0) {
-      out[p].run = runs[i];
-    }
-  }
-  return out;
+/// Appends the option keys the registered workloads read (registry.cpp)
+/// to a bench's own keys. Benches that forward their Options object into
+/// wl::make_workload pass their accepted list through this so workload
+/// tuning flags (--nrows=..., --class=B, ...) stay usable.
+inline std::vector<std::string> with_workload_flags(
+    std::vector<std::string> extra) {
+  static const char* const kWorkloadKeys[] = {
+      "any-source", "class", "compute-scale", "iters", "materialize",
+      "nrows",      "nx",    "ny",            "nz",    "reps",
+      "seed",       "sizes", "symbolic"};
+  for (const char* k : kWorkloadKeys) extra.emplace_back(k);
+  return extra;
 }
 
 inline std::string json_escape(const std::string& s) {
@@ -108,6 +135,83 @@ inline std::string json_escape(const std::string& s) {
       continue;
     }
     out.push_back(c);
+  }
+  return out;
+}
+
+inline std::string hex_digest(std::uint64_t digest) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+/// Runs every point `reps` times (the paper averages five executions)
+/// through the sweep service and returns one PointResult per point, in
+/// point order: mean and sample stddev of the virtual makespan over the
+/// reps, the point's config digest, and whether it was served from the
+/// result store. Identical digests (repetitions, Native collapse) are
+/// simulated once — sound because runs are bit-deterministic. With
+/// --stream, one JSON line per completed unique point goes to stderr as
+/// it finishes. Aborts loudly if any run fails, unless `allow_unclean`
+/// (ablations that demonstrate deadlocks set it).
+inline std::vector<PointResult> run_points(const std::vector<Point>& pts,
+                                           const util::Options& opts,
+                                           int reps = 1,
+                                           bool allow_unclean = false,
+                                           sweep::ServiceStats* stats_out =
+                                               nullptr) {
+  std::vector<core::RunConfig> configs;
+  configs.reserve(pts.size() * static_cast<std::size_t>(reps));
+  for (const Point& p : pts) {
+    for (int i = 0; i < reps; ++i) configs.push_back(p.cfg);
+  }
+  auto factory = [&pts, reps](const core::RunConfig&, std::size_t index) {
+    return pts[index / static_cast<std::size_t>(reps)].app;
+  };
+
+  sweep::SweepService service(service_options(opts));
+  const bool stream = opts.get_bool("stream", false);
+  std::unordered_set<std::uint64_t> cached_digests;
+  auto on_point = [&pts, reps, stream,
+                   &cached_digests](const sweep::PointOutcome& out) {
+    if (out.cached) cached_digests.insert(out.digest);
+    if (!stream) return;
+    const std::size_t p = out.index / static_cast<std::size_t>(reps);
+    std::cerr << "{\"event\": \"point\", \"label\": \""
+              << json_escape(pts[p].label) << "\", \"digest\": \""
+              << hex_digest(out.digest) << "\", \"cached\": "
+              << (out.cached ? "true" : "false")
+              << ", \"virtual_seconds\": " << out.result->seconds()
+              << ", \"clean\": " << (out.result->clean() ? "true" : "false")
+              << "}\n";
+  };
+  const auto runs = service.run(configs, factory, on_point);
+  if (stats_out != nullptr) *stats_out = service.stats();
+
+  std::vector<PointResult> out(pts.size());
+  for (std::size_t p = 0; p < pts.size(); ++p) {
+    util::Accumulator acc;
+    for (int i = 0; i < reps; ++i) {
+      const core::RunResult& res = runs[p * static_cast<std::size_t>(reps) +
+                                        static_cast<std::size_t>(i)];
+      if (!res.clean() && !allow_unclean) {
+        std::cerr << "bench point '" << pts[p].label << "' failed:"
+                  << (res.deadlock ? " deadlock" : "")
+                  << (res.rank_lost ? " rank-lost" : "")
+                  << (res.time_limit_hit ? " time-limit" : "");
+        for (const auto& e : res.errors) std::cerr << " [" << e << "]";
+        std::cerr << "\n";
+        std::exit(2);
+      }
+      acc.add(res.seconds());
+    }
+    out[p].mean_sec = acc.mean();
+    out[p].stddev_sec = acc.stddev();
+    out[p].reps = reps;
+    out[p].digest = sweep::config_key(pts[p].cfg);
+    out[p].cached = cached_digests.count(out[p].digest) > 0;
+    out[p].run = runs[(p + 1) * static_cast<std::size_t>(reps) - 1];
   }
   return out;
 }
@@ -134,6 +238,9 @@ inline void emit_json(std::ostream& os, const std::string& bench_name,
        << "\""
        << ", \"oversubscription\": " << p.cfg.net.topology.oversubscription
        << ", \"mean_seconds\": " << results[i].mean_sec
+       << ", \"stddev_seconds\": " << results[i].stddev_sec
+       << ", \"reps\": " << results[i].reps
+       << ", \"config_digest\": \"" << hex_digest(results[i].digest) << "\""
        << ", \"clean\": " << (r.clean() ? "true" : "false")
        << ", \"deadlock\": " << (r.deadlock ? "true" : "false")
        << ", \"app_sends\": " << r.app_sends

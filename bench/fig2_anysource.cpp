@@ -42,6 +42,7 @@ sdrmpi::core::AppFn anysource_app(int rounds) {
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
+  bench::check_options(opts, {"ranks", "rounds"});
   bench::banner(opts, "ANY_SOURCE microbenchmark: leader vs send-determinism",
                 "Figure 2 (anonymous reception handling)");
 

@@ -49,6 +49,7 @@ core::AppFn ring_app(int iters) {
 
 int main(int argc, char** argv) {
   util::Options opts(argc, argv);
+  bench::check_options(opts, {"ranks", "iters", "crash-send"});
   bench::banner(opts, "failover / recovery cost",
                 "Figures 3 and 4 (fault and recovery scenarios)");
 

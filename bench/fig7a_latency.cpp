@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
+  bench::check_options(opts, {"reps", "sizes"});
   bench::banner(opts, "NetPipe latency sweep", "Figure 7a (latency, IB-20G)");
 
   wl::NetpipeParams np;

@@ -7,6 +7,7 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
+  bench::check_options(opts, {"reps", "sizes"});
   bench::banner(opts, "NetPipe throughput sweep",
                 "Figure 7b (throughput, IB-20G)");
 

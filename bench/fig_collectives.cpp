@@ -106,6 +106,7 @@ struct Meta {
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
+  bench::check_options(opts, {"nranks", "iters", "check"});
   bench::banner(opts, "Collectives engine sweep (algorithms x sizes x protocols)",
                 "MPICH-style tuned collective selection as a controlled axis");
 

@@ -16,6 +16,8 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
+  bench::check_options(
+      opts, bench::with_workload_flags({"nranks", "rpn", "nps", "oversub"}));
   bench::banner(opts, "Fabric contention sweep (flat vs fat-tree)",
                 "section 5 discussion (network model sensitivity)");
 

@@ -196,6 +196,8 @@ void emit_json(std::ostream& os, const std::string& variant,
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
+  bench::check_options(opts, {"json", "check", "reps", "variant"},
+                       /*service_flags=*/false);
   bench::warn_if_not_release();
 
   const int reps = static_cast<int>(opts.get_int("reps", 10));

@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
+  bench::check_options(opts, bench::with_workload_flags({"ranks"}));
   bench::banner(opts, "scaling sweep: ranks x network",
                 "extension (paper fixes 256 ranks, IB-20G)");
 

@@ -22,6 +22,8 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
+  bench::check_options(opts, bench::with_workload_flags(
+                                 {"ranks", "protocols", "max-rss-mb"}));
   bench::banner(opts, "NAS kernels, native vs SDR-MPI (r=2)",
                 "Table 1 (class D, 256 procs in the paper)");
 

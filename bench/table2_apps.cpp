@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
+  bench::check_options(opts, bench::with_workload_flags({"ranks"}));
   bench::banner(opts, "ANY_SOURCE applications, native vs SDR-MPI (r=2)",
                 "Table 2 (HPCCG 128x128x64, CM1 160^3 in the paper)");
 

@@ -59,6 +59,12 @@ void heat_ring(mpi::Env& env) {
 
 int main(int argc, char** argv) {
   util::Options opts(argc, argv);
+  try {
+    opts.expect({"ranks", "recover"});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   const int nranks = static_cast<int>(opts.get_int("ranks", 4));
   const bool recover = opts.get_bool("recover", false);
 

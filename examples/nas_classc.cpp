@@ -18,6 +18,13 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
+  try {
+    opts.expect({"ranks", "class", "iters", "compute-scale", "nrows", "seed",
+                 "symbolic", "materialize"});
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
   const int nranks = static_cast<int>(opts.get_int("ranks", 8));
   if (!opts.has("class")) opts.set("class", "C");
   if (!opts.has("iters")) opts.set("iters", "2");

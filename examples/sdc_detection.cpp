@@ -37,6 +37,12 @@ void iterative_sum(mpi::Env& env) {
 
 int main(int argc, char** argv) {
   util::Options opts(argc, argv);
+  try {
+    opts.expect({"ranks"});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   const int nranks = static_cast<int>(opts.get_int("ranks", 4));
 
   auto run_with = [&](core::ProtocolKind kind, bool corrupt) {

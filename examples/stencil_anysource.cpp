@@ -64,6 +64,12 @@ core::AppFn make_stencil(int nx_global, int iters) {
 
 int main(int argc, char** argv) {
   util::Options opts(argc, argv);
+  try {
+    opts.expect({"ranks", "nx", "iters"});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   const int nranks = static_cast<int>(opts.get_int("ranks", 4));
   const int nx = static_cast<int>(opts.get_int("nx", 64));
   const int iters = static_cast<int>(opts.get_int("iters", 40));

@@ -12,6 +12,12 @@
 int main(int argc, char** argv) {
   using namespace sdrmpi;
   util::Options opts(argc, argv);
+  try {
+    opts.expect({"nranks", "oversub", "nx", "ny", "nz", "iters"});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   const int nranks = static_cast<int>(opts.get_int("nranks", 8));
   const double oversub = opts.get_double("oversub", 4.0);
 

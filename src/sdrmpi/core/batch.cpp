@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "sdrmpi/util/hash.hpp"
@@ -50,9 +52,22 @@ std::vector<RunResult> run_many(const std::vector<RunConfig>& configs,
     for (auto& th : pool) th.join();
   }
 
-  // Deterministic error surfacing: the lowest-index failure wins.
-  for (auto& e : errors) {
-    if (e != nullptr) std::rethrow_exception(e);
+  // Deterministic error surfacing: the lowest-index failure wins, tagged
+  // with the failing point's position so sweep failures are attributable
+  // without bisection ("config[17]: ..."). The original exception type is
+  // preserved for the types run construction actually throws.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i] == nullptr) continue;
+    const std::string prefix = "config[" + std::to_string(i) + "]: ";
+    try {
+      std::rethrow_exception(errors[i]);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(prefix + e.what());
+    } catch (const std::logic_error& e) {
+      throw std::logic_error(prefix + e.what());
+    } catch (const std::exception& e) {
+      throw std::runtime_error(prefix + e.what());
+    }
   }
   return results;
 }

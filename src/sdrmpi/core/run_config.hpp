@@ -32,6 +32,8 @@ struct FaultSpec {
   int slot = -1;
   Time at_time = -1;           ///< crash at this virtual time (if >= 0)
   std::int64_t at_send = -1;   ///< crash before this (0-based) app send
+
+  [[nodiscard]] bool operator==(const FaultSpec&) const = default;
 };
 
 /// Silent-data-corruption injection: flip one byte in the payload of the
@@ -39,6 +41,8 @@ struct FaultSpec {
 struct SdcSpec {
   int slot = -1;
   std::int64_t at_send = 0;
+
+  [[nodiscard]] bool operator==(const SdcSpec&) const = default;
 };
 
 struct RunConfig {
@@ -63,6 +67,13 @@ struct RunConfig {
 
   Time time_limit = timeunits::seconds(600.0);  ///< virtual-time failsafe
   std::uint64_t seed = 0x5dbULL;                ///< workload RNG seed
+
+  /// Field-wise equality over every knob that can move a run's outcome.
+  /// The sweep service's content-addressed cache relies on the contract
+  /// that two configs serialize (and digest) identically iff they are ==
+  /// (sweep/config_key.hpp); adding a field here means extending the
+  /// canonical serialization and bumping its format version.
+  [[nodiscard]] bool operator==(const RunConfig&) const = default;
 };
 
 /// Protocol-level counters aggregated over all physical processes.
@@ -95,6 +106,8 @@ struct SlotResult {
   std::uint64_t checksum = 0;  // 0 if the app reported nothing
   bool reported_checksum = false;
   std::map<std::string, double> values;
+
+  [[nodiscard]] bool operator==(const SlotResult&) const = default;
 };
 
 struct RunResult {
@@ -125,6 +138,12 @@ struct RunResult {
   std::uint64_t bytes_hashed = 0;
   ProtocolStats protocol;
   net::FabricStats fabric;  ///< traffic + link-contention counters
+
+  /// Bit-level equality over the full result (slots, counters, errors).
+  /// The sweep service's cache round-trip tests assert decode(encode(r))
+  /// == r for every field; sweep-layout invariance tests assert sharded
+  /// executions reproduce the single-chunk results exactly.
+  [[nodiscard]] bool operator==(const RunResult&) const = default;
 
   [[nodiscard]] bool clean() const noexcept {
     return !deadlock && !time_limit_hit && !rank_lost && errors.empty();

@@ -150,6 +150,8 @@ struct NetParams {
 
   TopologySpec topology;  ///< fabric backend + shape (default: flat)
 
+  [[nodiscard]] bool operator==(const NetParams&) const = default;
+
   /// Paper testbed: InfiniBand 20G (Mellanox ConnectX, Grid'5000 Nancy).
   [[nodiscard]] static NetParams infiniband_20g() { return NetParams{}; }
 

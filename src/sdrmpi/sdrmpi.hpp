@@ -25,6 +25,9 @@
 #include "sdrmpi/mpi/types.hpp"
 #include "sdrmpi/net/params.hpp"
 #include "sdrmpi/sim/time.hpp"
+#include "sdrmpi/sweep/config_key.hpp"
+#include "sdrmpi/sweep/result_store.hpp"
+#include "sdrmpi/sweep/service.hpp"
 #include "sdrmpi/util/hash.hpp"
 #include "sdrmpi/util/options.hpp"
 #include "sdrmpi/util/rng.hpp"

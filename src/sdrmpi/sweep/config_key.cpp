@@ -1,0 +1,81 @@
+#include "sdrmpi/sweep/config_key.hpp"
+
+#include "sdrmpi/sweep/result_codec.hpp"
+#include "sdrmpi/util/hash.hpp"
+
+namespace sdrmpi::sweep {
+namespace {
+
+void put_topology(ByteWriter& w, const net::TopologySpec& t) {
+  w.u8(static_cast<std::uint8_t>(t.kind));
+  w.u8(static_cast<std::uint8_t>(t.placement));
+  w.i32(t.ranks_per_node);
+  w.i32(t.nodes_per_switch);
+  w.f64(t.oversubscription);
+  w.f64(t.link_ns_per_byte);
+  w.f64(t.intra_node_latency_ns);
+  w.f64(t.intra_switch_latency_ns);
+  w.f64(t.inter_switch_latency_ns);
+}
+
+void put_net(ByteWriter& w, const net::NetParams& p) {
+  w.f64(p.o_send_ns);
+  w.f64(p.o_recv_ns);
+  w.f64(p.latency_ns);
+  w.f64(p.ns_per_byte);
+  w.u64(p.header_bytes);
+  w.u64(p.ctl_frame_bytes);
+  w.u64(p.eager_threshold);
+  w.f64(p.call_cost_ns);
+  put_topology(w, p.topology);
+}
+
+void put_coll(ByteWriter& w, const mpi::CollTuning& t) {
+  w.u8(static_cast<std::uint8_t>(t.bcast));
+  w.u8(static_cast<std::uint8_t>(t.allreduce));
+  w.u8(static_cast<std::uint8_t>(t.allgather));
+  w.u8(static_cast<std::uint8_t>(t.alltoall));
+  w.u64(t.bcast_long_bytes);
+  w.u64(t.allreduce_long_bytes);
+  w.u64(t.allgather_bruck_bytes);
+  w.u64(t.alltoall_bruck_bytes);
+  w.i32(t.min_tree_comm);
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize_config(const core::RunConfig& cfg) {
+  ByteWriter w;
+  w.u8(kConfigKeyVersion);
+  w.i32(cfg.nranks);
+  w.i32(cfg.replication);
+  w.u8(static_cast<std::uint8_t>(cfg.protocol));
+  put_net(w, cfg.net);
+  put_coll(w, cfg.coll);
+  w.u32(static_cast<std::uint32_t>(cfg.faults.size()));
+  for (const auto& f : cfg.faults) {
+    w.i32(f.slot);
+    w.i64(f.at_time);
+    w.i64(f.at_send);
+  }
+  w.u32(static_cast<std::uint32_t>(cfg.sdc.size()));
+  for (const auto& s : cfg.sdc) {
+    w.i32(s.slot);
+    w.i64(s.at_send);
+  }
+  w.i64(cfg.detection_delay);
+  w.boolean(cfg.auto_recover);
+  w.boolean(cfg.ack_on_wait);
+  w.boolean(cfg.eager_copy_completion);
+  w.f64(cfg.copy_cost_ns_per_byte);
+  w.i64(cfg.time_limit);
+  w.u64(cfg.seed);
+  return w.take();
+}
+
+std::uint64_t config_key(const core::RunConfig& cfg) {
+  const auto bytes = serialize_config(cfg);
+  return util::fnv1a(bytes);
+}
+
+}  // namespace sdrmpi::sweep

@@ -1,0 +1,170 @@
+#include "sdrmpi/sweep/result_store.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "sdrmpi/sweep/result_codec.hpp"
+#include "sdrmpi/util/hash.hpp"
+
+namespace sdrmpi::sweep {
+namespace {
+
+constexpr std::uint32_t kStoreMagic = 0x53445253;  // "SDRS"
+constexpr std::uint32_t kStoreVersion = 1;
+
+// Record: digest, payload length, payload fnv1a, payload bytes. The
+// checksum turns a torn tail append (process killed mid-write) into a
+// detectable bad record instead of a silently wrong result.
+struct RecordHeader {
+  std::uint64_t digest;
+  std::uint32_t length;
+  std::uint64_t payload_hash;
+};
+
+void write_u32(std::FILE* f, std::uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  if (std::fwrite(b, 1, 4, f) != 4) {
+    throw std::runtime_error("result store: short write");
+  }
+}
+
+void write_u64(std::FILE* f, std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  if (std::fwrite(b, 1, 8, f) != 8) {
+    throw std::runtime_error("result store: short write");
+  }
+}
+
+bool read_u32(std::FILE* f, std::uint32_t& out) {
+  unsigned char b[4];
+  if (std::fread(b, 1, 4, f) != 4) return false;
+  out = 0;
+  for (int i = 0; i < 4; ++i) out |= std::uint32_t{b[i]} << (8 * i);
+  return true;
+}
+
+bool read_u64(std::FILE* f, std::uint64_t& out) {
+  unsigned char b[8];
+  if (std::fread(b, 1, 8, f) != 8) return false;
+  out = 0;
+  for (int i = 0; i < 8; ++i) out |= std::uint64_t{b[i]} << (8 * i);
+  return true;
+}
+
+}  // namespace
+
+ResultStore::ResultStore() = default;
+
+ResultStore::ResultStore(const std::string& path) : path_(path) {
+  if (path_.empty()) return;
+  // "a+b": reads scan from wherever we seek, writes always append —
+  // exactly the replay-then-extend lifecycle (repair truncation below
+  // reopens in "r+b" when a torn tail must be cut).
+  file_ = std::fopen(path_.c_str(), "a+b");
+  if (file_ == nullptr) {
+    throw std::runtime_error("result store: cannot open '" + path_ +
+                             "': " + std::strerror(errno));
+  }
+  load_and_repair();
+}
+
+ResultStore::~ResultStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void ResultStore::load_and_repair() {
+  std::fseek(file_, 0, SEEK_END);
+  const long file_size = std::ftell(file_);
+  std::fseek(file_, 0, SEEK_SET);
+
+  if (file_size == 0) {
+    write_u32(file_, kStoreMagic);
+    write_u32(file_, kStoreVersion);
+    std::fflush(file_);
+    return;
+  }
+
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!read_u32(file_, magic) || magic != kStoreMagic) {
+    throw std::runtime_error("result store: '" + path_ +
+                             "' is not a sweep result store");
+  }
+  if (!read_u32(file_, version) || version != kStoreVersion) {
+    throw std::runtime_error(
+        "result store: '" + path_ + "' has format version " +
+        std::to_string(version) + ", expected " +
+        std::to_string(kStoreVersion) + " (delete the stale cache)");
+  }
+
+  long good_end = std::ftell(file_);
+  for (;;) {
+    RecordHeader h{};
+    if (!read_u64(file_, h.digest) || !read_u32(file_, h.length) ||
+        !read_u64(file_, h.payload_hash)) {
+      break;  // clean EOF or torn header
+    }
+    std::vector<std::byte> payload(h.length);
+    if (h.length > 0 &&
+        std::fread(payload.data(), 1, h.length, file_) != h.length) {
+      break;  // torn payload
+    }
+    if (util::fnv1a(payload) != h.payload_hash) break;  // corrupt payload
+    try {
+      core::RunResult result = decode_result(payload);
+      index_.insert_or_assign(h.digest, std::move(result));
+    } catch (const CodecError&) {
+      break;
+    }
+    good_end = std::ftell(file_);
+    ++loaded_;
+  }
+
+  if (good_end < file_size) {
+    // Cut the torn tail so future appends start on a record boundary.
+    std::fclose(file_);
+    file_ = nullptr;
+    if (::truncate(path_.c_str(), good_end) != 0) {
+      throw std::runtime_error("result store: cannot repair '" + path_ +
+                               "': " + std::strerror(errno));
+    }
+    file_ = std::fopen(path_.c_str(), "a+b");
+    if (file_ == nullptr) {
+      throw std::runtime_error("result store: cannot reopen '" + path_ +
+                               "': " + std::strerror(errno));
+    }
+  }
+  std::fseek(file_, 0, SEEK_END);
+}
+
+std::optional<core::RunResult> ResultStore::lookup(
+    std::uint64_t digest) const {
+  auto it = index_.find(digest);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultStore::put(std::uint64_t digest, const core::RunResult& result) {
+  if (index_.count(digest) > 0) return;
+  if (file_ != nullptr) {
+    const auto payload = encode_result(result);
+    write_u64(file_, digest);
+    write_u32(file_, static_cast<std::uint32_t>(payload.size()));
+    write_u64(file_, util::fnv1a(payload));
+    if (!payload.empty() &&
+        std::fwrite(payload.data(), 1, payload.size(), file_) !=
+            payload.size()) {
+      throw std::runtime_error("result store: short write");
+    }
+    std::fflush(file_);
+  }
+  index_.emplace(digest, result);
+}
+
+}  // namespace sdrmpi::sweep

@@ -1,0 +1,81 @@
+// Persistent content-addressed result store: digest -> RunResult.
+//
+// An append-only binary file of (config digest, serialized RunResult)
+// records behind an in-memory index. The sweep service consults it before
+// dispatching a point (a hit skips the simulation entirely — sound because
+// runs are bit-deterministic, see config_key.hpp) and appends each freshly
+// computed result, so an interrupted sweep resumes from whatever prefix
+// made it to disk.
+//
+// Durability model: records are appended and flushed one at a time; a
+// process killed mid-append leaves at most one torn record at the tail.
+// On open the store replays the log, verifies each record's length and
+// payload checksum, and truncates the file back to the last intact record
+// — a crashed sweep never poisons later ones. A file with a different
+// format version (or a foreign magic) is rejected with an error rather
+// than half-read.
+//
+// Concurrency: one writer process at a time (the service serializes puts
+// through its collector lock). Readers of a *closed* store file are safe
+// anywhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sdrmpi/core/run_config.hpp"
+
+namespace sdrmpi::sweep {
+
+class ResultStore {
+ public:
+  /// In-memory only (no persistence): dedupe within one service run.
+  ResultStore();
+
+  /// Opens (or creates) the store file at `path`, replaying existing
+  /// records into the index. Throws std::runtime_error on an unopenable
+  /// path or a version/magic mismatch.
+  explicit ResultStore(const std::string& path);
+
+  ~ResultStore();
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// The cached result for `digest`, or nullopt.
+  [[nodiscard]] std::optional<core::RunResult> lookup(
+      std::uint64_t digest) const;
+
+  [[nodiscard]] bool contains(std::uint64_t digest) const {
+    return index_.count(digest) > 0;
+  }
+
+  /// Inserts (and appends to disk when persistent). A digest already
+  /// present is ignored: results are content-addressed, so a second put
+  /// for the same digest carries the same bytes by the determinism
+  /// invariant.
+  void put(std::uint64_t digest, const core::RunResult& result);
+
+  /// Number of distinct digests in the store.
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+
+  /// How many records the constructor replayed from an existing file
+  /// (0 for fresh or in-memory stores): the resume baseline.
+  [[nodiscard]] std::size_t loaded() const noexcept { return loaded_; }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] bool persistent() const noexcept { return file_ != nullptr; }
+
+ private:
+  void load_and_repair();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::unordered_map<std::uint64_t, core::RunResult> index_;
+  std::size_t loaded_ = 0;
+};
+
+}  // namespace sdrmpi::sweep

@@ -1,0 +1,206 @@
+#include "sdrmpi/sweep/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "sdrmpi/core/launcher.hpp"
+#include "sdrmpi/sweep/config_key.hpp"
+#include "sdrmpi/sweep/worker.hpp"
+
+namespace sdrmpi::sweep {
+namespace {
+
+struct RecordedError {
+  bool present = false;
+  bool invalid_config = false;
+  std::string message;
+  std::exception_ptr native;  // in-process mode keeps the original
+};
+
+[[noreturn]] void rethrow_with_index(std::size_t input_index,
+                                     const RecordedError& err) {
+  const std::string prefix = "config[" + std::to_string(input_index) + "]: ";
+  if (err.native != nullptr) {
+    try {
+      std::rethrow_exception(err.native);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(prefix + e.what());
+    } catch (const std::exception& e) {
+      throw std::runtime_error(prefix + e.what());
+    }
+  }
+  if (err.invalid_config) throw std::invalid_argument(prefix + err.message);
+  throw std::runtime_error(prefix + err.message);
+}
+
+}  // namespace
+
+SweepService::SweepService(ServiceOptions opts) : opts_(std::move(opts)) {
+  store_ = opts_.cache_path.empty()
+               ? std::make_unique<ResultStore>()
+               : std::make_unique<ResultStore>(opts_.cache_path);
+}
+
+SweepService::~SweepService() = default;
+
+std::vector<core::RunResult> SweepService::run(
+    const std::vector<core::RunConfig>& configs,
+    const core::AppFactory& factory, const StreamFn& stream) {
+  const std::size_t n = configs.size();
+  stats_ = ServiceStats{};
+  stats_.points = n;
+  stats_.process_workers = opts_.process_workers;
+  std::vector<core::RunResult> results(n);
+  if (n == 0) return results;
+
+  // ---- content addresses + dedupe ------------------------------------------
+  std::vector<std::uint64_t> digests(n);
+  std::unordered_map<std::uint64_t, std::size_t> first_index;
+  first_index.reserve(n);
+  std::vector<std::size_t> unique_indices;  // first occurrences, input order
+  unique_indices.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    digests[i] = config_key(configs[i]);
+    if (first_index.emplace(digests[i], i).second) {
+      unique_indices.push_back(i);
+    } else {
+      ++stats_.duplicates;
+    }
+  }
+  stats_.unique_points = unique_indices.size();
+
+  // ---- cache pass ----------------------------------------------------------
+  std::vector<std::size_t> misses;  // input indices needing simulation
+  misses.reserve(unique_indices.size());
+  for (std::size_t i : unique_indices) {
+    if (auto hit = store_->lookup(digests[i])) {
+      results[i] = std::move(*hit);
+      ++stats_.cache_hits;
+      if (stream) {
+        stream(PointOutcome{i, digests[i], /*cached=*/true, &results[i]});
+      }
+    } else {
+      misses.push_back(i);
+    }
+  }
+
+  // ---- build apps (sequential, ascending — the run_many contract) ----------
+  std::vector<core::AppFn> apps(misses.size());
+  for (std::size_t m = 0; m < misses.size(); ++m) {
+    apps[m] = factory(configs[misses[m]], misses[m]);
+  }
+
+  // ---- shard into chunks ---------------------------------------------------
+  int workers = opts_.workers > 0
+                    ? opts_.workers
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  workers = std::clamp(workers, 1,
+                       std::max(1, static_cast<int>(misses.size())));
+  stats_.workers = workers;
+  std::size_t nchunks =
+      opts_.chunks > 0 ? static_cast<std::size_t>(opts_.chunks)
+                       : static_cast<std::size_t>(workers) * 4;
+  nchunks = std::clamp<std::size_t>(nchunks, 1,
+                                    std::max<std::size_t>(1, misses.size()));
+  if (misses.empty()) nchunks = 0;
+  stats_.chunks = nchunks;
+
+  // Contiguous blocks; the layout affects scheduling only, never results.
+  std::vector<std::vector<std::size_t>> chunk_members(nchunks);
+  for (std::size_t m = 0; m < misses.size(); ++m) {
+    chunk_members[m * nchunks / misses.size()].push_back(m);
+  }
+
+  // ---- dispatch ------------------------------------------------------------
+  std::mutex collect_mutex;  // guards results/stats/store/stream
+  std::unordered_map<std::uint64_t, std::size_t> dispatch_counts;
+  std::unordered_map<std::size_t, RecordedError> errors;  // miss input index
+
+  auto collect_result = [&](std::size_t m, core::RunResult&& result) {
+    const std::size_t i = misses[m];
+    std::lock_guard<std::mutex> lock(collect_mutex);
+    store_->put(digests[i], result);
+    results[i] = std::move(result);
+    ++stats_.dispatched;
+    const std::size_t count = ++dispatch_counts[digests[i]];
+    stats_.max_dispatches_per_digest =
+        std::max(stats_.max_dispatches_per_digest, count);
+    if (stream) {
+      stream(PointOutcome{i, digests[i], /*cached=*/false, &results[i]});
+    }
+  };
+
+  if (!misses.empty() && opts_.process_workers) {
+    std::vector<std::vector<WorkPoint>> chunks(nchunks);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      for (std::size_t m : chunk_members[c]) {
+        chunks[c].push_back(WorkPoint{m, &configs[misses[m]], &apps[m]});
+      }
+    }
+    run_forked(chunks, workers, collect_result, [&](PointError&& err) {
+      std::lock_guard<std::mutex> lock(collect_mutex);
+      RecordedError rec;
+      rec.present = true;
+      rec.invalid_config = err.invalid_config;
+      rec.message = std::move(err.message);
+      errors.emplace(misses[err.id], std::move(rec));
+    });
+  } else if (!misses.empty()) {
+    std::atomic<std::size_t> next_chunk{0};
+    auto pool_worker = [&] {
+      for (;;) {
+        const std::size_t c =
+            next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= nchunks) return;
+        for (std::size_t m : chunk_members[c]) {
+          try {
+            core::RunResult result = core::run(configs[misses[m]], apps[m]);
+            collect_result(m, std::move(result));
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(collect_mutex);
+            RecordedError rec;
+            rec.present = true;
+            rec.native = std::current_exception();
+            errors.emplace(misses[m], std::move(rec));
+          }
+        }
+      }
+    };
+    if (workers == 1) {
+      pool_worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int t = 0; t < workers; ++t) pool.emplace_back(pool_worker);
+      for (auto& th : pool) th.join();
+    }
+  }
+
+  // Deterministic error surfacing: lowest input index wins, tagged with it.
+  if (!errors.empty()) {
+    std::size_t lowest = n;
+    for (const auto& [idx, rec] : errors) lowest = std::min(lowest, idx);
+    rethrow_with_index(lowest, errors.at(lowest));
+  }
+
+  // ---- resolve duplicates off their first occurrence -----------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t first = first_index.at(digests[i]);
+    if (first != i) results[i] = results[first];
+  }
+  return results;
+}
+
+std::vector<core::RunResult> SweepService::run(
+    const std::vector<core::RunConfig>& configs, const core::AppFn& app,
+    const StreamFn& stream) {
+  return run(
+      configs, [&app](const core::RunConfig&, std::size_t) { return app; },
+      stream);
+}
+
+}  // namespace sdrmpi::sweep

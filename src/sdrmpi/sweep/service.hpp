@@ -1,0 +1,119 @@
+// Content-addressed sweep service: the scaling layer over core::run_many.
+//
+// Where run_many is a thread pool over a config vector, the service is an
+// experiment manager (in the "MPI Benchmarking Revisited" sense —
+// reproducible, repetition-aware experiment handling):
+//
+//   1. Every RunConfig gets a content address (sweep/config_key.hpp).
+//   2. Identical digests are deduplicated before dispatch — Native
+//      collapse and repeated base points make duplicates common, and a
+//      digest is never simulated twice in one sweep.
+//   3. A persistent ResultStore (--cache) serves previously computed
+//      results without simulation; interrupted sweeps resume from the
+//      records that made it to disk. Sound because runs are
+//      bit-deterministic: a cached result equals a fresh one.
+//   4. The remaining unique points are partitioned into work chunks and
+//      executed by in-process pool workers or forked process-level
+//      workers (sweep/worker.hpp). Results are bit-identical for every
+//      shard layout — the pools-1-vs-8 invariant extended to sharding.
+//   5. Each point streams to an optional callback as it completes
+//      (benches emit BENCH-style JSON lines from it).
+//
+// Serialization and digesting happen strictly at run boundaries: the
+// zero-allocation hot path inside a simulation is untouched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sdrmpi/core/batch.hpp"
+#include "sdrmpi/core/run_config.hpp"
+#include "sdrmpi/sweep/result_store.hpp"
+
+namespace sdrmpi::sweep {
+
+struct ServiceOptions {
+  /// Concurrent workers; 0 = std::thread::hardware_concurrency().
+  int workers = 0;
+  /// Work chunks the unique miss set is split into; 0 = auto (4 per
+  /// worker slot, clamped to the point count). More chunks = finer
+  /// load balancing; the chunk layout never changes results.
+  int chunks = 0;
+  /// Fork process-level workers instead of in-process pool threads.
+  bool process_workers = false;
+  /// Path of the persistent result store; empty = in-memory dedupe only.
+  std::string cache_path;
+};
+
+/// One completed point, streamed as it resolves (from cache or worker).
+/// `index` is the first input position of this digest; duplicates of the
+/// same digest do not re-stream.
+struct PointOutcome {
+  std::size_t index = 0;
+  std::uint64_t digest = 0;
+  bool cached = false;  ///< served from the store, no simulation
+  const core::RunResult* result = nullptr;
+};
+
+/// Outcome accounting for one run() call.
+struct ServiceStats {
+  std::size_t points = 0;         ///< input configs
+  std::size_t unique_points = 0;  ///< distinct digests
+  std::size_t duplicates = 0;     ///< points collapsed onto an earlier digest
+  std::size_t cache_hits = 0;     ///< unique digests served from the store
+  std::size_t dispatched = 0;     ///< unique digests actually simulated
+  std::size_t chunks = 0;         ///< work chunks dispatched
+  int workers = 0;                ///< resolved worker count
+  bool process_workers = false;
+  /// Highest dispatch count observed for any single digest. The dedupe
+  /// contract says this is 1 (or 0 on a fully warm sweep); fig_sweepsvc
+  /// --check gates on it.
+  std::size_t max_dispatches_per_digest = 0;
+};
+
+class SweepService {
+ public:
+  using StreamFn = std::function<void(const PointOutcome&)>;
+
+  /// Opens the cache immediately (so open errors surface at construction,
+  /// not mid-sweep). The store lives as long as the service: a second
+  /// run() against the same service is the warm-cache path even without
+  /// persistence.
+  explicit SweepService(ServiceOptions opts = {});
+  ~SweepService();
+  SweepService(const SweepService&) = delete;
+  SweepService& operator=(const SweepService&) = delete;
+
+  /// Runs every config, returning results in input order (duplicates of
+  /// one digest share the identical result). The factory is invoked
+  /// sequentially on the calling thread, in ascending input order, for
+  /// exactly the first-occurrence indices that miss the cache — points
+  /// served from the store or collapsed by dedupe never build an app.
+  /// The first failing point's construction error is rethrown after the
+  /// sweep drains, prefixed "config[i]: " with its input index.
+  std::vector<core::RunResult> run(const std::vector<core::RunConfig>& configs,
+                                   const core::AppFactory& factory,
+                                   const StreamFn& stream = {});
+
+  /// Same, with one app shared by all runs (must be stateless/reentrant).
+  std::vector<core::RunResult> run(const std::vector<core::RunConfig>& configs,
+                                   const core::AppFn& app,
+                                   const StreamFn& stream = {});
+
+  /// Accounting for the most recent run() call.
+  [[nodiscard]] const ServiceStats& stats() const noexcept { return stats_; }
+
+  /// The backing store (tests inspect size()/loaded()).
+  [[nodiscard]] const ResultStore& store() const noexcept { return *store_; }
+
+ private:
+  ServiceOptions opts_;
+  ServiceStats stats_;
+  std::unique_ptr<ResultStore> store_;
+};
+
+}  // namespace sdrmpi::sweep

@@ -1,0 +1,220 @@
+#include "sdrmpi/sweep/worker.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "sdrmpi/core/launcher.hpp"
+#include "sdrmpi/sweep/result_codec.hpp"
+
+namespace sdrmpi::sweep {
+namespace {
+
+constexpr std::uint8_t kFrameResult = 0;
+constexpr std::uint8_t kFrameInvalidConfig = 1;
+constexpr std::uint8_t kFrameRuntimeError = 2;
+
+// Raw-fd full write/read loops (child side must stay clear of stdio:
+// the forked copy of the parent's buffers must never be flushed twice).
+bool write_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(data);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF mid-frame
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_frame(int fd, std::uint8_t kind, std::uint64_t id,
+                 const void* payload, std::size_t len) {
+  unsigned char header[13];
+  header[0] = kind;
+  for (int i = 0; i < 8; ++i) {
+    header[1 + i] = static_cast<unsigned char>(id >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    header[9 + i] = static_cast<unsigned char>(
+        static_cast<std::uint32_t>(len) >> (8 * i));
+  }
+  if (!write_all(fd, header, sizeof header)) return false;
+  return len == 0 || write_all(fd, payload, len);
+}
+
+/// Child main loop: run every point of the assigned chunks, frame each
+/// outcome, then _exit (never unwind into the parent's atexit/stdio
+/// state).
+[[noreturn]] void child_main(
+    const std::vector<std::vector<WorkPoint>>& chunks, int child_index,
+    int workers, int fd) {
+  for (std::size_t c = static_cast<std::size_t>(child_index);
+       c < chunks.size(); c += static_cast<std::size_t>(workers)) {
+    for (const WorkPoint& pt : chunks[c]) {
+      std::uint8_t kind = kFrameResult;
+      std::vector<std::byte> payload;
+      try {
+        core::RunResult result = core::run(*pt.cfg, *pt.app);
+        payload = encode_result(result);
+      } catch (const std::invalid_argument& e) {
+        kind = kFrameInvalidConfig;
+        const std::string msg = e.what();
+        payload.resize(msg.size());
+        std::memcpy(payload.data(), msg.data(), msg.size());
+      } catch (const std::exception& e) {
+        kind = kFrameRuntimeError;
+        const std::string msg = e.what();
+        payload.resize(msg.size());
+        std::memcpy(payload.data(), msg.data(), msg.size());
+      }
+      if (!write_frame(fd, kind, pt.id, payload.data(), payload.size())) {
+        _exit(3);  // parent went away
+      }
+    }
+  }
+  _exit(0);
+}
+
+}  // namespace
+
+void run_forked(
+    const std::vector<std::vector<WorkPoint>>& chunks, int workers,
+    const std::function<void(std::size_t, core::RunResult&&)>& on_result,
+    const std::function<void(PointError&&)>& on_error) {
+  std::size_t total_points = 0;
+  for (const auto& c : chunks) total_points += c.size();
+  if (total_points == 0) return;
+  workers = std::clamp(workers, 1, static_cast<int>(chunks.size()));
+
+  struct Child {
+    pid_t pid = -1;
+    int read_fd = -1;
+    std::size_t expected = 0;
+    std::size_t delivered = 0;
+  };
+  std::vector<Child> children(static_cast<std::size_t>(workers));
+
+  // Fork every child sequentially from this thread before any reader
+  // thread exists: forking a multithreaded process can snapshot another
+  // thread mid-malloc, and the children immediately allocate.
+  for (int w = 0; w < workers; ++w) {
+    Child& child = children[static_cast<std::size_t>(w)];
+    for (std::size_t c = static_cast<std::size_t>(w); c < chunks.size();
+         c += static_cast<std::size_t>(workers)) {
+      child.expected += chunks[c].size();
+    }
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      throw WorkerError(std::string("sweep worker: pipe failed: ") +
+                        std::strerror(errno));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw WorkerError(std::string("sweep worker: fork failed: ") +
+                        std::strerror(errno));
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      // Drop the pipes of previously forked siblings so their EOF is
+      // controlled by exactly one writer.
+      for (int prev = 0; prev < w; ++prev) {
+        ::close(children[static_cast<std::size_t>(prev)].read_fd);
+      }
+      child_main(chunks, w, workers, fds[1]);
+    }
+    ::close(fds[1]);
+    child.pid = pid;
+    child.read_fd = fds[0];
+  }
+
+  std::mutex sink_mutex;
+  std::vector<std::thread> readers;
+  readers.reserve(children.size());
+  for (Child& child : children) {
+    readers.emplace_back([&child, &sink_mutex, &on_result, &on_error] {
+      for (;;) {
+        unsigned char header[13];
+        if (!read_all(child.read_fd, header, sizeof header)) break;
+        const std::uint8_t kind = header[0];
+        std::uint64_t id = 0;
+        for (int i = 0; i < 8; ++i) {
+          id |= std::uint64_t{header[1 + i]} << (8 * i);
+        }
+        std::uint32_t len = 0;
+        for (int i = 0; i < 4; ++i) {
+          len |= std::uint32_t{header[9 + i]} << (8 * i);
+        }
+        std::vector<std::byte> payload(len);
+        if (len > 0 && !read_all(child.read_fd, payload.data(), len)) break;
+
+        if (kind == kFrameResult) {
+          core::RunResult result;
+          try {
+            result = decode_result(payload);
+          } catch (const CodecError&) {
+            break;  // treat like a torn stream; underdelivery is reported
+          }
+          std::lock_guard<std::mutex> lock(sink_mutex);
+          ++child.delivered;
+          on_result(static_cast<std::size_t>(id), std::move(result));
+        } else {
+          PointError err;
+          err.id = static_cast<std::size_t>(id);
+          err.invalid_config = kind == kFrameInvalidConfig;
+          err.message.assign(reinterpret_cast<const char*>(payload.data()),
+                             payload.size());
+          std::lock_guard<std::mutex> lock(sink_mutex);
+          ++child.delivered;
+          on_error(std::move(err));
+        }
+      }
+      ::close(child.read_fd);
+    });
+  }
+  for (auto& t : readers) t.join();
+
+  std::string failure;
+  for (std::size_t w = 0; w < children.size(); ++w) {
+    int status = 0;
+    ::waitpid(children[w].pid, &status, 0);
+    const bool crashed =
+        WIFSIGNALED(status) || (WIFEXITED(status) && WEXITSTATUS(status) != 0);
+    if (children[w].delivered < children[w].expected || crashed) {
+      failure = "sweep worker " + std::to_string(w) + " delivered " +
+                std::to_string(children[w].delivered) + "/" +
+                std::to_string(children[w].expected) + " points" +
+                (WIFSIGNALED(status)
+                     ? " (killed by signal " + std::to_string(WTERMSIG(status)) +
+                           ")"
+                     : "");
+    }
+  }
+  if (!failure.empty()) throw WorkerError(failure);
+}
+
+}  // namespace sdrmpi::sweep

@@ -1,0 +1,68 @@
+// Forked process-level sweep workers.
+//
+// The sweep service's second execution backend: instead of running work
+// chunks on in-process pool threads, fork() one child per worker slot and
+// let each child run its chunks with a private address space (a crashing
+// or leaking simulation cannot take the sweep driver down — the process
+// boundary is the isolation step toward multi-host workers). Children
+// inherit the parent's configs/apps by fork's memory snapshot, so the
+// AppFn closures need no serialization; only results cross the boundary.
+//
+// Wire protocol (child -> parent, one pipe per child): length-prefixed
+// frames
+//     [u8 kind] [u64 point id] [u32 len] [len payload bytes]
+// where kind 0 carries a result_codec-serialized RunResult and kind 1/2
+// carry an error message (1 = invalid config, 2 = runtime failure). The
+// parent reads frames from dedicated reader threads until EOF, then reaps
+// the child; a child that dies without delivering every assigned point
+// (signal, _exit) surfaces as a WorkerError naming the missing points.
+//
+// Determinism: each point is a self-contained core::run() — bit-identical
+// in any process, so forked and in-process execution produce identical
+// RunResults (sweep_service_test pins this).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "sdrmpi/core/batch.hpp"
+#include "sdrmpi/core/run_config.hpp"
+
+namespace sdrmpi::sweep {
+
+/// One point of forked work: caller-assigned id + borrowed config/app
+/// (both must outlive the run_forked call).
+struct WorkPoint {
+  std::size_t id = 0;
+  const core::RunConfig* cfg = nullptr;
+  const core::AppFn* app = nullptr;
+};
+
+/// A worker process crashed or underdelivered (distinct from a point
+/// failing with an application error, which is reported per point).
+struct WorkerError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-point failure relayed from a child (exception message + whether it
+/// was a construction/invalid-config error).
+struct PointError {
+  std::size_t id = 0;
+  bool invalid_config = false;
+  std::string message;
+};
+
+/// Runs every chunk in forked children, `workers` at a time (chunk c goes
+/// to child c % workers; a child runs its chunks in order, points within
+/// a chunk in order). `on_result` / `on_error` are invoked from parent
+/// reader threads as frames arrive — callers serialize with their own
+/// lock. Throws WorkerError if a child dies without delivering all its
+/// points.
+void run_forked(
+    const std::vector<std::vector<WorkPoint>>& chunks, int workers,
+    const std::function<void(std::size_t, core::RunResult&&)>& on_result,
+    const std::function<void(PointError&&)>& on_error);
+
+}  // namespace sdrmpi::sweep

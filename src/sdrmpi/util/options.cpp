@@ -1,5 +1,6 @@
 #include "sdrmpi/util/options.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -92,6 +93,18 @@ std::vector<std::int64_t> Options::get_int_list(
 
 void Options::set(const std::string& key, const std::string& value) {
   values_[key] = value;
+}
+
+void Options::expect(const std::vector<std::string>& accepted) const {
+  for (const auto& [key, value] : values_) {
+    if (std::find(accepted.begin(), accepted.end(), key) != accepted.end()) {
+      continue;
+    }
+    std::string msg = "unknown option --" + key + " (accepted:";
+    for (const auto& a : accepted) msg += " --" + a;
+    msg += ")";
+    throw std::invalid_argument(msg);
+  }
 }
 
 }  // namespace sdrmpi::util

@@ -43,6 +43,13 @@ class Options {
   /// For tests: inject a key/value pair.
   void set(const std::string& key, const std::string& value);
 
+  /// Validates that every --flag on the command line is one of `accepted`;
+  /// throws std::invalid_argument naming the offending flag and listing
+  /// the accepted keys otherwise. Binaries call this once, right after
+  /// declaring their full flag set — a typo'd --pol=8 used to be silently
+  /// ignored and the bench ran on the wrong pool size.
+  void expect(const std::vector<std::string>& accepted) const;
+
  private:
   [[nodiscard]] std::optional<std::string> raw(const std::string& key) const;
 

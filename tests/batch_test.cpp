@@ -83,6 +83,33 @@ TEST(RunMany, InvalidConfigRethrown) {
       std::invalid_argument);
 }
 
+TEST(RunMany, ErrorNamesTheFailingPointIndex) {
+  // 20 good configs with one bad one at index 17: the rethrown error keeps
+  // its type and says which sweep point failed.
+  std::vector<core::RunConfig> configs(20, test::quick_config(2, 1, core::ProtocolKind::Native));
+  configs[17].nranks = 0;
+  try {
+    auto r = core::run_many(configs, allreduce_app(), {.threads = 4});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("config[17]: ", 0), 0u)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(RunMany, LowestFailingIndexWins) {
+  std::vector<core::RunConfig> configs(8, test::quick_config(2, 1, core::ProtocolKind::Native));
+  configs[3].nranks = 0;
+  configs[6].nranks = -2;
+  try {
+    auto r = core::run_many(configs, allreduce_app(), {.threads = 8});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("config[3]: ", 0), 0u)
+        << "message was: " << e.what();
+  }
+}
+
 TEST(RunMany, DeterministicAcrossPoolSizes) {
   // A sweep mixing protocols, a wildcard workload, and a crash+recovery
   // point: identical fingerprints on a 1-thread and an 8-thread pool.
@@ -148,6 +175,35 @@ TEST(Sweep, NativeCollapsesToSingleUnreplicatedPoint) {
   EXPECT_EQ(configs[1].protocol, core::ProtocolKind::Sdr);
 }
 
+TEST(Sweep, TopologyAndTuningAreInnermostAxes) {
+  // Full axis order: protocol > replication > faults > topology > tuning.
+  core::Sweep sweep;
+  sweep.base = test::quick_config(2, 2, core::ProtocolKind::Sdr);
+  sweep.protocols = {core::ProtocolKind::Sdr, core::ProtocolKind::Mirror};
+  net::TopologySpec flat;  // defaults: flat network
+  net::TopologySpec tree = flat;
+  tree.kind = net::TopologyKind::FatTree;
+  sweep.topologies = {flat, tree};
+  mpi::CollTuning t0;
+  mpi::CollTuning t1 = t0;
+  t1.allreduce_long_bytes = 1;
+  sweep.coll_tunings = {t0, t1};
+  auto configs = sweep.expand();
+  ASSERT_EQ(configs.size(), 8u);
+  // Tuning toggles fastest, then topology, then protocol.
+  EXPECT_EQ(configs[0].net.topology, flat);
+  EXPECT_EQ(configs[0].coll, t0);
+  EXPECT_EQ(configs[1].net.topology, flat);
+  EXPECT_EQ(configs[1].coll, t1);
+  EXPECT_EQ(configs[2].net.topology, tree);
+  EXPECT_EQ(configs[2].coll, t0);
+  EXPECT_EQ(configs[3].net.topology, tree);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(configs[i].protocol, core::ProtocolKind::Sdr);
+    EXPECT_EQ(configs[4 + i].protocol, core::ProtocolKind::Mirror);
+  }
+}
+
 TEST(Sweep, FaultGridAxis) {
   core::Sweep sweep;
   sweep.base = test::quick_config(2, 2, core::ProtocolKind::Sdr);
@@ -171,6 +227,11 @@ TEST(Sweep, UniqueSeedsAreDistinctAndDeterministic) {
   EXPECT_NE(a[0].seed, a[1].seed);
   EXPECT_NE(a[1].seed, a[2].seed);
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].seed, b[i].seed);
+  // The derivation is pinned: seed = hash_combine(base.seed, point index).
+  // Changing it silently invalidates every content-addressed result store.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, util::hash_combine(sweep.base.seed, i));
+  }
 }
 
 TEST(World, ConstructionSeparableFromDrive) {

@@ -1,0 +1,565 @@
+// Sweep-service tests: the content-addressed cache contract end to end.
+//
+//  - config_key: canonical serialization collides iff configs are == —
+//    every RunConfig field moves the digest, equal configs byte-match.
+//  - result_codec: decode(encode(r)) == r for every RunResult field.
+//  - ResultStore: persistence across reopen, torn-tail repair.
+//  - SweepService: shard-layout invariance (1 chunk / 7 chunks / forked
+//    process workers reproduce the run_many baseline bit-for-bit on a
+//    50-point fuzz sweep), dedupe-dispatches-once, resume-after-kill
+//    (a pre-populated store means only missing digests are simulated),
+//    and "config[i]: " error attribution.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sdrmpi/sweep/config_key.hpp"
+#include "sdrmpi/sweep/result_codec.hpp"
+#include "sdrmpi/util/rng.hpp"
+#include "test_support.hpp"
+
+namespace sdrmpi {
+namespace {
+
+// ------------------------------------------------------------- config_key
+
+struct Mutation {
+  const char* field;
+  std::function<void(core::RunConfig&)> apply;
+};
+
+/// One mutation per RunConfig field (including every nested NetParams,
+/// TopologySpec and CollTuning knob): the collide-iff-== contract says each
+/// must flip the digest.
+std::vector<Mutation> all_field_mutations() {
+  using core::RunConfig;
+  return {
+      {"nranks", [](RunConfig& c) { c.nranks = 5; }},
+      {"replication", [](RunConfig& c) { c.replication = 3; }},
+      {"protocol",
+       [](RunConfig& c) { c.protocol = core::ProtocolKind::Mirror; }},
+      {"net.o_send_ns", [](RunConfig& c) { c.net.o_send_ns += 1.0; }},
+      {"net.o_recv_ns", [](RunConfig& c) { c.net.o_recv_ns += 1.0; }},
+      {"net.latency_ns", [](RunConfig& c) { c.net.latency_ns += 1.0; }},
+      {"net.ns_per_byte", [](RunConfig& c) { c.net.ns_per_byte += 0.25; }},
+      {"net.header_bytes", [](RunConfig& c) { c.net.header_bytes += 4; }},
+      {"net.ctl_frame_bytes", [](RunConfig& c) { c.net.ctl_frame_bytes += 4; }},
+      {"net.eager_threshold", [](RunConfig& c) { c.net.eager_threshold *= 2; }},
+      {"net.call_cost_ns", [](RunConfig& c) { c.net.call_cost_ns += 1.0; }},
+      {"topology.kind",
+       [](RunConfig& c) { c.net.topology.kind = net::TopologyKind::FatTree; }},
+      {"topology.placement",
+       [](RunConfig& c) {
+         c.net.topology.placement = net::PlacementPolicy::PackRanks;
+       }},
+      {"topology.ranks_per_node",
+       [](RunConfig& c) { c.net.topology.ranks_per_node = 4; }},
+      {"topology.nodes_per_switch",
+       [](RunConfig& c) { c.net.topology.nodes_per_switch = 16; }},
+      {"topology.oversubscription",
+       [](RunConfig& c) { c.net.topology.oversubscription = 2.0; }},
+      {"topology.link_ns_per_byte",
+       [](RunConfig& c) { c.net.topology.link_ns_per_byte = 0.75; }},
+      {"topology.intra_node_latency_ns",
+       [](RunConfig& c) { c.net.topology.intra_node_latency_ns = 200.0; }},
+      {"topology.intra_switch_latency_ns",
+       [](RunConfig& c) { c.net.topology.intra_switch_latency_ns = 500.0; }},
+      {"topology.inter_switch_latency_ns",
+       [](RunConfig& c) { c.net.topology.inter_switch_latency_ns = 1900.0; }},
+      {"coll.bcast",
+       [](RunConfig& c) { c.coll.bcast = mpi::BcastAlg::Binomial; }},
+      {"coll.allreduce",
+       [](RunConfig& c) {
+         c.coll.allreduce = mpi::AllreduceAlg::Rabenseifner;
+       }},
+      {"coll.allgather",
+       [](RunConfig& c) { c.coll.allgather = mpi::AllgatherAlg::Ring; }},
+      {"coll.alltoall",
+       [](RunConfig& c) { c.coll.alltoall = mpi::AlltoallAlg::Bruck; }},
+      {"coll.bcast_long_bytes",
+       [](RunConfig& c) { c.coll.bcast_long_bytes *= 2; }},
+      {"coll.allreduce_long_bytes",
+       [](RunConfig& c) { c.coll.allreduce_long_bytes *= 2; }},
+      {"coll.allgather_bruck_bytes",
+       [](RunConfig& c) { c.coll.allgather_bruck_bytes *= 2; }},
+      {"coll.alltoall_bruck_bytes",
+       [](RunConfig& c) { c.coll.alltoall_bruck_bytes *= 2; }},
+      {"coll.min_tree_comm", [](RunConfig& c) { c.coll.min_tree_comm = 7; }},
+      {"faults(empty->one)",
+       [](RunConfig& c) {
+         c.faults.push_back({.slot = 2, .at_time = -1, .at_send = 3});
+       }},
+      {"faults.slot",
+       [](RunConfig& c) {
+         c.faults.push_back({.slot = 3, .at_time = -1, .at_send = 3});
+       }},
+      {"faults.at_time",
+       [](RunConfig& c) {
+         c.faults.push_back({.slot = 2, .at_time = 777, .at_send = 3});
+       }},
+      {"faults.at_send",
+       [](RunConfig& c) {
+         c.faults.push_back({.slot = 2, .at_time = -1, .at_send = 4});
+       }},
+      {"sdc(empty->one)",
+       [](RunConfig& c) { c.sdc.push_back({.slot = 1, .at_send = 2}); }},
+      {"sdc.slot",
+       [](RunConfig& c) { c.sdc.push_back({.slot = 2, .at_send = 2}); }},
+      {"sdc.at_send",
+       [](RunConfig& c) { c.sdc.push_back({.slot = 1, .at_send = 3}); }},
+      {"detection_delay", [](RunConfig& c) { c.detection_delay += 17; }},
+      {"auto_recover", [](RunConfig& c) { c.auto_recover = true; }},
+      {"ack_on_wait", [](RunConfig& c) { c.ack_on_wait = true; }},
+      {"eager_copy_completion",
+       [](RunConfig& c) { c.eager_copy_completion = true; }},
+      {"copy_cost_ns_per_byte",
+       [](RunConfig& c) { c.copy_cost_ns_per_byte += 0.01; }},
+      {"time_limit", [](RunConfig& c) { c.time_limit += 1000; }},
+      {"seed", [](RunConfig& c) { c.seed ^= 0x1; }},
+  };
+}
+
+TEST(ConfigKey, EqualConfigsSerializeAndDigestIdentically) {
+  auto make = [] {
+    core::RunConfig cfg = test::quick_config(3, 2, core::ProtocolKind::Sdr);
+    cfg.faults.push_back({.slot = 4, .at_time = -1, .at_send = 2});
+    cfg.net.topology = net::TopologySpec::fat_tree();
+    return cfg;
+  };
+  const core::RunConfig a = make();
+  const core::RunConfig b = make();
+  ASSERT_EQ(a, b);
+  EXPECT_EQ(sweep::serialize_config(a), sweep::serialize_config(b));
+  EXPECT_EQ(sweep::config_key(a), sweep::config_key(b));
+}
+
+TEST(ConfigKey, EveryFieldMovesTheDigest) {
+  const core::RunConfig base;  // all defaults
+  const auto base_bytes = sweep::serialize_config(base);
+  const auto base_key = sweep::config_key(base);
+
+  std::vector<std::uint64_t> keys{base_key};
+  std::vector<std::string> names{"base"};
+  for (const Mutation& m : all_field_mutations()) {
+    core::RunConfig mutated = base;
+    m.apply(mutated);
+    ASSERT_NE(mutated, base) << m.field << ": mutation was a no-op";
+    EXPECT_NE(sweep::serialize_config(mutated), base_bytes)
+        << m.field << " not covered by the canonical serialization";
+    EXPECT_NE(sweep::config_key(mutated), base_key) << m.field;
+    keys.push_back(sweep::config_key(mutated));
+    names.push_back(m.field);
+  }
+  // No accidental collisions among the whole mutant family either.
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_NE(keys[i], keys[j])
+          << names[i] << " collides with " << names[j];
+    }
+  }
+}
+
+TEST(ConfigKey, VersionByteLeadsTheSerialization) {
+  // Format changes must invalidate old stores: the version byte is folded
+  // into every digest via byte 0 of the canonical serialization.
+  const auto bytes = sweep::serialize_config(core::RunConfig{});
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(std::to_integer<std::uint8_t>(bytes[0]), sweep::kConfigKeyVersion);
+}
+
+// ------------------------------------------------------------ result_codec
+
+/// A RunResult with every field (and nested struct) away from its default.
+core::RunResult fully_populated_result() {
+  core::RunResult r;
+  r.deadlock = true;
+  r.time_limit_hit = true;
+  r.rank_lost = true;
+  r.errors = {"first error", "second\nerror"};
+  r.makespan = 123456789;
+  for (int s = 0; s < 3; ++s) {
+    core::SlotResult slot;
+    slot.slot = s;
+    slot.rank = s % 2;
+    slot.world = s / 2;
+    slot.final_state = s == 2 ? "Crashed" : "Finished";
+    slot.finish_time = 1000 + s;
+    slot.checksum = 0xdeadbeefULL + static_cast<std::uint64_t>(s);
+    slot.reported_checksum = s != 2;
+    slot.values["mbps"] = 1234.5 + s;
+    slot.values["iters"] = 17;
+    r.slots.push_back(slot);
+  }
+  r.app_sends = 11;
+  r.data_frames = 22;
+  r.ctl_frames = 33;
+  r.unexpected = 44;
+  r.duplicates_dropped = 55;
+  r.events_executed = 66;
+  r.context_switches = 77;
+  r.bytes_copied = 88;
+  r.bytes_hashed = 99;
+  r.protocol = {.acks_sent = 1,
+                .acks_received = 2,
+                .stale_acks = 3,
+                .resends = 4,
+                .decisions_sent = 5,
+                .decisions_used = 6,
+                .hashes_sent = 7,
+                .hashes_compared = 8,
+                .sdc_detected = 9,
+                .failures_observed = 10,
+                .recoveries = 11,
+                .extra_copies = 12};
+  r.fabric = {.frames_sent = 13,
+              .payload_bytes = 14,
+              .frames_dropped_dead_dst = 15,
+              .intra_node_frames = 16,
+              .intra_switch_frames = 17,
+              .inter_switch_frames = 18,
+              .link_stalls = 19,
+              .link_stall_ns = 20,
+              .link_busy_ns = 21};
+  return r;
+}
+
+TEST(ResultCodec, RoundTripsEveryField) {
+  const core::RunResult r = fully_populated_result();
+  const auto bytes = sweep::encode_result(r);
+  const core::RunResult back = sweep::decode_result(bytes);
+  EXPECT_EQ(back, r);  // field-wise via RunResult::operator==
+
+  // Defaults round-trip too (empty vectors, zero counters).
+  const core::RunResult empty;
+  EXPECT_EQ(sweep::decode_result(sweep::encode_result(empty)), empty);
+}
+
+TEST(ResultCodec, RoundTripsRealRunOutput) {
+  auto res = core::run(test::quick_config(3, 2, core::ProtocolKind::Sdr),
+                       test::small_workload("cg"));
+  ASSERT_TRUE(test::run_clean(res));
+  EXPECT_EQ(sweep::decode_result(sweep::encode_result(res)), res);
+}
+
+TEST(ResultCodec, RejectsTruncationAndVersionMismatch) {
+  auto bytes = sweep::encode_result(fully_populated_result());
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, bytes.size() - 1}) {
+    const std::vector<std::byte> truncated(bytes.begin(),
+                                           bytes.begin() +
+                                               static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW({ auto r = sweep::decode_result(truncated); },
+                 sweep::CodecError)
+        << "cut at " << cut;
+  }
+  bytes[0] ^= std::byte{0xff};  // corrupt the version tag
+  EXPECT_THROW({ auto r = sweep::decode_result(bytes); }, sweep::CodecError);
+}
+
+// ------------------------------------------------------------- ResultStore
+
+class StoreFile {
+ public:
+  explicit StoreFile(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() /
+               ("sdrmpi_" + name + ".store"))
+                  .string()) {
+    std::filesystem::remove(path_);
+  }
+  ~StoreFile() { std::filesystem::remove(path_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(ResultStore, PersistsAcrossReopen) {
+  StoreFile f("persist");
+  const core::RunResult r = fully_populated_result();
+  {
+    sweep::ResultStore store(f.path());
+    EXPECT_TRUE(store.persistent());
+    EXPECT_EQ(store.loaded(), 0u);
+    store.put(1, r);
+    store.put(2, core::RunResult{});
+    store.put(1, core::RunResult{});  // duplicate digest: ignored
+    EXPECT_EQ(store.size(), 2u);
+  }
+  sweep::ResultStore store(f.path());
+  EXPECT_EQ(store.loaded(), 2u);
+  ASSERT_TRUE(store.contains(1));
+  ASSERT_TRUE(store.contains(2));
+  EXPECT_EQ(*store.lookup(1), r);  // first put won
+  EXPECT_EQ(*store.lookup(2), core::RunResult{});
+  EXPECT_FALSE(store.lookup(3).has_value());
+}
+
+TEST(ResultStore, RepairsTornTailRecord) {
+  StoreFile f("torn");
+  {
+    sweep::ResultStore store(f.path());
+    for (std::uint64_t d = 1; d <= 3; ++d) {
+      store.put(d, fully_populated_result());
+    }
+  }
+  const auto intact_size = std::filesystem::file_size(f.path());
+  {
+    // Simulate a crash mid-append: half a record of garbage at the tail.
+    std::FILE* file = std::fopen(f.path().c_str(), "ab");
+    ASSERT_NE(file, nullptr);
+    const unsigned char garbage[13] = {0xff, 0x01, 0xfe, 0x02};
+    std::fwrite(garbage, 1, sizeof garbage, file);
+    std::fclose(file);
+  }
+  ASSERT_GT(std::filesystem::file_size(f.path()), intact_size);
+  {
+    sweep::ResultStore store(f.path());
+    EXPECT_EQ(store.loaded(), 3u);  // intact prefix survives
+    EXPECT_TRUE(store.contains(1));
+    EXPECT_TRUE(store.contains(3));
+  }
+  // The torn tail was truncated away, not just skipped.
+  EXPECT_EQ(std::filesystem::file_size(f.path()), intact_size);
+  {
+    sweep::ResultStore store(f.path());
+    store.put(4, core::RunResult{});  // appends after the repaired tail
+  }
+  sweep::ResultStore store(f.path());
+  EXPECT_EQ(store.loaded(), 4u);
+  EXPECT_EQ(*store.lookup(4), core::RunResult{});
+}
+
+TEST(ResultStore, InMemoryStoreIsNotPersistent) {
+  sweep::ResultStore store;
+  EXPECT_FALSE(store.persistent());
+  store.put(9, core::RunResult{});
+  EXPECT_TRUE(store.contains(9));
+  EXPECT_EQ(store.loaded(), 0u);
+}
+
+// ------------------------------------------------------------ SweepService
+
+/// 50 fuzzed configs (protocol x topology x tuning x faults x seed) with
+/// small deterministic apps — the shard-layout invariance workload.
+struct FuzzSweep {
+  std::vector<core::RunConfig> configs;
+  std::vector<core::AppFn> apps;
+};
+
+core::AppFn tiny_ring_app(int iters) {
+  return [iters](mpi::Env& env) {
+    auto& w = env.world();
+    const int n = w.size();
+    double acc = env.rank() + 1.0;
+    for (int it = 0; it < iters; ++it) {
+      auto sreq = w.isend(std::span<const double>(&acc, 1),
+                          (env.rank() + 1) % n, 5);
+      acc += w.recv_value<double>((env.rank() + n - 1) % n, 5);
+      w.wait(sreq);
+    }
+    util::Checksum cs;
+    cs.add_double(acc);
+    env.report_checksum(cs.digest());
+  };
+}
+
+core::AppFn tiny_funnel_app(int msgs) {
+  return [msgs](mpi::Env& env) {
+    auto& w = env.world();
+    const int n = w.size();
+    if (env.rank() == 0) {
+      double acc = 0.0;
+      for (int i = 0; i < (n - 1) * msgs; ++i) {
+        acc += w.recv_value<double>(mpi::kAnySource, 3);
+      }
+      util::Checksum cs;
+      cs.add_double(acc);
+      env.report_checksum(cs.digest());
+    } else {
+      for (int i = 0; i < msgs; ++i) {
+        w.send_value(env.rank() * 0.75 + i, 0, 3);
+      }
+      env.report_checksum(0x5eedULL);
+    }
+  };
+}
+
+FuzzSweep draw_sweep(int count) {
+  util::Rng rng(0xca5cadeULL);
+  const core::ProtocolKind kinds[] = {
+      core::ProtocolKind::Native, core::ProtocolKind::Sdr,
+      core::ProtocolKind::Mirror, core::ProtocolKind::Leader,
+      core::ProtocolKind::RedMpiSd};
+  FuzzSweep s;
+  for (int i = 0; i < count; ++i) {
+    core::RunConfig cfg;
+    const auto proto = kinds[rng.below(5)];
+    cfg.protocol = proto;
+    cfg.replication = proto == core::ProtocolKind::Native ? 1 : 2;
+    cfg.nranks = static_cast<int>(2 + rng.below(3));
+    if (rng.below(3) == 0) {
+      cfg.net.topology = net::TopologySpec::fat_tree(
+          static_cast<int>(1 + rng.below(3)), 2, 2.0);
+    }
+    if (rng.below(4) == 0) {
+      cfg.coll.allreduce_long_bytes = 1u << (4 + rng.below(8));
+    }
+    cfg.seed = rng();
+    cfg.time_limit = timeunits::seconds(30.0);
+    if (proto == core::ProtocolKind::Sdr && rng.below(4) == 0) {
+      cfg.faults.push_back(
+          {.slot = cfg.nranks + static_cast<int>(rng.below(cfg.nranks)),
+           .at_time = -1,
+           .at_send = static_cast<std::int64_t>(1 + rng.below(4))});
+    }
+    s.configs.push_back(cfg);
+    s.apps.push_back(rng.below(2) == 0
+                         ? tiny_ring_app(static_cast<int>(2 + rng.below(4)))
+                         : tiny_funnel_app(static_cast<int>(2 + rng.below(4))));
+  }
+  return s;
+}
+
+TEST(SweepService, ShardLayoutNeverChangesResults) {
+  const FuzzSweep s = draw_sweep(50);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  const auto baseline = core::run_many(s.configs, factory, {.threads = 4});
+
+  const sweep::ServiceOptions layouts[] = {
+      {.workers = 1, .chunks = 1},                          // single chunk
+      {.workers = 4, .chunks = 7},                          // odd sharding
+      {.workers = 3, .chunks = 0, .process_workers = true}, // forked workers
+  };
+  for (const auto& layout : layouts) {
+    sweep::SweepService service(layout);
+    const auto runs = service.run(s.configs, factory);
+    ASSERT_EQ(runs.size(), baseline.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      EXPECT_EQ(runs[i], baseline[i])
+          << "config " << i << " diverged (workers=" << layout.workers
+          << " chunks=" << layout.chunks
+          << " forked=" << layout.process_workers << ")";
+    }
+    EXPECT_LE(service.stats().max_dispatches_per_digest, 1u);
+  }
+}
+
+TEST(SweepService, DedupeDispatchesEachDigestOnce) {
+  FuzzSweep s = draw_sweep(10);
+  // Duplicate the whole sweep three times over: 40 points, 10 digests.
+  const std::size_t unique = s.configs.size();
+  for (int copy = 0; copy < 3; ++copy) {
+    for (std::size_t i = 0; i < unique; ++i) {
+      s.configs.push_back(s.configs[i]);
+      s.apps.push_back(s.apps[i]);
+    }
+  }
+  std::vector<std::size_t> factory_calls;
+  auto factory = [&s, &factory_calls](const core::RunConfig&, std::size_t i) {
+    factory_calls.push_back(i);
+    return s.apps[i];
+  };
+  sweep::SweepService service({.workers = 4});
+  const auto runs = service.run(s.configs, factory);
+
+  const auto& st = service.stats();
+  EXPECT_EQ(st.points, 4 * unique);
+  EXPECT_EQ(st.unique_points, unique);
+  EXPECT_EQ(st.duplicates, 3 * unique);
+  EXPECT_EQ(st.dispatched, unique);
+  EXPECT_EQ(st.max_dispatches_per_digest, 1u);
+  // Apps were built only for the first occurrences, in ascending order.
+  ASSERT_EQ(factory_calls.size(), unique);
+  for (std::size_t i = 0; i < unique; ++i) EXPECT_EQ(factory_calls[i], i);
+  // Duplicates share the first occurrence's result bit-for-bit.
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i], runs[i % unique]) << "duplicate " << i;
+  }
+}
+
+TEST(SweepService, ResumeCompletesOnlyMissingDigests) {
+  StoreFile f("resume");
+  const FuzzSweep s = draw_sweep(50);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+
+  // A "killed" sweep that only got through the first 20 points.
+  std::vector<core::RunConfig> prefix(s.configs.begin(),
+                                      s.configs.begin() + 20);
+  std::size_t prefix_unique = 0;
+  {
+    sweep::SweepService service({.workers = 2, .cache_path = f.path()});
+    auto partial = service.run(prefix, factory);
+    prefix_unique = service.stats().unique_points;
+    EXPECT_EQ(service.store().size(), prefix_unique);
+  }
+
+  // The resumed sweep simulates exactly the digests the store is missing.
+  sweep::SweepService service({.workers = 2, .cache_path = f.path()});
+  EXPECT_EQ(service.store().loaded(), prefix_unique);
+  const auto runs = service.run(s.configs, factory);
+  const auto& st = service.stats();
+  EXPECT_EQ(st.cache_hits, prefix_unique);
+  EXPECT_EQ(st.dispatched, st.unique_points - prefix_unique);
+  ASSERT_GT(st.dispatched, 0u);  // the resume actually had work to do
+
+  // And the cached-plus-fresh mix equals a from-scratch baseline.
+  const auto baseline = core::run_many(s.configs, factory, {.threads = 4});
+  ASSERT_EQ(runs.size(), baseline.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i], baseline[i]) << "config " << i;
+  }
+}
+
+TEST(SweepService, CachedRerunStreamsEveryPointAsCached) {
+  StoreFile f("warm");
+  const FuzzSweep s = draw_sweep(12);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  {
+    sweep::SweepService cold({.workers = 2, .cache_path = f.path()});
+    auto first = cold.run(s.configs, factory);
+  }
+  sweep::SweepService warm({.workers = 2, .cache_path = f.path()});
+  std::size_t streamed = 0, streamed_cached = 0;
+  auto runs = warm.run(s.configs, factory,
+                       [&](const sweep::PointOutcome& out) {
+                         ++streamed;
+                         if (out.cached) ++streamed_cached;
+                         EXPECT_NE(out.result, nullptr);
+                       });
+  EXPECT_EQ(warm.stats().dispatched, 0u);
+  EXPECT_EQ(warm.stats().cache_hits, warm.stats().unique_points);
+  EXPECT_EQ(streamed, warm.stats().unique_points);
+  EXPECT_EQ(streamed_cached, streamed);
+}
+
+TEST(SweepService, ErrorNamesTheFailingInputIndex) {
+  FuzzSweep s = draw_sweep(6);
+  s.configs[4].nranks = 0;  // invalid: run() rejects it
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  for (const bool forked : {false, true}) {
+    sweep::SweepService service(
+        {.workers = 2, .process_workers = forked});
+    try {
+      auto runs = service.run(s.configs, factory);
+      FAIL() << "expected std::invalid_argument (forked=" << forked << ")";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("config[4]: ", 0), 0u)
+          << "message was: " << e.what() << " (forked=" << forked << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdrmpi

@@ -282,6 +282,33 @@ TEST(Options, DoubleParsing) {
   EXPECT_DOUBLE_EQ(o.get_double("scale", 0.0), 2.5);
 }
 
+TEST(Options, ExpectAcceptsKnownFlags) {
+  const char* argv[] = {"prog", "--ranks=4", "--json", "positional"};
+  Options o(4, argv);
+  EXPECT_NO_THROW(o.expect({"ranks", "json", "pool"}));
+}
+
+TEST(Options, ExpectRejectsUnknownFlagWithAcceptedList) {
+  const char* argv[] = {"prog", "--pol=8"};  // typo'd --pool
+  Options o(2, argv);
+  try {
+    o.expect({"pool", "json"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--pol"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--pool"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--json"), std::string::npos) << msg;
+  }
+}
+
+TEST(Options, ExpectWithEmptyAcceptedRejectsAnyFlag) {
+  const char* argv[] = {"prog", "--anything"};
+  Options o(2, argv);
+  EXPECT_THROW(o.expect({}), std::invalid_argument);
+  EXPECT_NO_THROW(Options(1, argv).expect({}));
+}
+
 // ---------------------------------------------------------------- table
 
 TEST(Table, RendersAligned) {
