@@ -92,15 +92,24 @@ std::vector<RunConfig> Sweep::expand() const {
   const std::vector<mpi::CollTuning> tunings =
       coll_tunings.empty() ? std::vector<mpi::CollTuning>{base.coll}
                            : coll_tunings;
+  const std::vector<Time> base_interval{base.ckpt.interval};
+  const std::vector<Time>& ckpt_ivs =
+      ckpt_intervals.empty() ? base_interval : ckpt_intervals;
 
   std::vector<RunConfig> out;
   out.reserve(protos.size() * reps.size() * faults.size() * topos.size() *
               tunings.size());
   for (ProtocolKind p : protos) {
     bool emitted_r1 = false;
+    // The interval axis only moves Ckpt runs; for every other protocol it
+    // would emit identical points.
+    const std::vector<Time>& intervals =
+        p == ProtocolKind::Ckpt ? ckpt_ivs : base_interval;
     for (int r : reps) {
       if (r < 1) continue;
-      if (p == ProtocolKind::Native) r = 1;  // native is unreplicated
+      if (p == ProtocolKind::Native || p == ProtocolKind::Ckpt) {
+        r = 1;  // unreplicated baselines
+      }
       if (r == 1) {
         if (emitted_r1) continue;
         emitted_r1 = true;
@@ -108,16 +117,19 @@ std::vector<RunConfig> Sweep::expand() const {
       for (const auto& f : faults) {
         for (const auto& t : topos) {
           for (const auto& ct : tunings) {
-            RunConfig cfg = base;
-            cfg.protocol = p;
-            cfg.replication = r;
-            cfg.faults = f;
-            cfg.net.topology = t;
-            cfg.coll = ct;
-            if (unique_seeds) {
-              cfg.seed = util::hash_combine(base.seed, out.size());
+            for (Time iv : intervals) {
+              RunConfig cfg = base;
+              cfg.protocol = p;
+              cfg.replication = r;
+              cfg.faults = f;
+              cfg.net.topology = t;
+              cfg.coll = ct;
+              cfg.ckpt.interval = iv;
+              if (unique_seeds) {
+                cfg.seed = util::hash_combine(base.seed, out.size());
+              }
+              out.push_back(std::move(cfg));
             }
-            out.push_back(std::move(cfg));
           }
         }
       }

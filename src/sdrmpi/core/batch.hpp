@@ -46,11 +46,13 @@ using AppFactory = std::function<AppFn(const RunConfig& cfg, std::size_t index)>
 
 /// A sweep over a base config. Empty axis = keep the base's value. expand()
 /// emits the full cross product in axis-major order (protocol, replication,
-/// fault set, topology, collective tuning). Native collapses to
-/// replication 1 and is emitted for at most one replication value (it is
-/// the unreplicated baseline); with unique_seeds each point's seed is
-/// derived deterministically from (base seed, point index) so workload RNG
-/// streams never collide.
+/// fault set, topology, collective tuning, checkpoint interval). Native and
+/// Ckpt collapse to replication 1 and are emitted for at most one
+/// replication value (both are unreplicated baselines); the
+/// checkpoint-interval axis applies only to Ckpt points (other protocols
+/// keep the base's interval and emit one point). With unique_seeds each
+/// point's seed is derived deterministically from (base seed, point index)
+/// so workload RNG streams never collide.
 struct Sweep {
   RunConfig base;
   std::vector<ProtocolKind> protocols;
@@ -58,6 +60,7 @@ struct Sweep {
   std::vector<std::vector<FaultSpec>> fault_sets;
   std::vector<net::TopologySpec> topologies;    ///< fabric backend axis
   std::vector<mpi::CollTuning> coll_tunings;    ///< collective algorithm axis
+  std::vector<Time> ckpt_intervals;             ///< ckpt-interval axis (Ckpt)
   bool unique_seeds = false;
 
   [[nodiscard]] std::vector<RunConfig> expand() const;

@@ -1,15 +1,21 @@
 #include "sdrmpi/core/failure.hpp"
 
+#include "sdrmpi/core/ckpt.hpp"
 #include "sdrmpi/mpi/wire.hpp"
 #include "sdrmpi/util/log.hpp"
 
 namespace sdrmpi::core {
 
 void FailureDetector::arm_time_faults() {
-  for (const FaultSpec& f : job_->config.faults) {
+  for (std::size_t fi = 0; fi < job_->config.faults.size(); ++fi) {
+    const FaultSpec& f = job_->config.faults[fi];
     if (f.at_time < 0) continue;
     const int slot = f.slot;
-    job_->engine->schedule(f.at_time, [this, slot] {
+    // Control lane = fault index: arming these late (a warm-prefix fork
+    // injecting its fault scenario mid-run) lands each fault in the same
+    // (t, seq) tie-break slot launch-time arming uses, so the total order
+    // is identical either way.
+    job_->engine->schedule_ctl(f.at_time, fi, [this, slot] {
       do_crash(slot, job_->engine->now());
     });
   }
@@ -20,6 +26,12 @@ void FailureDetector::crash_now(int slot) {
 }
 
 void FailureDetector::do_crash(int slot, Time when) {
+  if (job_->ckpt != nullptr) {
+    // Checkpoint/restart runs absorb the fault: no process dies; the
+    // controller charges restart + rework at detection time instead.
+    job_->ckpt->on_failure(slot, when);
+    return;
+  }
   if (!job_->fabric->alive(slot)) return;  // already dead
   SDR_LOG(Info, "fault") << "slot " << slot << " fail-stops at t=" << when;
   job_->fabric->set_alive(slot, false);

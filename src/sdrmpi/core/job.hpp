@@ -17,6 +17,8 @@
 
 namespace sdrmpi::core {
 
+class CkptController;
+
 struct JobContext {
   sim::Engine* engine = nullptr;
   net::Fabric* fabric = nullptr;
@@ -30,6 +32,10 @@ struct JobContext {
   std::vector<SlotResult> results;
   std::vector<std::vector<std::byte>> snapshots;  // latest offered app state
   std::vector<std::optional<std::vector<std::byte>>> restart_state;
+
+  /// Non-owning; set by World when protocol == Ckpt (core/ckpt.hpp). The
+  /// failure detector routes fail-stop faults here instead of crashing.
+  CkptController* ckpt = nullptr;
 
   ProtocolStats pstats;  // single-threaded: only the running entity mutates
   bool rank_lost = false;

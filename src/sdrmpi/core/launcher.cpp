@@ -27,6 +27,11 @@ std::unique_ptr<mpi::Vprotocol> make_protocol(JobContext& job, int slot) {
       return std::make_unique<RedMpiProtocol>(job, slot, /*use_leader=*/true);
     case ProtocolKind::RedMpiSd:
       return std::make_unique<RedMpiProtocol>(job, slot, /*use_leader=*/false);
+    case ProtocolKind::Ckpt:
+      // Checkpoint/restart is a cost model layered on the unreplicated
+      // baseline: the wire behaviour is native; the CkptController charges
+      // boundary and restart costs from engine events.
+      return std::make_unique<NativeProtocol>(job, slot);
   }
   throw std::invalid_argument("unknown protocol kind");
 }

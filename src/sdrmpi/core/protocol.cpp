@@ -13,6 +13,7 @@ const char* to_string(ProtocolKind k) noexcept {
     case ProtocolKind::Leader: return "leader";
     case ProtocolKind::RedMpiLeader: return "redmpi-leader";
     case ProtocolKind::RedMpiSd: return "redmpi-sd";
+    case ProtocolKind::Ckpt: return "ckpt";
   }
   return "?";
 }
@@ -57,6 +58,16 @@ net::Payload ReplicatedProtocol::begin_app_send(const net::Payload& payload) {
     }
   }
   return payload;
+}
+
+std::shared_ptr<const void> ReplicatedProtocol::snapshot_state() const {
+  return std::make_shared<BaseState>(base_state());
+}
+
+void ReplicatedProtocol::restore_state(
+    const std::shared_ptr<const void>& state) {
+  if (state == nullptr) return;
+  restore_base_state(*static_cast<const BaseState*>(state.get()));
 }
 
 void ReplicatedProtocol::on_ctl(mpi::Endpoint& ep, const mpi::FrameHeader& h,

@@ -22,6 +22,9 @@ enum class ProtocolKind : int {
   RedMpiLeader, ///< redMPI SDC detection, leader-based wildcards
   RedMpiSd,     ///< redMPI SDC detection using send-determinism (paper §2.4:
                 ///< "the solutions we propose could also be used by redMPI")
+  Ckpt,         ///< coordinated checkpoint/restart — the paper's rival
+                ///< (replication==1; periodic global snapshots, failures
+                ///< charge restart + rework instead of killing the rank)
 };
 
 [[nodiscard]] const char* to_string(ProtocolKind k) noexcept;
@@ -45,6 +48,28 @@ struct SdcSpec {
   [[nodiscard]] bool operator==(const SdcSpec&) const = default;
 };
 
+/// Coordinated checkpoint/restart parameters (ProtocolKind::Ckpt).
+///
+/// Cost model ("charge-forward"): every `interval` of virtual time, all
+/// live processes are charged `checkpoint_cost`; a fail-stop fault at Tf
+/// charges every process `restart_cost + (Tf - last_checkpoint)` at
+/// detection time — restart plus lost rework — and execution continues
+/// without killing anyone. Exact for send-deterministic applications: the
+/// paper's own premise is that re-execution from a checkpoint replays the
+/// identical sends, so the rolled-back interval costs exactly the virtual
+/// time it originally took.
+struct CkptConfig {
+  Time interval = 0;  ///< 0 disables the boundary chain (still a valid run)
+  Time checkpoint_cost = timeunits::milliseconds(250.0);
+  Time restart_cost = timeunits::seconds(2.0);
+  /// Verify-mode: at every boundary, additionally snapshot and immediately
+  /// restore the full engine + endpoint state (Engine::snapshot) — must be
+  /// a bit-exact no-op, pinned by the fuzz tier. Costs host time only.
+  bool verify_snapshots = false;
+
+  [[nodiscard]] bool operator==(const CkptConfig&) const = default;
+};
+
 struct RunConfig {
   int nranks = 2;        ///< logical MPI ranks the application sees
   int replication = 1;   ///< replicas per rank (paper evaluates r=2)
@@ -54,6 +79,9 @@ struct RunConfig {
   /// choice moves virtual time, so it is run configuration — a Sweep axis
   /// with golden-trace variants — not an implementation detail.
   mpi::CollTuning coll;
+
+  /// Checkpoint/restart knobs; consulted only when protocol == Ckpt.
+  CkptConfig ckpt;
 
   std::vector<FaultSpec> faults;
   std::vector<SdcSpec> sdc;
@@ -92,6 +120,10 @@ struct ProtocolStats {
   std::uint64_t failures_observed = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t extra_copies = 0;     // eager_copy_completion ablation
+  // Checkpoint/restart protocol (ProtocolKind::Ckpt).
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t restarts = 0;         // fail-stop faults absorbed by restart
+  std::uint64_t rework_ns = 0;        // virtual ns re-executed after restarts
 
   [[nodiscard]] bool operator==(const ProtocolStats&) const = default;
 };

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "sdrmpi/core/ckpt.hpp"
 #include "sdrmpi/core/protocol.hpp"
 #include "sdrmpi/core/recovery.hpp"
 #include "sdrmpi/util/hash.hpp"
@@ -22,6 +23,19 @@ void validate(const RunConfig& cfg) {
   }
   if (cfg.protocol == ProtocolKind::Native && cfg.replication != 1) {
     throw std::invalid_argument("native protocol requires replication == 1");
+  }
+  if (cfg.protocol == ProtocolKind::Ckpt) {
+    if (cfg.replication != 1) {
+      throw std::invalid_argument("ckpt protocol requires replication == 1");
+    }
+    for (const FaultSpec& f : cfg.faults) {
+      if (f.at_time < 0) {
+        // No process actually dies under the charge-forward model, so a
+        // send-count placement has nothing to attach to.
+        throw std::invalid_argument(
+            "ckpt protocol supports at_time faults only");
+      }
+    }
   }
 }
 
@@ -185,9 +199,20 @@ sim::RunOutcome World::drive() {
       job_.endpoint(s).bind_process(pid);
       job_.pids[static_cast<std::size_t>(s)] = pid;
     }
+    if (job_.config.protocol == ProtocolKind::Ckpt) {
+      ckpt_ = std::make_unique<CkptController>(job_);
+      job_.ckpt = ckpt_.get();
+      ckpt_->arm();
+    }
     detector_.arm_time_faults();
   }
   return engine_.run();
+}
+
+void World::arm_faults(std::vector<FaultSpec> faults) {
+  job_.config.faults = std::move(faults);
+  job_.fault_fired.assign(job_.config.faults.size(), false);
+  detector_.arm_time_faults();
 }
 
 RunResult World::collect(const sim::RunOutcome& outcome) {

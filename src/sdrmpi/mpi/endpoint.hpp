@@ -60,6 +60,45 @@ struct CommInfo {
 };
 
 class Endpoint {
+ private:
+  struct StoredFrame {
+    FrameHeader h;
+    net::Payload bulk;  ///< aliases the delivered buffer (no copy)
+    Time arrival = 0;
+  };
+  /// Per-context hot state: channel counters (flat, indexed by peer rank),
+  /// matching queues, and the owning communicator. Contexts are dense small
+  /// integers, so the whole table is a deque indexed by ctx (deque: grows
+  /// without invalidating references held across protocol callbacks).
+  struct CtxState {
+    std::vector<std::uint64_t> send_seq;  ///< next seq per dst_rank
+    std::vector<std::uint64_t> recv_seq;  ///< next expected per src_rank
+    // Posted/unexpected queues are vectors (ordered erase preserves MPI
+    // matching order); they are short, and their capacity recycles where
+    // the former std::list allocated a node per operation.
+    std::vector<Request> posted;
+    std::vector<StoredFrame> unexpected;
+    std::map<int, std::map<std::uint64_t, StoredFrame>> parked;  // reorder
+    int comm_handle = -1;  ///< registered communicator, -1 if none yet
+  };
+  /// Pending rendezvous transfers live in flat vectors looked up by their
+  /// unique id/key (a handful live at a time; the former std::map paid a
+  /// node allocation per large message).
+  struct RdvSend {
+    std::uint64_t id = 0;
+    net::Payload payload;  ///< shared with sibling copies / ack store
+    int dst_slot = -1;
+    Request req;
+    FrameHeader header;
+  };
+  struct RdvRecv {
+    int src_slot = -1;
+    std::uint64_t rdv_id = 0;
+    Request req;
+    FrameHeader header;  // original Rts header
+    bool discard = false;
+  };
+
  public:
   Endpoint(net::Fabric& fabric, int slot, int world, int nworlds);
   ~Endpoint();
@@ -223,48 +262,31 @@ class Endpoint {
   /// a recovery snapshot now would lose its payload for the new replica.
   [[nodiscard]] bool has_pending_rdv_recvs() const;
 
+  // ---- coordinated checkpoint snapshot (core/ckpt.hpp) ----
+
+  /// Full copy of the endpoint's message-layer state: channel counters and
+  /// matching queues (posted / unexpected / parked, per context), pending
+  /// rendezvous transfers, the undelivered inbox, traffic stats, and the
+  /// protocol's opaque state (Vprotocol::snapshot_state). Requests and
+  /// payloads are captured as refcounted handles, not deep copies, so —
+  /// like Engine::Snapshot — a Snapshot is valid for restore() only on an
+  /// unchanged image: an immediate round-trip or a forked child.
+  struct Snapshot {
+    std::deque<net::Delivery> inbox;
+    std::deque<CtxState> ctx;
+    std::vector<RdvSend> rdv_sends;
+    std::vector<RdvRecv> rdv_recvs;
+    std::uint64_t next_rdv_id = 1;
+    EndpointStats stats;
+    std::shared_ptr<const void> protocol_state;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
   /// Human-readable matching/rendezvous state for deadlock reports.
   [[nodiscard]] std::string debug_state() const;
 
  private:
-  struct StoredFrame {
-    FrameHeader h;
-    net::Payload bulk;  ///< aliases the delivered buffer (no copy)
-    Time arrival = 0;
-  };
-  /// Per-context hot state: channel counters (flat, indexed by peer rank),
-  /// matching queues, and the owning communicator. Contexts are dense small
-  /// integers, so the whole table is a deque indexed by ctx (deque: grows
-  /// without invalidating references held across protocol callbacks).
-  struct CtxState {
-    std::vector<std::uint64_t> send_seq;  ///< next seq per dst_rank
-    std::vector<std::uint64_t> recv_seq;  ///< next expected per src_rank
-    // Posted/unexpected queues are vectors (ordered erase preserves MPI
-    // matching order); they are short, and their capacity recycles where
-    // the former std::list allocated a node per operation.
-    std::vector<Request> posted;
-    std::vector<StoredFrame> unexpected;
-    std::map<int, std::map<std::uint64_t, StoredFrame>> parked;  // reorder
-    int comm_handle = -1;  ///< registered communicator, -1 if none yet
-  };
-  /// Pending rendezvous transfers live in flat vectors looked up by their
-  /// unique id/key (a handful live at a time; the former std::map paid a
-  /// node allocation per large message).
-  struct RdvSend {
-    std::uint64_t id = 0;
-    net::Payload payload;  ///< shared with sibling copies / ack store
-    int dst_slot = -1;
-    Request req;
-    FrameHeader header;
-  };
-  struct RdvRecv {
-    int src_slot = -1;
-    std::uint64_t rdv_id = 0;
-    Request req;
-    FrameHeader header;  // original Rts header
-    bool discard = false;
-  };
-
   Request irecv_common(CommCtx ctx, int src_rank, int tag,
                        std::span<std::byte> buf, bool sink, std::size_t cap);
   void on_delivery(net::Delivery&& d);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "sdrmpi/sim/asan_fiber.hpp"
@@ -59,6 +60,24 @@ void Engine::schedule(Time t, InlineFn action) {
   events_.push(std::max(t, now()), event_seq_++, std::move(action));
 }
 
+void Engine::schedule_ctl(Time t, std::uint64_t lane, InlineFn action) {
+  assert(lane < kCtlLanes);
+  events_.push(std::max(t, now()), lane, std::move(action));
+}
+
+void Engine::charge_all(Time dt) {
+  assert(dt >= 0);
+  for (auto& p : procs_) {
+    if (!p->terminated()) p->clock_ += dt;
+  }
+}
+
+Time Engine::executed_frontier() const noexcept {
+  Time t = event_now_;
+  for (const auto& p : procs_) t = std::max(t, p->clock());
+  return t;
+}
+
 RunOutcome Engine::run() {
   RunOutcome out;
   for (;;) {
@@ -73,6 +92,13 @@ RunOutcome Engine::run() {
     const Time next_t = run_event ? et : pt;
     if (time_limit_ > 0 && next_t > time_limit_) {
       out.time_limit_hit = true;
+      break;
+    }
+    // Pause is checked only here, between dispatches — never inside the
+    // inline drains — so pausing cannot perturb the total order (see
+    // set_pause_time). Calling run() again resumes exactly here.
+    if (pause_at_ > 0 && next_t > pause_at_) {
+      out.paused = true;
       break;
     }
 
@@ -98,7 +124,7 @@ RunOutcome Engine::run() {
     }
     if (p->state() == ProcState::Failed) out.failed_pids.push_back(p->pid());
   }
-  out.deadlock = any_blocked && !out.time_limit_hit;
+  out.deadlock = any_blocked && !out.time_limit_hit && !out.paused;
   out.end_time = end;
   out.events_executed = events_executed_;
   out.context_switches = context_switches_;
@@ -253,9 +279,13 @@ void Engine::run_event_inline(Process& self) {
   struct ContextGuard {
     Engine* eng;
     Process* proc;
-    ~ContextGuard() { eng->running_ = proc; }
+    ~ContextGuard() {
+      eng->running_ = proc;
+      eng->inline_host_ = nullptr;
+    }
   } guard{this, &self};
   running_ = nullptr;
+  inline_host_ = &self;
   fn();
 }
 
@@ -328,6 +358,72 @@ Process& Engine::process(int pid) {
 
 bool Engine::crashed(int pid) const {
   return process(pid).state() == ProcState::Crashed;
+}
+
+Engine::Snapshot Engine::snapshot() const {
+  Snapshot snap;
+  snap.procs.reserve(procs_.size());
+  for (const auto& p : procs_) {
+    Snapshot::Proc sp;
+    sp.clock = p->clock_;
+    sp.state = p->state_;
+    sp.crash_req = p->crash_req_;
+    sp.block_reason = p->block_reason_;
+    if (p->state_ == ProcState::Running || p.get() == inline_host_) {
+      // This fiber's stack is executing right now — either as the Running
+      // process or as the host of an inline event drain (where the proc is
+      // marked Runnable/Blocked but its stack carries these very frames).
+      // A byte copy would capture half-written frames, and restoring one
+      // would overwrite the live call chain. Clock-only — see Snapshot docs.
+      sp.live = true;
+    } else if (!p->terminated() && p->stack_.valid()) {
+      sp.ctx = p->ctx_;
+#if !defined(SDRMPI_ASAN_FIBERS)
+      // Full stack byte copy. Skipped under ASan: fake-stack frames make
+      // the raw bytes non-authoritative, and the immediate-round-trip
+      // contract means the live stack is still byte-identical at restore.
+      sp.stack.assign(p->stack_.sp(), p->stack_.sp() + p->stack_.size());
+#endif
+    }
+    snap.procs.push_back(std::move(sp));
+  }
+  snap.events = events_.structure();
+  snap.event_seq = event_seq_;
+  snap.events_executed = events_executed_;
+  snap.context_switches = context_switches_;
+  snap.event_now = event_now_;
+  return snap;
+}
+
+void Engine::restore(const Snapshot& snap) {
+  if (snap.procs.size() != procs_.size()) {
+    throw std::logic_error(
+        "Engine::restore: process set changed since snapshot");
+  }
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    Process& p = *procs_[i];
+    const Snapshot::Proc& sp = snap.procs[i];
+    p.clock_ = sp.clock;
+    if (sp.live) continue;  // the actively-executing fiber: clock only
+    p.state_ = sp.state;
+    p.crash_req_ = sp.crash_req;
+    p.block_reason_ = sp.block_reason;
+    if (sp.state != ProcState::Finished && sp.state != ProcState::Crashed &&
+        sp.state != ProcState::Failed) {
+      assert(p.stack_.valid() &&
+             "Engine::restore: fiber stack released since snapshot");
+      p.ctx_ = sp.ctx;
+      if (!sp.stack.empty()) {
+        assert(sp.stack.size() == p.stack_.size());
+        std::memcpy(p.stack_.sp(), sp.stack.data(), sp.stack.size());
+      }
+    }
+  }
+  events_.restore_structure(snap.events);
+  event_seq_ = snap.event_seq;
+  events_executed_ = snap.events_executed;
+  context_switches_ = snap.context_switches;
+  event_now_ = snap.event_now;
 }
 
 }  // namespace sdrmpi::sim

@@ -31,6 +31,7 @@ namespace sdrmpi::sim {
 struct RunOutcome {
   bool deadlock = false;          // blocked processes with empty event queue
   bool time_limit_hit = false;    // virtual-time cap exceeded
+  bool paused = false;            // stopped at set_pause_time(), resumable
   Time end_time = 0;              // max clock over all processes at the end
   std::vector<int> blocked_pids;  // populated on deadlock
   std::vector<int> failed_pids;   // processes that threw unexpectedly
@@ -60,6 +61,25 @@ class Engine {
   /// an InlineFn: captures up to 64 bytes schedule without heap traffic.
   void schedule(Time t, InlineFn action);
 
+  /// First insertion sequence handed out by schedule(). Sequences below it
+  /// form the *control lanes* used by schedule_ctl(): events whose tie-break
+  /// position is fixed by the caller instead of by arrival order, so late
+  /// arming (a forked warm-prefix child injecting fault events mid-run)
+  /// lands in exactly the slot a cold run's early arming would have used.
+  static constexpr std::uint64_t kCtlLanes = std::uint64_t{1} << 20;
+
+  /// Schedules an action on control lane `lane` (< kCtlLanes): the event
+  /// tie-breaks at timestamp t as if it had been the lane-th insertion
+  /// overall. Two events on one lane must never share a timestamp — the
+  /// (t, seq) order would be ambiguous. Control events always win ties
+  /// against normally scheduled events.
+  void schedule_ctl(Time t, std::uint64_t lane, InlineFn action);
+
+  /// Adds dt to every non-terminated process clock (engine or event
+  /// context). The coordinated-checkpoint cost model: a boundary or a
+  /// restart charges the whole job without touching any process's stack.
+  void charge_all(Time dt);
+
   /// The engine-lifetime byte-buffer recycler (frames/payloads draw their
   /// slabs here). Declared before all event/fiber state so outstanding
   /// buffers drain back before the pool dies.
@@ -67,6 +87,21 @@ class Engine {
 
   /// Caps virtual time; run() stops with time_limit_hit when exceeded.
   void set_time_limit(Time t) noexcept { time_limit_ = t; }
+
+  /// Makes run() stop (outcome.paused, resumable by calling run() again)
+  /// before dispatching any item with timestamp > t. Checked ONLY between
+  /// scheduler dispatches — never inside the inline event drains of
+  /// maybe_yield()/block() — so a paused run's state is bit-identical to a
+  /// cold run's state at the same dispatch point and resuming continues
+  /// the exact same total order. 0 disables (clear_pause()).
+  void set_pause_time(Time t) noexcept { pause_at_ = t; }
+  void clear_pause() noexcept { pause_at_ = 0; }
+
+  /// Largest virtual time any work has reached: executed events and all
+  /// process clocks. After a paused run() this is the earliest time at
+  /// which new events (e.g. fault injections armed post-fork) may be
+  /// scheduled without rewriting history.
+  [[nodiscard]] Time executed_frontier() const noexcept;
 
   /// Drives the simulation until all processes terminate, deadlock, or the
   /// time limit. The whole simulation executes on the calling host thread
@@ -122,6 +157,41 @@ class Engine {
   /// True when the process terminated by injected crash.
   [[nodiscard]] bool crashed(int pid) const;
 
+  // ---- engine-state snapshot / restore ----
+
+  /// Complete copy of the engine's execution state: per-process clocks,
+  /// scheduler states, fiber contexts and stack bytes, the event queue's
+  /// ordering structure, and the virtual-time/sequence counters.
+  ///
+  /// Contract: a Snapshot is valid for restore() only while the process
+  /// set and the event-callback slab are unchanged — an immediate
+  /// round-trip (the ckpt protocol's verify mode) or a forked child image.
+  /// A process whose stack is executing at capture — Running, or the host
+  /// fiber of an inline event draining in maybe_yield()/block() — is
+  /// captured clock-only ("live"): its stack cannot be byte-copied
+  /// consistently, and by the same token needs no copy — it IS the
+  /// execution.
+  struct Snapshot {
+    struct Proc {
+      Time clock = 0;
+      ProcState state = ProcState::Created;
+      bool crash_req = false;
+      bool live = false;  ///< Running at capture: clock-only
+      std::string block_reason;
+      ucontext_t ctx{};
+      std::vector<std::byte> stack;  ///< usable stack bytes (empty if none)
+    };
+    std::vector<Proc> procs;
+    EventQueue::Structure events;
+    std::uint64_t event_seq = 0;
+    std::uint64_t events_executed = 0;
+    std::uint64_t context_switches = 0;
+    Time event_now = 0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
  private:
   friend class Process;
 
@@ -149,13 +219,19 @@ class Engine {
 
   std::vector<std::unique_ptr<Process>> procs_;
   EventQueue events_;
-  std::uint64_t event_seq_ = 0;
+  std::uint64_t event_seq_ = kCtlLanes;  // below: control lanes
   std::uint64_t events_executed_ = 0;
   std::uint64_t context_switches_ = 0;
 
   Time event_now_ = 0;     // timestamp of the event being executed
   Time time_limit_ = 0;    // 0 = unlimited
+  Time pause_at_ = 0;      // 0 = no pause point
   Process* running_ = nullptr;
+  // Fiber whose stack is hosting an inline event execution (run_event_inline
+  // sets running_ = nullptr for engine-context semantics, but the host
+  // fiber's stack is still the one executing). snapshot() must treat it as
+  // live exactly like a Running process.
+  Process* inline_host_ = nullptr;
 
   ucontext_t sched_ctx_{};          // where fibers switch back to
   std::vector<FiberStack> stack_cache_;

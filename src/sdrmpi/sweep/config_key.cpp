@@ -70,6 +70,11 @@ std::vector<std::byte> serialize_config(const core::RunConfig& cfg) {
   w.f64(cfg.copy_cost_ns_per_byte);
   w.i64(cfg.time_limit);
   w.u64(cfg.seed);
+  // v2: checkpoint/restart knobs (CkptConfig).
+  w.i64(cfg.ckpt.interval);
+  w.i64(cfg.ckpt.checkpoint_cost);
+  w.i64(cfg.ckpt.restart_cost);
+  w.boolean(cfg.ckpt.verify_snapshots);
   return w.take();
 }
 

@@ -29,7 +29,7 @@ namespace sdrmpi::sweep {
 
 /// Version byte folded into every canonical serialization (and therefore
 /// every digest). Bump on any format or semantic change.
-inline constexpr std::uint8_t kConfigKeyVersion = 1;
+inline constexpr std::uint8_t kConfigKeyVersion = 2;  // v2: ckpt fields
 
 /// The canonical byte string of a config: equal iff the configs are ==.
 [[nodiscard]] std::vector<std::byte> serialize_config(

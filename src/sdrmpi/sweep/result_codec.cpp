@@ -23,6 +23,10 @@ void put_protocol(ByteWriter& w, const core::ProtocolStats& p) {
   w.u64(p.failures_observed);
   w.u64(p.recoveries);
   w.u64(p.extra_copies);
+  // v2: checkpoint/restart counters.
+  w.u64(p.checkpoints_taken);
+  w.u64(p.restarts);
+  w.u64(p.rework_ns);
 }
 
 core::ProtocolStats get_protocol(ByteReader& r) {
@@ -39,6 +43,9 @@ core::ProtocolStats get_protocol(ByteReader& r) {
   p.failures_observed = r.u64();
   p.recoveries = r.u64();
   p.extra_copies = r.u64();
+  p.checkpoints_taken = r.u64();
+  p.restarts = r.u64();
+  p.rework_ns = r.u64();
   return p;
 }
 

@@ -32,7 +32,7 @@ namespace sdrmpi::sweep {
 /// Bump when the result wire format changes; stores with a different
 /// version are rejected on open (a stale cache is discarded, never
 /// misread).
-inline constexpr std::uint32_t kResultCodecVersion = 1;
+inline constexpr std::uint32_t kResultCodecVersion = 2;  // v2: ckpt stats
 
 /// Append-only little-endian encoder.
 class ByteWriter {

@@ -1,5 +1,6 @@
 #include "sdrmpi/sweep/result_store.hpp"
 
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -57,6 +58,30 @@ bool read_u64(std::FILE* f, std::uint64_t& out) {
   return true;
 }
 
+// Exclusive inter-process (and inter-handle) advisory lock on the store
+// file. Two sweeps appending to one --cache path would interleave their
+// record bytes and corrupt the log, so a busy store is an error, not a
+// wait: a sweep should fail fast rather than block on another sweep of
+// unknown length. flock() locks the open file description, so two
+// ResultStore instances in ONE process conflict too (the regression test
+// relies on this). The lock lives as long as the FILE* and is released by
+// fclose.
+void lock_store_file(std::FILE*& f, const std::string& path) {
+  if (::flock(::fileno(f), LOCK_EX | LOCK_NB) != 0) {
+    const int err = errno;
+    std::fclose(f);
+    f = nullptr;
+    if (err == EWOULDBLOCK || err == EAGAIN) {
+      throw std::runtime_error(
+          "result store: '" + path +
+          "' is busy (locked by another sweep); wait for it to finish or "
+          "use a different --cache path");
+    }
+    throw std::runtime_error("result store: cannot lock '" + path +
+                             "': " + std::strerror(err));
+  }
+}
+
 }  // namespace
 
 ResultStore::ResultStore() = default;
@@ -71,6 +96,7 @@ ResultStore::ResultStore(const std::string& path) : path_(path) {
     throw std::runtime_error("result store: cannot open '" + path_ +
                              "': " + std::strerror(errno));
   }
+  lock_store_file(file_, path_);
   load_and_repair();
 }
 
@@ -139,6 +165,9 @@ void ResultStore::load_and_repair() {
       throw std::runtime_error("result store: cannot reopen '" + path_ +
                                "': " + std::strerror(errno));
     }
+    // The close above dropped the advisory lock; re-take it on the fresh
+    // descriptor before appending anything past the repaired tail.
+    lock_store_file(file_, path_);
   }
   std::fseek(file_, 0, SEEK_END);
 }

@@ -15,9 +15,13 @@
 // format version (or a foreign magic) is rejected with an error rather
 // than half-read.
 //
-// Concurrency: one writer process at a time (the service serializes puts
-// through its collector lock). Readers of a *closed* store file are safe
-// anywhere.
+// Concurrency: one writer at a time, enforced. Opening a persistent store
+// takes an exclusive advisory lock (flock LOCK_EX) on the file; a second
+// open — from another process or a second instance in this one — fails
+// immediately with a "store is busy" error instead of interleaving
+// appends and corrupting the log. Within one service run, puts are
+// serialized through the collector lock. Readers of a *closed* store file
+// are safe anywhere.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,203 @@
+#include "sdrmpi/sweep/warm.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "sdrmpi/core/world.hpp"
+#include "sdrmpi/sweep/frame_io.hpp"
+#include "sdrmpi/sweep/result_codec.hpp"
+
+namespace sdrmpi::sweep {
+namespace {
+
+using frame::kFrameResult;
+using frame::kFrameRuntimeError;
+using frame::read_all;
+using frame::write_frame;
+
+/// Child main: arm this scenario on the forked warm prefix, resume to
+/// completion, frame the result, _exit (never unwind into the parent's
+/// copied stdio/atexit state).
+[[noreturn]] void child_main(core::World& world,
+                             const std::vector<core::FaultSpec>& scenario,
+                             std::uint64_t id, int fd) {
+  std::uint8_t kind = kFrameResult;
+  std::vector<std::byte> payload;
+  try {
+    world.engine().clear_pause();
+    world.arm_faults(scenario);
+    core::RunResult result = world.collect(world.drive());
+    payload = encode_result(result);
+  } catch (const std::exception& e) {
+    kind = kFrameRuntimeError;
+    const std::string msg = e.what();
+    payload.resize(msg.size());
+    std::memcpy(payload.data(), msg.data(), msg.size());
+  }
+  if (!write_frame(fd, kind, id, payload.data(), payload.size())) {
+    _exit(3);  // parent went away
+  }
+  _exit(0);
+}
+
+[[nodiscard]] core::RunResult run_cold(
+    const core::RunConfig& base, const core::AppFn& app,
+    const std::vector<core::FaultSpec>& scenario) {
+  core::RunConfig cfg = base;
+  cfg.faults = scenario;
+  return core::run(cfg, app);
+}
+
+}  // namespace
+
+std::vector<core::RunResult> run_warm_forked(
+    const core::RunConfig& base, const core::AppFn& app,
+    const std::vector<std::vector<core::FaultSpec>>& scenarios,
+    Time warm_until, int workers) {
+  if (warm_until <= 0) {
+    throw std::invalid_argument("run_warm_forked: warm_until must be > 0");
+  }
+  if (!base.faults.empty()) {
+    throw std::invalid_argument(
+        "run_warm_forked: the base config must be fault-free (faults are "
+        "the per-scenario axis)");
+  }
+  for (const auto& scenario : scenarios) {
+    for (const core::FaultSpec& f : scenario) {
+      if (f.at_time < 0) {
+        throw std::invalid_argument(
+            "run_warm_forked: scenarios must use at_time faults only");
+      }
+    }
+  }
+
+  std::vector<core::RunResult> results(scenarios.size());
+  if (scenarios.empty()) return results;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
+  }
+
+  // One warm-up: drive the failure-free base to the pause point. The
+  // paused engine state is bit-identical to any cold run's state at the
+  // same dispatch (faults beyond the frontier have not influenced
+  // anything yet), so each fork below is a valid mid-run image of every
+  // scenario at once.
+  core::World warm(base, app);
+  warm.engine().set_pause_time(warm_until);
+  const sim::RunOutcome pause_out = warm.drive();
+  const Time frontier = warm.engine().executed_frontier();
+
+  // A scenario forks only if the warm-up actually paused (the base run
+  // may finish before warm_until) and every fault lands strictly beyond
+  // the executed frontier; otherwise it runs cold.
+  std::vector<std::size_t> forked;
+  std::vector<std::size_t> cold;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    bool can_fork = pause_out.paused;
+    for (const core::FaultSpec& f : scenarios[i]) {
+      if (f.at_time <= frontier) can_fork = false;
+    }
+    (can_fork ? forked : cold).push_back(i);
+  }
+
+  std::string failure;
+  for (std::size_t wave = 0; wave < forked.size();
+       wave += static_cast<std::size_t>(workers)) {
+    const std::size_t wave_end =
+        std::min(forked.size(), wave + static_cast<std::size_t>(workers));
+    struct Child {
+      std::size_t scenario = 0;
+      pid_t pid = -1;
+      int read_fd = -1;
+    };
+    std::vector<Child> children;
+    children.reserve(wave_end - wave);
+    // Fork the whole wave before any reader thread exists (forking a
+    // multithreaded process can snapshot a thread mid-malloc).
+    for (std::size_t k = wave; k < wave_end; ++k) {
+      const std::size_t idx = forked[k];
+      int fds[2];
+      if (::pipe(fds) != 0) {
+        throw WarmPrefixError(std::string("warm fork: pipe failed: ") +
+                              std::strerror(errno));
+      }
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        throw WarmPrefixError(std::string("warm fork: fork failed: ") +
+                              std::strerror(errno));
+      }
+      if (pid == 0) {
+        ::close(fds[0]);
+        for (const Child& prev : children) ::close(prev.read_fd);
+        child_main(warm, scenarios[idx], static_cast<std::uint64_t>(idx),
+                   fds[1]);
+      }
+      ::close(fds[1]);
+      children.push_back(Child{idx, pid, fds[0]});
+    }
+
+    std::vector<std::thread> readers;
+    readers.reserve(children.size());
+    std::vector<std::string> errors(children.size());
+    for (std::size_t c = 0; c < children.size(); ++c) {
+      readers.emplace_back([&child = children[c], &results,
+                            &err = errors[c]] {
+        frame::FrameHeader h;
+        if (!frame::read_frame_header(child.read_fd, h)) {
+          err = "child died before delivering its result";
+        } else {
+          std::vector<std::byte> payload(h.len);
+          if (h.len > 0 && !read_all(child.read_fd, payload.data(), h.len)) {
+            err = "torn result frame";
+          } else if (h.kind == kFrameResult) {
+            try {
+              results[child.scenario] = decode_result(payload);
+            } catch (const CodecError& e) {
+              err = e.what();
+            }
+          } else {
+            err.assign(reinterpret_cast<const char*>(payload.data()),
+                       payload.size());
+          }
+        }
+        ::close(child.read_fd);
+      });
+    }
+    for (auto& t : readers) t.join();
+
+    for (std::size_t c = 0; c < children.size(); ++c) {
+      int status = 0;
+      pid_t reaped;
+      do {
+        reaped = ::waitpid(children[c].pid, &status, 0);
+      } while (reaped < 0 && errno == EINTR);
+      const bool crashed =
+          reaped == children[c].pid &&
+          (WIFSIGNALED(status) ||
+           (WIFEXITED(status) && WEXITSTATUS(status) != 0));
+      if (errors[c].empty() && !crashed) continue;
+      if (!failure.empty()) failure += "; ";
+      failure += "scenario " + std::to_string(children[c].scenario) + ": " +
+                 (errors[c].empty() ? "child exited abnormally" : errors[c]);
+      if (reaped == children[c].pid && WIFSIGNALED(status)) {
+        failure += " (killed by signal " + std::to_string(WTERMSIG(status)) +
+                   ")";
+      }
+    }
+  }
+  if (!failure.empty()) throw WarmPrefixError(failure);
+
+  for (std::size_t idx : cold) {
+    results[idx] = run_cold(base, app, scenarios[idx]);
+  }
+  return results;
+}
+
+}  // namespace sdrmpi::sweep

@@ -12,60 +12,17 @@
 #include <thread>
 
 #include "sdrmpi/core/launcher.hpp"
+#include "sdrmpi/sweep/frame_io.hpp"
 #include "sdrmpi/sweep/result_codec.hpp"
 
 namespace sdrmpi::sweep {
 namespace {
 
-constexpr std::uint8_t kFrameResult = 0;
-constexpr std::uint8_t kFrameInvalidConfig = 1;
-constexpr std::uint8_t kFrameRuntimeError = 2;
-
-// Raw-fd full write/read loops (child side must stay clear of stdio:
-// the forked copy of the parent's buffers must never be flushed twice).
-bool write_all(int fd, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  while (n > 0) {
-    const ssize_t w = ::write(fd, p, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += w;
-    n -= static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
-bool read_all(int fd, void* data, std::size_t n) {
-  auto* p = static_cast<unsigned char*>(data);
-  while (n > 0) {
-    const ssize_t r = ::read(fd, p, n);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (r == 0) return false;  // EOF mid-frame
-    p += r;
-    n -= static_cast<std::size_t>(r);
-  }
-  return true;
-}
-
-bool write_frame(int fd, std::uint8_t kind, std::uint64_t id,
-                 const void* payload, std::size_t len) {
-  unsigned char header[13];
-  header[0] = kind;
-  for (int i = 0; i < 8; ++i) {
-    header[1 + i] = static_cast<unsigned char>(id >> (8 * i));
-  }
-  for (int i = 0; i < 4; ++i) {
-    header[9 + i] = static_cast<unsigned char>(
-        static_cast<std::uint32_t>(len) >> (8 * i));
-  }
-  if (!write_all(fd, header, sizeof header)) return false;
-  return len == 0 || write_all(fd, payload, len);
-}
+using frame::kFrameInvalidConfig;
+using frame::kFrameResult;
+using frame::kFrameRuntimeError;
+using frame::read_all;
+using frame::write_frame;
 
 /// Child main loop: run every point of the assigned chunks, frame each
 /// outcome, then _exit (never unwind into the parent's atexit/stdio
@@ -198,20 +155,28 @@ void run_forked(
   }
   for (auto& t : readers) t.join();
 
+  // Reap every child and report every failing worker in one message (a
+  // single overwritten string used to surface only the last failure; a
+  // signal landing mid-wait used to abandon the reap entirely).
   std::string failure;
   for (std::size_t w = 0; w < children.size(); ++w) {
     int status = 0;
-    ::waitpid(children[w].pid, &status, 0);
+    pid_t reaped;
+    do {
+      reaped = ::waitpid(children[w].pid, &status, 0);
+    } while (reaped < 0 && errno == EINTR);
     const bool crashed =
-        WIFSIGNALED(status) || (WIFEXITED(status) && WEXITSTATUS(status) != 0);
+        reaped == children[w].pid &&
+        (WIFSIGNALED(status) || (WIFEXITED(status) && WEXITSTATUS(status) != 0));
     if (children[w].delivered < children[w].expected || crashed) {
-      failure = "sweep worker " + std::to_string(w) + " delivered " +
-                std::to_string(children[w].delivered) + "/" +
-                std::to_string(children[w].expected) + " points" +
-                (WIFSIGNALED(status)
-                     ? " (killed by signal " + std::to_string(WTERMSIG(status)) +
-                           ")"
-                     : "");
+      if (!failure.empty()) failure += "; ";
+      failure += "sweep worker " + std::to_string(w) + " delivered " +
+                 std::to_string(children[w].delivered) + "/" +
+                 std::to_string(children[w].expected) + " points" +
+                 (reaped == children[w].pid && WIFSIGNALED(status)
+                      ? " (killed by signal " +
+                            std::to_string(WTERMSIG(status)) + ")"
+                      : "");
     }
   }
   if (!failure.empty()) throw WorkerError(failure);

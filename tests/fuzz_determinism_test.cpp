@@ -339,6 +339,96 @@ TEST(FuzzDeterminism, SymbolicMatchesMaterializedTwin) {
   }
 }
 
+// Checkpoint/restart axis: random intervals, costs and fault schedules,
+// each config paired with a verify_snapshots twin. Two contracts at once:
+// pool size never leaks into results (threads 1 vs 8), and the twin — which
+// snapshots and immediately restores the full engine + endpoint state at
+// every checkpoint boundary — is bit-identical to its plain partner, so
+// Engine::snapshot/restore is a provable no-op across the random grid.
+TEST(FuzzDeterminism, CheckpointSnapshotRestoreIsInvisible) {
+  constexpr int kPairs = 30;
+  util::Rng rng(0xc0ffee5eedULL);
+
+  std::vector<core::RunConfig> configs;
+  std::vector<core::AppFn> apps;
+  std::vector<std::string> labels;
+  for (int i = 0; i < kPairs; ++i) {
+    core::RunConfig cfg;
+    cfg.protocol = core::ProtocolKind::Ckpt;
+    cfg.replication = 1;
+    cfg.nranks = static_cast<int>(2 + rng.below(3));  // 2..4
+    cfg.net.topology = draw_topology(rng);
+    cfg.coll = draw_coll_tuning(rng);
+    cfg.seed = rng();
+    cfg.time_limit = timeunits::seconds(30.0);
+    // Log-uniform interval from 16us to ~2ms straddles the ~400us small-cg
+    // makespan: some runs checkpoint dozens of times, some never reach the
+    // first boundary. Occasionally 0 (boundary chain disabled entirely).
+    cfg.ckpt.interval =
+        rng.below(8) == 0
+            ? 0
+            : static_cast<Time>(16000ULL << rng.below(8));
+    cfg.ckpt.checkpoint_cost = static_cast<Time>(500 + rng.below(8000));
+    cfg.ckpt.restart_cost = static_cast<Time>(5000 + rng.below(50000));
+    // At_time-only faults (the Ckpt validator's rule), some landing beyond
+    // the run's completion where they must be absorbed as no-ops.
+    const auto nfaults = rng.below(3);
+    for (std::uint32_t f = 0; f < nfaults; ++f) {
+      cfg.faults.push_back(
+          {.slot = static_cast<int>(rng.below(cfg.nranks)),
+           .at_time = static_cast<Time>(20000 + rng.below(1500000)),
+           .at_send = -1});
+    }
+
+    core::AppFn app;
+    std::string label;
+    switch (rng.below(3)) {
+      case 0:
+        app = ring_app(static_cast<int>(2 + rng.below(4)),
+                       static_cast<int>(1 + rng.below(1024)));
+        label = "ring";
+        break;
+      case 1:
+        app = funnel_app(static_cast<int>(3 + rng.below(8)));
+        label = "funnel";
+        break;
+      default:
+        app = allreduce_app(static_cast<int>(2 + rng.below(4)));
+        label = "allreduce";
+        break;
+    }
+    for (const bool verify : {false, true}) {
+      core::RunConfig c = cfg;
+      c.ckpt.verify_snapshots = verify;
+      configs.push_back(c);
+      apps.push_back(app);
+    }
+    labels.push_back(label + "/iv" + std::to_string(cfg.ckpt.interval) +
+                     "/i" + std::to_string(i));
+  }
+
+  auto factory = [&apps](const core::RunConfig&, std::size_t i) {
+    return apps[i];
+  };
+  const auto serial = core::run_many(configs, factory, {.threads = 1});
+  const auto pooled = core::run_many(configs, factory, {.threads = 8});
+  ASSERT_EQ(serial.size(), pooled.size());
+
+  int clean = 0;
+  for (int i = 0; i < kPairs; ++i) {
+    const std::size_t plain = 2 * static_cast<std::size_t>(i);
+    expect_identical(serial[plain], pooled[plain], labels[i]);
+    expect_identical(serial[plain + 1], pooled[plain + 1],
+                     labels[i] + "/verify");
+    // The verify twin differs only in host-side snapshot round-trips.
+    expect_identical(serial[plain], serial[plain + 1],
+                     labels[i] + " (plain vs verify twin)");
+    if (serial[plain].clean()) ++clean;
+  }
+  EXPECT_GE(clean, kPairs * 9 / 10)
+      << "only " << clean << "/" << kPairs << " ckpt runs were clean";
+}
+
 // The same batch must also be invariant under re-execution with an
 // intermediate pool size (catches accidental global state across runs).
 TEST(FuzzDeterminism, RepeatedBatchesAreIdentical) {

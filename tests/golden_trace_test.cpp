@@ -75,6 +75,26 @@ std::vector<GoldenCase> corpus() {
     c.cfg.net.topology.placement = net::PlacementPolicy::PackRanks;
     cases.push_back(std::move(c));
   }
+  // Checkpoint/restart: pinned interval variants of the charge-forward cost
+  // model (costs shrunk to the ~400us cg makespan), plus one mid-run
+  // fail-stop fault that charges restart + rework.
+  for (const Time iv : {Time{100000}, Time{150000}}) {
+    GoldenCase c{"ckpt/iv" + std::to_string(iv / 1000) + "us",
+                 test::quick_config(4, 1, core::ProtocolKind::Ckpt), "cg"};
+    c.cfg.ckpt.interval = iv;
+    c.cfg.ckpt.checkpoint_cost = 5000;
+    c.cfg.ckpt.restart_cost = 20000;
+    cases.push_back(std::move(c));
+  }
+  {
+    GoldenCase c{"ckpt/iv100us/fault",
+                 test::quick_config(4, 1, core::ProtocolKind::Ckpt), "cg"};
+    c.cfg.ckpt.interval = 100000;
+    c.cfg.ckpt.checkpoint_cost = 5000;
+    c.cfg.ckpt.restart_cost = 20000;
+    c.cfg.faults.push_back({.slot = 1, .at_time = 250000, .at_send = -1});
+    cases.push_back(std::move(c));
+  }
   // Collective-tuning variants: one pinned trace per non-default algorithm
   // on the synthetic collective mix (5 ranks — non-power-of-two — under
   // SDR r=2 so the pre/post folding paths are part of the pinned trace).

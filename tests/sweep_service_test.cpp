@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "sdrmpi/sweep/config_key.hpp"
+#include "sdrmpi/sweep/frame_io.hpp"
 #include "sdrmpi/sweep/result_codec.hpp"
+#include "sdrmpi/sweep/worker.hpp"
 #include "sdrmpi/util/rng.hpp"
 #include "test_support.hpp"
 
@@ -112,6 +114,13 @@ std::vector<Mutation> all_field_mutations() {
        [](RunConfig& c) { c.sdc.push_back({.slot = 2, .at_send = 2}); }},
       {"sdc.at_send",
        [](RunConfig& c) { c.sdc.push_back({.slot = 1, .at_send = 3}); }},
+      {"ckpt.interval",
+       [](RunConfig& c) { c.ckpt.interval = timeunits::milliseconds(10.0); }},
+      {"ckpt.checkpoint_cost",
+       [](RunConfig& c) { c.ckpt.checkpoint_cost += 1000; }},
+      {"ckpt.restart_cost", [](RunConfig& c) { c.ckpt.restart_cost += 1000; }},
+      {"ckpt.verify_snapshots",
+       [](RunConfig& c) { c.ckpt.verify_snapshots = true; }},
       {"detection_delay", [](RunConfig& c) { c.detection_delay += 17; }},
       {"auto_recover", [](RunConfig& c) { c.auto_recover = true; }},
       {"ack_on_wait", [](RunConfig& c) { c.ack_on_wait = true; }},
@@ -215,7 +224,10 @@ core::RunResult fully_populated_result() {
                 .sdc_detected = 9,
                 .failures_observed = 10,
                 .recoveries = 11,
-                .extra_copies = 12};
+                .extra_copies = 12,
+                .checkpoints_taken = 13,
+                .restarts = 14,
+                .rework_ns = 15};
   r.fabric = {.frames_sent = 13,
               .payload_bytes = 14,
               .frames_dropped_dead_dst = 15,
@@ -331,6 +343,30 @@ TEST(ResultStore, RepairsTornTailRecord) {
   sweep::ResultStore store(f.path());
   EXPECT_EQ(store.loaded(), 4u);
   EXPECT_EQ(*store.lookup(4), core::RunResult{});
+}
+
+TEST(ResultStore, SecondOpenOfBusyStoreFails) {
+  StoreFile f("lock");
+  {
+    sweep::ResultStore first(f.path());
+    first.put(1, fully_populated_result());
+    // flock is per open file description, so a second instance conflicts
+    // even within one process — exactly the two-concurrent-sweeps
+    // corruption the lock exists to prevent.
+    try {
+      sweep::ResultStore second(f.path());
+      FAIL() << "expected the second open to fail while the store is locked";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("busy"), std::string::npos)
+          << "message was: " << e.what();
+    }
+    // The rejected open must not have disturbed the live store.
+    first.put(2, core::RunResult{});
+  }
+  // Closing releases the lock; the store replays intact.
+  sweep::ResultStore reopened(f.path());
+  EXPECT_EQ(reopened.loaded(), 2u);
+  EXPECT_EQ(*reopened.lookup(1), fully_populated_result());
 }
 
 TEST(ResultStore, InMemoryStoreIsNotPersistent) {
@@ -558,6 +594,68 @@ TEST(SweepService, ErrorNamesTheFailingInputIndex) {
       EXPECT_EQ(std::string(e.what()).rfind("config[4]: ", 0), 0u)
           << "message was: " << e.what() << " (forked=" << forked << ")";
     }
+  }
+}
+
+// ------------------------------------------------------- worker hardening
+
+TEST(WorkerFrames, OversizedPayloadBecomesRuntimeErrorFrame) {
+  // A payload longer than the u32 length field used to be cast down
+  // silently, tearing the stream for every following frame. It must now
+  // surface as an explicit runtime-error frame for the same point id.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::size_t oversized = sweep::frame::kMaxFramePayload + 1;
+  // The payload pointer is never dereferenced on the reject path.
+  EXPECT_TRUE(sweep::frame::write_frame(fds[1], sweep::frame::kFrameResult,
+                                        42, nullptr, oversized));
+  sweep::frame::FrameHeader h;
+  ASSERT_TRUE(sweep::frame::read_frame_header(fds[0], h));
+  EXPECT_EQ(h.kind, sweep::frame::kFrameRuntimeError);
+  EXPECT_EQ(h.id, 42u);
+  std::string msg(h.len, '\0');
+  ASSERT_TRUE(sweep::frame::read_all(fds[0], msg.data(), msg.size()));
+  EXPECT_NE(msg.find("exceeds"), std::string::npos) << "message: " << msg;
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WorkerFrames, MaximumLengthHeaderRoundTrips) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::byte b{0x5a};
+  // Header-only check: claim 1 byte, the largest-representable length
+  // stays for the reject test above (we can't allocate 4 GiB here).
+  EXPECT_TRUE(sweep::frame::write_frame(fds[1], sweep::frame::kFrameResult,
+                                        0xfeedface12345678ULL, &b, 1));
+  sweep::frame::FrameHeader h;
+  ASSERT_TRUE(sweep::frame::read_frame_header(fds[0], h));
+  EXPECT_EQ(h.kind, sweep::frame::kFrameResult);
+  EXPECT_EQ(h.id, 0xfeedface12345678ULL);
+  EXPECT_EQ(h.len, 1u);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WorkerForked, EveryFailingWorkerIsReported) {
+  // Two workers, one point each, both children die before delivering:
+  // the error used to name only the last failing worker.
+  const core::RunConfig cfg = test::quick_config(2, 1,
+                                                 core::ProtocolKind::Native);
+  const core::AppFn die = [](mpi::Env&) { ::_exit(7); };
+  std::vector<std::vector<sweep::WorkPoint>> chunks(2);
+  chunks[0].push_back(sweep::WorkPoint{0, &cfg, &die});
+  chunks[1].push_back(sweep::WorkPoint{1, &cfg, &die});
+  try {
+    sweep::run_forked(
+        chunks, /*workers=*/2, [](std::size_t, core::RunResult&&) {},
+        [](sweep::PointError&&) {});
+    FAIL() << "expected WorkerError";
+  } catch (const sweep::WorkerError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("sweep worker 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sweep worker 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("; "), std::string::npos) << msg;
   }
 }
 
