@@ -11,6 +11,9 @@
 //   --workers=N   forked process-level workers instead of pool threads
 //   --chunks=N    work chunks the sweep is sharded into (0 = auto)
 //   --cache=PATH  persistent result store; warm points skip simulation
+//   --listen=H:P  accept remote sweep-workerd processes (":0" = ephemeral
+//                 port, printed on stderr); misses run on the fleet with
+//                 lease-based re-dispatch, locally if the fleet dies
 //   --stream      emit one JSON line per completed point on stderr
 //   --json        machine-readable document on stdout
 // Unknown flags are rejected with the accepted list (check_options).
@@ -29,11 +32,15 @@
 
 namespace sdrmpi::bench {
 
-/// One sweep point: a labelled config + the app to run under it.
+/// One sweep point: a labelled config + the app to run under it. `spec`
+/// is the registry app-spec ("cg nrows=768 iters=8") a remote
+/// sweep-workerd resolves when the bench runs with --listen; benches
+/// that never go remote may leave it empty.
 struct Point {
   std::string label;
   core::RunConfig cfg;
   core::AppFn app;
+  std::string spec;
 };
 
 /// Aggregated outcome of one point (over `reps` repetitions).
@@ -82,6 +89,7 @@ inline sweep::ServiceOptions service_options(const util::Options& opts) {
   }
   s.chunks = static_cast<int>(opts.get_int("chunks", 0));
   s.cache_path = opts.get_string("cache", "");
+  s.listen = opts.get_string("listen", "");
   return s;
 }
 
@@ -99,7 +107,8 @@ inline void check_options(const util::Options& opts,
                           bool service_flags = true) {
   std::vector<std::string> accepted;
   if (service_flags) {
-    accepted = {"json", "pool", "workers", "chunks", "cache", "stream"};
+    accepted = {"json", "pool", "workers", "chunks", "cache", "listen",
+                "stream"};
   }
   accepted.insert(accepted.end(), extra.begin(), extra.end());
   try {
@@ -170,7 +179,18 @@ inline std::vector<PointResult> run_points(const std::vector<Point>& pts,
     return pts[index / static_cast<std::size_t>(reps)].app;
   };
 
-  sweep::SweepService service(service_options(opts));
+  sweep::ServiceOptions sopts = service_options(opts);
+  if (!sopts.listen.empty()) {
+    sopts.spec = [&pts, reps](const core::RunConfig&, std::size_t index) {
+      return pts[index / static_cast<std::size_t>(reps)].spec;
+    };
+  }
+  sweep::SweepService service(sopts);
+  if (service.remote()) {
+    std::cerr << "[sweep] coordinator listening on "
+              << service.remote_address() << " ("
+              << service.connected_workers() << " workers connected)\n";
+  }
   const bool stream = opts.get_bool("stream", false);
   std::unordered_set<std::uint64_t> cached_digests;
   auto on_point = [&pts, reps, stream,
@@ -216,11 +236,24 @@ inline std::vector<PointResult> run_points(const std::vector<Point>& pts,
   return out;
 }
 
+/// True when a sweep saw any fault-tolerance event. Gates the optional
+/// JSON block below: a failure-free run (remote or not) emits byte-for-
+/// byte the same document as before the remote backend existed.
+inline bool had_fault_events(const sweep::ServiceStats& s) {
+  return s.workers_lost > 0 || s.heartbeats_missed > 0 ||
+         s.chunks_redispatched > 0 || s.duplicate_results > 0 ||
+         s.local_fallback_points > 0;
+}
+
 /// Emits one JSON document: bench name + one record per point with the
-/// config, mean seconds, and fabric/endpoint/protocol counters.
+/// config, mean seconds, and fabric/endpoint/protocol counters. When
+/// `stats` is given and recorded fault-tolerance events, a
+/// "fault_tolerance" object is appended (absent on failure-free runs so
+/// committed baselines never churn).
 inline void emit_json(std::ostream& os, const std::string& bench_name,
                       const std::vector<Point>& pts,
-                      const std::vector<PointResult>& results) {
+                      const std::vector<PointResult>& results,
+                      const sweep::ServiceStats* stats = nullptr) {
   os << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n"
      << "  \"points\": [\n";
   for (std::size_t i = 0; i < pts.size(); ++i) {
@@ -268,7 +301,17 @@ inline void emit_json(std::ostream& os, const std::string& bench_name,
        << ", \"link_busy_ns\": " << r.fabric.link_busy_ns << "}"
        << (i + 1 < pts.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ]";
+  if (stats != nullptr && had_fault_events(*stats)) {
+    os << ",\n  \"fault_tolerance\": {\"remote_workers\": "
+       << stats->remote_workers << ", \"workers_lost\": "
+       << stats->workers_lost << ", \"heartbeats_missed\": "
+       << stats->heartbeats_missed << ", \"chunks_redispatched\": "
+       << stats->chunks_redispatched << ", \"duplicate_results\": "
+       << stats->duplicate_results << ", \"local_fallback_points\": "
+       << stats->local_fallback_points << "}";
+  }
+  os << "\n}\n";
 }
 
 /// Paper-style header printed by each bench binary (suppressed under

@@ -52,6 +52,9 @@ int main(int argc, char** argv) {
   wl_opts.set("nrows", "768");
   wl_opts.set("iters", "8");
   const auto app = wl::make_workload("cg", wl_opts);
+  // What a remote sweep-workerd rebuilds for each point under --listen;
+  // must describe exactly the app above.
+  const std::string spec = "cg nrows=768 iters=8";
 
   std::vector<bench::Point> points;
   points.reserve(static_cast<std::size_t>(nunique));
@@ -64,7 +67,7 @@ int main(int argc, char** argv) {
     cfg.seed = 1000u + static_cast<std::uint64_t>(i);
     points.push_back({(sdr ? "sdr/seed=" : "native/seed=") +
                           std::to_string(cfg.seed),
-                      std::move(cfg), app});
+                      std::move(cfg), app, spec});
   }
 
   sweep::ServiceStats cold_stats, warm_stats;
@@ -88,6 +91,20 @@ int main(int argc, char** argv) {
 
   if (own_cache) std::filesystem::remove(cache_path);
 
+  // Per-phase fault-tolerance suffix: empty on failure-free runs so the
+  // committed BENCH_sweepsvc.json never changes shape without a failure.
+  auto ft_suffix = [](const sweep::ServiceStats& s) -> std::string {
+    if (!bench::had_fault_events(s)) return "";
+    return ", \"remote_workers\": " + std::to_string(s.remote_workers) +
+           ", \"workers_lost\": " + std::to_string(s.workers_lost) +
+           ", \"heartbeats_missed\": " + std::to_string(s.heartbeats_missed) +
+           ", \"chunks_redispatched\": " +
+           std::to_string(s.chunks_redispatched) +
+           ", \"duplicate_results\": " + std::to_string(s.duplicate_results) +
+           ", \"local_fallback_points\": " +
+           std::to_string(s.local_fallback_points);
+  };
+
   if (bench::json_mode(opts)) {
     std::cout << "{\n  \"bench\": \"fig_sweepsvc\",\n"
               << "  \"points\": " << cold_stats.points << ",\n"
@@ -97,12 +114,14 @@ int main(int argc, char** argv) {
               << ", \"dispatched\": " << cold_stats.dispatched
               << ", \"cache_hits\": " << cold_stats.cache_hits
               << ", \"max_dispatches_per_digest\": "
-              << cold_stats.max_dispatches_per_digest << "},\n"
+              << cold_stats.max_dispatches_per_digest << ft_suffix(cold_stats)
+              << "},\n"
               << "  \"warm\": {\"seconds\": " << warm_sec
               << ", \"dispatched\": " << warm_stats.dispatched
               << ", \"cache_hits\": " << warm_stats.cache_hits
               << ", \"max_dispatches_per_digest\": "
-              << warm_stats.max_dispatches_per_digest << "},\n"
+              << warm_stats.max_dispatches_per_digest << ft_suffix(warm_stats)
+              << "},\n"
               << "  \"warm_speedup\": " << speedup << ",\n"
               << "  \"identical_results\": "
               << (identical ? "true" : "false") << "\n}\n";

@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sdrmpi/core/run_config.hpp"
@@ -34,6 +35,16 @@ inline constexpr std::uint8_t kConfigKeyVersion = 2;  // v2: ckpt fields
 /// The canonical byte string of a config: equal iff the configs are ==.
 [[nodiscard]] std::vector<std::byte> serialize_config(
     const core::RunConfig& cfg);
+
+/// Inverse of serialize_config: deserialize(serialize(c)) == c for every
+/// field (doubles by IEEE bit pattern, so the round trip is exact). The
+/// remote worker protocol ships configs as canonical bytes — a dispatched
+/// point simulates from a config bit-identical to the coordinator's, which
+/// is what makes remote execution invisible in results. Throws CodecError
+/// (result_codec.hpp) on truncation, trailing bytes, or a version byte
+/// other than kConfigKeyVersion.
+[[nodiscard]] core::RunConfig deserialize_config(
+    std::span<const std::byte> bytes);
 
 /// FNV-1a digest of serialize_config(cfg): the content address under
 /// which the sweep service stores and deduplicates this config's result.

@@ -1,0 +1,827 @@
+#include "sdrmpi/sweep/remote.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sdrmpi/core/launcher.hpp"
+#include "sdrmpi/sweep/config_key.hpp"
+#include "sdrmpi/sweep/frame_io.hpp"
+#include "sdrmpi/sweep/result_codec.hpp"
+#include "sdrmpi/sweep/transport.hpp"
+#include "sdrmpi/util/hash.hpp"
+#include "sdrmpi/util/options.hpp"
+#include "sdrmpi/workloads/registry.hpp"
+
+namespace sdrmpi::sweep {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Reply ids carry the run generation so a late frame from a finished
+/// run() can never alias a point of the current one (workers outlive
+/// individual runs: a cold+warm bench pair reuses the same fleet).
+constexpr std::uint64_t make_reply_id(std::uint32_t gen, std::uint32_t point) {
+  return (std::uint64_t{gen} << 32) | point;
+}
+
+void set_send_timeout(int fd, int ms) {
+  // A hung peer must stall a frame write for at most the failure-detection
+  // deadline, never forever: a blocked dispatch would freeze the whole
+  // scheduler loop. Timed-out writes surface as failures and the peer is
+  // declared lost.
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- coordinator
+
+struct RemoteCoordinator::Impl {
+  RemoteTuning tuning;
+  RemoteStats* stats;  // owned by the RemoteCoordinator facade
+  TcpListener listener;
+  std::thread acceptor;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  bool shutting_down = false;
+  bool ever_registered = false;
+  std::size_t live_workers = 0;
+  std::uint32_t generation = 0;
+
+  struct WorkerConn {
+    int id = -1;
+    int fd = -1;
+    std::string name;
+    std::thread reader;
+    Clock::time_point last_seen;
+    bool alive = true;
+    std::mutex write_mu;  // dispatch / shutdown frames interleave safely
+  };
+  std::vector<std::unique_ptr<WorkerConn>> workers;  // every worker ever
+
+  struct PendingUnit {
+    std::vector<std::uint32_t> points;  // indices into the run's point table
+    int attempt = 1;                    // dispatch attempts incl. this one
+    Clock::time_point not_before;
+    int prev_worker = -1;  // last holder; re-dispatch prefers someone else
+  };
+  struct Assignment {
+    int worker_id = -1;
+    std::vector<std::uint32_t> points;  // still undelivered under this lease
+    int attempt = 1;
+    Clock::time_point lease_deadline;
+    bool active = false;
+  };
+  struct PointState {
+    bool done = false;
+    bool have_result_hash = false;
+    std::uint64_t result_hash = 0;  // fnv1a of the encoded result bytes
+  };
+  struct RunState {
+    std::vector<RemotePoint> pts;
+    std::vector<PointState> state;
+    std::deque<PendingUnit> queue;
+    std::vector<Assignment> assignments;
+    std::size_t undone = 0;
+    std::string fatal;
+    const std::function<void(std::size_t, core::RunResult&&)>* on_result;
+    const std::function<void(PointError&&)>* on_error;
+  };
+  RunState* run = nullptr;
+
+  explicit Impl(const Endpoint& listen, RemoteTuning t, RemoteStats* s)
+      : tuning(t), stats(s), listener(listen.host, listen.port) {
+    acceptor = std::thread([this] { accept_loop(); });
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      shutting_down = true;
+    }
+    listener.close();
+    // Acceptor first: once it is joined, no handshake can grow `workers`
+    // behind our back.
+    if (acceptor.joinable()) acceptor.join();
+    for (auto& w : workers) {
+      std::lock_guard<std::mutex> wl(w->write_mu);
+      if (w->fd >= 0) {
+        frame::write_frame(w->fd, kFrameShutdown, 0, nullptr, 0);
+        ::shutdown(w->fd, SHUT_RDWR);
+      }
+    }
+    for (auto& w : workers) {
+      if (w->reader.joinable()) w->reader.join();
+    }
+  }
+
+  [[nodiscard]] Clock::duration backoff(int attempt) const {
+    // attempt 1 is the first dispatch (no delay); re-dispatch n waits
+    // min(base << (n-1), cap).
+    if (attempt <= 1) return Clock::duration::zero();
+    const int shift = std::min(attempt - 2, 20);
+    const long long ms = std::min<long long>(
+        static_cast<long long>(tuning.backoff_base_ms) << shift,
+        tuning.backoff_cap_ms);
+    return std::chrono::milliseconds(ms);
+  }
+
+  // ---- accept + handshake (acceptor thread) ------------------------------
+
+  void accept_loop() {
+    for (;;) {
+      const int fd = listener.accept_fd(250);
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (shutting_down) {
+          if (fd >= 0) ::close(fd);
+          return;
+        }
+      }
+      if (fd < 0) continue;
+      handshake(fd);
+    }
+  }
+
+  void handshake(int fd) {
+    auto reject = [fd](const std::string& why) {
+      frame::write_frame(fd, kFrameHelloReject, 0, why.data(), why.size());
+      ::close(fd);
+    };
+    if (!wait_readable(fd, tuning.heartbeat_deadline_ms)) {
+      ::close(fd);  // connected but never said hello
+      return;
+    }
+    frame::FrameHeader h;
+    if (!frame::read_frame_header(fd, h) || h.kind != kFrameHello ||
+        h.len > 4096) {
+      ::close(fd);
+      return;
+    }
+    std::vector<std::byte> payload(h.len);
+    if (h.len > 0 && !frame::read_all(fd, payload.data(), h.len)) {
+      ::close(fd);
+      return;
+    }
+    std::uint32_t proto = 0, codec = 0;
+    std::uint8_t key_version = 0;
+    std::string name;
+    try {
+      ByteReader r(payload);
+      proto = r.u32();
+      key_version = r.u8();
+      codec = r.u32();
+      name = r.str();
+    } catch (const CodecError&) {
+      reject("malformed hello frame");
+      return;
+    }
+    if (proto != kRemoteProtocolVersion) {
+      reject("protocol version " + std::to_string(proto) +
+             " != coordinator's " + std::to_string(kRemoteProtocolVersion));
+      return;
+    }
+    if (key_version != kConfigKeyVersion) {
+      reject("config-key version " + std::to_string(key_version) +
+             " != coordinator's " + std::to_string(kConfigKeyVersion));
+      return;
+    }
+    if (codec != kResultCodecVersion) {
+      reject("result-codec version " + std::to_string(codec) +
+             " != coordinator's " + std::to_string(kResultCodecVersion));
+      return;
+    }
+    ByteWriter ack;
+    ack.u32(static_cast<std::uint32_t>(tuning.heartbeat_interval_ms));
+    if (!frame::write_frame(fd, kFrameHelloAck, 0, ack.bytes().data(),
+                            ack.bytes().size())) {
+      ::close(fd);
+      return;
+    }
+    set_send_timeout(fd, std::max(tuning.heartbeat_deadline_ms, 1000));
+
+    auto conn = std::make_unique<WorkerConn>();
+    WorkerConn* w = conn.get();
+    w->fd = fd;
+    w->name = std::move(name);
+    w->last_seen = Clock::now();
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      w->id = static_cast<int>(workers.size());
+      workers.push_back(std::move(conn));
+      ++live_workers;
+      ever_registered = true;
+      ++stats->workers_registered;
+    }
+    w->reader = std::thread([this, w] { reader_loop(w); });
+    cv.notify_all();
+  }
+
+  // ---- per-worker reader thread ------------------------------------------
+
+  void reader_loop(WorkerConn* w) {
+    for (;;) {
+      frame::FrameHeader h;
+      frame::IoError err;
+      if (!frame::read_frame_header(w->fd, h, &err)) break;
+      std::vector<std::byte> payload(h.len);
+      if (h.len > 0 &&
+          !frame::read_all(w->fd, payload.data(), h.len, &err)) {
+        break;
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      w->last_seen = Clock::now();
+      if (h.kind == frame::kFrameResult ||
+          h.kind == frame::kFrameInvalidConfig ||
+          h.kind == frame::kFrameRuntimeError) {
+        handle_delivery(h, payload);
+      }
+      // Heartbeats (and unknown kinds, for forward compatibility) only
+      // refresh last_seen.
+      cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      declare_dead(w, /*by_deadline=*/false);
+    }
+    cv.notify_all();
+    // Close under write_mu so a dispatch write can never land on a reused
+    // fd number: writers check fd >= 0 under the same lock.
+    std::lock_guard<std::mutex> wl(w->write_mu);
+    ::close(w->fd);
+    w->fd = -1;
+  }
+
+  /// mu held. Exactly-once delivery with duplicate suppression: the first
+  /// result for a point wins; a late twin is counted and digest-compared
+  /// (determinism says they must match bit-for-bit).
+  void handle_delivery(const frame::FrameHeader& h,
+                       const std::vector<std::byte>& payload) {
+    const auto gen = static_cast<std::uint32_t>(h.id >> 32);
+    const auto p = static_cast<std::uint32_t>(h.id & 0xffffffffu);
+    if (run == nullptr || gen != generation) {
+      ++stats->duplicate_results;  // straggler from a completed run
+      return;
+    }
+    if (p >= run->state.size()) return;  // malformed id: drop
+    PointState& ps = run->state[p];
+    if (ps.done) {
+      ++stats->duplicate_results;
+      if (h.kind == frame::kFrameResult && ps.have_result_hash &&
+          util::fnv1a(payload) != ps.result_hash) {
+        run->fatal =
+            "determinism violation: point " +
+            std::to_string(run->pts[p].id) +
+            " produced two different results from different workers";
+      }
+      return;
+    }
+    ps.done = true;
+    --run->undone;
+    retire_from_assignments(p);
+    const std::size_t external_id = run->pts[p].id;
+    if (h.kind == frame::kFrameResult) {
+      core::RunResult result;
+      try {
+        result = decode_result(payload);
+      } catch (const CodecError& e) {
+        (*run->on_error)(PointError{
+            external_id, false,
+            std::string("remote worker sent an undecodable result: ") +
+                e.what()});
+        return;
+      }
+      ps.have_result_hash = true;
+      ps.result_hash = util::fnv1a(payload);
+      (*run->on_result)(external_id, std::move(result));
+    } else {
+      (*run->on_error)(PointError{
+          external_id, h.kind == frame::kFrameInvalidConfig,
+          std::string(reinterpret_cast<const char*>(payload.data()),
+                      payload.size())});
+    }
+  }
+
+  /// mu held. Drops `p` from every live lease so expiry re-dispatches
+  /// only genuinely undelivered points.
+  void retire_from_assignments(std::uint32_t p) {
+    for (Assignment& a : run->assignments) {
+      if (!a.active) continue;
+      a.points.erase(std::remove(a.points.begin(), a.points.end(), p),
+                     a.points.end());
+      if (a.points.empty()) a.active = false;
+    }
+  }
+
+  /// mu held. Declares a worker dead (reader EOF/error or heartbeat
+  /// deadline), wakes its reader if still blocked, and requeues its
+  /// undelivered leases with backoff.
+  void declare_dead(WorkerConn* w, bool by_deadline) {
+    if (!w->alive) return;
+    w->alive = false;
+    --live_workers;
+    if (!shutting_down) {
+      ++stats->workers_lost;
+      if (by_deadline) ++stats->heartbeats_missed;
+    }
+    if (w->fd >= 0) ::shutdown(w->fd, SHUT_RDWR);
+    if (run == nullptr) return;
+    const Clock::time_point now = Clock::now();
+    for (Assignment& a : run->assignments) {
+      if (!a.active || a.worker_id != w->id) continue;
+      a.active = false;
+      if (a.points.empty()) continue;
+      ++stats->chunks_redispatched;
+      run->queue.push_back(PendingUnit{std::move(a.points), a.attempt + 1,
+                                       now + backoff(a.attempt + 1),
+                                       a.worker_id});
+    }
+  }
+
+  // ---- scheduler (run() caller's thread) ---------------------------------
+
+  void drive(RunState& rs) {
+    std::unique_lock<std::mutex> lk(mu);
+    ++generation;
+    run = &rs;
+    const Clock::time_point reg_deadline =
+        Clock::now() +
+        std::chrono::milliseconds(tuning.registration_wait_ms);
+
+    while (rs.undone > 0 && rs.fatal.empty()) {
+      const Clock::time_point now = Clock::now();
+
+      // 1. Heartbeat failure detection: a worker silent past the deadline
+      //    is dead even while the kernel holds its socket open.
+      for (auto& w : workers) {
+        if (w->alive &&
+            now - w->last_seen >
+                std::chrono::milliseconds(tuning.heartbeat_deadline_ms)) {
+          declare_dead(w.get(), /*by_deadline=*/true);
+        }
+      }
+
+      // 2. Lease expiry: a stalled (but alive) worker loses its
+      //    undelivered points to a survivor; its late results are
+      //    suppressed as duplicates when they eventually arrive.
+      if (tuning.lease_ms > 0) {
+        for (Assignment& a : rs.assignments) {
+          if (!a.active || now < a.lease_deadline) continue;
+          a.active = false;
+          if (a.points.empty()) continue;
+          ++stats->chunks_redispatched;
+          rs.queue.push_back(PendingUnit{std::move(a.points), a.attempt + 1,
+                                         Clock::now() +
+                                             backoff(a.attempt + 1),
+                                         a.worker_id});
+        }
+      }
+
+      // 3. Dispatch every due unit (budget-checked) to the least-loaded
+      //    live worker.
+      bool dispatched_any = dispatch_due_units(lk, rs);
+      if (rs.undone == 0 || !rs.fatal.empty()) break;
+      if (dispatched_any) continue;  // re-examine state after the writes
+
+      // 4. Degrade to local execution when the fleet is gone: the last
+      //    worker died mid-sweep, or nobody registered within the window.
+      if (live_workers == 0 &&
+          (ever_registered || Clock::now() >= reg_deadline)) {
+        local_fallback(lk, rs);
+        continue;
+      }
+
+      // 5. Sleep until the next deadline could fire (or a frame arrives).
+      cv.wait_for(lk, next_wakeup(rs));
+    }
+    run = nullptr;
+    if (!rs.fatal.empty()) throw WorkerError(rs.fatal);
+  }
+
+  /// mu held (released around socket writes). Returns true when at least
+  /// one dispatch frame went out.
+  bool dispatch_due_units(std::unique_lock<std::mutex>& lk, RunState& rs) {
+    bool any = false;
+    const Clock::time_point now = Clock::now();
+    for (std::size_t scan = rs.queue.size(); scan > 0; --scan) {
+      PendingUnit unit = std::move(rs.queue.front());
+      rs.queue.pop_front();
+      if (unit.points.empty()) continue;
+      if (unit.attempt > tuning.redispatch_budget + 1) {
+        // Budget exhausted: report the points as hard errors instead of
+        // re-dispatching forever.
+        for (std::uint32_t p : unit.points) {
+          if (rs.state[p].done) continue;
+          rs.state[p].done = true;
+          --rs.undone;
+          (*rs.on_error)(PointError{
+              rs.pts[p].id, false,
+              "remote sweep: chunk abandoned after " +
+                  std::to_string(unit.attempt - 1) +
+                  " dispatch attempts (re-dispatch budget " +
+                  std::to_string(tuning.redispatch_budget) + ")"});
+        }
+        continue;
+      }
+      if (now < unit.not_before) {
+        rs.queue.push_back(std::move(unit));  // backoff not elapsed
+        continue;
+      }
+      WorkerConn* w = pick_worker(rs, unit.prev_worker);
+      if (w == nullptr) {
+        rs.queue.push_back(std::move(unit));
+        continue;
+      }
+      // Drop points that resolved while this unit waited (duplicate
+      // delivery from a late worker, budget error, ...).
+      unit.points.erase(
+          std::remove_if(unit.points.begin(), unit.points.end(),
+                         [&rs](std::uint32_t p) { return rs.state[p].done; }),
+          unit.points.end());
+      if (unit.points.empty()) continue;
+
+      ByteWriter msg;
+      msg.u32(static_cast<std::uint32_t>(unit.points.size()));
+      for (std::uint32_t p : unit.points) {
+        msg.u64(make_reply_id(generation, p));
+        const auto cfg_bytes = serialize_config(*rs.pts[p].cfg);
+        msg.u32(static_cast<std::uint32_t>(cfg_bytes.size()));
+        for (std::byte b : cfg_bytes) msg.u8(std::to_integer<std::uint8_t>(b));
+        msg.str(rs.pts[p].spec);
+      }
+      Assignment a;
+      a.worker_id = w->id;
+      a.points = unit.points;
+      a.attempt = unit.attempt;
+      a.lease_deadline =
+          Clock::now() + std::chrono::milliseconds(
+                             tuning.lease_ms > 0 ? tuning.lease_ms : 1 << 30);
+      a.active = true;
+      rs.assignments.push_back(std::move(a));
+
+      lk.unlock();
+      bool ok;
+      {
+        std::lock_guard<std::mutex> wl(w->write_mu);
+        ok = w->fd >= 0 &&
+             frame::write_frame(w->fd, kFrameDispatch, 0, msg.bytes().data(),
+                                msg.bytes().size());
+      }
+      lk.lock();
+      if (!ok) {
+        declare_dead(w, /*by_deadline=*/false);  // requeues the assignment
+      } else {
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  /// mu held. Live worker with the fewest leased points (ties by id so
+  /// dispatch order is stable for a given fleet state). A re-dispatched
+  /// unit avoids its previous holder when any other worker is alive: the
+  /// previous holder is exactly the worker that just stalled past its
+  /// lease, and handing the work straight back would burn the re-dispatch
+  /// budget without ever reaching a survivor.
+  WorkerConn* pick_worker(const RunState& rs, int avoid_id) {
+    WorkerConn* best = nullptr;
+    std::size_t best_load = 0;
+    for (auto& w : workers) {
+      if (!w->alive || w->id == avoid_id) continue;
+      std::size_t load = 0;
+      for (const Assignment& a : rs.assignments) {
+        if (a.active && a.worker_id == w->id) load += a.points.size();
+      }
+      if (best == nullptr || load < best_load) {
+        best = w.get();
+        best_load = load;
+      }
+    }
+    if (best == nullptr && avoid_id >= 0) {
+      return pick_worker(rs, -1);  // previous holder is the only one left
+    }
+    return best;
+  }
+
+  /// mu held on entry/exit, released while simulating. Runs every point
+  /// still undone on the calling thread — the sweep completes even with
+  /// zero surviving workers.
+  void local_fallback(std::unique_lock<std::mutex>& lk, RunState& rs) {
+    // All leases are dead (their workers are), so the queue plus any
+    // never-dispatched unit covers every undone point.
+    std::vector<std::uint32_t> todo;
+    for (std::uint32_t p = 0; p < rs.state.size(); ++p) {
+      if (!rs.state[p].done) todo.push_back(p);
+    }
+    rs.queue.clear();
+    for (Assignment& a : rs.assignments) a.active = false;
+    lk.unlock();
+    for (std::uint32_t p : todo) {
+      const RemotePoint& pt = rs.pts[p];
+      core::RunResult result;
+      bool ok = false;
+      PointError err;
+      err.id = pt.id;
+      try {
+        result = core::run(*pt.cfg, *pt.app);
+        ok = true;
+      } catch (const std::invalid_argument& e) {
+        err.invalid_config = true;
+        err.message = e.what();
+      } catch (const std::exception& e) {
+        err.message = e.what();
+      }
+      lk.lock();
+      if (!rs.state[p].done) {  // a straggler frame may have beaten us
+        rs.state[p].done = true;
+        --rs.undone;
+        ++stats->local_fallback_points;
+        if (ok) {
+          rs.state[p].have_result_hash = false;
+          (*rs.on_result)(pt.id, std::move(result));
+        } else {
+          (*rs.on_error)(std::move(err));
+        }
+      }
+      lk.unlock();
+    }
+    lk.lock();
+  }
+
+  [[nodiscard]] Clock::duration next_wakeup(const RunState& rs) const {
+    // Wake for the earliest of: heartbeat deadline, lease expiry, backoff
+    // release. Clamped so a missed notify can never hang the scheduler.
+    auto best = std::chrono::milliseconds(250);
+    auto consider = [&best](Clock::duration d) {
+      const auto ms =
+          std::max(std::chrono::duration_cast<std::chrono::milliseconds>(d),
+                   std::chrono::milliseconds(5));
+      if (ms < best) best = ms;
+    };
+    const Clock::time_point now = Clock::now();
+    for (const auto& w : workers) {
+      if (w->alive) {
+        consider(w->last_seen +
+                 std::chrono::milliseconds(tuning.heartbeat_deadline_ms) -
+                 now);
+      }
+    }
+    if (tuning.lease_ms > 0) {
+      for (const Assignment& a : rs.assignments) {
+        if (a.active) consider(a.lease_deadline - now);
+      }
+    }
+    // Backoff releases only matter while someone could take the work;
+    // with no live worker the next event is a registration (cv notify)
+    // or the registration deadline, so the 250 ms clamp suffices.
+    if (live_workers > 0) {
+      for (const PendingUnit& u : rs.queue) consider(u.not_before - now);
+    }
+    return best;
+  }
+};
+
+RemoteCoordinator::RemoteCoordinator(const std::string& listen,
+                                     RemoteTuning tuning)
+    : impl_(std::make_unique<Impl>(parse_endpoint(listen), tuning, &stats_)) {
+  ignore_sigpipe();
+}
+
+RemoteCoordinator::~RemoteCoordinator() = default;
+
+std::string RemoteCoordinator::address() const {
+  return impl_->listener.address();
+}
+
+std::size_t RemoteCoordinator::connected_workers() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->live_workers;
+}
+
+RemoteStats RemoteCoordinator::stats() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return stats_;
+}
+
+void RemoteCoordinator::run(
+    const std::vector<std::vector<RemotePoint>>& chunks,
+    const std::function<void(std::size_t, core::RunResult&&)>& on_result,
+    const std::function<void(PointError&&)>& on_error) {
+  Impl::RunState rs;
+  rs.on_result = &on_result;
+  rs.on_error = &on_error;
+  for (const auto& chunk : chunks) {
+    Impl::PendingUnit unit;
+    unit.not_before = Clock::now();
+    for (const RemotePoint& pt : chunk) {
+      unit.points.push_back(static_cast<std::uint32_t>(rs.pts.size()));
+      rs.pts.push_back(pt);
+    }
+    if (!unit.points.empty()) rs.queue.push_back(std::move(unit));
+  }
+  rs.state.resize(rs.pts.size());
+  rs.undone = rs.pts.size();
+  if (rs.undone == 0) return;
+  impl_->drive(rs);
+}
+
+// -------------------------------------------------------------- worker
+
+void run_worker(const std::string& coordinator, const AppResolver& resolver,
+                const WorkerOptions& opts) {
+  ignore_sigpipe();
+  const Endpoint ep = parse_endpoint(coordinator);
+  const int fd = connect_tcp(ep.host.empty() ? "127.0.0.1" : ep.host, ep.port,
+                             opts.connect_timeout_ms);
+
+  // Registration handshake: versions first, work later.
+  {
+    ByteWriter hello;
+    hello.u32(opts.protocol_version);
+    hello.u8(kConfigKeyVersion);
+    hello.u32(kResultCodecVersion);
+    hello.str(opts.name);
+    if (!frame::write_frame(fd, kFrameHello, 0, hello.bytes().data(),
+                            hello.bytes().size())) {
+      ::close(fd);
+      throw std::runtime_error("sweep worker: coordinator hung up mid-hello");
+    }
+  }
+  if (!wait_readable(fd, opts.connect_timeout_ms)) {
+    ::close(fd);
+    throw std::runtime_error(
+        "sweep worker: no registration reply from coordinator");
+  }
+  std::uint32_t heartbeat_interval_ms = 1000;
+  {
+    frame::FrameHeader h;
+    if (!frame::read_frame_header(fd, h)) {
+      ::close(fd);
+      throw std::runtime_error(
+          "sweep worker: coordinator closed during registration");
+    }
+    std::vector<std::byte> payload(h.len);
+    if (h.len > 0 && !frame::read_all(fd, payload.data(), h.len)) {
+      ::close(fd);
+      throw std::runtime_error("sweep worker: torn registration reply");
+    }
+    if (h.kind == kFrameHelloReject) {
+      ::close(fd);
+      throw std::runtime_error(
+          "sweep worker: registration rejected: " +
+          std::string(reinterpret_cast<const char*>(payload.data()),
+                      payload.size()));
+    }
+    if (h.kind != kFrameHelloAck) {
+      ::close(fd);
+      throw std::runtime_error("sweep worker: unexpected registration frame");
+    }
+    try {
+      ByteReader r(payload);
+      heartbeat_interval_ms = r.u32();
+    } catch (const CodecError&) {
+      // Tolerate an empty ack; keep the default interval.
+    }
+  }
+  set_send_timeout(fd, static_cast<int>(heartbeat_interval_ms) * 4 + 1000);
+
+  // Heartbeat thread: beats even while a long simulation runs — that is
+  // the whole point (busy != dead; only silence is death).
+  std::mutex write_mu;
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool stop_hb = false;
+  std::thread heartbeat([&] {
+    std::uint64_t seq = 0;
+    int budget = opts.max_heartbeats;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(hb_mu);
+        hb_cv.wait_for(lk,
+                       std::chrono::milliseconds(heartbeat_interval_ms),
+                       [&] { return stop_hb; });
+        if (stop_hb) return;
+      }
+      if (budget == 0) continue;  // test hook: fall silent, stay connected
+      if (budget > 0) --budget;
+      std::lock_guard<std::mutex> wl(write_mu);
+      frame::IoError err;
+      if (!frame::write_frame(fd, kFrameHeartbeat, seq++, nullptr, 0, &err)) {
+        return;  // coordinator gone; the main loop will notice on read
+      }
+    }
+  });
+  auto stop_heartbeat = [&] {
+    {
+      std::lock_guard<std::mutex> lk(hb_mu);
+      stop_hb = true;
+    }
+    hb_cv.notify_all();
+    heartbeat.join();
+  };
+
+  bool aborted = false;
+  for (;;) {
+    frame::FrameHeader h;
+    frame::IoError err;
+    if (!frame::read_frame_header(fd, h, &err)) break;  // coordinator gone
+    std::vector<std::byte> payload(h.len);
+    if (h.len > 0 && !frame::read_all(fd, payload.data(), h.len, &err)) break;
+    if (h.kind == kFrameShutdown) break;
+    if (h.kind != kFrameDispatch) continue;  // forward compatibility
+
+    bool connection_lost = false;
+    try {
+      ByteReader r(payload);
+      const std::uint32_t npoints = r.u32();
+      for (std::uint32_t i = 0; i < npoints && !connection_lost; ++i) {
+        const std::uint64_t reply_id = r.u64();
+        const std::uint32_t cfg_len = r.u32();
+        std::vector<std::byte> cfg_bytes(cfg_len);
+        for (std::uint32_t b = 0; b < cfg_len; ++b) {
+          cfg_bytes[b] = static_cast<std::byte>(r.u8());
+        }
+        const std::string spec = r.str();
+
+        std::uint8_t kind = frame::kFrameResult;
+        std::vector<std::byte> reply;
+        try {
+          const core::RunConfig cfg = deserialize_config(cfg_bytes);
+          const core::AppFn app = resolver(cfg, spec);
+          core::RunResult result = core::run(cfg, app);
+          reply = encode_result(result);
+        } catch (const std::invalid_argument& e) {
+          kind = frame::kFrameInvalidConfig;
+          const std::string msg = e.what();
+          reply.resize(msg.size());
+          std::memcpy(reply.data(), msg.data(), msg.size());
+        } catch (const CodecError& e) {
+          kind = frame::kFrameInvalidConfig;
+          const std::string msg = e.what();
+          reply.resize(msg.size());
+          std::memcpy(reply.data(), msg.data(), msg.size());
+        } catch (const std::exception& e) {
+          kind = frame::kFrameRuntimeError;
+          const std::string msg = e.what();
+          reply.resize(msg.size());
+          std::memcpy(reply.data(), msg.data(), msg.size());
+        }
+        std::lock_guard<std::mutex> wl(write_mu);
+        frame::IoError werr;
+        if (!frame::write_frame(fd, kind, reply_id, reply.data(),
+                                reply.size(), &werr)) {
+          connection_lost = true;  // EPIPE/RST: coordinator is gone
+        }
+      }
+    } catch (const CodecError&) {
+      break;  // malformed dispatch: treat the stream as torn
+    } catch (const WorkerAbort&) {
+      aborted = true;  // test hook: simulate a fail-stop crash
+    }
+    if (connection_lost || aborted) break;
+  }
+
+  stop_heartbeat();
+  ::close(fd);
+}
+
+AppResolver registry_resolver() {
+  return [](const core::RunConfig&, const std::string& spec) -> core::AppFn {
+    std::istringstream ss(spec);
+    std::string name;
+    ss >> name;
+    if (name.empty()) {
+      throw std::invalid_argument(
+          "remote point carries no app spec; this sweep cannot execute on "
+          "remote workers (run it without --listen)");
+    }
+    util::Options wl_opts;
+    std::string kv;
+    while (ss >> kv) {
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("malformed app-spec token '" + kv + "'");
+      }
+      wl_opts.set(kv.substr(0, eq), kv.substr(eq + 1));
+    }
+    return wl::make_workload(name, wl_opts);
+  };
+}
+
+}  // namespace sdrmpi::sweep

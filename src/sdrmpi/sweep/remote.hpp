@@ -1,0 +1,186 @@
+// Fault-tolerant multi-host sweep workers: the remote execution backend
+// behind the SweepService seam.
+//
+// The coordinator listens on TCP (transport.hpp); sweep-workerd processes
+// connect, register, and execute dispatched chunks. The wire protocol is
+// the forked-worker frame format (frame_io.hpp) with coordination kinds
+// layered on top; configs cross the wire as canonical config_key bytes
+// (deserialize(serialize(c)) == c exactly), so a remote simulation starts
+// from a bit-identical RunConfig — shard layout, worker count, and
+// failure timing are invisible in results.
+//
+// Robustness model (the paper's fail-stop discipline applied to our own
+// orchestration, after the TeaMPI/FTHP-MPI pattern):
+//  - Registration handshake: a worker announces transport, config-key,
+//    and result-codec versions; mismatches are rejected before any work
+//    is dispatched (a stale binary must not silently compute under a
+//    different wire contract).
+//  - Heartbeats: workers beat at the interval the coordinator advertises
+//    in its HelloAck; a worker silent past heartbeat_deadline_ms is
+//    declared dead even if the kernel still holds its socket open (hung
+//    host, network partition).
+//  - Chunk leases: every dispatch carries an implicit lease. A dead
+//    worker's undelivered points — or a live-but-stalled worker's after
+//    lease_ms — are re-dispatched to survivors with capped exponential
+//    backoff, up to a re-dispatch budget per chunk; past the budget the
+//    points surface as hard errors rather than spinning forever.
+//  - Duplicate suppression: results are deterministic, so the first
+//    result for a point wins and a late answer from a lease-expired
+//    worker is counted, digest-compared against the first (a mismatch is
+//    a determinism violation and fails the sweep loudly), and dropped —
+//    never double-delivered, never double-stored.
+//  - Graceful degradation: when the last worker dies (or none ever
+//    registers), the coordinator finishes the remaining points locally
+//    in-process. A sweep never fails because the fleet did.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sdrmpi/core/batch.hpp"
+#include "sdrmpi/core/run_config.hpp"
+#include "sdrmpi/sweep/worker.hpp"
+
+namespace sdrmpi::sweep {
+
+/// Remote worker protocol version, exchanged in the registration
+/// handshake together with kConfigKeyVersion and kResultCodecVersion.
+inline constexpr std::uint32_t kRemoteProtocolVersion = 1;
+
+// Frame kinds layered on the frame_io result/error kinds (0..2).
+inline constexpr std::uint8_t kFrameHello = 10;        ///< worker -> coord
+inline constexpr std::uint8_t kFrameHelloAck = 11;     ///< coord -> worker
+inline constexpr std::uint8_t kFrameHelloReject = 12;  ///< coord -> worker
+inline constexpr std::uint8_t kFrameHeartbeat = 13;    ///< worker -> coord
+inline constexpr std::uint8_t kFrameDispatch = 14;     ///< coord -> worker
+inline constexpr std::uint8_t kFrameShutdown = 15;     ///< coord -> worker
+
+/// Failure-detection and re-dispatch tuning. Defaults suit real sweeps;
+/// tests shrink everything to tens of milliseconds.
+struct RemoteTuning {
+  /// How long run() waits for a first worker to register before degrading
+  /// to local execution (workers started moments after the coordinator
+  /// must not be missed).
+  int registration_wait_ms = 10000;
+  /// Heartbeat period advertised to workers in the HelloAck.
+  int heartbeat_interval_ms = 1000;
+  /// A worker silent (no frame of any kind) past this is declared dead.
+  int heartbeat_deadline_ms = 5000;
+  /// Lease on a dispatched chunk: undelivered points past this are
+  /// re-dispatched to another worker even if the holder still heartbeats
+  /// (stalled != dead; its late results are suppressed as duplicates).
+  /// <= 0 disables lease expiry (death detection still re-dispatches).
+  int lease_ms = 120000;
+  /// Re-dispatches allowed per chunk before its undelivered points are
+  /// reported as hard errors.
+  int redispatch_budget = 3;
+  /// Capped exponential backoff between re-dispatches of the same chunk:
+  /// min(backoff_base_ms << (attempt-1), backoff_cap_ms).
+  int backoff_base_ms = 50;
+  int backoff_cap_ms = 2000;
+};
+
+/// One point of remote work: stable id + the coordinator-side config/app
+/// (the app is the local-degradation fallback; the spec is what a remote
+/// workerd resolves through the workload registry).
+struct RemotePoint {
+  std::size_t id = 0;
+  const core::RunConfig* cfg = nullptr;
+  const core::AppFn* app = nullptr;
+  std::string spec;
+};
+
+/// Robustness accounting for one coordinator run (folded into
+/// ServiceStats by the sweep service).
+struct RemoteStats {
+  std::size_t workers_registered = 0;  ///< handshakes accepted, lifetime
+  std::size_t workers_lost = 0;        ///< deaths declared (EOF or deadline)
+  std::size_t heartbeats_missed = 0;   ///< deadline-expiry deaths only
+  std::size_t chunks_redispatched = 0; ///< re-dispatch events (death+lease)
+  std::size_t duplicate_results = 0;   ///< late answers suppressed
+  std::size_t local_fallback_points = 0;  ///< points finished in-process
+};
+
+/// Coordinator: owns the listener and the registered-worker set for the
+/// life of the service (workers connect once and serve every run() of a
+/// cold+warm bench pair), and schedules chunks with leases per run().
+class RemoteCoordinator {
+ public:
+  /// Binds and starts accepting immediately (listen spec "host:port",
+  /// port 0 = ephemeral). Throws std::runtime_error on bind failure.
+  RemoteCoordinator(const std::string& listen, RemoteTuning tuning);
+  ~RemoteCoordinator();
+  RemoteCoordinator(const RemoteCoordinator&) = delete;
+  RemoteCoordinator& operator=(const RemoteCoordinator&) = delete;
+
+  /// Resolved "host:port" workers connect to (ephemeral port filled in).
+  [[nodiscard]] std::string address() const;
+
+  /// Currently registered (live) workers.
+  [[nodiscard]] std::size_t connected_workers() const;
+
+  /// Executes every point of every chunk; blocks until each has exactly
+  /// one result or error. on_result/on_error are invoked from the calling
+  /// thread and from reader threads — callers serialize with their own
+  /// lock, exactly like run_forked. Stats accumulate across calls.
+  void run(const std::vector<std::vector<RemotePoint>>& chunks,
+           const std::function<void(std::size_t, core::RunResult&&)>& on_result,
+           const std::function<void(PointError&&)>& on_error);
+
+  /// Snapshot of the lifetime robustness counters, taken under the
+  /// coordinator lock — reader threads update them concurrently, and a
+  /// lease-expired worker's late answer can land after run() returned.
+  [[nodiscard]] RemoteStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  RemoteStats stats_;
+};
+
+/// Builds the app a dispatched point runs. sweep-workerd uses the
+/// workload-registry resolver below; tests substitute their own. Called
+/// once per dispatched point, on the worker's execution thread.
+using AppResolver =
+    std::function<core::AppFn(const core::RunConfig& cfg,
+                              const std::string& spec)>;
+
+/// Thrown by a test AppResolver to simulate a fail-stop worker crash:
+/// run_worker hard-closes the socket mid-chunk (the coordinator sees the
+/// same EOF/ECONNRESET a SIGKILLed workerd produces) and returns.
+struct WorkerAbort {};
+
+struct WorkerOptions {
+  std::string name = "worker";
+  /// Handshake/read timeout against an unresponsive coordinator.
+  int connect_timeout_ms = 10000;
+  /// Test hook: stop heartbeating after this many beats (-1 = never), so
+  /// the coordinator's deadline detector can be exercised without a
+  /// genuinely hung host.
+  int max_heartbeats = -1;
+  /// Test hook: version announced in the Hello frame (a mismatch must be
+  /// rejected by the coordinator before any dispatch).
+  std::uint32_t protocol_version = kRemoteProtocolVersion;
+};
+
+/// Worker main loop: connect to `coordinator` ("host:port"), register,
+/// heartbeat, and execute dispatch frames until the coordinator shuts the
+/// connection down (clean return). Throws std::runtime_error if the
+/// connection or registration fails — but once registered, a vanished
+/// coordinator is a clean return too (the workerd exits 0; there is
+/// nobody left to serve).
+void run_worker(const std::string& coordinator, const AppResolver& resolver,
+                const WorkerOptions& opts = {});
+
+/// Resolver backed by the workload registry: spec is
+/// "<workload> [key=value ...]" (e.g. "cg nrows=768 iters=8"), applied
+/// through wl::make_workload. An empty or unknown spec throws
+/// std::invalid_argument, which reaches the coordinator as a per-point
+/// invalid-config error frame.
+[[nodiscard]] AppResolver registry_resolver();
+
+}  // namespace sdrmpi::sweep

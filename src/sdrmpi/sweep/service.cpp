@@ -9,6 +9,7 @@
 
 #include "sdrmpi/core/launcher.hpp"
 #include "sdrmpi/sweep/config_key.hpp"
+#include "sdrmpi/sweep/remote.hpp"
 #include "sdrmpi/sweep/worker.hpp"
 
 namespace sdrmpi::sweep {
@@ -43,9 +44,29 @@ SweepService::SweepService(ServiceOptions opts) : opts_(std::move(opts)) {
   store_ = opts_.cache_path.empty()
                ? std::make_unique<ResultStore>()
                : std::make_unique<ResultStore>(opts_.cache_path);
+  if (!opts_.listen.empty()) {
+    // The coordinator outlives individual run() calls so workers can
+    // register before the first sweep and keep serving across cold/warm
+    // pairs. Its destructor sends Shutdown frames, so workerd processes
+    // exit cleanly when the service goes away.
+    coordinator_ =
+        std::make_unique<RemoteCoordinator>(opts_.listen, opts_.remote);
+  }
 }
 
 SweepService::~SweepService() = default;
+
+std::string SweepService::remote_address() const {
+  return coordinator_ != nullptr ? coordinator_->address() : std::string();
+}
+
+std::size_t SweepService::connected_workers() const {
+  return coordinator_ != nullptr ? coordinator_->connected_workers() : 0;
+}
+
+RemoteStats SweepService::remote_snapshot() const {
+  return coordinator_ != nullptr ? coordinator_->stats() : RemoteStats{};
+}
 
 std::vector<core::RunResult> SweepService::run(
     const std::vector<core::RunConfig>& configs,
@@ -101,9 +122,16 @@ std::vector<core::RunResult> SweepService::run(
   workers = std::clamp(workers, 1,
                        std::max(1, static_cast<int>(misses.size())));
   stats_.workers = workers;
-  std::size_t nchunks =
-      opts_.chunks > 0 ? static_cast<std::size_t>(opts_.chunks)
-                       : static_cast<std::size_t>(workers) * 4;
+  // Auto-chunking sizes to the executing fleet: pool threads locally,
+  // registered workers remotely. Either way the layout is scheduling
+  // only — results are pinned bit-identical across layouts.
+  const std::size_t fleet =
+      coordinator_ != nullptr
+          ? std::max<std::size_t>(1, coordinator_->connected_workers())
+          : static_cast<std::size_t>(workers);
+  std::size_t nchunks = opts_.chunks > 0
+                            ? static_cast<std::size_t>(opts_.chunks)
+                            : fleet * 4;
   nchunks = std::clamp<std::size_t>(nchunks, 1,
                                     std::max<std::size_t>(1, misses.size()));
   if (misses.empty()) nchunks = 0;
@@ -134,21 +162,48 @@ std::vector<core::RunResult> SweepService::run(
     }
   };
 
-  if (!misses.empty() && opts_.process_workers) {
+  auto collect_error = [&](PointError&& err) {
+    std::lock_guard<std::mutex> lock(collect_mutex);
+    RecordedError rec;
+    rec.present = true;
+    rec.invalid_config = err.invalid_config;
+    rec.message = std::move(err.message);
+    errors.emplace(misses[err.id], std::move(rec));
+  };
+
+  if (!misses.empty() && coordinator_ != nullptr) {
+    std::vector<std::vector<RemotePoint>> chunks(nchunks);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      for (std::size_t m : chunk_members[c]) {
+        RemotePoint pt;
+        pt.id = m;
+        pt.cfg = &configs[misses[m]];
+        pt.app = &apps[m];
+        if (opts_.spec) pt.spec = opts_.spec(configs[misses[m]], misses[m]);
+        chunks[c].push_back(std::move(pt));
+      }
+    }
+    stats_.remote_workers = coordinator_->connected_workers();
+    const RemoteStats before = coordinator_->stats();
+    coordinator_->run(chunks, collect_result, collect_error);
+    const RemoteStats after = coordinator_->stats();
+    stats_.workers_lost = after.workers_lost - before.workers_lost;
+    stats_.heartbeats_missed =
+        after.heartbeats_missed - before.heartbeats_missed;
+    stats_.chunks_redispatched =
+        after.chunks_redispatched - before.chunks_redispatched;
+    stats_.duplicate_results =
+        after.duplicate_results - before.duplicate_results;
+    stats_.local_fallback_points =
+        after.local_fallback_points - before.local_fallback_points;
+  } else if (!misses.empty() && opts_.process_workers) {
     std::vector<std::vector<WorkPoint>> chunks(nchunks);
     for (std::size_t c = 0; c < nchunks; ++c) {
       for (std::size_t m : chunk_members[c]) {
         chunks[c].push_back(WorkPoint{m, &configs[misses[m]], &apps[m]});
       }
     }
-    run_forked(chunks, workers, collect_result, [&](PointError&& err) {
-      std::lock_guard<std::mutex> lock(collect_mutex);
-      RecordedError rec;
-      rec.present = true;
-      rec.invalid_config = err.invalid_config;
-      rec.message = std::move(err.message);
-      errors.emplace(misses[err.id], std::move(rec));
-    });
+    run_forked(chunks, workers, collect_result, collect_error);
   } else if (!misses.empty()) {
     std::atomic<std::size_t> next_chunk{0};
     auto pool_worker = [&] {

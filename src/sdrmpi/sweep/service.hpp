@@ -32,6 +32,7 @@
 
 #include "sdrmpi/core/batch.hpp"
 #include "sdrmpi/core/run_config.hpp"
+#include "sdrmpi/sweep/remote.hpp"
 #include "sdrmpi/sweep/result_store.hpp"
 
 namespace sdrmpi::sweep {
@@ -47,6 +48,18 @@ struct ServiceOptions {
   bool process_workers = false;
   /// Path of the persistent result store; empty = in-memory dedupe only.
   std::string cache_path;
+  /// Listen endpoint ("host:port"; port 0 = ephemeral) for remote
+  /// sweep-workerd processes. Non-empty selects the remote backend:
+  /// misses are dispatched to registered workers with lease-based
+  /// re-dispatch, and finished locally if the fleet dies (remote.hpp).
+  std::string listen;
+  /// Failure-detection / re-dispatch tuning for the remote backend.
+  RemoteTuning remote;
+  /// Maps a point to the app-spec string a remote workerd resolves via
+  /// the workload registry ("cg nrows=768 iters=8"). Unset => points
+  /// carry an empty spec, which registry-backed workers reject per point
+  /// — set this whenever `listen` is set.
+  std::function<std::string(const core::RunConfig&, std::size_t index)> spec;
 };
 
 /// One completed point, streamed as it resolves (from cache or worker).
@@ -73,6 +86,17 @@ struct ServiceStats {
   /// contract says this is 1 (or 0 on a fully warm sweep); fig_sweepsvc
   /// --check gates on it.
   std::size_t max_dispatches_per_digest = 0;
+
+  // Remote-backend fault-tolerance accounting (all zero for local
+  // backends and for failure-free remote sweeps — the cold/warm JSON
+  // emitted by benches must not change shape or content when nothing
+  // went wrong).
+  std::size_t remote_workers = 0;       ///< fleet size when dispatch began
+  std::size_t workers_lost = 0;         ///< deaths declared during this run
+  std::size_t heartbeats_missed = 0;    ///< deadline-expiry deaths
+  std::size_t chunks_redispatched = 0;  ///< lease/death re-dispatch events
+  std::size_t duplicate_results = 0;    ///< late answers suppressed
+  std::size_t local_fallback_points = 0;  ///< points finished in-process
 };
 
 class SweepService {
@@ -110,10 +134,28 @@ class SweepService {
   /// The backing store (tests inspect size()/loaded()).
   [[nodiscard]] const ResultStore& store() const noexcept { return *store_; }
 
+  /// True when a remote backend is listening (opts.listen non-empty).
+  [[nodiscard]] bool remote() const noexcept { return coordinator_ != nullptr; }
+
+  /// Resolved "host:port" workers connect to (ephemeral port filled in).
+  /// Only valid when remote().
+  [[nodiscard]] std::string remote_address() const;
+
+  /// Currently registered remote workers (0 when !remote()).
+  [[nodiscard]] std::size_t connected_workers() const;
+
+  /// Snapshot of the lifetime remote fault-tolerance counters,
+  /// accumulated across run() calls (ServiceStats carries the per-run
+  /// deltas). Zero-valued when !remote(). A lease-expired worker's late
+  /// answer can land after run() returned — tests poll this to observe
+  /// the suppression.
+  [[nodiscard]] RemoteStats remote_snapshot() const;
+
  private:
   ServiceOptions opts_;
   ServiceStats stats_;
   std::unique_ptr<ResultStore> store_;
+  std::unique_ptr<RemoteCoordinator> coordinator_;
 };
 
 }  // namespace sdrmpi::sweep

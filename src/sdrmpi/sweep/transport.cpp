@@ -1,0 +1,196 @@
+#include "sdrmpi/sweep/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace sdrmpi::sweep {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("sweep transport: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void apply_socket_options(int fd) {
+  int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port,
+                      bool listener) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string h =
+      host.empty() ? (listener ? "0.0.0.0" : "127.0.0.1") : host;
+  if (::inet_pton(AF_INET, h.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument(
+        "sweep transport: '" + h +
+        "' is not an IPv4 address (name resolution is out of scope; "
+        "use the numeric address)");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  const auto colon = spec.rfind(':');
+  const std::string port_part =
+      colon == std::string::npos ? spec : spec.substr(colon + 1);
+  if (colon != std::string::npos) ep.host = spec.substr(0, colon);
+  if (port_part.empty()) {
+    throw std::invalid_argument("sweep transport: endpoint '" + spec +
+                                "' has no port");
+  }
+  char* end = nullptr;
+  const long port = std::strtol(port_part.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+    throw std::invalid_argument("sweep transport: bad port in endpoint '" +
+                                spec + "'");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+void ignore_sigpipe() {
+  struct sigaction sa {};
+  sa.sa_handler = SIG_IGN;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd p{fd, POLLIN, 0};
+  for (;;) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    return r > 0;
+  }
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms) {
+  const sockaddr_in addr = make_addr(host, port, /*listener=*/false);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail("socket");
+  apply_socket_options(fd);
+
+  // Non-blocking connect + poll for the handshake deadline, then back to
+  // blocking for the frame loops.
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    fail("connect to " + host + ":" + std::to_string(port));
+  }
+  if (rc != 0) {
+    pollfd p{fd, POLLOUT, 0};
+    int left = timeout_ms;
+    for (;;) {
+      const int r = ::poll(&p, 1, left);
+      if (r < 0 && errno == EINTR) continue;
+      if (r <= 0) {
+        ::close(fd);
+        throw std::runtime_error("sweep transport: connect to " + host + ":" +
+                                 std::to_string(port) + " timed out");
+      }
+      break;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (soerr != 0) {
+      ::close(fd);
+      errno = soerr;
+      fail("connect to " + host + ":" + std::to_string(port));
+    }
+  }
+  ::fcntl(fd, F_SETFL, fl);
+  return fd;
+}
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port)
+    : host_(host) {
+  const sockaddr_in addr = make_addr(host, port, /*listener=*/true);
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) fail("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    fail("bind " + (host.empty() ? std::string("0.0.0.0") : host) + ":" +
+         std::to_string(port));
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    fail("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+}
+
+TcpListener::~TcpListener() { close(); }
+
+int TcpListener::accept_fd(int timeout_ms) {
+  const int fd = fd_;  // close() from another thread leaves our copy valid
+  if (fd < 0) return -1;
+  if (!wait_readable(fd, timeout_ms)) return -1;
+  for (;;) {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0) {
+      apply_socket_options(conn);
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    return -1;  // listener closed or transient accept failure
+  }
+}
+
+std::string TcpListener::address() const {
+  const std::string host =
+      (host_.empty() || host_ == "0.0.0.0") ? "127.0.0.1" : host_;
+  return host + ":" + std::to_string(port_);
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    // shutdown() first so a thread blocked in poll/accept wakes with an
+    // error instead of racing a reused fd number.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace sdrmpi::sweep

@@ -9,18 +9,32 @@
 //    50-point fuzz sweep), dedupe-dispatches-once, resume-after-kill
 //    (a pre-populated store means only missing digests are simulated),
 //    and "config[i]: " error attribution.
+//  - Remote backend: TCP worker fleets (1/2/3 workers over loopback,
+//    the real run_worker loop in threads) reproduce the pool-1 baseline
+//    bit-for-bit through mid-chunk worker kills, lease expiry with a
+//    suppressed late twin, heartbeat-deadline death, last-worker death
+//    (local degradation), an empty fleet, an exhausted re-dispatch
+//    budget (hard error), and a version-mismatch registration reject.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <functional>
+#include <memory>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "sdrmpi/sweep/config_key.hpp"
 #include "sdrmpi/sweep/frame_io.hpp"
+#include "sdrmpi/sweep/remote.hpp"
 #include "sdrmpi/sweep/result_codec.hpp"
+#include "sdrmpi/sweep/transport.hpp"
 #include "sdrmpi/sweep/worker.hpp"
 #include "sdrmpi/util/rng.hpp"
 #include "test_support.hpp"
@@ -657,6 +671,535 @@ TEST(WorkerForked, EveryFailingWorkerIsReported) {
     EXPECT_NE(msg.find("sweep worker 1"), std::string::npos) << msg;
     EXPECT_NE(msg.find("; "), std::string::npos) << msg;
   }
+}
+
+// -------------------------------------------------- config wire round-trip
+
+TEST(ConfigKey, DeserializeInvertsSerializeForEveryMutation) {
+  // The remote protocol ships configs as canonical bytes; a dispatched
+  // point must simulate from a RunConfig bit-identical to the
+  // coordinator's, for every field the digest covers.
+  const core::RunConfig base;
+  EXPECT_EQ(sweep::deserialize_config(sweep::serialize_config(base)), base);
+  for (const Mutation& m : all_field_mutations()) {
+    core::RunConfig mutated = base;
+    m.apply(mutated);
+    const auto bytes = sweep::serialize_config(mutated);
+    const core::RunConfig back = sweep::deserialize_config(bytes);
+    EXPECT_EQ(back, mutated) << m.field;
+    EXPECT_EQ(sweep::serialize_config(back), bytes) << m.field;
+  }
+  core::RunConfig rich = test::quick_config(3, 2, core::ProtocolKind::Sdr);
+  rich.faults.push_back({.slot = 4, .at_time = -1, .at_send = 2});
+  rich.sdc.push_back({.slot = 1, .at_send = 2});
+  rich.net.topology = net::TopologySpec::fat_tree();
+  EXPECT_EQ(sweep::deserialize_config(sweep::serialize_config(rich)), rich);
+}
+
+TEST(ConfigKey, DeserializeRejectsMalformedBytes) {
+  core::RunConfig cfg = test::quick_config(3, 2, core::ProtocolKind::Sdr);
+  cfg.faults.push_back({.slot = 4, .at_time = -1, .at_send = 2});
+  auto bytes = sweep::serialize_config(cfg);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{9},
+                          bytes.size() - 1}) {
+    const std::vector<std::byte> truncated(
+        bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW({ auto c = sweep::deserialize_config(truncated); },
+                 sweep::CodecError)
+        << "cut at " << cut;
+  }
+  auto trailing = bytes;
+  trailing.push_back(std::byte{0});
+  EXPECT_THROW({ auto c = sweep::deserialize_config(trailing); },
+               sweep::CodecError);
+  auto wrong_version = bytes;
+  wrong_version[0] ^= std::byte{0xff};
+  EXPECT_THROW({ auto c = sweep::deserialize_config(wrong_version); },
+               sweep::CodecError);
+}
+
+// ------------------------------------------------- frame transport on TCP
+
+/// The exact wire bytes write_frame would emit, captured through a pipe.
+std::vector<unsigned char> frame_image(std::uint8_t kind, std::uint64_t id,
+                                       const std::string& payload) {
+  int p[2];
+  EXPECT_EQ(::pipe(p), 0);
+  EXPECT_TRUE(sweep::frame::write_frame(p[1], kind, id, payload.data(),
+                                        payload.size()));
+  ::close(p[1]);
+  std::vector<unsigned char> bytes(13 + payload.size());
+  EXPECT_TRUE(sweep::frame::read_all(p[0], bytes.data(), bytes.size()));
+  ::close(p[0]);
+  return bytes;
+}
+
+TEST(FrameIo, ReassemblesDribbledSocketTransfers) {
+  // On TCP, partial reads are the norm: a frame written byte-at-a-time
+  // must reassemble losslessly, and the close after the last byte lands
+  // exactly on a frame boundary (clean close, not a torn frame).
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const std::string payload = "short transfers are the norm, not the edge";
+  const auto image = frame_image(sweep::frame::kFrameResult, 77, payload);
+  std::thread dribbler([&image, fd = sv[1]] {
+    for (const unsigned char b : image) {
+      EXPECT_TRUE(sweep::frame::write_all(fd, &b, 1));
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    ::close(fd);
+  });
+  sweep::frame::FrameHeader h;
+  sweep::frame::IoError io;
+  ASSERT_TRUE(sweep::frame::read_frame_header(sv[0], h, &io));
+  EXPECT_EQ(h.kind, sweep::frame::kFrameResult);
+  EXPECT_EQ(h.id, 77u);
+  ASSERT_EQ(h.len, payload.size());
+  std::string got(h.len, '\0');
+  ASSERT_TRUE(sweep::frame::read_all(sv[0], got.data(), got.size(), &io));
+  EXPECT_EQ(got, payload);
+  EXPECT_FALSE(sweep::frame::read_frame_header(sv[0], h, &io));
+  EXPECT_TRUE(io.eof);
+  EXPECT_TRUE(io.clean_close);
+  dribbler.join();
+  ::close(sv[0]);
+}
+
+TEST(FrameIo, TornFrameIsEofButNotCleanClose) {
+  const auto image = frame_image(sweep::frame::kFrameResult, 9, "payload!");
+  // EOF after 5 of 13 header bytes: torn, not clean.
+  {
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ASSERT_TRUE(sweep::frame::write_all(sv[1], image.data(), 5));
+    ::close(sv[1]);
+    sweep::frame::FrameHeader h;
+    sweep::frame::IoError io;
+    EXPECT_FALSE(sweep::frame::read_frame_header(sv[0], h, &io));
+    EXPECT_TRUE(io.eof);
+    EXPECT_FALSE(io.clean_close);
+    EXPECT_TRUE(sweep::frame::is_connection_lost(io));
+    ::close(sv[0]);
+  }
+  // EOF mid-payload: the header parses, the payload read reports the tear.
+  {
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ASSERT_TRUE(sweep::frame::write_all(sv[1], image.data(), 13 + 3));
+    ::close(sv[1]);
+    sweep::frame::FrameHeader h;
+    sweep::frame::IoError io;
+    ASSERT_TRUE(sweep::frame::read_frame_header(sv[0], h, &io));
+    std::string got(h.len, '\0');
+    EXPECT_FALSE(sweep::frame::read_all(sv[0], got.data(), got.size(), &io));
+    EXPECT_TRUE(io.eof);
+    EXPECT_FALSE(io.clean_close);
+    ::close(sv[0]);
+  }
+}
+
+TEST(FrameIo, LostPeerSurfacesAsConnectionLostErrno) {
+  // Writing to a peer that vanished must come back as an EPIPE-class
+  // errno the scheduler maps to worker-lost — never as SIGPIPE death.
+  sweep::ignore_sigpipe();
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ::close(sv[0]);
+  const std::string payload(1 << 16, 'x');
+  sweep::frame::IoError io;
+  bool wrote = true;
+  for (int i = 0; i < 4 && wrote; ++i) {
+    wrote = sweep::frame::write_frame(sv[1], sweep::frame::kFrameResult, 1,
+                                      payload.data(), payload.size(), &io);
+  }
+  ASSERT_FALSE(wrote);
+  EXPECT_FALSE(io.eof);
+  EXPECT_TRUE(io.err == EPIPE || io.err == ECONNRESET) << "errno " << io.err;
+  EXPECT_TRUE(sweep::frame::is_connection_lost(io));
+  ::close(sv[1]);
+}
+
+// ---------------------------------------------------------- remote backend
+
+/// Tuning shrunk to test scale: fast heartbeats, no lease expiry unless a
+/// scenario opts in, generous deadlines so a loaded CI machine cannot
+/// declare a healthy worker dead.
+sweep::RemoteTuning fast_tuning() {
+  sweep::RemoteTuning t;
+  t.registration_wait_ms = 8000;
+  t.heartbeat_interval_ms = 25;
+  t.heartbeat_deadline_ms = 4000;
+  t.lease_ms = 0;
+  t.redispatch_budget = 5;
+  t.backoff_base_ms = 5;
+  t.backoff_cap_ms = 40;
+  return t;
+}
+
+/// Remote-backend layout: loopback listener on an ephemeral port, specs
+/// of the form "p<input index>".
+sweep::ServiceOptions remote_options(sweep::RemoteTuning tuning) {
+  sweep::ServiceOptions o;
+  o.listen = "127.0.0.1:0";
+  o.remote = tuning;
+  o.spec = [](const core::RunConfig&, std::size_t i) {
+    return "p" + std::to_string(i);
+  };
+  return o;
+}
+
+/// Resolves "p<index>" against the sweep's app table. Closures cannot
+/// cross a real network; in-process worker threads share the table, which
+/// keeps the full TCP protocol (handshake, heartbeats, leases, frames)
+/// under test without spawning binaries.
+sweep::AppResolver table_resolver(const FuzzSweep& s) {
+  return [&s](const core::RunConfig&, const std::string& spec) {
+    if (spec.size() < 2 || spec[0] != 'p') {
+      throw std::invalid_argument("unknown spec: " + spec);
+    }
+    const std::size_t i = std::stoul(spec.substr(1));
+    if (i >= s.apps.size()) throw std::invalid_argument("spec out of range");
+    return s.apps[i];
+  };
+}
+
+std::vector<core::RunResult> pool1_baseline(const FuzzSweep& s) {
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  return core::run_many(s.configs, factory, {.threads = 1});
+}
+
+void expect_matches_baseline(const std::vector<core::RunResult>& runs,
+                             const std::vector<core::RunResult>& baseline,
+                             const std::string& what) {
+  ASSERT_EQ(runs.size(), baseline.size()) << what;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i], baseline[i]) << what << ": config " << i << " diverged";
+  }
+}
+
+/// A remote-backend service plus in-process threads running the real
+/// run_worker loop. Destruction order matters and is owned here: the
+/// service goes first (its destructor sends Shutdown frames), then the
+/// worker threads join (run_worker returns once the coordinator is gone)
+/// — members alone would destruct in the reverse, deadlocking order when
+/// an ASSERT returns early.
+class RemoteRig {
+ public:
+  explicit RemoteRig(sweep::ServiceOptions opts)
+      : service(std::make_unique<sweep::SweepService>(std::move(opts))) {}
+  ~RemoteRig() { shutdown(); }
+
+  void start_worker(sweep::AppResolver resolver,
+                    sweep::WorkerOptions wopts = {}) {
+    errors_.push_back(std::make_unique<std::string>());
+    std::string* err = errors_.back().get();
+    threads_.emplace_back([addr = service->remote_address(),
+                           resolver = std::move(resolver), wopts, err] {
+      try {
+        sweep::run_worker(addr, resolver, wopts);
+      } catch (const std::exception& e) {
+        *err = e.what();
+      }
+    });
+  }
+
+  [[nodiscard]] bool wait_for_workers(std::size_t n, int timeout_ms = 10000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (service->connected_workers() < n) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+  }
+
+  void shutdown() {
+    service.reset();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  /// Valid after shutdown() (the join is the synchronization point).
+  [[nodiscard]] const std::string& worker_error(std::size_t i) const {
+    return *errors_[i];
+  }
+
+  std::unique_ptr<sweep::SweepService> service;
+
+ private:
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<std::string>> errors_;
+};
+
+TEST(RemoteBackend, WorkerFleetsReproducePoolBaseline) {
+  const FuzzSweep s = draw_sweep(24);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  const auto baseline = pool1_baseline(s);
+
+  const struct {
+    std::size_t nworkers;
+    int chunks;
+  } layouts[] = {{1, 1}, {2, 0}, {3, 5}};
+  for (const auto& layout : layouts) {
+    auto opts = remote_options(fast_tuning());
+    opts.chunks = layout.chunks;
+    RemoteRig rig(std::move(opts));
+    for (std::size_t w = 0; w < layout.nworkers; ++w) {
+      rig.start_worker(table_resolver(s),
+                       {.name = "w" + std::to_string(w)});
+    }
+    ASSERT_TRUE(rig.wait_for_workers(layout.nworkers));
+    const auto runs = rig.service->run(s.configs, factory);
+    const auto& st = rig.service->stats();
+    EXPECT_EQ(st.remote_workers, layout.nworkers);
+    EXPECT_EQ(st.workers_lost, 0u);
+    EXPECT_EQ(st.heartbeats_missed, 0u);
+    EXPECT_EQ(st.duplicate_results, 0u);
+    EXPECT_EQ(st.local_fallback_points, 0u);
+    EXPECT_LE(st.max_dispatches_per_digest, 1u);
+    expect_matches_baseline(
+        runs, baseline,
+        "fleet of " + std::to_string(layout.nworkers) + " workers, chunks=" +
+            std::to_string(layout.chunks));
+    rig.shutdown();
+  }
+}
+
+TEST(RemoteBackend, KilledWorkerMidChunkIsInvisibleInResults) {
+  const FuzzSweep s = draw_sweep(24);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  const auto baseline = pool1_baseline(s);
+
+  auto opts = remote_options(fast_tuning());
+  opts.chunks = 8;  // 3 points per chunk: the abort lands mid-chunk
+  RemoteRig rig(std::move(opts));
+  // The doomed worker fail-stops while resolving its third point — the
+  // coordinator sees the same torn stream a SIGKILLed workerd produces.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  auto inner = table_resolver(s);
+  rig.start_worker(
+      [inner, calls](const core::RunConfig& cfg, const std::string& spec) {
+        if (calls->fetch_add(1) == 2) throw sweep::WorkerAbort{};
+        return inner(cfg, spec);
+      },
+      {.name = "doomed"});
+  rig.start_worker(table_resolver(s), {.name = "survivor"});
+  ASSERT_TRUE(rig.wait_for_workers(2));
+
+  const auto runs = rig.service->run(s.configs, factory);
+  const auto& st = rig.service->stats();
+  EXPECT_EQ(st.workers_lost, 1u);
+  EXPECT_EQ(st.heartbeats_missed, 0u);  // EOF death, not a silent deadline
+  EXPECT_GE(st.chunks_redispatched, 1u);
+  EXPECT_EQ(st.local_fallback_points, 0u);  // the survivor carried the sweep
+  expect_matches_baseline(runs, baseline, "kill-a-worker-mid-chunk");
+  rig.shutdown();
+}
+
+TEST(RemoteBackend, LeaseExpiryRedispatchesAndSuppressesTheLateTwin) {
+  const FuzzSweep s = draw_sweep(12);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  const auto baseline = pool1_baseline(s);
+
+  auto tuning = fast_tuning();
+  tuning.lease_ms = 120;
+  tuning.redispatch_budget = 10;  // slow-CI slack: bouncing must not error
+  auto opts = remote_options(tuning);
+  opts.chunks = 4;
+  RemoteRig rig(std::move(opts));
+  // Whichever worker resolves a point first stalls well past the lease,
+  // then answers anyway; its heartbeats keep flowing the whole time
+  // (stalled != dead), so this exercises lease re-dispatch in isolation.
+  auto stalled = std::make_shared<std::atomic<bool>>(false);
+  auto inner = table_resolver(s);
+  auto stalling =
+      [inner, stalled](const core::RunConfig& cfg, const std::string& spec) {
+        if (!stalled->exchange(true)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(700));
+        }
+        return inner(cfg, spec);
+      };
+  rig.start_worker(stalling, {.name = "stalled"});
+  rig.start_worker(stalling, {.name = "healthy"});
+  ASSERT_TRUE(rig.wait_for_workers(2));
+
+  std::unordered_map<std::uint64_t, int> streamed;
+  const auto runs = rig.service->run(
+      s.configs, factory,
+      [&streamed](const sweep::PointOutcome& out) { ++streamed[out.digest]; });
+  const auto& st = rig.service->stats();
+  EXPECT_EQ(st.workers_lost, 0u);  // the stalled worker never died
+  EXPECT_EQ(st.heartbeats_missed, 0u);
+  EXPECT_GE(st.chunks_redispatched, 1u);
+  EXPECT_EQ(st.local_fallback_points, 0u);
+  // Exactly one stream delivery and one store record per digest: the late
+  // twin is suppressed, never double-delivered, never double-stored.
+  EXPECT_EQ(streamed.size(), st.unique_points);
+  for (const auto& [digest, count] : streamed) {
+    EXPECT_EQ(count, 1) << "digest " << digest << " delivered twice";
+  }
+  EXPECT_EQ(rig.service->store().size(), st.unique_points);
+  EXPECT_LE(st.max_dispatches_per_digest, 1u);
+  expect_matches_baseline(runs, baseline, "lease-expiry schedule");
+
+  // The stalled worker's late answer may land after run() returned; the
+  // lifetime counters record the suppression whenever it arrives.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (rig.service->remote_snapshot().duplicate_results == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(rig.service->remote_snapshot().duplicate_results, 1u);
+  rig.shutdown();
+}
+
+TEST(RemoteBackend, SilentWorkerIsDeclaredDeadByHeartbeatDeadline) {
+  const FuzzSweep s = draw_sweep(12);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  const auto baseline = pool1_baseline(s);
+
+  auto tuning = fast_tuning();
+  tuning.heartbeat_interval_ms = 25;
+  tuning.heartbeat_deadline_ms = 250;
+  auto opts = remote_options(tuning);
+  opts.chunks = 4;
+  RemoteRig rig(std::move(opts));
+  // The silent worker never heartbeats (test hook) and hangs on its first
+  // point: no frame of any kind after registration. Only the deadline
+  // detector can reclaim its chunks — the socket stays open throughout.
+  auto inner = table_resolver(s);
+  auto hung = std::make_shared<std::atomic<bool>>(false);
+  rig.start_worker(
+      [inner, hung](const core::RunConfig& cfg, const std::string& spec) {
+        if (!hung->exchange(true)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+        }
+        return inner(cfg, spec);
+      },
+      {.name = "silent", .max_heartbeats = 0});
+  rig.start_worker(table_resolver(s), {.name = "healthy"});
+  ASSERT_TRUE(rig.wait_for_workers(2));
+
+  const auto runs = rig.service->run(s.configs, factory);
+  const auto& st = rig.service->stats();
+  EXPECT_EQ(st.workers_lost, 1u);
+  EXPECT_EQ(st.heartbeats_missed, 1u);  // a deadline death, not an EOF
+  EXPECT_GE(st.chunks_redispatched, 1u);
+  EXPECT_EQ(st.local_fallback_points, 0u);
+  expect_matches_baseline(runs, baseline, "heartbeat-deadline schedule");
+  rig.shutdown();
+}
+
+TEST(RemoteBackend, LastWorkerDeathDegradesToLocalExecution) {
+  const FuzzSweep s = draw_sweep(12);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  const auto baseline = pool1_baseline(s);
+
+  auto opts = remote_options(fast_tuning());
+  opts.chunks = 4;
+  RemoteRig rig(std::move(opts));
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  auto inner = table_resolver(s);
+  rig.start_worker(
+      [inner, calls](const core::RunConfig& cfg, const std::string& spec) {
+        if (calls->fetch_add(1) == 2) throw sweep::WorkerAbort{};
+        return inner(cfg, spec);
+      },
+      {.name = "only-worker"});
+  ASSERT_TRUE(rig.wait_for_workers(1));
+
+  // The fleet dies mid-sweep with nobody left; the sweep must complete
+  // in-process, bit-identically.
+  const auto runs = rig.service->run(s.configs, factory);
+  const auto& st = rig.service->stats();
+  EXPECT_EQ(st.workers_lost, 1u);
+  EXPECT_GT(st.local_fallback_points, 0u);
+  expect_matches_baseline(runs, baseline, "last-worker-death schedule");
+  rig.shutdown();
+}
+
+TEST(RemoteBackend, EmptyFleetFallsBackToLocalAfterTheWindow) {
+  const FuzzSweep s = draw_sweep(8);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  const auto baseline = pool1_baseline(s);
+
+  auto tuning = fast_tuning();
+  tuning.registration_wait_ms = 100;  // nobody is coming
+  RemoteRig rig(remote_options(tuning));
+  const auto runs = rig.service->run(s.configs, factory);
+  const auto& st = rig.service->stats();
+  EXPECT_EQ(st.remote_workers, 0u);
+  EXPECT_EQ(st.workers_lost, 0u);
+  EXPECT_EQ(st.local_fallback_points, st.unique_points);
+  expect_matches_baseline(runs, baseline, "empty fleet");
+  rig.shutdown();
+}
+
+TEST(RemoteBackend, ExhaustedRedispatchBudgetIsAHardError) {
+  const FuzzSweep s = draw_sweep(4);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+
+  auto tuning = fast_tuning();
+  tuning.lease_ms = 50;
+  tuning.redispatch_budget = 1;
+  auto opts = remote_options(tuning);
+  opts.chunks = 2;
+  RemoteRig rig(std::move(opts));
+  // Every resolve stalls past the lease on both workers: each unit burns
+  // attempt 1 on one worker and attempt 2 on the other, then must surface
+  // as a hard error instead of bouncing forever.
+  auto inner = table_resolver(s);
+  auto molasses =
+      [inner](const core::RunConfig& cfg, const std::string& spec) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        return inner(cfg, spec);
+      };
+  rig.start_worker(molasses, {.name = "slow-a"});
+  rig.start_worker(molasses, {.name = "slow-b"});
+  ASSERT_TRUE(rig.wait_for_workers(2));
+
+  try {
+    auto runs = rig.service->run(s.configs, factory);
+    FAIL() << "expected the exhausted budget to surface as a hard error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.rfind("config[", 0), 0u) << msg;
+    EXPECT_NE(msg.find("abandoned after"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("re-dispatch budget 1"), std::string::npos) << msg;
+  }
+  rig.shutdown();
+}
+
+TEST(RemoteBackend, VersionMismatchIsRejectedAtRegistration) {
+  sweep::SweepService service(remote_options(fast_tuning()));
+  try {
+    sweep::run_worker(service.remote_address(), sweep::registry_resolver(),
+                      {.name = "stale-binary", .protocol_version = 99});
+    FAIL() << "expected the registration to be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("registration rejected"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("protocol version"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(service.connected_workers(), 0u);
 }
 
 }  // namespace

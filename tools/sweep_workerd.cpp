@@ -1,0 +1,83 @@
+// sweep-workerd: remote sweep worker daemon.
+//
+// Connects to a sweep-service coordinator (a bench/example started with
+// --listen, or any SweepService with ServiceOptions::listen set),
+// registers with the version handshake, heartbeats, and executes
+// dispatched points through the workload registry until the coordinator
+// shuts the fleet down.
+//
+// Usage:
+//   sweep-workerd --connect=HOST:PORT [--name=N] [--retries=K]
+//                 [--retry-ms=MS] [--connect-timeout-ms=MS]
+//
+// Exit status: 0 after a clean coordinator shutdown (or a coordinator
+// that simply went away after registration — there is nobody left to
+// serve), 1 when the coordinator stays unreachable past the retry
+// budget or rejects registration, 2 for usage errors.
+//
+// Start order is free: a workerd launched before its coordinator retries
+// the connection (--retries x --retry-ms covers the gap).
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "sdrmpi/sweep/remote.hpp"
+#include "sdrmpi/sweep/transport.hpp"
+#include "sdrmpi/util/options.hpp"
+
+namespace {
+
+void usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s --connect=HOST:PORT [--name=N] [--retries=K]\n"
+               "       [--retry-ms=MS] [--connect-timeout-ms=MS]\n",
+               prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sdrmpi;
+  try {
+    const util::Options opts(argc, argv);
+    opts.expect({"connect", "name", "retries", "retry-ms",
+                 "connect-timeout-ms", "help"});
+    if (opts.has("help")) {
+      usage(argv[0]);
+      return 0;
+    }
+    const std::string connect = opts.get_string("connect", "");
+    if (connect.empty()) {
+      usage(argv[0]);
+      return 2;
+    }
+    sweep::WorkerOptions wopts;
+    wopts.name = opts.get_string("name", "worker");
+    wopts.connect_timeout_ms =
+        static_cast<int>(opts.get_int("connect-timeout-ms", 10000));
+    const int retries = static_cast<int>(opts.get_int("retries", 30));
+    const int retry_ms = static_cast<int>(opts.get_int("retry-ms", 500));
+
+    sweep::ignore_sigpipe();
+    const sweep::AppResolver resolver = sweep::registry_resolver();
+    for (int attempt = 0;; ++attempt) {
+      try {
+        sweep::run_worker(connect, resolver, wopts);
+        return 0;  // coordinator shut us down cleanly
+      } catch (const std::exception& e) {
+        if (attempt >= retries) {
+          std::fprintf(stderr, "sweep-workerd: %s\n", e.what());
+          return 1;
+        }
+        std::fprintf(stderr, "sweep-workerd: %s (retry %d/%d in %d ms)\n",
+                     e.what(), attempt + 1, retries, retry_ms);
+        std::this_thread::sleep_for(std::chrono::milliseconds(retry_ms));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep-workerd: %s\n", e.what());
+    return 2;
+  }
+}
