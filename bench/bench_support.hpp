@@ -14,6 +14,10 @@
 //   --listen=H:P  accept remote sweep-workerd processes (":0" = ephemeral
 //                 port, printed on stderr); misses run on the fleet with
 //                 lease-based re-dispatch, locally if the fleet dies
+//   --secret-file=PATH  shared secret for the HMAC registration handshake;
+//                 only workerds started with the same secret may join
+//   --stats       one deterministic fault-counter line on stderr at sweep
+//                 end ("faults: none" when clean)
 //   --stream      emit one JSON line per completed point on stderr
 //   --json        machine-readable document on stdout
 // Unknown flags are rejected with the accepted list (check_options).
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "sdrmpi/sdrmpi.hpp"
+#include "sdrmpi/sweep/auth.hpp"
 #include "sdrmpi/workloads/registry.hpp"
 
 namespace sdrmpi::bench {
@@ -90,6 +95,8 @@ inline sweep::ServiceOptions service_options(const util::Options& opts) {
   s.chunks = static_cast<int>(opts.get_int("chunks", 0));
   s.cache_path = opts.get_string("cache", "");
   s.listen = opts.get_string("listen", "");
+  const std::string secret_file = opts.get_string("secret-file", "");
+  if (!secret_file.empty()) s.secret = sweep::auth::load_secret_file(secret_file);
   return s;
 }
 
@@ -108,7 +115,7 @@ inline void check_options(const util::Options& opts,
   std::vector<std::string> accepted;
   if (service_flags) {
     accepted = {"json", "pool", "workers", "chunks", "cache", "listen",
-                "stream"};
+                "secret-file", "stats", "stream"};
   }
   accepted.insert(accepted.end(), extra.begin(), extra.end());
   try {
@@ -207,6 +214,10 @@ inline std::vector<PointResult> run_points(const std::vector<Point>& pts,
               << "}\n";
   };
   const auto runs = service.run(configs, factory, on_point);
+  if (opts.get_bool("stats", false)) {
+    std::cerr << "[sweep] " << sweep::format_fault_summary(service.stats())
+              << "\n";
+  }
   if (stats_out != nullptr) *stats_out = service.stats();
 
   std::vector<PointResult> out(pts.size());

@@ -20,6 +20,10 @@
 // Flags: --listen=H:P  --wait-workers=N  --wait-timeout-ms=MS
 //        --points=N  --ranks=N  --nrows=N  --iters=N
 //        --pool=N  --chunks=N  --cache=PATH
+//        --secret-file=PATH (HMAC registration auth: only workerds started
+//                            with the same secret may join the fleet)
+//        --stats            (append one deterministic fault-counter line
+//                            on stderr: "faults: none" or nonzero counters)
 #include <chrono>
 #include <cstdio>
 #include <iomanip>
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "sdrmpi/sdrmpi.hpp"
+#include "sdrmpi/sweep/auth.hpp"
 #include "sdrmpi/workloads/registry.hpp"
 
 namespace {
@@ -47,7 +52,8 @@ int main(int argc, char** argv) {
   const util::Options opts(argc, argv);
   try {
     opts.expect({"listen", "wait-workers", "wait-timeout-ms", "points",
-                 "ranks", "nrows", "iters", "pool", "chunks", "cache"});
+                 "ranks", "nrows", "iters", "pool", "chunks", "cache",
+                 "secret-file", "stats"});
   } catch (const std::invalid_argument& e) {
     std::cerr << "distributed_sweep: " << e.what() << "\n";
     return 2;
@@ -86,6 +92,15 @@ int main(int argc, char** argv) {
   sopts.chunks = static_cast<int>(opts.get_int("chunks", 0));
   sopts.cache_path = opts.get_string("cache", "");
   sopts.listen = opts.get_string("listen", "");
+  const std::string secret_file = opts.get_string("secret-file", "");
+  if (!secret_file.empty()) {
+    try {
+      sopts.secret = sweep::auth::load_secret_file(secret_file);
+    } catch (const std::exception& e) {
+      std::cerr << "distributed_sweep: " << e.what() << "\n";
+      return 2;
+    }
+  }
   sopts.spec = [&spec](const core::RunConfig&, std::size_t) { return spec; };
 
   sweep::SweepService service(sopts);
@@ -140,5 +155,9 @@ int main(int argc, char** argv) {
             << " chunks_redispatched=" << st.chunks_redispatched
             << " duplicate_results=" << st.duplicate_results
             << " local_fallback_points=" << st.local_fallback_points << "\n";
+  if (opts.get_bool("stats", false)) {
+    std::cerr << "[distributed_sweep] " << sweep::format_fault_summary(st)
+              << "\n";
+  }
   return 0;
 }

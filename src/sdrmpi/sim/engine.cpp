@@ -154,11 +154,17 @@ void Engine::resume(Process& p) {
   p.state_ = ProcState::Running;
   ++context_switches_;
   asan::start_switch(&asan_sched_fake_, p.stack_.sp(), p.stack_.size());
+  tsan_sched_fiber_ = tsan::current_fiber();
+  tsan::switch_to(p.tsan_fiber_);
   swapcontext(&sched_ctx_, &p.ctx_);
   asan::finish_switch(asan_sched_fake_, nullptr, nullptr);
   running_ = nullptr;
-  if (p.terminated() && p.stack_.valid()) {
-    release_stack(std::move(p.stack_));
+  if (p.terminated()) {
+    // Safe from the scheduler context only — never destroy a running
+    // fiber's TSan handle.
+    tsan::destroy_fiber(p.tsan_fiber_);
+    p.tsan_fiber_ = nullptr;
+    if (p.stack_.valid()) release_stack(std::move(p.stack_));
   }
 }
 
@@ -167,6 +173,7 @@ void Engine::return_control_to_engine() {
   // A terminating fiber hands its fake stack back to ASan (nullptr save).
   asan::start_switch(self.terminated() ? nullptr : &self.asan_fake_stack_,
                      asan_sched_bottom_, asan_sched_size_);
+  tsan::switch_to(tsan_sched_fiber_);
   swapcontext(&self.ctx_, &sched_ctx_);
   asan::finish_switch(self.asan_fake_stack_, nullptr, nullptr);
 }
@@ -378,10 +385,12 @@ Engine::Snapshot Engine::snapshot() const {
       sp.live = true;
     } else if (!p->terminated() && p->stack_.valid()) {
       sp.ctx = p->ctx_;
-#if !defined(SDRMPI_ASAN_FIBERS)
-      // Full stack byte copy. Skipped under ASan: fake-stack frames make
-      // the raw bytes non-authoritative, and the immediate-round-trip
-      // contract means the live stack is still byte-identical at restore.
+#if !defined(SDRMPI_ASAN_FIBERS) && !defined(SDRMPI_TSAN_FIBERS)
+      // Full stack byte copy. Skipped under ASan (fake-stack frames make
+      // the raw bytes non-authoritative) and TSan (rewriting a tracked
+      // fiber stack behind the shadow's back invites false races); the
+      // immediate-round-trip contract means the live stack is still
+      // byte-identical at restore.
       sp.stack.assign(p->stack_.sp(), p->stack_.sp() + p->stack_.size());
 #endif
     }

@@ -242,6 +242,11 @@ class Engine {
   void* asan_sched_fake_ = nullptr;
   const void* asan_sched_bottom_ = nullptr;
   std::size_t asan_sched_size_ = 0;
+
+  // TSan fiber bookkeeping (no-op without TSan): the scheduler thread's
+  // implicit fiber handle, captured on each resume so the returning fiber
+  // can announce the switch back.
+  void* tsan_sched_fiber_ = nullptr;
 };
 
 }  // namespace sdrmpi::sim

@@ -73,10 +73,18 @@ Process::Process(Engine& engine, int pid, std::string name,
                  std::function<void()> body)
     : engine_(engine), pid_(pid), name_(std::move(name)), body_(std::move(body)) {}
 
-Process::~Process() = default;
+Process::~Process() {
+  // Normally destroyed by the engine right after termination; this covers
+  // fibers torn down without ever terminating (engine destruction paths).
+  // The handle can never be the running fiber here — a Process is only
+  // destructed from engine/host context.
+  tsan::destroy_fiber(tsan_fiber_);
+  tsan_fiber_ = nullptr;
+}
 
 void Process::make_fiber(FiberStack stack) {
   stack_ = std::move(stack);
+  tsan_fiber_ = tsan::create_fiber();
   getcontext(&ctx_);
   ctx_.uc_stack.ss_sp = stack_.sp();
   ctx_.uc_stack.ss_size = stack_.size();

@@ -124,6 +124,7 @@ class Process {
   ucontext_t ctx_{};
   FiberStack stack_;
   void* asan_fake_stack_ = nullptr;  // ASan fake-stack handle (asan_fiber.hpp)
+  void* tsan_fiber_ = nullptr;       // TSan fiber handle (asan_fiber.hpp)
 };
 
 }  // namespace sdrmpi::sim

@@ -1,0 +1,75 @@
+// Shared-secret transport authentication for the remote sweep protocol.
+//
+// The version triple in the registration handshake rejects *accidental*
+// mismatches (a stale binary); nothing in PR 8 rejected a hostile or
+// misdirected peer. This header adds the missing leg: a challenge/response
+// HMAC negotiated at registration, before any config bytes cross the wire.
+//
+//   worker  -> coord : Hello (versions + name, unchanged)
+//   coord   -> worker: AuthChallenge (32-byte nonce)    [secret configured]
+//   worker  -> coord : AuthResponse  (HMAC-SHA256(secret,
+//                                       hello_payload || nonce))
+//   coord   -> worker: HelloAck | HelloReject("authentication failed: ...")
+//
+// Binding the MAC to the Hello payload (not just the nonce) means a peer
+// cannot splice an authenticated session onto a different announced
+// identity/version triple; the nonce makes every registration MAC fresh,
+// so a captured response replays as garbage against the next challenge.
+// The comparison is constant-time — a timing oracle on a shared-secret
+// check leaks the secret byte by byte.
+//
+// SHA-256 and HMAC are implemented here, self-contained (FIPS 180-4 /
+// RFC 2104): the build has no crypto dependency and must not grow one for
+// 32 bytes of digest. Pinned by the RFC 4231 vectors in the unit tests.
+// Scope note: this authenticates *registration* and then trusts the
+// transport (no per-frame MAC, no encryption) — the threat model is a
+// wrong/hostile peer joining the fleet, not an in-path adversary.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdrmpi::sweep::auth {
+
+inline constexpr std::size_t kDigestSize = 32;  ///< SHA-256 output bytes
+inline constexpr std::size_t kNonceSize = 32;   ///< challenge nonce bytes
+
+using Digest = std::array<std::uint8_t, kDigestSize>;
+using Nonce = std::array<std::uint8_t, kNonceSize>;
+
+/// FIPS 180-4 SHA-256 of `data`.
+[[nodiscard]] Digest sha256(const void* data, std::size_t len);
+
+/// RFC 2104 HMAC-SHA256. `key` may be any length (hashed down when longer
+/// than the 64-byte block).
+[[nodiscard]] Digest hmac_sha256(const void* key, std::size_t key_len,
+                                 const void* msg, std::size_t msg_len);
+
+/// The registration MAC: HMAC-SHA256(secret, hello_payload || nonce).
+[[nodiscard]] Digest registration_mac(const std::string& secret,
+                                      const std::vector<std::byte>& hello,
+                                      const Nonce& nonce);
+
+/// Constant-time equality: runtime depends only on `len`, never on where
+/// the first mismatching byte sits.
+[[nodiscard]] bool constant_time_equal(const void* a, const void* b,
+                                       std::size_t len) noexcept;
+
+/// Fresh challenge nonce (std::random_device entropy mixed with a
+/// process-wide counter, SHA-256 whitened — registrations in the same
+/// tick must still draw distinct nonces).
+[[nodiscard]] Nonce make_nonce();
+
+/// Reads a shared secret from `path`: the whole file, with one trailing
+/// newline stripped (echo-created files). Throws std::runtime_error when
+/// the file is unreadable or the stripped secret is empty — an empty
+/// secret silently meaning "no auth" would be a foot-gun.
+[[nodiscard]] std::string load_secret_file(const std::string& path);
+
+/// Lowercase hex of a digest (tests and log lines).
+[[nodiscard]] std::string to_hex(const Digest& d);
+
+}  // namespace sdrmpi::sweep::auth

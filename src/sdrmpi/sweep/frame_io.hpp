@@ -36,7 +36,11 @@ inline constexpr std::uint8_t kFrameRuntimeError = 2;
 
 /// Largest payload the u32 length field can carry. A longer payload must
 /// be rejected, never cast down: truncating the length tears the stream
-/// for every frame that follows.
+/// for every frame that follows. Note this bounds what the *format* can
+/// express, not what a reader should accept: frames whose kind implies a
+/// small payload (handshake, heartbeats, work requests) are capped far
+/// lower by the remote protocol (remote.cpp's kMaxControlPayload) so a
+/// hostile header cannot make a reader thread allocate 4 GiB.
 inline constexpr std::size_t kMaxFramePayload = 0xffffffffu;
 
 /// Why a frame read/write stopped short. `eof` means the peer closed the

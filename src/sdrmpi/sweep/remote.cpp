@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <deque>
 #include <mutex>
 #include <sstream>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "sdrmpi/core/launcher.hpp"
+#include "sdrmpi/sweep/auth.hpp"
 #include "sdrmpi/sweep/config_key.hpp"
 #include "sdrmpi/sweep/frame_io.hpp"
 #include "sdrmpi/sweep/result_codec.hpp"
@@ -35,6 +37,13 @@ using Clock = std::chrono::steady_clock;
 constexpr std::uint64_t make_reply_id(std::uint32_t gen, std::uint32_t point) {
   return (std::uint64_t{gen} << 32) | point;
 }
+
+/// Control frames (hello, heartbeats, work requests, auth) are small by
+/// construction; a length beyond this is a confused or hostile peer, and
+/// allocating it would hand that peer a bad_alloc lever against a reader
+/// thread. Result frames are exempt — encoded RunResults are bounded by
+/// the frame_io 4 GiB limit and produced by our own workers.
+constexpr std::uint32_t kMaxControlPayload = 4096;
 
 void set_send_timeout(int fd, int ms) {
   // A hung peer must stall a frame write for at most the failure-detection
@@ -63,6 +72,7 @@ struct RemoteCoordinator::Impl {
   bool ever_registered = false;
   std::size_t live_workers = 0;
   std::uint32_t generation = 0;
+  Clock::time_point fleet_empty_since{};  // set when live_workers hits 0
 
   struct WorkerConn {
     int id = -1;
@@ -71,20 +81,24 @@ struct RemoteCoordinator::Impl {
     std::thread reader;
     Clock::time_point last_seen;
     bool alive = true;
+    bool hungry = false;        // sent a WorkRequest not yet served
+    std::uint64_t ewma_ns = 0;  // self-reported per-point cost estimate
     std::mutex write_mu;  // dispatch / shutdown frames interleave safely
   };
   std::vector<std::unique_ptr<WorkerConn>> workers;  // every worker ever
 
-  struct PendingUnit {
-    std::vector<std::uint32_t> points;  // indices into the run's point table
-    int attempt = 1;                    // dispatch attempts incl. this one
+  /// One undispatched point. Where PR 8 queued fixed chunks, the pull
+  /// scheduler queues points and cuts a chunk to size at serve time, so
+  /// a slow worker draws one point while a fast one draws dozens.
+  struct PendingItem {
+    std::uint32_t point = 0;  // index into the run's point table
+    int attempt = 1;          // dispatch attempts incl. the next one
     Clock::time_point not_before;
     int prev_worker = -1;  // last holder; re-dispatch prefers someone else
   };
   struct Assignment {
     int worker_id = -1;
-    std::vector<std::uint32_t> points;  // still undelivered under this lease
-    int attempt = 1;
+    std::vector<PendingItem> items;  // still undelivered under this lease
     Clock::time_point lease_deadline;
     bool active = false;
   };
@@ -96,17 +110,22 @@ struct RemoteCoordinator::Impl {
   struct RunState {
     std::vector<RemotePoint> pts;
     std::vector<PointState> state;
-    std::deque<PendingUnit> queue;
+    std::deque<PendingItem> queue;
     std::vector<Assignment> assignments;
     std::size_t undone = 0;
     std::string fatal;
+    /// Last time the scheduler moved: a chunk served, a result delivered,
+    /// or a lease recycled. Drives the stuck-fleet aging below — a pull
+    /// scheduler never hands work to a fleet that stops asking, so budget
+    /// exhaustion must be measured in wall time, not bounced dispatches.
+    Clock::time_point last_progress;
     const std::function<void(std::size_t, core::RunResult&&)>* on_result;
     const std::function<void(PointError&&)>* on_error;
   };
   RunState* run = nullptr;
 
   explicit Impl(const Endpoint& listen, RemoteTuning t, RemoteStats* s)
-      : tuning(t), stats(s), listener(listen.host, listen.port) {
+      : tuning(std::move(t)), stats(s), listener(listen.host, listen.port) {
     acceptor = std::thread([this] { accept_loop(); });
   }
 
@@ -155,7 +174,13 @@ struct RemoteCoordinator::Impl {
         }
       }
       if (fd < 0) continue;
-      handshake(fd);
+      try {
+        handshake(fd);
+      } catch (...) {
+        // A hostile or garbled peer must never take the acceptor down:
+        // drop the connection and keep listening.
+        ::close(fd);
+      }
     }
   }
 
@@ -170,7 +195,7 @@ struct RemoteCoordinator::Impl {
     }
     frame::FrameHeader h;
     if (!frame::read_frame_header(fd, h) || h.kind != kFrameHello ||
-        h.len > 4096) {
+        h.len > kMaxControlPayload) {
       ::close(fd);
       return;
     }
@@ -207,6 +232,9 @@ struct RemoteCoordinator::Impl {
              " != coordinator's " + std::to_string(kResultCodecVersion));
       return;
     }
+    if (!tuning.secret.empty() && !authenticate(fd, payload, reject)) {
+      return;  // rejected (reasoned frame already sent) or vanished
+    }
     ByteWriter ack;
     ack.u32(static_cast<std::uint32_t>(tuning.heartbeat_interval_ms));
     if (!frame::write_frame(fd, kFrameHelloAck, 0, ack.bytes().data(),
@@ -233,28 +261,51 @@ struct RemoteCoordinator::Impl {
     cv.notify_all();
   }
 
+  /// Acceptor thread, before any registration state exists. Challenges
+  /// the peer with a fresh nonce and verifies the HMAC over the exact
+  /// Hello payload it announced itself with — config bytes only ever
+  /// flow to a peer that proved it holds the shared secret.
+  bool authenticate(int fd, const std::vector<std::byte>& hello_payload,
+                    const std::function<void(const std::string&)>& reject) {
+    const auth::Nonce nonce = auth::make_nonce();
+    if (!frame::write_frame(fd, kFrameAuthChallenge, 0, nonce.data(),
+                            nonce.size())) {
+      ::close(fd);
+      return false;
+    }
+    if (!wait_readable(fd, tuning.heartbeat_deadline_ms)) {
+      reject("authentication failed: no response to the HMAC challenge");
+      return false;
+    }
+    frame::FrameHeader h;
+    if (!frame::read_frame_header(fd, h) || h.kind != kFrameAuthResponse ||
+        h.len != auth::kDigestSize) {
+      reject("authentication failed: expected a 32-byte AuthResponse");
+      return false;
+    }
+    auth::Digest mac;
+    if (!frame::read_all(fd, mac.data(), mac.size())) {
+      ::close(fd);
+      return false;
+    }
+    const auth::Digest want =
+        auth::registration_mac(tuning.secret, hello_payload, nonce);
+    if (!auth::constant_time_equal(mac.data(), want.data(), want.size())) {
+      reject("authentication failed: bad shared-secret MAC");
+      return false;
+    }
+    return true;
+  }
+
   // ---- per-worker reader thread ------------------------------------------
 
   void reader_loop(WorkerConn* w) {
-    for (;;) {
-      frame::FrameHeader h;
-      frame::IoError err;
-      if (!frame::read_frame_header(w->fd, h, &err)) break;
-      std::vector<std::byte> payload(h.len);
-      if (h.len > 0 &&
-          !frame::read_all(w->fd, payload.data(), h.len, &err)) {
-        break;
-      }
-      std::lock_guard<std::mutex> lk(mu);
-      w->last_seen = Clock::now();
-      if (h.kind == frame::kFrameResult ||
-          h.kind == frame::kFrameInvalidConfig ||
-          h.kind == frame::kFrameRuntimeError) {
-        handle_delivery(h, payload);
-      }
-      // Heartbeats (and unknown kinds, for forward compatibility) only
-      // refresh last_seen.
-      cv.notify_all();
+    // The whole loop body is fenced: a hostile frame (absurd length, torn
+    // payload, undecodable bytes) must surface as "this worker is dead",
+    // never as an exception escaping a reader thread (std::terminate).
+    try {
+      reader_loop_body(w);
+    } catch (...) {
     }
     {
       std::lock_guard<std::mutex> lk(mu);
@@ -266,6 +317,50 @@ struct RemoteCoordinator::Impl {
     std::lock_guard<std::mutex> wl(w->write_mu);
     ::close(w->fd);
     w->fd = -1;
+  }
+
+  void reader_loop_body(WorkerConn* w) {
+    for (;;) {
+      frame::FrameHeader h;
+      frame::IoError err;
+      if (!frame::read_frame_header(w->fd, h, &err)) return;
+      const bool control = h.kind != frame::kFrameResult &&
+                           h.kind != frame::kFrameInvalidConfig &&
+                           h.kind != frame::kFrameRuntimeError;
+      if (control && h.len > kMaxControlPayload) return;  // confused peer
+      std::vector<std::byte> payload(h.len);
+      if (h.len > 0 &&
+          !frame::read_all(w->fd, payload.data(), h.len, &err)) {
+        return;
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      w->last_seen = Clock::now();
+      if (h.kind == frame::kFrameResult ||
+          h.kind == frame::kFrameInvalidConfig ||
+          h.kind == frame::kFrameRuntimeError) {
+        handle_delivery(h, payload);
+      } else if (h.kind == kFrameWorkRequest) {
+        w->hungry = true;
+        if (payload.size() >= 8) {
+          try {
+            ByteReader r(payload);
+            w->ewma_ns = r.u64();
+          } catch (const CodecError&) {
+          }
+        }
+      } else if (h.kind == kFrameHeartbeat && payload.size() >= 8) {
+        // Heartbeats piggyback the throughput estimate so chunk sizing
+        // tracks a worker that sped up or slowed down mid-lease.
+        try {
+          ByteReader r(payload);
+          w->ewma_ns = r.u64();
+        } catch (const CodecError&) {
+        }
+      }
+      // Empty heartbeats (and unknown kinds, for forward compatibility)
+      // only refresh last_seen.
+      cv.notify_all();
+    }
   }
 
   /// mu held. Exactly-once delivery with duplicate suppression: the first
@@ -280,6 +375,7 @@ struct RemoteCoordinator::Impl {
       return;
     }
     if (p >= run->state.size()) return;  // malformed id: drop
+    run->last_progress = Clock::now();
     PointState& ps = run->state[p];
     if (ps.done) {
       ++stats->duplicate_results;
@@ -323,9 +419,32 @@ struct RemoteCoordinator::Impl {
   void retire_from_assignments(std::uint32_t p) {
     for (Assignment& a : run->assignments) {
       if (!a.active) continue;
-      a.points.erase(std::remove(a.points.begin(), a.points.end(), p),
-                     a.points.end());
-      if (a.points.empty()) a.active = false;
+      a.items.erase(std::remove_if(a.items.begin(), a.items.end(),
+                                   [p](const PendingItem& it) {
+                                     return it.point == p;
+                                   }),
+                    a.items.end());
+      if (a.items.empty()) a.active = false;
+    }
+  }
+
+  /// mu held. Requeues an assignment's undelivered items for re-dispatch
+  /// (next attempt, backoff, avoid the previous holder).
+  void recycle_assignment(Assignment& a, const Clock::time_point now) {
+    a.active = false;
+    bool any = false;
+    for (PendingItem& it : a.items) {
+      if (run->state[it.point].done) continue;
+      ++it.attempt;
+      it.not_before = now + backoff(it.attempt);
+      it.prev_worker = a.worker_id;
+      run->queue.push_back(it);
+      any = true;
+    }
+    a.items.clear();
+    if (any) {
+      ++stats->chunks_redispatched;
+      run->last_progress = now;  // the scheduler moved; aging restarts
     }
   }
 
@@ -336,6 +455,7 @@ struct RemoteCoordinator::Impl {
     if (!w->alive) return;
     w->alive = false;
     --live_workers;
+    if (live_workers == 0) fleet_empty_since = Clock::now();
     if (!shutting_down) {
       ++stats->workers_lost;
       if (by_deadline) ++stats->heartbeats_missed;
@@ -345,12 +465,7 @@ struct RemoteCoordinator::Impl {
     const Clock::time_point now = Clock::now();
     for (Assignment& a : run->assignments) {
       if (!a.active || a.worker_id != w->id) continue;
-      a.active = false;
-      if (a.points.empty()) continue;
-      ++stats->chunks_redispatched;
-      run->queue.push_back(PendingUnit{std::move(a.points), a.attempt + 1,
-                                       now + backoff(a.attempt + 1),
-                                       a.worker_id});
+      recycle_assignment(a, now);
     }
   }
 
@@ -360,6 +475,7 @@ struct RemoteCoordinator::Impl {
     std::unique_lock<std::mutex> lk(mu);
     ++generation;
     run = &rs;
+    rs.last_progress = Clock::now();
     const Clock::time_point reg_deadline =
         Clock::now() +
         std::chrono::milliseconds(tuning.registration_wait_ms);
@@ -383,96 +499,153 @@ struct RemoteCoordinator::Impl {
       if (tuning.lease_ms > 0) {
         for (Assignment& a : rs.assignments) {
           if (!a.active || now < a.lease_deadline) continue;
-          a.active = false;
-          if (a.points.empty()) continue;
-          ++stats->chunks_redispatched;
-          rs.queue.push_back(PendingUnit{std::move(a.points), a.attempt + 1,
-                                         Clock::now() +
-                                             backoff(a.attempt + 1),
-                                         a.worker_id});
+          recycle_assignment(a, now);
         }
       }
 
-      // 3. Dispatch every due unit (budget-checked) to the least-loaded
-      //    live worker.
-      bool dispatched_any = dispatch_due_units(lk, rs);
-      if (rs.undone == 0 || !rs.fatal.empty()) break;
-      if (dispatched_any) continue;  // re-examine state after the writes
-
-      // 4. Degrade to local execution when the fleet is gone: the last
-      //    worker died mid-sweep, or nobody registered within the window.
-      if (live_workers == 0 &&
-          (ever_registered || Clock::now() >= reg_deadline)) {
-        local_fallback(lk, rs);
-        continue;
+      // 3. Stuck-fleet aging. A pull scheduler cannot burn the budget by
+      //    bouncing dispatches off busy workers (it never dispatches to a
+      //    fleet that stops asking), so "this work is going nowhere" is
+      //    measured in wall time: a lease interval with zero scheduler
+      //    progress ages every queued point one attempt. Healthy fleets
+      //    never age — each serve and each per-point delivery resets the
+      //    progress clock.
+      if (tuning.lease_ms > 0 && live_workers > 0 && !rs.queue.empty() &&
+          now - rs.last_progress >
+              std::chrono::milliseconds(tuning.lease_ms)) {
+        bool any = false;
+        for (PendingItem& it : rs.queue) {
+          if (rs.state[it.point].done) continue;
+          ++it.attempt;
+          it.not_before = now + backoff(it.attempt);
+          any = true;
+        }
+        if (any) ++stats->chunks_redispatched;
+        rs.last_progress = now;
       }
 
-      // 5. Sleep until the next deadline could fire (or a frame arrives).
+      // 4. Budget check: a point whose next dispatch would exceed the
+      //    re-dispatch budget surfaces as a hard error instead of
+      //    spinning forever.
+      drain_over_budget(rs);
+      if (rs.undone == 0 || !rs.fatal.empty()) break;
+
+      // 5. Serve hungry workers: cut each requester a chunk sized to its
+      //    reported throughput.
+      const bool served = serve_hungry(lk, rs);
+      if (rs.undone == 0 || !rs.fatal.empty()) break;
+      if (served) continue;  // re-examine state after the writes
+
+      // 6. Degrade to local execution when the fleet is gone: the last
+      //    worker died mid-sweep (and any supervisor grace window has
+      //    lapsed), or nobody registered within the window.
+      if (live_workers == 0) {
+        const bool window_over =
+            ever_registered
+                ? Clock::now() - fleet_empty_since >=
+                      std::chrono::milliseconds(tuning.fleet_death_grace_ms)
+                : Clock::now() >= reg_deadline;
+        if (window_over) {
+          local_fallback(lk, rs);
+          continue;
+        }
+      }
+
+      // 7. Sleep until the next deadline could fire (or a frame arrives).
       cv.wait_for(lk, next_wakeup(rs));
     }
     run = nullptr;
     if (!rs.fatal.empty()) throw WorkerError(rs.fatal);
   }
 
-  /// mu held (released around socket writes). Returns true when at least
-  /// one dispatch frame went out.
-  bool dispatch_due_units(std::unique_lock<std::mutex>& lk, RunState& rs) {
-    bool any = false;
-    const Clock::time_point now = Clock::now();
+  /// mu held. Errors out every queued point past the re-dispatch budget.
+  void drain_over_budget(RunState& rs) {
     for (std::size_t scan = rs.queue.size(); scan > 0; --scan) {
-      PendingUnit unit = std::move(rs.queue.front());
+      PendingItem it = rs.queue.front();
       rs.queue.pop_front();
-      if (unit.points.empty()) continue;
-      if (unit.attempt > tuning.redispatch_budget + 1) {
-        // Budget exhausted: report the points as hard errors instead of
-        // re-dispatching forever.
-        for (std::uint32_t p : unit.points) {
-          if (rs.state[p].done) continue;
-          rs.state[p].done = true;
-          --rs.undone;
-          (*rs.on_error)(PointError{
-              rs.pts[p].id, false,
-              "remote sweep: chunk abandoned after " +
-                  std::to_string(unit.attempt - 1) +
-                  " dispatch attempts (re-dispatch budget " +
-                  std::to_string(tuning.redispatch_budget) + ")"});
-        }
+      if (rs.state[it.point].done) continue;
+      if (it.attempt > tuning.redispatch_budget + 1) {
+        rs.state[it.point].done = true;
+        --rs.undone;
+        (*rs.on_error)(PointError{
+            rs.pts[it.point].id, false,
+            "remote sweep: chunk abandoned after " +
+                std::to_string(it.attempt - 1) +
+                " dispatch attempts (re-dispatch budget " +
+                std::to_string(tuning.redispatch_budget) + ")"});
         continue;
       }
-      if (now < unit.not_before) {
-        rs.queue.push_back(std::move(unit));  // backoff not elapsed
-        continue;
-      }
-      WorkerConn* w = pick_worker(rs, unit.prev_worker);
-      if (w == nullptr) {
-        rs.queue.push_back(std::move(unit));
-        continue;
-      }
-      // Drop points that resolved while this unit waited (duplicate
-      // delivery from a late worker, budget error, ...).
-      unit.points.erase(
-          std::remove_if(unit.points.begin(), unit.points.end(),
-                         [&rs](std::uint32_t p) { return rs.state[p].done; }),
-          unit.points.end());
-      if (unit.points.empty()) continue;
+      rs.queue.push_back(it);
+    }
+  }
 
-      ByteWriter msg;
-      msg.u32(static_cast<std::uint32_t>(unit.points.size()));
-      for (std::uint32_t p : unit.points) {
-        msg.u64(make_reply_id(generation, p));
-        const auto cfg_bytes = serialize_config(*rs.pts[p].cfg);
-        msg.u32(static_cast<std::uint32_t>(cfg_bytes.size()));
-        for (std::byte b : cfg_bytes) msg.u8(std::to_integer<std::uint8_t>(b));
-        msg.str(rs.pts[p].spec);
+  /// mu held (released around socket writes). Serves every hungry live
+  /// worker a chunk cut from the due queue: size targets
+  /// target_chunk_ms of work at the worker's reported per-point EWMA,
+  /// clamped to its fair share of what is due; a worker with no estimate
+  /// yet draws a single probe point. Returns true when at least one
+  /// dispatch frame went out.
+  bool serve_hungry(std::unique_lock<std::mutex>& lk, RunState& rs) {
+    bool any = false;
+    for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+      WorkerConn* w = workers[wi].get();
+      if (!w->alive || !w->hungry || rs.queue.empty()) continue;
+      const Clock::time_point now = Clock::now();
+
+      // Eligible = due, undone, and not bounced straight back to the
+      // holder it just expired from (when anyone else is alive to try).
+      auto eligible = [&](const PendingItem& it) {
+        return !rs.state[it.point].done && now >= it.not_before &&
+               (it.prev_worker != w->id || live_workers <= 1);
+      };
+      std::size_t due = 0;
+      for (const PendingItem& it : rs.queue) {
+        if (eligible(it)) ++due;
       }
+      if (due == 0) continue;
+
+      std::size_t want = 1;  // no estimate: probe with one point
+      if (w->ewma_ns > 0) {
+        const double target_ns =
+            static_cast<double>(tuning.target_chunk_ms) * 1e6;
+        const auto by_rate = static_cast<std::size_t>(std::max(
+            1.0, target_ns / static_cast<double>(w->ewma_ns)));
+        const std::size_t fair =
+            (due + live_workers - 1) / std::max<std::size_t>(1, live_workers);
+        want = std::clamp<std::size_t>(by_rate, 1,
+                                       std::max<std::size_t>(1, fair));
+      }
+
       Assignment a;
       a.worker_id = w->id;
-      a.points = unit.points;
-      a.attempt = unit.attempt;
+      for (std::size_t scan = rs.queue.size();
+           scan > 0 && a.items.size() < want; --scan) {
+        PendingItem it = rs.queue.front();
+        rs.queue.pop_front();
+        if (rs.state[it.point].done) continue;
+        if (!eligible(it)) {
+          rs.queue.push_back(it);
+          continue;
+        }
+        a.items.push_back(it);
+      }
+      if (a.items.empty()) continue;
+
+      ByteWriter msg;
+      msg.u32(static_cast<std::uint32_t>(a.items.size()));
+      for (const PendingItem& it : a.items) {
+        msg.u64(make_reply_id(generation, it.point));
+        const auto cfg_bytes = serialize_config(*rs.pts[it.point].cfg);
+        msg.u32(static_cast<std::uint32_t>(cfg_bytes.size()));
+        for (std::byte b : cfg_bytes) msg.u8(std::to_integer<std::uint8_t>(b));
+        msg.str(rs.pts[it.point].spec);
+      }
       a.lease_deadline =
-          Clock::now() + std::chrono::milliseconds(
-                             tuning.lease_ms > 0 ? tuning.lease_ms : 1 << 30);
+          now + std::chrono::milliseconds(
+                    tuning.lease_ms > 0 ? tuning.lease_ms : 1 << 30);
       a.active = true;
+      w->hungry = false;
+      rs.last_progress = now;
       rs.assignments.push_back(std::move(a));
 
       lk.unlock();
@@ -493,38 +666,12 @@ struct RemoteCoordinator::Impl {
     return any;
   }
 
-  /// mu held. Live worker with the fewest leased points (ties by id so
-  /// dispatch order is stable for a given fleet state). A re-dispatched
-  /// unit avoids its previous holder when any other worker is alive: the
-  /// previous holder is exactly the worker that just stalled past its
-  /// lease, and handing the work straight back would burn the re-dispatch
-  /// budget without ever reaching a survivor.
-  WorkerConn* pick_worker(const RunState& rs, int avoid_id) {
-    WorkerConn* best = nullptr;
-    std::size_t best_load = 0;
-    for (auto& w : workers) {
-      if (!w->alive || w->id == avoid_id) continue;
-      std::size_t load = 0;
-      for (const Assignment& a : rs.assignments) {
-        if (a.active && a.worker_id == w->id) load += a.points.size();
-      }
-      if (best == nullptr || load < best_load) {
-        best = w.get();
-        best_load = load;
-      }
-    }
-    if (best == nullptr && avoid_id >= 0) {
-      return pick_worker(rs, -1);  // previous holder is the only one left
-    }
-    return best;
-  }
-
   /// mu held on entry/exit, released while simulating. Runs every point
   /// still undone on the calling thread — the sweep completes even with
   /// zero surviving workers.
   void local_fallback(std::unique_lock<std::mutex>& lk, RunState& rs) {
     // All leases are dead (their workers are), so the queue plus any
-    // never-dispatched unit covers every undone point.
+    // never-dispatched item covers every undone point.
     std::vector<std::uint32_t> todo;
     for (std::uint32_t p = 0; p < rs.state.size(); ++p) {
       if (!rs.state[p].done) todo.push_back(p);
@@ -566,7 +713,8 @@ struct RemoteCoordinator::Impl {
 
   [[nodiscard]] Clock::duration next_wakeup(const RunState& rs) const {
     // Wake for the earliest of: heartbeat deadline, lease expiry, backoff
-    // release. Clamped so a missed notify can never hang the scheduler.
+    // release, stuck-fleet aging, fleet-death grace lapse. Clamped so a
+    // missed notify can never hang the scheduler.
     auto best = std::chrono::milliseconds(250);
     auto consider = [&best](Clock::duration d) {
       const auto ms =
@@ -586,12 +734,19 @@ struct RemoteCoordinator::Impl {
       for (const Assignment& a : rs.assignments) {
         if (a.active) consider(a.lease_deadline - now);
       }
+      if (live_workers > 0 && !rs.queue.empty()) {
+        consider(rs.last_progress +
+                 std::chrono::milliseconds(tuning.lease_ms) - now);
+      }
     }
     // Backoff releases only matter while someone could take the work;
     // with no live worker the next event is a registration (cv notify)
-    // or the registration deadline, so the 250 ms clamp suffices.
+    // or a deadline, so the 250 ms clamp suffices.
     if (live_workers > 0) {
-      for (const PendingUnit& u : rs.queue) consider(u.not_before - now);
+      for (const PendingItem& it : rs.queue) consider(it.not_before - now);
+    } else if (ever_registered && tuning.fleet_death_grace_ms > 0) {
+      consider(fleet_empty_since +
+               std::chrono::milliseconds(tuning.fleet_death_grace_ms) - now);
     }
     return best;
   }
@@ -599,7 +754,8 @@ struct RemoteCoordinator::Impl {
 
 RemoteCoordinator::RemoteCoordinator(const std::string& listen,
                                      RemoteTuning tuning)
-    : impl_(std::make_unique<Impl>(parse_endpoint(listen), tuning, &stats_)) {
+    : impl_(std::make_unique<Impl>(parse_endpoint(listen), std::move(tuning),
+                                   &stats_)) {
   ignore_sigpipe();
 }
 
@@ -626,14 +782,17 @@ void RemoteCoordinator::run(
   Impl::RunState rs;
   rs.on_result = &on_result;
   rs.on_error = &on_error;
+  // The service's chunk layout is advisory under pull scheduling: points
+  // are queued individually and chunks are cut to worker-reported
+  // throughput at serve time. Input order is preserved.
   for (const auto& chunk : chunks) {
-    Impl::PendingUnit unit;
-    unit.not_before = Clock::now();
     for (const RemotePoint& pt : chunk) {
-      unit.points.push_back(static_cast<std::uint32_t>(rs.pts.size()));
+      Impl::PendingItem item;
+      item.point = static_cast<std::uint32_t>(rs.pts.size());
+      item.not_before = Clock::now();
       rs.pts.push_back(pt);
+      rs.queue.push_back(item);
     }
-    if (!unit.points.empty()) rs.queue.push_back(std::move(unit));
   }
   rs.state.resize(rs.pts.size());
   rs.undone = rs.pts.size();
@@ -650,31 +809,43 @@ void run_worker(const std::string& coordinator, const AppResolver& resolver,
   const int fd = connect_tcp(ep.host.empty() ? "127.0.0.1" : ep.host, ep.port,
                              opts.connect_timeout_ms);
 
-  // Registration handshake: versions first, work later.
+  // Registration handshake: versions first, then the optional HMAC
+  // challenge, work last. The Hello payload is kept verbatim — the MAC
+  // binds to exactly the bytes the coordinator read.
+  std::vector<std::byte> hello_bytes;
   {
     ByteWriter hello;
     hello.u32(opts.protocol_version);
     hello.u8(kConfigKeyVersion);
     hello.u32(kResultCodecVersion);
     hello.str(opts.name);
-    if (!frame::write_frame(fd, kFrameHello, 0, hello.bytes().data(),
-                            hello.bytes().size())) {
+    hello_bytes = hello.take();
+    if (!frame::write_frame(fd, kFrameHello, 0, hello_bytes.data(),
+                            hello_bytes.size())) {
       ::close(fd);
       throw std::runtime_error("sweep worker: coordinator hung up mid-hello");
     }
   }
-  if (!wait_readable(fd, opts.connect_timeout_ms)) {
-    ::close(fd);
-    throw std::runtime_error(
-        "sweep worker: no registration reply from coordinator");
-  }
   std::uint32_t heartbeat_interval_ms = 1000;
-  {
+  bool authed = false;
+  for (;;) {
+    if (!wait_readable(fd, opts.connect_timeout_ms)) {
+      ::close(fd);
+      throw std::runtime_error(
+          "sweep worker: no registration reply from coordinator");
+    }
     frame::FrameHeader h;
     if (!frame::read_frame_header(fd, h)) {
       ::close(fd);
       throw std::runtime_error(
           "sweep worker: coordinator closed during registration");
+    }
+    if (h.len > kMaxControlPayload) {
+      // Registration replies are tiny; a multi-gigabyte length claim is a
+      // confused or hostile peer, not a frame worth allocating for.
+      ::close(fd);
+      throw std::runtime_error(
+          "sweep worker: oversized registration frame");
     }
     std::vector<std::byte> payload(h.len);
     if (h.len > 0 && !frame::read_all(fd, payload.data(), h.len)) {
@@ -688,9 +859,43 @@ void run_worker(const std::string& coordinator, const AppResolver& resolver,
           std::string(reinterpret_cast<const char*>(payload.data()),
                       payload.size()));
     }
+    if (h.kind == kFrameAuthChallenge) {
+      if (opts.secret.empty()) {
+        ::close(fd);
+        throw std::runtime_error(
+            "sweep worker: coordinator requires authentication "
+            "(--secret-file)");
+      }
+      if (authed || payload.size() != auth::kNonceSize) {
+        ::close(fd);
+        throw std::runtime_error(
+            "sweep worker: malformed authentication challenge");
+      }
+      auth::Nonce nonce;
+      std::memcpy(nonce.data(), payload.data(), nonce.size());
+      const auth::Digest mac =
+          auth::registration_mac(opts.secret, hello_bytes, nonce);
+      if (!frame::write_frame(fd, kFrameAuthResponse, 0, mac.data(),
+                              mac.size())) {
+        ::close(fd);
+        throw std::runtime_error(
+            "sweep worker: coordinator hung up mid-authentication");
+      }
+      authed = true;
+      continue;  // the verdict (HelloAck / HelloReject) comes next
+    }
     if (h.kind != kFrameHelloAck) {
       ::close(fd);
       throw std::runtime_error("sweep worker: unexpected registration frame");
+    }
+    if (!opts.secret.empty() && !authed) {
+      // A worker provisioned with a secret must not silently serve an
+      // unauthenticated coordinator: that would defeat the operator's
+      // intent on exactly the machine that holds real workloads.
+      ::close(fd);
+      throw std::runtime_error(
+          "sweep worker: coordinator did not request authentication; "
+          "refusing to serve it with --secret-file set");
     }
     try {
       ByteReader r(payload);
@@ -698,8 +903,13 @@ void run_worker(const std::string& coordinator, const AppResolver& resolver,
     } catch (const CodecError&) {
       // Tolerate an empty ack; keep the default interval.
     }
+    break;
   }
   set_send_timeout(fd, static_cast<int>(heartbeat_interval_ms) * 4 + 1000);
+
+  // Per-point cost estimate (EWMA over host execution time) shared with
+  // the heartbeat thread: the coordinator sizes our next chunk from it.
+  std::atomic<std::uint64_t> ewma_ns{0};
 
   // Heartbeat thread: beats even while a long simulation runs — that is
   // the whole point (busy != dead; only silence is death).
@@ -720,9 +930,12 @@ void run_worker(const std::string& coordinator, const AppResolver& resolver,
       }
       if (budget == 0) continue;  // test hook: fall silent, stay connected
       if (budget > 0) --budget;
+      ByteWriter beat;
+      beat.u64(ewma_ns.load(std::memory_order_relaxed));
       std::lock_guard<std::mutex> wl(write_mu);
       frame::IoError err;
-      if (!frame::write_frame(fd, kFrameHeartbeat, seq++, nullptr, 0, &err)) {
+      if (!frame::write_frame(fd, kFrameHeartbeat, seq++, beat.bytes().data(),
+                              beat.bytes().size(), &err)) {
         return;  // coordinator gone; the main loop will notice on read
       }
     }
@@ -736,6 +949,18 @@ void run_worker(const std::string& coordinator, const AppResolver& resolver,
     heartbeat.join();
   };
 
+  // Pull scheduling: ask for work now and after every finished batch.
+  auto request_work = [&]() -> bool {
+    ByteWriter req;
+    req.u64(ewma_ns.load(std::memory_order_relaxed));
+    std::lock_guard<std::mutex> wl(write_mu);
+    const bool ok = frame::write_frame(fd, kFrameWorkRequest, 0,
+                                       req.bytes().data(), req.bytes().size());
+    if (ok && opts.stats != nullptr) ++opts.stats->work_requests;
+    return ok;
+  };
+  request_work();
+
   bool aborted = false;
   for (;;) {
     frame::FrameHeader h;
@@ -745,6 +970,7 @@ void run_worker(const std::string& coordinator, const AppResolver& resolver,
     if (h.len > 0 && !frame::read_all(fd, payload.data(), h.len, &err)) break;
     if (h.kind == kFrameShutdown) break;
     if (h.kind != kFrameDispatch) continue;  // forward compatibility
+    if (opts.stats != nullptr) ++opts.stats->dispatches;
 
     bool connection_lost = false;
     try {
@@ -761,6 +987,7 @@ void run_worker(const std::string& coordinator, const AppResolver& resolver,
 
         std::uint8_t kind = frame::kFrameResult;
         std::vector<std::byte> reply;
+        const Clock::time_point t0 = Clock::now();
         try {
           const core::RunConfig cfg = deserialize_config(cfg_bytes);
           const core::AppFn app = resolver(cfg, spec);
@@ -782,6 +1009,18 @@ void run_worker(const std::string& coordinator, const AppResolver& resolver,
           reply.resize(msg.size());
           std::memcpy(reply.data(), msg.data(), msg.size());
         }
+        const auto point_ns = static_cast<std::uint64_t>(
+            std::max<std::int64_t>(
+                1, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       Clock::now() - t0)
+                       .count()));
+        const std::uint64_t prev = ewma_ns.load(std::memory_order_relaxed);
+        ewma_ns.store(prev == 0 ? point_ns : (prev * 7 + point_ns) / 8,
+                      std::memory_order_relaxed);
+        if (opts.stats != nullptr) {
+          ++opts.stats->points_executed;
+          opts.stats->ewma_ns = ewma_ns.load(std::memory_order_relaxed);
+        }
         std::lock_guard<std::mutex> wl(write_mu);
         frame::IoError werr;
         if (!frame::write_frame(fd, kind, reply_id, reply.data(),
@@ -795,6 +1034,7 @@ void run_worker(const std::string& coordinator, const AppResolver& resolver,
       aborted = true;  // test hook: simulate a fail-stop crash
     }
     if (connection_lost || aborted) break;
+    if (!request_work()) break;  // batch done: ask for the next chunk
   }
 
   stop_heartbeat();

@@ -14,7 +14,17 @@
 //  - Registration handshake: a worker announces transport, config-key,
 //    and result-codec versions; mismatches are rejected before any work
 //    is dispatched (a stale binary must not silently compute under a
-//    different wire contract).
+//    different wire contract). With a shared secret configured the
+//    handshake adds an HMAC challenge/response (auth.hpp): a wrong or
+//    missing secret draws a reasoned HelloReject before any config bytes
+//    cross the wire.
+//  - Worker-pull scheduling: workers *request* chunks (WorkRequest
+//    frames) sized from the per-point throughput EWMA they report in
+//    heartbeats, so a slow worker drains a short queue while a fast one
+//    streams — heterogeneous fleets stay busy without the coordinator
+//    guessing speeds. The lease/re-dispatch/first-wins machinery below is
+//    unchanged; pull only decides who gets how much, never what a result
+//    looks like.
 //  - Heartbeats: workers beat at the interval the coordinator advertises
 //    in its HelloAck; a worker silent past heartbeat_deadline_ms is
 //    declared dead even if the kernel still holds its socket open (hung
@@ -49,7 +59,11 @@ namespace sdrmpi::sweep {
 
 /// Remote worker protocol version, exchanged in the registration
 /// handshake together with kConfigKeyVersion and kResultCodecVersion.
-inline constexpr std::uint32_t kRemoteProtocolVersion = 1;
+/// v2: worker-pull scheduling (WorkRequest frames, EWMA-bearing
+/// heartbeats) and the optional HMAC challenge/response (auth.hpp) —
+/// a v1 worker would wait forever for pushed chunks, so the version gate
+/// rejects it at registration instead.
+inline constexpr std::uint32_t kRemoteProtocolVersion = 2;
 
 // Frame kinds layered on the frame_io result/error kinds (0..2).
 inline constexpr std::uint8_t kFrameHello = 10;        ///< worker -> coord
@@ -58,6 +72,13 @@ inline constexpr std::uint8_t kFrameHelloReject = 12;  ///< coord -> worker
 inline constexpr std::uint8_t kFrameHeartbeat = 13;    ///< worker -> coord
 inline constexpr std::uint8_t kFrameDispatch = 14;     ///< coord -> worker
 inline constexpr std::uint8_t kFrameShutdown = 15;     ///< coord -> worker
+/// Worker-pull scheduling: the worker asks for its next chunk, carrying
+/// its observed per-point EWMA (u64 nanoseconds; 0 = no estimate yet).
+inline constexpr std::uint8_t kFrameWorkRequest = 16;  ///< worker -> coord
+/// Shared-secret registration (auth.hpp): 32-byte nonce challenge and the
+/// worker's HMAC-SHA256 response over (hello payload || nonce).
+inline constexpr std::uint8_t kFrameAuthChallenge = 17;  ///< coord -> worker
+inline constexpr std::uint8_t kFrameAuthResponse = 18;   ///< worker -> coord
 
 /// Failure-detection and re-dispatch tuning. Defaults suit real sweeps;
 /// tests shrink everything to tens of milliseconds.
@@ -82,6 +103,19 @@ struct RemoteTuning {
   /// min(backoff_base_ms << (attempt-1), backoff_cap_ms).
   int backoff_base_ms = 50;
   int backoff_cap_ms = 2000;
+  /// Worker-pull chunk sizing: a chunk served to a hungry worker targets
+  /// this much work, sized from the worker's reported per-point EWMA
+  /// (chunk = clamp(target_chunk_ms / ewma, 1, fair share)). A worker
+  /// with no estimate yet gets a single probe point.
+  int target_chunk_ms = 250;
+  /// Grace window after the fleet dies before the coordinator degrades to
+  /// local execution: a supervised workerd's replacement needs time to
+  /// re-exec and re-register. 0 (default) keeps the PR 8 behavior —
+  /// degrade as soon as the last worker is gone.
+  int fleet_death_grace_ms = 0;
+  /// Shared secret for registration authentication (auth.hpp). Empty =
+  /// unauthenticated (the default; existing flows are untouched).
+  std::string secret;
 };
 
 /// One point of remote work: stable id + the coordinator-side config/app
@@ -154,6 +188,14 @@ using AppResolver =
 /// same EOF/ECONNRESET a SIGKILLed workerd produces) and returns.
 struct WorkerAbort {};
 
+/// Per-session execution counters a worker can report (--stats).
+struct WorkerStats {
+  std::size_t points_executed = 0;  ///< simulations run to completion
+  std::size_t dispatches = 0;       ///< Dispatch frames received
+  std::size_t work_requests = 0;    ///< WorkRequest frames sent
+  std::uint64_t ewma_ns = 0;        ///< final per-point EWMA estimate
+};
+
 struct WorkerOptions {
   std::string name = "worker";
   /// Handshake/read timeout against an unresponsive coordinator.
@@ -165,6 +207,15 @@ struct WorkerOptions {
   /// Test hook: version announced in the Hello frame (a mismatch must be
   /// rejected by the coordinator before any dispatch).
   std::uint32_t protocol_version = kRemoteProtocolVersion;
+  /// Shared secret answering the coordinator's HMAC challenge (auth.hpp).
+  /// Empty = unauthenticated; a coordinator that *requires* auth rejects
+  /// the registration, and a worker holding a secret refuses a
+  /// coordinator that never challenges (each side insists on the
+  /// stronger posture it was configured for).
+  std::string secret;
+  /// Optional out-param filled as the session runs (torn down with the
+  /// connection; read after run_worker returns).
+  WorkerStats* stats = nullptr;
 };
 
 /// Worker main loop: connect to `coordinator` ("host:port"), register,

@@ -40,10 +40,38 @@ struct RecordedError {
 
 }  // namespace
 
+std::string format_fault_summary(const ServiceStats& s) {
+  std::string out = "faults:";
+  const struct {
+    const char* name;
+    std::size_t value;
+  } counters[] = {
+      {"workers_lost", s.workers_lost},
+      {"heartbeats_missed", s.heartbeats_missed},
+      {"chunks_redispatched", s.chunks_redispatched},
+      {"duplicate_results", s.duplicate_results},
+      {"local_fallback_points", s.local_fallback_points},
+  };
+  bool any = false;
+  for (const auto& c : counters) {
+    if (c.value == 0) continue;
+    out += " ";
+    out += c.name;
+    out += "=";
+    out += std::to_string(c.value);
+    any = true;
+  }
+  if (!any) out += " none";
+  return out;
+}
+
 SweepService::SweepService(ServiceOptions opts) : opts_(std::move(opts)) {
   store_ = opts_.cache_path.empty()
                ? std::make_unique<ResultStore>()
                : std::make_unique<ResultStore>(opts_.cache_path);
+  // The shared secret rides ServiceOptions (callers think in service
+  // terms) but is enforced by the coordinator's handshake.
+  opts_.remote.secret = opts_.secret;
   if (!opts_.listen.empty()) {
     // The coordinator outlives individual run() calls so workers can
     // register before the first sweep and keep serving across cold/warm

@@ -55,6 +55,11 @@ struct ServiceOptions {
   std::string listen;
   /// Failure-detection / re-dispatch tuning for the remote backend.
   RemoteTuning remote;
+  /// Shared secret for worker registration (auth.hpp): when non-empty the
+  /// coordinator challenges every Hello with an HMAC nonce and rejects
+  /// peers that cannot answer, before any config bytes cross the wire.
+  /// Copied into RemoteTuning at construction; empty = unauthenticated.
+  std::string secret;
   /// Maps a point to the app-spec string a remote workerd resolves via
   /// the workload registry ("cg nrows=768 iters=8"). Unset => points
   /// carry an empty spec, which registry-backed workers reject per point
@@ -98,6 +103,14 @@ struct ServiceStats {
   std::size_t duplicate_results = 0;    ///< late answers suppressed
   std::size_t local_fallback_points = 0;  ///< points finished in-process
 };
+
+/// Deterministic one-line summary of the nonzero fault counters in `s`
+/// ("faults: workers_lost=1 chunks_redispatched=2"), or "faults: none"
+/// when the sweep was failure-free. Counter order is fixed so CI can grep
+/// a crashed sweep's log without caring which backend ran it; the
+/// --stats flag of sweep-workerd / distributed_sweep and the bench
+/// harness all print exactly this line on stderr at sweep end.
+[[nodiscard]] std::string format_fault_summary(const ServiceStats& s);
 
 class SweepService {
  public:

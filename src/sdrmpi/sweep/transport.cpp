@@ -135,6 +135,10 @@ TcpListener::TcpListener(const std::string& host, std::uint16_t port)
   const sockaddr_in addr = make_addr(host, port, /*listener=*/true);
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) fail("socket");
+  // SO_REUSEADDR: a restarted coordinator (or a supervised workerd that
+  // re-execs with a bound diagnostics port) must be able to rebind its
+  // port immediately, not wait out TIME_WAIT on the previous instance's
+  // accepted connections. Pinned by TransportReuse.BindAfterClose.
   int one = 1;
   ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
@@ -163,7 +167,8 @@ TcpListener::TcpListener(const std::string& host, std::uint16_t port)
 TcpListener::~TcpListener() { close(); }
 
 int TcpListener::accept_fd(int timeout_ms) {
-  const int fd = fd_;  // close() from another thread leaves our copy valid
+  // close() from another thread leaves our copy valid
+  const int fd = fd_.load(std::memory_order_acquire);
   if (fd < 0) return -1;
   if (!wait_readable(fd, timeout_ms)) return -1;
   for (;;) {
@@ -184,12 +189,13 @@ std::string TcpListener::address() const {
 }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    // shutdown() first so a thread blocked in poll/accept wakes with an
-    // error instead of racing a reused fd number.
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  // exchange() claims the fd exactly once, so concurrent or repeated
+  // close() calls never double-close; shutdown() wakes a thread blocked
+  // in poll/accept with an error instead of racing a reused fd number.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

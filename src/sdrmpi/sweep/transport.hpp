@@ -19,6 +19,7 @@
 //    40 ms hiccups to heartbeats and dispatches).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -51,7 +52,10 @@ void ignore_sigpipe();
 
 /// Listening TCP socket (IPv4). Construct with port 0 for an ephemeral
 /// port; port() reports the bound one so tests and benches can listen on
-/// ":0" and hand workers the resolved address.
+/// ":0" and hand workers the resolved address. Binds with SO_REUSEADDR:
+/// a restarted coordinator re-acquires its fixed port immediately
+/// instead of dying to EADDRINUSE while old connections sit in
+/// TIME_WAIT.
 class TcpListener {
  public:
   /// Binds and listens; empty host means every interface (0.0.0.0).
@@ -73,11 +77,14 @@ class TcpListener {
   [[nodiscard]] std::string address() const;
 
   /// Closes the listening socket; pending and future accept_fd() calls
-  /// return -1. Idempotent.
+  /// return -1. Idempotent, and safe to call while another thread sits
+  /// in accept_fd() — that call wakes and returns -1.
   void close();
 
  private:
-  int fd_ = -1;
+  // Atomic because close() runs on the owner's thread while the accept
+  // loop reads the fd concurrently (pinned by TSan in CI).
+  std::atomic<int> fd_{-1};
   std::string host_;
   std::uint16_t port_ = 0;
 };

@@ -14,9 +14,22 @@
 //    bit-for-bit through mid-chunk worker kills, lease expiry with a
 //    suppressed late twin, heartbeat-deadline death, last-worker death
 //    (local degradation), an empty fleet, an exhausted re-dispatch
-//    budget (hard error), and a version-mismatch registration reject.
+//    budget (hard error), a version-mismatch registration reject, and
+//    worker-pull scheduling across a fast+slow fleet.
+//  - Auth: the self-contained SHA-256/HMAC against the FIPS / RFC 4231
+//    vectors, and the registration challenge end to end (wrong secret,
+//    missing secret, worker refusing an unauthenticated coordinator,
+//    authenticated fleet bit-identical to the baseline).
+//  - Handshake fuzz: truncated / oversized / bit-flipped registration
+//    frames against a live coordinator (which must keep serving), and a
+//    hostile coordinator against run_worker (which must throw cleanly).
+//  - Supervisor: the restart policy unit-level, plus a SIGKILLed
+//    supervised worker whose replacement finishes the sweep and a spent
+//    restart budget degrading to local fallback.
 #include <gtest/gtest.h>
+#include <signal.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -30,10 +43,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sdrmpi/sweep/auth.hpp"
 #include "sdrmpi/sweep/config_key.hpp"
 #include "sdrmpi/sweep/frame_io.hpp"
 #include "sdrmpi/sweep/remote.hpp"
 #include "sdrmpi/sweep/result_codec.hpp"
+#include "sdrmpi/sweep/supervise.hpp"
 #include "sdrmpi/sweep/transport.hpp"
 #include "sdrmpi/sweep/worker.hpp"
 #include "sdrmpi/util/rng.hpp"
@@ -1200,6 +1215,648 @@ TEST(RemoteBackend, VersionMismatchIsRejectedAtRegistration) {
     EXPECT_NE(msg.find("protocol version"), std::string::npos) << msg;
   }
   EXPECT_EQ(service.connected_workers(), 0u);
+}
+
+TEST(RemoteBackend, PullSchedulingKeepsFastAndSlowWorkersBusy) {
+  const FuzzSweep s = draw_sweep(24);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  const auto baseline = pool1_baseline(s);
+
+  auto tuning = fast_tuning();
+  tuning.target_chunk_ms = 30;  // small chunks: both workers must cycle
+  RemoteRig rig(remote_options(tuning));
+  // A ~30 ms-per-point worker next to an unthrottled one. Under pull
+  // scheduling the slow worker's EWMA keeps its chunks near 1 point while
+  // the fast worker streams — but both must execute real work (a push
+  // scheduler splitting the queue up front would also pass this; the
+  // EWMA sizing is what keeps the tail short).
+  auto fast_points = std::make_shared<std::atomic<int>>(0);
+  auto slow_points = std::make_shared<std::atomic<int>>(0);
+  auto inner = table_resolver(s);
+  rig.start_worker(
+      [inner, fast_points](const core::RunConfig& cfg, const std::string& sp) {
+        fast_points->fetch_add(1);
+        return inner(cfg, sp);
+      },
+      {.name = "fast"});
+  sweep::WorkerStats slow_stats;
+  rig.start_worker(
+      [inner, slow_points](const core::RunConfig& cfg, const std::string& sp) {
+        slow_points->fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        return inner(cfg, sp);
+      },
+      {.name = "slow", .stats = &slow_stats});
+  ASSERT_TRUE(rig.wait_for_workers(2));
+
+  const auto runs = rig.service->run(s.configs, factory);
+  const auto& st = rig.service->stats();
+  EXPECT_EQ(st.workers_lost, 0u);
+  EXPECT_EQ(st.local_fallback_points, 0u);
+  // Pull scheduling fed both ends of the speed spectrum.
+  EXPECT_GE(fast_points->load(), 1);
+  EXPECT_GE(slow_points->load(), 1);
+  expect_matches_baseline(runs, baseline, "fast+slow pull schedule");
+  rig.shutdown();  // joins the worker threads: slow_stats is now stable
+  EXPECT_GE(slow_stats.points_executed, 1u);
+  EXPECT_GE(slow_stats.dispatches, 1u);
+  EXPECT_GE(slow_stats.work_requests, 1u);
+  EXPECT_GT(slow_stats.ewma_ns, 0u);
+}
+
+// ---------------------------------------------------------- SO_REUSEADDR
+
+TEST(TransportReuse, BindAfterCloseRebindsTheSamePort) {
+  // A restarted coordinator must re-acquire its fixed port immediately.
+  // The listener-side socket of a served connection parks in TIME_WAIT
+  // when the server closes first; without SO_REUSEADDR the rebind below
+  // dies to EADDRINUSE for minutes.
+  sweep::ignore_sigpipe();
+  std::uint16_t port = 0;
+  {
+    sweep::TcpListener first("127.0.0.1", 0);
+    port = first.port();
+    const int client = sweep::connect_tcp("127.0.0.1", port, 2000);
+    const int served = first.accept_fd(2000);
+    ASSERT_GE(served, 0);
+    ::close(served);  // server closes first: TIME_WAIT lands on this side
+    ::close(client);
+    first.close();
+  }
+  sweep::TcpListener second("127.0.0.1", port);
+  EXPECT_EQ(second.port(), port);
+}
+
+// ----------------------------------------------------------------- auth
+
+TEST(Auth, Sha256MatchesTheFipsVector) {
+  const auto d = sweep::auth::sha256("abc", 3);
+  EXPECT_EQ(
+      sweep::auth::to_hex(d),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  const auto empty = sweep::auth::sha256("", 0);
+  EXPECT_EQ(
+      sweep::auth::to_hex(empty),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Auth, HmacMatchesTheRfc4231Vectors) {
+  // RFC 4231 test case 1: key = 20 x 0x0b, data = "Hi There".
+  const std::string key1(20, '\x0b');
+  const auto mac1 =
+      sweep::auth::hmac_sha256(key1.data(), key1.size(), "Hi There", 8);
+  EXPECT_EQ(
+      sweep::auth::to_hex(mac1),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // RFC 4231 test case 2: short key ("Jefe"), longer data.
+  const std::string data2 = "what do ya want for nothing?";
+  const auto mac2 =
+      sweep::auth::hmac_sha256("Jefe", 4, data2.data(), data2.size());
+  EXPECT_EQ(
+      sweep::auth::to_hex(mac2),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // RFC 4231 test case 6: a key longer than the 64-byte HMAC block (must
+  // be hashed down, not truncated).
+  const std::string key6(131, '\xaa');
+  const std::string data6 = "Test Using Larger Than Block-Size Key - "
+                            "Hash Key First";
+  const auto mac6 = sweep::auth::hmac_sha256(key6.data(), key6.size(),
+                                             data6.data(), data6.size());
+  EXPECT_EQ(
+      sweep::auth::to_hex(mac6),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Auth, ConstantTimeEqualComparesEveryByte) {
+  const unsigned char a[4] = {1, 2, 3, 4};
+  unsigned char b[4] = {1, 2, 3, 4};
+  EXPECT_TRUE(sweep::auth::constant_time_equal(a, b, sizeof a));
+  for (std::size_t i = 0; i < sizeof a; ++i) {
+    b[i] ^= 0x80;
+    EXPECT_FALSE(sweep::auth::constant_time_equal(a, b, sizeof a))
+        << "difference at byte " << i << " not detected";
+    b[i] ^= 0x80;
+  }
+  EXPECT_TRUE(sweep::auth::constant_time_equal(a, b, 0));  // empty = equal
+}
+
+TEST(Auth, NoncesAreFresh) {
+  const auto a = sweep::auth::make_nonce();
+  const auto b = sweep::auth::make_nonce();
+  EXPECT_NE(a, b);
+}
+
+TEST(Auth, SecretFileStripsOneTrailingNewlineAndRejectsEmpty) {
+  StoreFile f("secret");
+  auto write_file = [&f](const std::string& contents) {
+    std::FILE* file = std::fopen(f.path().c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fwrite(contents.data(), 1, contents.size(), file);
+    std::fclose(file);
+  };
+  write_file("hunter2\n");  // echo-created file
+  EXPECT_EQ(sweep::auth::load_secret_file(f.path()), "hunter2");
+  write_file("hunter2\r\n");
+  EXPECT_EQ(sweep::auth::load_secret_file(f.path()), "hunter2");
+  write_file("no newline");
+  EXPECT_EQ(sweep::auth::load_secret_file(f.path()), "no newline");
+  write_file("\n");  // empty after stripping: a silent no-auth foot-gun
+  EXPECT_THROW({ auto x = sweep::auth::load_secret_file(f.path()); },
+               std::runtime_error);
+  EXPECT_THROW(
+      { auto x = sweep::auth::load_secret_file(f.path() + ".missing"); },
+      std::runtime_error);
+}
+
+TEST(Auth, WrongSecretIsRejectedWithAReason) {
+  auto opts = remote_options(fast_tuning());
+  opts.secret = "correct horse battery staple";
+  sweep::SweepService service(std::move(opts));
+  try {
+    sweep::run_worker(service.remote_address(), sweep::registry_resolver(),
+                      {.name = "impostor", .secret = "incorrect horse"});
+    FAIL() << "expected the registration to be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("registration rejected"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("authentication failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bad shared-secret MAC"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(service.connected_workers(), 0u);
+}
+
+TEST(Auth, MissingSecretIsRefusedBeforeAnyConfigBytes) {
+  auto opts = remote_options(fast_tuning());
+  opts.secret = "correct horse battery staple";
+  sweep::SweepService service(std::move(opts));
+  try {
+    sweep::run_worker(service.remote_address(), sweep::registry_resolver(),
+                      {.name = "unprovisioned"});
+    FAIL() << "expected the worker to refuse the challenge";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("requires authentication"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(service.connected_workers(), 0u);
+}
+
+TEST(Auth, WorkerWithSecretRefusesAnUnauthenticatedCoordinator) {
+  // No secret on the coordinator: it never challenges. A worker that was
+  // provisioned with one must not silently serve it.
+  sweep::SweepService service(remote_options(fast_tuning()));
+  try {
+    sweep::run_worker(service.remote_address(), sweep::registry_resolver(),
+                      {.name = "cautious", .secret = "provisioned"});
+    FAIL() << "expected the worker to refuse the unauthenticated coordinator";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("did not request authentication"),
+              std::string::npos)
+        << e.what();
+  }
+  // The coordinator side of this handshake is legitimate — it registers
+  // the worker before the worker's verdict arrives. The refusal shows up
+  // as an immediate hangup: the fleet must be empty again shortly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.connected_workers() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(service.connected_workers(), 0u);
+}
+
+TEST(Auth, AuthenticatedFleetReproducesThePoolBaseline) {
+  const FuzzSweep s = draw_sweep(16);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  const auto baseline = pool1_baseline(s);
+
+  auto opts = remote_options(fast_tuning());
+  opts.secret = "fleet-secret";
+  RemoteRig rig(std::move(opts));
+  rig.start_worker(table_resolver(s),
+                   {.name = "auth-a", .secret = "fleet-secret"});
+  rig.start_worker(table_resolver(s),
+                   {.name = "auth-b", .secret = "fleet-secret"});
+  ASSERT_TRUE(rig.wait_for_workers(2));
+
+  const auto runs = rig.service->run(s.configs, factory);
+  const auto& st = rig.service->stats();
+  EXPECT_EQ(st.remote_workers, 2u);
+  EXPECT_EQ(st.workers_lost, 0u);
+  EXPECT_EQ(st.local_fallback_points, 0u);
+  expect_matches_baseline(runs, baseline, "authenticated fleet");
+  rig.shutdown();
+}
+
+// ------------------------------------------------------- handshake fuzz
+
+/// The 13-byte frame header exactly as the wire carries it.
+std::vector<unsigned char> raw_header(std::uint8_t kind, std::uint64_t id,
+                                      std::uint32_t len) {
+  std::vector<unsigned char> h(13);
+  h[0] = kind;
+  for (int i = 0; i < 8; ++i) {
+    h[1 + i] = static_cast<unsigned char>(id >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    h[9 + i] = static_cast<unsigned char>(len >> (8 * i));
+  }
+  return h;
+}
+
+/// A byte-exact valid Hello frame (header + payload), the fuzz baseline.
+std::vector<unsigned char> hello_image(const std::string& name = "fuzz") {
+  sweep::ByteWriter w;
+  w.u32(sweep::kRemoteProtocolVersion);
+  w.u8(sweep::kConfigKeyVersion);
+  w.u32(sweep::kResultCodecVersion);
+  w.str(name);
+  const auto payload = w.take();
+  auto image = raw_header(sweep::kFrameHello, 0,
+                          static_cast<std::uint32_t>(payload.size()));
+  for (const std::byte b : payload) {
+    image.push_back(std::to_integer<unsigned char>(b));
+  }
+  return image;
+}
+
+struct AttackReply {
+  bool rejected = false;  ///< coordinator answered with a HelloReject
+  std::string reason;
+};
+
+/// Connects, sends `bytes` verbatim, half-closes, and reports how the
+/// coordinator answered. Must always return: every malformed prefix has
+/// to end in a reject or a close, never a hang.
+AttackReply attack(const std::string& address,
+                   const std::vector<unsigned char>& bytes) {
+  const sweep::Endpoint ep = sweep::parse_endpoint(address);
+  const int fd = sweep::connect_tcp(ep.host.empty() ? "127.0.0.1" : ep.host,
+                                    ep.port, 5000);
+  sweep::frame::write_all(fd, bytes.data(), bytes.size());
+  ::shutdown(fd, SHUT_WR);  // we are done talking; the verdict follows
+  AttackReply out;
+  sweep::frame::FrameHeader h;
+  if (sweep::frame::read_frame_header(fd, h) &&
+      h.kind == sweep::kFrameHelloReject && h.len <= 4096) {
+    out.reason.resize(h.len);
+    out.rejected =
+        sweep::frame::read_all(fd, out.reason.data(), out.reason.size());
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(HandshakeFuzz, MalformedHellosNeverKillTheCoordinator) {
+  const FuzzSweep s = draw_sweep(8);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  const auto baseline = pool1_baseline(s);
+
+  // Some bit flips below still form a valid Hello, registering a phantom
+  // worker we immediately hang up on; the grace window keeps an unlucky
+  // phantom-death-just-before-run from tripping local fallback before the
+  // real worker registers.
+  auto tuning = fast_tuning();
+  tuning.fleet_death_grace_ms = 4000;
+  RemoteRig rig(remote_options(tuning));
+  const std::string addr = rig.service->remote_address();
+  const auto good = hello_image();
+
+  // Truncations: every proper prefix of a valid Hello (torn header, torn
+  // payload, empty connection).
+  for (std::size_t cut = 0; cut < good.size(); cut += 3) {
+    const std::vector<unsigned char> torn(good.begin(),
+                                          good.begin() +
+                                              static_cast<std::ptrdiff_t>(cut));
+    attack(addr, torn);
+  }
+  // Hostile length claim: a header announcing a ~4 GiB Hello. The
+  // coordinator must drop it by the control-payload cap, not allocate.
+  attack(addr, raw_header(sweep::kFrameHello, 0, 0xffffffffu));
+  // Out-of-protocol openers: a result frame, an AuthResponse before any
+  // challenge, an unknown kind.
+  attack(addr, raw_header(sweep::frame::kFrameResult, 7, 0));
+  attack(addr, raw_header(sweep::kFrameAuthResponse, 0, 0));
+  attack(addr, raw_header(0x63, 0, 0));
+  // A payload one byte short of its length claim parses as a torn str.
+  {
+    auto malformed = good;
+    malformed.pop_back();
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(malformed.size() - 13);
+    for (int i = 0; i < 4; ++i) {
+      malformed[9 + i] = static_cast<unsigned char>(len >> (8 * i));
+    }
+    const AttackReply r = attack(addr, malformed);
+    EXPECT_TRUE(r.rejected);
+    EXPECT_NE(r.reason.find("malformed hello"), std::string::npos)
+        << r.reason;
+  }
+  // Bit flips across the whole image. Some flips still form a valid
+  // Hello (id bytes, name bytes) — the point is that no flip hangs or
+  // kills the coordinator, whatever the verdict.
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    auto flipped = good;
+    flipped[i] ^= 0x80;
+    attack(addr, flipped);
+  }
+
+  // The coordinator survived all of it: a real worker registers and the
+  // sweep still reproduces the baseline without local fallback.
+  rig.start_worker(table_resolver(s), {.name = "survivor"});
+  ASSERT_TRUE(rig.wait_for_workers(1));
+  const auto runs = rig.service->run(s.configs, factory);
+  EXPECT_EQ(rig.service->stats().local_fallback_points, 0u);
+  expect_matches_baseline(runs, baseline, "post-fuzz sweep");
+  rig.shutdown();
+}
+
+TEST(HandshakeFuzz, WorkerRejectsAnOversizedRegistrationReply) {
+  // A hostile coordinator claiming a ~4 GiB HelloAck must be refused by
+  // length — the worker must not try to allocate it.
+  sweep::ignore_sigpipe();
+  sweep::TcpListener evil("127.0.0.1", 0);
+  std::thread coordinator([&evil] {
+    const int fd = evil.accept_fd(5000);
+    if (fd < 0) return;
+    sweep::frame::FrameHeader h;
+    if (sweep::frame::read_frame_header(fd, h) && h.len <= 4096) {
+      std::vector<std::byte> hello(h.len);
+      if (h.len > 0) sweep::frame::read_all(fd, hello.data(), h.len);
+    }
+    const auto hdr = raw_header(sweep::kFrameHelloAck, 0, 0xffffffffu);
+    sweep::frame::write_all(fd, hdr.data(), hdr.size());
+    ::close(fd);
+  });
+  try {
+    sweep::run_worker(evil.address(), sweep::registry_resolver(),
+                      {.name = "victim", .connect_timeout_ms = 5000});
+    FAIL() << "expected the worker to refuse the oversized reply";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("oversized registration frame"),
+              std::string::npos)
+        << e.what();
+  }
+  coordinator.join();
+}
+
+TEST(HandshakeFuzz, WorkerThrowsOnAGarbageRegistrationReply) {
+  sweep::ignore_sigpipe();
+  sweep::TcpListener evil("127.0.0.1", 0);
+  std::thread coordinator([&evil] {
+    const int fd = evil.accept_fd(5000);
+    if (fd < 0) return;
+    sweep::frame::FrameHeader h;
+    if (sweep::frame::read_frame_header(fd, h) && h.len <= 4096) {
+      std::vector<std::byte> hello(h.len);
+      if (h.len > 0) sweep::frame::read_all(fd, hello.data(), h.len);
+    }
+    const unsigned char junk[4] = {0xde, 0xad, 0xbe, 0xef};
+    const auto hdr = raw_header(0x63, 0, sizeof junk);
+    sweep::frame::write_all(fd, hdr.data(), hdr.size());
+    sweep::frame::write_all(fd, junk, sizeof junk);
+    ::close(fd);
+  });
+  try {
+    sweep::run_worker(evil.address(), sweep::registry_resolver(),
+                      {.name = "victim", .connect_timeout_ms = 5000});
+    FAIL() << "expected the worker to refuse the garbage reply";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unexpected registration frame"),
+              std::string::npos)
+        << e.what();
+  }
+  coordinator.join();
+}
+
+// ------------------------------------------------------------ supervisor
+
+TEST(Supervisor, RestartPolicyByExitCode) {
+  EXPECT_FALSE(sweep::exit_is_restartable(0));    // clean stop
+  EXPECT_FALSE(sweep::exit_is_restartable(2));    // usage: re-exec can't fix
+  EXPECT_TRUE(sweep::exit_is_restartable(1));
+  EXPECT_TRUE(sweep::exit_is_restartable(128 + SIGKILL));
+  EXPECT_TRUE(sweep::exit_is_restartable(128 + SIGSEGV));
+}
+
+TEST(Supervisor, CleanChildExitEndsSupervisionWithoutRestart) {
+  std::vector<int> attempts;
+  sweep::SuperviseOptions o;
+  o.restart_budget = 5;
+  o.backoff_base_ms = 1;
+  o.backoff_cap_ms = 2;
+  o.on_spawn = [&attempts](pid_t pid, int attempt) {
+    EXPECT_GT(pid, 0);
+    attempts.push_back(attempt);
+  };
+  const auto out = sweep::supervise_call([] { return 0; }, o);
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_EQ(out.launches, 1);
+  EXPECT_FALSE(out.budget_spent);
+  ASSERT_EQ(attempts.size(), 1u);
+  EXPECT_EQ(attempts[0], 1);
+}
+
+TEST(Supervisor, SignalDeathIsRestartedUntilTheBudgetIsSpent) {
+  sweep::SuperviseOptions o;
+  o.restart_budget = 3;
+  o.backoff_base_ms = 1;
+  o.backoff_cap_ms = 2;
+  const auto out = sweep::supervise_call(
+      [] {
+        ::kill(::getpid(), SIGKILL);
+        return 0;  // unreachable
+      },
+      o);
+  EXPECT_EQ(out.exit_code, 128 + SIGKILL);
+  EXPECT_EQ(out.launches, 4);  // 1 launch + 3 restarts
+  EXPECT_TRUE(out.budget_spent);
+}
+
+TEST(Supervisor, UsageErrorsAreNeverRestarted) {
+  sweep::SuperviseOptions o;
+  o.restart_budget = 5;
+  o.backoff_base_ms = 1;
+  o.backoff_cap_ms = 2;
+  const auto out = sweep::supervise_call([] { return 2; }, o);
+  EXPECT_EQ(out.exit_code, 2);
+  EXPECT_EQ(out.launches, 1);
+  EXPECT_FALSE(out.budget_spent);
+}
+
+TEST(Supervisor, SigkilledWorkerIsReplacedAndTheSweepCompletes) {
+  const FuzzSweep s = draw_sweep(16);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  const auto baseline = pool1_baseline(s);
+
+  auto tuning = fast_tuning();
+  // Replacement window: the supervised worker's re-exec must beat the
+  // local-fallback degradation, not race it.
+  tuning.fleet_death_grace_ms = 8000;
+  auto opts = remote_options(tuning);
+  auto service = std::make_unique<sweep::SweepService>(std::move(opts));
+  const std::string addr = service->remote_address();
+
+  // Marker file: only the first child SIGKILLs itself mid-chunk; its
+  // replacement (a fresh fork) finds the marker and behaves. Fork-copied
+  // memory cannot carry this flag — only the filesystem spans processes.
+  StoreFile marker("supervisor_kill_marker");
+  sweep::SuperviseOutcome outcome;
+  std::thread supervisor([&] {
+    sweep::SuperviseOptions so;
+    so.restart_budget = 5;
+    so.backoff_base_ms = 10;
+    so.backoff_cap_ms = 50;
+    outcome = sweep::supervise_call(
+        [&] {
+          auto inner = table_resolver(s);
+          int resolved = 0;
+          try {
+            sweep::run_worker(
+                addr,
+                [&](const core::RunConfig& cfg, const std::string& sp) {
+                  if (++resolved == 3 &&
+                      !std::filesystem::exists(marker.path())) {
+                    if (std::FILE* f =
+                            std::fopen(marker.path().c_str(), "wb")) {
+                      std::fclose(f);
+                    }
+                    ::kill(::getpid(), SIGKILL);  // fail-stop, mid-chunk
+                  }
+                  return inner(cfg, sp);
+                },
+                {.name = "supervised"});
+          } catch (...) {
+            return 1;
+          }
+          return 0;
+        },
+        so);
+  });
+
+  // One live worker before the sweep starts...
+  const auto reg_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service->connected_workers() < 1 &&
+         std::chrono::steady_clock::now() < reg_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(service->connected_workers(), 1u);
+
+  const auto runs = service->run(s.configs, factory);
+  // ...and one live worker after it: the kill test ends with the fleet
+  // size it started with, because the supervisor put the replica back.
+  EXPECT_EQ(service->connected_workers(), 1u);
+  const auto& st = service->stats();
+  EXPECT_GE(st.workers_lost, 1u);
+  EXPECT_GE(st.chunks_redispatched, 1u);
+  EXPECT_EQ(st.local_fallback_points, 0u);  // the replacement did the work
+  expect_matches_baseline(runs, baseline, "supervised-SIGKILL schedule");
+
+  service.reset();  // Shutdown frame: the replacement child exits 0
+  supervisor.join();
+  EXPECT_EQ(outcome.exit_code, 0);
+  EXPECT_GE(outcome.launches, 2);  // the original + at least the replacement
+  EXPECT_FALSE(outcome.budget_spent);
+}
+
+TEST(Supervisor, SpentRestartBudgetDegradesToLocalFallback) {
+  const FuzzSweep s = draw_sweep(8);
+  auto factory = [&s](const core::RunConfig&, std::size_t i) {
+    return s.apps[i];
+  };
+  const auto baseline = pool1_baseline(s);
+
+  auto tuning = fast_tuning();
+  tuning.fleet_death_grace_ms = 1000;  // longer than the supervisor backoff
+  tuning.redispatch_budget = 10;       // deaths must not exhaust the chunks
+  auto opts = remote_options(tuning);
+  auto service = std::make_unique<sweep::SweepService>(std::move(opts));
+  const std::string addr = service->remote_address();
+
+  // Every child dies on its first resolve: the supervisor burns its whole
+  // budget mid-sweep, the fleet stays dead past the grace window, and the
+  // sweep must complete locally — degraded, never failed. Dispatches only
+  // flow while run() is active, so the sweep and the supervisor must run
+  // concurrently (and the deltas the service reports only cover deaths
+  // that happen inside the run).
+  sweep::SuperviseOutcome outcome;
+  std::thread supervisor([&] {
+    sweep::SuperviseOptions so;
+    so.restart_budget = 2;
+    so.backoff_base_ms = 5;
+    so.backoff_cap_ms = 20;
+    outcome = sweep::supervise_call(
+        [&] {
+          try {
+            sweep::run_worker(
+                addr,
+                [](const core::RunConfig&,
+                   const std::string&) -> core::AppFn {
+                  ::kill(::getpid(), SIGKILL);  // die on the first dispatch
+                  throw std::runtime_error("unreachable");
+                },
+                {.name = "doomed"});
+          } catch (...) {
+            return 1;
+          }
+          return 0;
+        },
+        so);
+  });
+
+  // First doomed worker is live before the sweep starts.
+  const auto reg_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service->connected_workers() < 1 &&
+         std::chrono::steady_clock::now() < reg_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(service->connected_workers(), 1u);
+
+  const auto runs = service->run(s.configs, factory);
+  supervisor.join();  // budget spent: three launches, three corpses
+
+  const auto& st = service->stats();
+  EXPECT_EQ(st.remote_workers, 1u);  // fleet size when the sweep started
+  EXPECT_EQ(st.workers_lost, 3u);    // every launch died holding a lease
+  EXPECT_EQ(st.local_fallback_points, st.unique_points);
+  expect_matches_baseline(runs, baseline, "spent-budget schedule");
+  EXPECT_EQ(outcome.exit_code, 128 + SIGKILL);
+  EXPECT_EQ(outcome.launches, 3);
+  EXPECT_TRUE(outcome.budget_spent);
+  service.reset();
+}
+
+// ----------------------------------------------------- fault summary line
+
+TEST(ServiceStats, FaultSummaryIsDeterministicAndOmitsZeroCounters) {
+  sweep::ServiceStats st;
+  EXPECT_EQ(sweep::format_fault_summary(st), "faults: none");
+  st.workers_lost = 2;
+  st.chunks_redispatched = 3;
+  EXPECT_EQ(sweep::format_fault_summary(st),
+            "faults: workers_lost=2 chunks_redispatched=3");
+  st.heartbeats_missed = 1;
+  st.duplicate_results = 4;
+  st.local_fallback_points = 5;
+  EXPECT_EQ(sweep::format_fault_summary(st),
+            "faults: workers_lost=2 heartbeats_missed=1 "
+            "chunks_redispatched=3 duplicate_results=4 "
+            "local_fallback_points=5");
+  // Fleet size is not a fault: a clean remote sweep still reads "none".
+  sweep::ServiceStats clean;
+  clean.remote_workers = 3;
+  EXPECT_EQ(sweep::format_fault_summary(clean), "faults: none");
 }
 
 }  // namespace

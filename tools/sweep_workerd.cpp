@@ -2,28 +2,44 @@
 //
 // Connects to a sweep-service coordinator (a bench/example started with
 // --listen, or any SweepService with ServiceOptions::listen set),
-// registers with the version handshake, heartbeats, and executes
-// dispatched points through the workload registry until the coordinator
-// shuts the fleet down.
+// registers with the version handshake (plus the HMAC challenge/response
+// when --secret-file is given), heartbeats, and pulls dispatched points
+// through the workload registry until the coordinator shuts the fleet
+// down.
 //
 // Usage:
 //   sweep-workerd --connect=HOST:PORT [--name=N] [--retries=K]
 //                 [--retry-ms=MS] [--connect-timeout-ms=MS]
+//                 [--secret-file=PATH] [--stats] [--supervise[=N]]
+//
+// --supervise[=N] runs a supervisor: the worker proper executes in a
+// fork/exec'd child; any abnormal child exit — SIGKILL, SIGSEGV, nonzero
+// status — is reaped and the child re-exec'd with capped exponential
+// backoff, up to N restarts (default 5). The supervisor logs every child
+// pid on stderr ("supervisor: child pid P ...") so harnesses can kill
+// the *worker* and watch it heal; a fleet under supervision ends a kill
+// test with the same live worker count it started with.
 //
 // Exit status: 0 after a clean coordinator shutdown (or a coordinator
 // that simply went away after registration — there is nobody left to
 // serve), 1 when the coordinator stays unreachable past the retry
-// budget or rejects registration, 2 for usage errors.
+// budget or rejects registration (or the restart budget is spent), 2
+// for usage errors.
 //
 // Start order is free: a workerd launched before its coordinator retries
 // the connection (--retries x --retry-ms covers the gap).
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <exception>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "sdrmpi/sweep/auth.hpp"
 #include "sdrmpi/sweep/remote.hpp"
+#include "sdrmpi/sweep/supervise.hpp"
 #include "sdrmpi/sweep/transport.hpp"
 #include "sdrmpi/util/options.hpp"
 
@@ -32,8 +48,47 @@ namespace {
 void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --connect=HOST:PORT [--name=N] [--retries=K]\n"
-               "       [--retry-ms=MS] [--connect-timeout-ms=MS]\n",
+               "       [--retry-ms=MS] [--connect-timeout-ms=MS]\n"
+               "       [--secret-file=PATH] [--stats] [--supervise[=N]]\n",
                prog);
+}
+
+/// The worker proper: retry loop around run_worker. Runs in the child
+/// when supervised, inline otherwise.
+int run_worker_main(const std::string& connect,
+                    const sdrmpi::sweep::WorkerOptions& base, int retries,
+                    int retry_ms, bool print_stats) {
+  using namespace sdrmpi;
+  sweep::ignore_sigpipe();
+  const sweep::AppResolver resolver = sweep::registry_resolver();
+  sweep::WorkerStats stats;
+  sweep::WorkerOptions wopts = base;
+  if (print_stats) wopts.stats = &stats;
+  auto emit_stats = [&] {
+    if (!print_stats) return;
+    // Deterministic counters only (no host-time EWMA): CI diffs these.
+    std::fprintf(stderr,
+                 "[sweep-workerd] stats: points_executed=%zu dispatches=%zu "
+                 "work_requests=%zu\n",
+                 stats.points_executed, stats.dispatches,
+                 stats.work_requests);
+  };
+  for (int attempt = 0;; ++attempt) {
+    try {
+      sweep::run_worker(connect, resolver, wopts);
+      emit_stats();
+      return 0;  // coordinator shut us down cleanly
+    } catch (const std::exception& e) {
+      if (attempt >= retries) {
+        std::fprintf(stderr, "sweep-workerd: %s\n", e.what());
+        emit_stats();
+        return 1;
+      }
+      std::fprintf(stderr, "sweep-workerd: %s (retry %d/%d in %d ms)\n",
+                   e.what(), attempt + 1, retries, retry_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(retry_ms));
+    }
+  }
 }
 
 }  // namespace
@@ -43,7 +98,8 @@ int main(int argc, char** argv) {
   try {
     const util::Options opts(argc, argv);
     opts.expect({"connect", "name", "retries", "retry-ms",
-                 "connect-timeout-ms", "help"});
+                 "connect-timeout-ms", "secret-file", "stats", "supervise",
+                 "help"});
     if (opts.has("help")) {
       usage(argv[0]);
       return 0;
@@ -57,25 +113,45 @@ int main(int argc, char** argv) {
     wopts.name = opts.get_string("name", "worker");
     wopts.connect_timeout_ms =
         static_cast<int>(opts.get_int("connect-timeout-ms", 10000));
+    const std::string secret_file = opts.get_string("secret-file", "");
+    if (!secret_file.empty()) {
+      wopts.secret = sweep::auth::load_secret_file(secret_file);
+    }
     const int retries = static_cast<int>(opts.get_int("retries", 30));
     const int retry_ms = static_cast<int>(opts.get_int("retry-ms", 500));
+    const bool print_stats = opts.get_bool("stats", false);
 
-    sweep::ignore_sigpipe();
-    const sweep::AppResolver resolver = sweep::registry_resolver();
-    for (int attempt = 0;; ++attempt) {
-      try {
-        sweep::run_worker(connect, resolver, wopts);
-        return 0;  // coordinator shut us down cleanly
-      } catch (const std::exception& e) {
-        if (attempt >= retries) {
-          std::fprintf(stderr, "sweep-workerd: %s\n", e.what());
-          return 1;
-        }
-        std::fprintf(stderr, "sweep-workerd: %s (retry %d/%d in %d ms)\n",
-                     e.what(), attempt + 1, retries, retry_ms);
-        std::this_thread::sleep_for(std::chrono::milliseconds(retry_ms));
-      }
+    if (!opts.has("supervise")) {
+      return run_worker_main(connect, wopts, retries, retry_ms, print_stats);
     }
+
+    // Supervisor mode: re-exec this binary (minus --supervise) as the
+    // child, so every restart begins from a pristine process image.
+    const int budget = static_cast<int>(opts.get_int("supervise", 5));
+    std::vector<std::string> child_argv;
+    child_argv.push_back(::access("/proc/self/exe", X_OK) == 0
+                             ? "/proc/self/exe"
+                             : argv[0]);
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--supervise", 0) == 0) continue;
+      child_argv.push_back(arg);
+    }
+    sweep::SuperviseOptions sup;
+    sup.restart_budget = budget;
+    sup.log = stderr;
+    sup.on_spawn = [budget](pid_t pid, int attempt) {
+      std::fprintf(stderr, "supervisor: child pid %d (launch %d, budget %d)\n",
+                   static_cast<int>(pid), attempt, budget);
+    };
+    const sweep::SuperviseOutcome out = sweep::supervise_exec(child_argv, sup);
+    if (out.budget_spent) {
+      std::fprintf(stderr,
+                   "sweep-workerd: worker kept dying (%d launches); the "
+                   "coordinator's lease machinery now owns its points\n",
+                   out.launches);
+    }
+    return out.exit_code;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweep-workerd: %s\n", e.what());
     return 2;
