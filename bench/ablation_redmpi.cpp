@@ -29,8 +29,10 @@ int main(int argc, char** argv) {
                        core::ProtocolKind::RedMpiLeader,
                        core::ProtocolKind::RedMpiSd};
     for (core::RunConfig& cfg : sweep.expand()) {
+      // Both workloads sweep identical configs; the name salts the content
+      // address so the service does not dedupe one onto the other.
       points.push_back({name + "/" + core::to_string(cfg.protocol),
-                        std::move(cfg), app});
+                        std::move(cfg), app, name});
     }
   }
   const auto results = bench::run_points(points, opts);

@@ -23,6 +23,8 @@
 // Unknown flags are rejected with the accepted list (check_options).
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -39,8 +41,12 @@ namespace sdrmpi::bench {
 
 /// One sweep point: a labelled config + the app to run under it. `spec`
 /// is the registry app-spec ("cg nrows=768 iters=8") a remote
-/// sweep-workerd resolves when the bench runs with --listen; benches
-/// that never go remote may leave it empty.
+/// sweep-workerd resolves when the bench runs with --listen; it is also
+/// folded into the point's content address, so any bench whose points
+/// share a config across DIFFERENT workloads (table1_nas kernels,
+/// fig_scale's cg/ft axis) must fill it or the sweep service dedupes
+/// those points into one simulation. Single-app benches may leave it
+/// empty.
 struct Point {
   std::string label;
   core::RunConfig cfg;
@@ -98,6 +104,34 @@ inline sweep::ServiceOptions service_options(const util::Options& opts) {
   const std::string secret_file = opts.get_string("secret-file", "");
   if (!secret_file.empty()) s.secret = sweep::auth::load_secret_file(secret_file);
   return s;
+}
+
+/// Peak RSS of this process in MB (getrusage high-water mark — covers
+/// everything the bench did so far, not one point).
+inline long peak_rss_mb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+#ifdef __APPLE__
+  return ru.ru_maxrss / (1 << 20);  // ru_maxrss is bytes
+#else
+  return ru.ru_maxrss / 1024;  // ru_maxrss is KB on Linux
+#endif
+}
+
+/// Peak-RSS regression gate shared by table1_nas and fig_scale: reports
+/// the measured peak against the bound on stderr and returns false when
+/// it is exceeded (a change that silently rematerializes GB-scale
+/// symbolic payloads, or re-densifies per-rank state, blows through it).
+inline bool check_max_rss_mb(const std::string& bench_name, long max_rss_mb) {
+  const long rss_mb = peak_rss_mb();
+  std::cerr << bench_name << ": peak RSS " << rss_mb << " MB (bound "
+            << max_rss_mb << " MB)\n";
+  if (rss_mb > max_rss_mb) {
+    std::cerr << bench_name
+              << ": peak RSS exceeds the bound — host-memory regression\n";
+    return false;
+  }
+  return true;
 }
 
 /// True when the bench should emit JSON instead of tables (--json).
@@ -187,11 +221,11 @@ inline std::vector<PointResult> run_points(const std::vector<Point>& pts,
   };
 
   sweep::ServiceOptions sopts = service_options(opts);
-  if (!sopts.listen.empty()) {
-    sopts.spec = [&pts, reps](const core::RunConfig&, std::size_t index) {
-      return pts[index / static_cast<std::size_t>(reps)].spec;
-    };
-  }
+  // Always installed (not just for --listen): the spec distinguishes the
+  // content addresses of same-config points that run different workloads.
+  sopts.spec = [&pts, reps](const core::RunConfig&, std::size_t index) {
+    return pts[index / static_cast<std::size_t>(reps)].spec;
+  };
   sweep::SweepService service(sopts);
   if (service.remote()) {
     std::cerr << "[sweep] coordinator listening on "
@@ -240,7 +274,7 @@ inline std::vector<PointResult> run_points(const std::vector<Point>& pts,
     out[p].mean_sec = acc.mean();
     out[p].stddev_sec = acc.stddev();
     out[p].reps = reps;
-    out[p].digest = sweep::config_key(pts[p].cfg);
+    out[p].digest = sweep::config_key(pts[p].cfg, pts[p].spec);
     out[p].cached = cached_digests.count(out[p].digest) > 0;
     out[p].run = runs[(p + 1) * static_cast<std::size_t>(reps) - 1];
   }
@@ -309,7 +343,14 @@ inline void emit_json(std::ostream& os, const std::string& bench_name,
        << ", \"inter_switch_frames\": " << r.fabric.inter_switch_frames
        << ", \"link_stalls\": " << r.fabric.link_stalls
        << ", \"link_stall_ns\": " << r.fabric.link_stall_ns
-       << ", \"link_busy_ns\": " << r.fabric.link_busy_ns << "}"
+       << ", \"link_busy_ns\": " << r.fabric.link_busy_ns
+       << ", \"mem\": {\"stack_bytes_reserved\": "
+       << r.mem.stack_bytes_reserved
+       << ", \"stack_bytes_peak\": " << r.mem.stack_bytes_peak
+       << ", \"stack_depth_peak\": " << r.mem.stack_depth_peak
+       << ", \"endpoint_bytes\": " << r.mem.endpoint_bytes
+       << ", \"fabric_bytes\": " << r.mem.fabric_bytes
+       << ", \"payload_slab_bytes\": " << r.mem.payload_slab_bytes << "}}"
        << (i + 1 < pts.size() ? "," : "") << "\n";
   }
   os << "  ]";

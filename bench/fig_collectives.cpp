@@ -136,8 +136,19 @@ int main(int argc, char** argv) {
           std::string label = std::string(to_string(ap.kind)) + "/" + ap.alg +
                               "/" + std::to_string(bytes) + "B/" + pr.name +
                               (symbolic ? "/sym" : "/mat");
+          // Bytes and payload mode live only in the app, so they must
+          // salt the content address: without a spec, each algorithm's
+          // four (size x mode) points share one config and the service
+          // would serve one simulation for all of them — making the
+          // sym/mat equality check below vacuously true. Not a registry
+          // name (coll_app is local), so this bench cannot run --listen.
+          std::string spec = std::string("coll:") + to_string(ap.kind) +
+                             " bytes=" + std::to_string(bytes) +
+                             " mode=" + (symbolic ? "sym" : "mat") +
+                             " iters=" + std::to_string(iters);
           points.push_back({std::move(label), cfg,
-                            coll_app(ap.kind, bytes, mode, iters)});
+                            coll_app(ap.kind, bytes, mode, iters),
+                            std::move(spec)});
           metas.push_back({symbolic, ap.packing, bytes});
         }
       }

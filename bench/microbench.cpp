@@ -7,6 +7,7 @@
 // BENCH_hotpath.json trajectory.
 #include <benchmark/benchmark.h>
 
+#include "sdrmpi/mpi/seq_map.hpp"
 #include "sdrmpi/sdrmpi.hpp"
 #include "sdrmpi/util/alloc_counter.hpp"
 #include "sdrmpi/util/byte_counter.hpp"
@@ -245,6 +246,73 @@ void BM_RunManyBatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
 }
 BENCHMARK(BM_RunManyBatch)->Arg(1)->Arg(4)->UseRealTime();
+
+// Fiber-stack acquire/release through the public API: run-to-completion
+// processes each take a stack at dispatch and hand it back at exit. Arg is
+// the engine's free-list cap — 16 (default) serves every fiber after the
+// first from the cache, 0 forces a fresh mmap/munmap pair per fiber, so
+// the pair's gap is the recycling win the lazy-stack engine banks on.
+void BM_StackAcquireRelease(benchmark::State& state) {
+  const auto cap = static_cast<std::size_t>(state.range(0));
+  constexpr int kProcs = 256;
+  std::uint64_t created = 0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    engine.set_stack_cache_cap(cap);
+    for (int i = 0; i < kProcs; ++i) {
+      engine.spawn("p", [] {});
+    }
+    auto out = engine.run();
+    created += engine.stack_stats().stacks_created;
+    benchmark::DoNotOptimize(out.end_time);
+  }
+  state.counters["fibers/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kProcs,
+      benchmark::Counter::kIsRate);
+  state.counters["mmaps/iter"] =
+      static_cast<double>(created) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_StackAcquireRelease)->Arg(16)->Arg(0);
+
+// Per-peer sequence state, dense vector vs sparse SeqMap, under the
+// workload the sparse layout was built for: 4k possible peers of which a
+// rank talks to O(log n). Dense pays O(nranks) memory (and cold cache
+// lines); sparse pays a short binary search over ~12 warm entries. The
+// bench shows the lookup cost the endpoint diet trades for its 60x
+// memory reduction.
+void BM_SeqLookupDense(benchmark::State& state) {
+  const auto nranks = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> seq(nranks, 0);
+  // log2(nranks) neighbours, hypercube-style — the NAS/collective pattern.
+  std::vector<int> peers;
+  for (std::size_t bit = 1; bit < nranks; bit <<= 1) {
+    peers.push_back(static_cast<int>(bit ^ 1));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const int peer = peers[i++ % peers.size()];
+    benchmark::DoNotOptimize(seq[static_cast<std::size_t>(peer)]++);
+  }
+  state.counters["bytes"] = static_cast<double>(seq.size() * sizeof(seq[0]));
+}
+BENCHMARK(BM_SeqLookupDense)->Arg(4096);
+
+void BM_SeqLookupSparse(benchmark::State& state) {
+  const auto nranks = static_cast<std::size_t>(state.range(0));
+  mpi::SeqMap seq;
+  std::vector<int> peers;
+  for (std::size_t bit = 1; bit < nranks; bit <<= 1) {
+    peers.push_back(static_cast<int>(bit ^ 1));
+  }
+  for (const int p : peers) seq.set(p, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const int peer = peers[i++ % peers.size()];
+    benchmark::DoNotOptimize(seq.bump(peer));
+  }
+  state.counters["bytes"] = static_cast<double>(seq.heap_bytes());
+}
+BENCHMARK(BM_SeqLookupSparse)->Arg(4096);
 
 void BM_Hashing(benchmark::State& state) {
   std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)),

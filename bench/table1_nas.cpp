@@ -13,8 +13,6 @@
 // host-cheap — `--max-rss-mb=N` turns that into a CI regression gate on
 // peak host RSS. `--protocols=all` widens the protocol axis from the
 // paper's native/SDR pair to every implemented protocol.
-#include <sys/resource.h>
-
 #include <iostream>
 
 #include "bench_support.hpp"
@@ -50,6 +48,16 @@ int main(int argc, char** argv) {
       if (!opts.has("compute-scale")) wl_opts.set("compute-scale", "8");
     }
     const auto app = wl::make_workload(row.name, wl_opts);
+    // Registry-parseable app spec: the five kernels run byte-identical
+    // configs, so the kernel name must salt the content address or the
+    // sweep service would collapse the whole table onto the first row.
+    std::string spec = row.name;
+    for (const char* key : {"class", "nrows", "nz", "iters", "compute-scale",
+                            "symbolic"}) {
+      if (wl_opts.has(key)) {
+        spec += std::string(" ") + key + "=" + wl_opts.get_string(key, "");
+      }
+    }
 
     core::Sweep sweep;
     sweep.base.nranks = nranks;
@@ -73,7 +81,7 @@ int main(int argc, char** argv) {
     for (core::RunConfig& cfg : sweep.expand()) {
       points.push_back({std::string(row.name) + "/" +
                             core::to_string(cfg.protocol),
-                        std::move(cfg), app});
+                        std::move(cfg), app, spec});
     }
   }
   const auto results = bench::run_points(points, opts, reps);
@@ -101,21 +109,8 @@ int main(int argc, char** argv) {
   // that silently rematerializes GB-scale payloads blows straight through
   // this bound.
   const long max_rss_mb = static_cast<long>(opts.get_int("max-rss-mb", 0));
-  if (max_rss_mb > 0) {
-    struct rusage ru {};
-    getrusage(RUSAGE_SELF, &ru);
-#ifdef __APPLE__
-    const long rss_mb = ru.ru_maxrss / (1 << 20);  // ru_maxrss is bytes
-#else
-    const long rss_mb = ru.ru_maxrss / 1024;  // ru_maxrss is KB on Linux
-#endif
-    std::cerr << "table1_nas: peak RSS " << rss_mb << " MB (bound "
-              << max_rss_mb << " MB)\n";
-    if (rss_mb > max_rss_mb) {
-      std::cerr << "table1_nas: peak RSS exceeds --max-rss-mb bound — "
-                   "symbolic payload path regressed\n";
-      return 3;
-    }
+  if (max_rss_mb > 0 && !bench::check_max_rss_mb("table1_nas", max_rss_mb)) {
+    return 3;
   }
   return 0;
 }

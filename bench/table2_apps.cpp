@@ -33,9 +33,12 @@ int main(int argc, char** argv) {
     sweep.protocols = {core::ProtocolKind::Native, core::ProtocolKind::Sdr,
                        core::ProtocolKind::Leader};
     for (core::RunConfig& cfg : sweep.expand()) {
+      // The app name salts the content address: both rows sweep identical
+      // configs, and without the spec the service would dedupe CM1's
+      // points onto HPCCG's results.
       points.push_back({std::string(row.name) + "/" +
                             core::to_string(cfg.protocol),
-                        std::move(cfg), app});
+                        std::move(cfg), app, row.name});
     }
   }
   const auto results = bench::run_points(points, opts, reps);

@@ -22,27 +22,28 @@ std::unique_ptr<mpi::Endpoint> clone_endpoint_for_recovery(JobContext& job,
     // Only communicators that live entirely inside the substitute's world
     // (the app world and anything the app split off it) translate; the
     // internal communicator spans all worlds and is copied verbatim.
-    bool single_world = !ci.rank_to_slot.empty();
-    for (int s : ci.rank_to_slot) {
-      if (topo.world_of(s) != from_world) {
+    const int nmembers = ci.rank_to_slot.size();
+    bool single_world = nmembers > 0;
+    for (int i = 0; i < nmembers; ++i) {
+      if (topo.world_of(ci.rank_to_slot[i]) != from_world) {
         single_world = false;
         break;
       }
     }
     std::vector<int> slots;
-    slots.reserve(ci.rank_to_slot.size());
+    slots.reserve(static_cast<std::size_t>(nmembers));
     int my_new_rank = ci.my_rank;
-    for (std::size_t i = 0; i < ci.rank_to_slot.size(); ++i) {
+    for (int i = 0; i < nmembers; ++i) {
       const int s = ci.rank_to_slot[i];
       const int translated =
           single_world ? topo.slot(w, topo.rank_of(s)) : s;
       // "my rank" follows my slot (matters for the slot-indexed internal
       // communicator; app communicators come out unchanged).
-      if (translated == dead_slot) my_new_rank = static_cast<int>(i);
+      if (translated == dead_slot) my_new_rank = i;
       slots.push_back(translated);
     }
     ep->register_comm_fixed(ci.ctx_p2p, ci.ctx_coll, my_new_rank,
-                            std::move(slots));
+                            mpi::RankMap(std::move(slots)));
   }
 
   // Channel sequence state is keyed by (context, logical rank): valid as-is

@@ -2,18 +2,96 @@
 
 namespace sdrmpi::core {
 
+namespace {
+
+/// lower_bound over a rank-sorted pair vector.
+template <class V>
+[[nodiscard]] auto rank_lower_bound(V& v, int rank) noexcept {
+  return std::lower_bound(
+      v.begin(), v.end(), rank,
+      [](const auto& e, int r) { return e.first < r; });
+}
+
+}  // namespace
+
 ReplicaMap::ReplicaMap(Topology topo, int my_world, int my_rank)
     : topo_(topo), my_world_(my_world), my_rank_(my_rank) {
   alive_.assign(static_cast<std::size_t>(topo_.nslots()), true);
-  dests_.resize(static_cast<std::size_t>(topo_.nranks));
-  src_.resize(static_cast<std::size_t>(topo_.nranks));
   substitute_.resize(static_cast<std::size_t>(topo_.nworlds));
-  for (int r = 0; r < topo_.nranks; ++r) {
-    dests_[static_cast<std::size_t>(r)].insert(topo_.slot(my_world_, r));
-    src_[static_cast<std::size_t>(r)] = topo_.slot(my_world_, r);
-  }
   for (int w = 0; w < topo_.nworlds; ++w) {
     substitute_[static_cast<std::size_t>(w)] = w;
+  }
+}
+
+const std::vector<int>* ReplicaMap::find_dests(int rank) const noexcept {
+  const auto it = rank_lower_bound(dest_overrides_, rank);
+  return it != dest_overrides_.end() && it->first == rank ? &it->second
+                                                          : nullptr;
+}
+
+std::vector<int>& ReplicaMap::edit_dests(int rank) {
+  const auto it = rank_lower_bound(dest_overrides_, rank);
+  if (it != dest_overrides_.end() && it->first == rank) return it->second;
+  return dest_overrides_
+      .insert(it, {rank, std::vector<int>{default_slot(rank)}})
+      ->second;
+}
+
+void ReplicaMap::canonicalize_dests(int rank) {
+  const auto it = rank_lower_bound(dest_overrides_, rank);
+  if (it == dest_overrides_.end() || it->first != rank) return;
+  if (it->second.size() == 1 && it->second.front() == default_slot(rank)) {
+    dest_overrides_.erase(it);
+  }
+}
+
+std::vector<int> ReplicaMap::dests(int rank) const {
+  if (const std::vector<int>* ov = find_dests(rank); ov != nullptr) return *ov;
+  return {default_slot(rank)};
+}
+
+bool ReplicaMap::is_dest(int rank, int slot) const {
+  if (const std::vector<int>* ov = find_dests(rank); ov != nullptr) {
+    return std::binary_search(ov->begin(), ov->end(), slot);
+  }
+  return slot == default_slot(rank);
+}
+
+void ReplicaMap::add_dest(int rank, int slot) {
+  std::vector<int>& d = edit_dests(rank);
+  const auto it = std::lower_bound(d.begin(), d.end(), slot);
+  if (it == d.end() || *it != slot) d.insert(it, slot);
+  canonicalize_dests(rank);
+}
+
+void ReplicaMap::remove_dest(int rank, int slot) {
+  // Removing a slot the set does not contain is a no-op — in particular it
+  // must not materialize an override.
+  if (!is_dest(rank, slot)) return;
+  std::vector<int>& d = edit_dests(rank);
+  const auto it = std::lower_bound(d.begin(), d.end(), slot);
+  if (it != d.end() && *it == slot) d.erase(it);
+  canonicalize_dests(rank);
+}
+
+int ReplicaMap::src(int rank) const {
+  const auto it = rank_lower_bound(src_overrides_, rank);
+  return it != src_overrides_.end() && it->first == rank
+             ? it->second
+             : default_slot(rank);
+}
+
+void ReplicaMap::set_src(int rank, int slot) {
+  const auto it = rank_lower_bound(src_overrides_, rank);
+  const bool present = it != src_overrides_.end() && it->first == rank;
+  if (slot == default_slot(rank)) {
+    if (present) src_overrides_.erase(it);
+    return;
+  }
+  if (present) {
+    it->second = slot;
+  } else {
+    src_overrides_.insert(it, {rank, slot});
   }
 }
 
@@ -48,10 +126,9 @@ std::vector<int> ReplicaMap::ack_targets(int rank, int except_world) const {
 
 void ReplicaMap::expected_ackers_into(int rank, std::vector<int>& out) const {
   out.clear();
-  const auto& d = dests(rank);
   for (int w = 0; w < topo_.nworlds; ++w) {
     const int s = topo_.slot(w, rank);
-    if (alive(s) && d.find(s) == d.end()) out.push_back(s);
+    if (alive(s) && !is_dest(rank, s)) out.push_back(s);
   }
 }
 
@@ -59,6 +136,17 @@ std::vector<int> ReplicaMap::expected_ackers(int rank) const {
   std::vector<int> out;
   expected_ackers_into(rank, out);
   return out;
+}
+
+std::size_t ReplicaMap::heap_bytes() const noexcept {
+  std::size_t n = alive_.capacity() / 8 +
+                  substitute_.capacity() * sizeof(int) +
+                  src_overrides_.capacity() * sizeof(src_overrides_[0]);
+  n += dest_overrides_.capacity() * sizeof(dest_overrides_[0]);
+  for (const auto& [rank, slots] : dest_overrides_) {
+    n += slots.capacity() * sizeof(int);
+  }
+  return n;
 }
 
 }  // namespace sdrmpi::core

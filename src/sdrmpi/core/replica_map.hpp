@@ -10,9 +10,17 @@
 //
 // Topology is static: slot(world, rank) = world * nranks + rank, matching
 // the paper's placement (first replica set on the first half of the nodes).
+//
+// Storage is sparse: in the fault-free steady state every rank's tables
+// hold exactly their topological defaults (dests = {slot(my_world, rank)},
+// src = slot(my_world, rank)), so only *deviations* — created by failover
+// and recovery — are stored, in rank-sorted flat vectors. A dense
+// vector<set<int>> here cost O(nranks) heap nodes per process, O(ranks²)
+// aggregate: the single largest host-memory term at 4k simulated ranks.
 #pragma once
 
-#include <set>
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace sdrmpi::core {
@@ -48,24 +56,27 @@ class ReplicaMap {
     alive_.at(static_cast<std::size_t>(slot)) = v;
   }
 
-  /// Slots to which an application message to `rank` is sent.
-  [[nodiscard]] const std::set<int>& dests(int rank) const {
-    return dests_.at(static_cast<std::size_t>(rank));
-  }
-  void add_dest(int rank, int slot) {
-    dests_.at(static_cast<std::size_t>(rank)).insert(slot);
-  }
-  void remove_dest(int rank, int slot) {
-    dests_.at(static_cast<std::size_t>(rank)).erase(slot);
+  /// Calls `f(slot)` for each slot an application message to `rank` goes
+  /// to, in ascending slot order. Allocation-free — the send path's form.
+  template <class F>
+  void for_each_dest(int rank, F&& f) const {
+    if (const std::vector<int>* ov = find_dests(rank); ov != nullptr) {
+      for (int s : *ov) f(s);
+      return;
+    }
+    f(default_slot(rank));
   }
 
+  /// Slots to which an application message to `rank` is sent, ascending
+  /// (materialized — diagnostics and tests; sends use for_each_dest).
+  [[nodiscard]] std::vector<int> dests(int rank) const;
+  [[nodiscard]] bool is_dest(int rank, int slot) const;
+  void add_dest(int rank, int slot);
+  void remove_dest(int rank, int slot);
+
   /// Nominal physical source for messages from `rank`.
-  [[nodiscard]] int src(int rank) const {
-    return src_.at(static_cast<std::size_t>(rank));
-  }
-  void set_src(int rank, int slot) {
-    src_.at(static_cast<std::size_t>(rank)) = slot;
-  }
+  [[nodiscard]] int src(int rank) const;
+  void set_src(int rank, int slot);
 
   /// Which world currently emits on behalf of `world` (own rank only).
   [[nodiscard]] int substitute(int world) const {
@@ -95,13 +106,29 @@ class ReplicaMap {
   /// Scratch-buffer variant for the send path (see ack_targets_into).
   void expected_ackers_into(int rank, std::vector<int>& out) const;
 
+  /// Heap bytes held by the deviation tables (diagnostic; ~0 fault-free).
+  [[nodiscard]] std::size_t heap_bytes() const noexcept;
+
  private:
+  [[nodiscard]] int default_slot(int rank) const noexcept {
+    return topo_.slot(my_world_, rank);
+  }
+  /// Override entry for `rank`, nullptr when the rank is at its default.
+  [[nodiscard]] const std::vector<int>* find_dests(int rank) const noexcept;
+  /// Mutable override for `rank`, materializing the default on first use.
+  [[nodiscard]] std::vector<int>& edit_dests(int rank);
+  /// Drops the override again when a mutation lands back on the default.
+  void canonicalize_dests(int rank);
+
   Topology topo_;
   int my_world_ = 0;
   int my_rank_ = 0;
   std::vector<bool> alive_;
-  std::vector<std::set<int>> dests_;
-  std::vector<int> src_;
+  // Rank-sorted deviations from the topological defaults. Fault-free runs
+  // never touch these; failover/recovery edits stay proportional to the
+  // ranks actually affected.
+  std::vector<std::pair<int, std::vector<int>>> dest_overrides_;
+  std::vector<std::pair<int, int>> src_overrides_;
   std::vector<int> substitute_;
 };
 

@@ -96,6 +96,12 @@ struct RunConfig {
   Time time_limit = timeunits::seconds(600.0);  ///< virtual-time failsafe
   std::uint64_t seed = 0x5dbULL;                ///< workload RNG seed
 
+  /// Usable fiber-stack KiB per simulated process (0 = engine default:
+  /// SDRMPI_FIBER_STACK_KB or 256). Host-side only — stacks never move
+  /// virtual time — but part of the config key so cached results record
+  /// the environment they ran under. Minimum 64 when set.
+  int fiber_stack_kb = 0;
+
   /// Field-wise equality over every knob that can move a run's outcome.
   /// The sweep service's content-addressed cache relies on the contract
   /// that two configs serialize (and digest) identically iff they are ==
@@ -142,6 +148,25 @@ struct SlotResult {
   [[nodiscard]] bool operator==(const SlotResult&) const = default;
 };
 
+/// Per-subsystem host-memory accounting for one run (bytes). Host-side
+/// only: NOT part of the golden-trace digest, and excluded from RunResult
+/// equality — unlike bytes_copied/bytes_hashed these depend on allocator
+/// and cache state (a warm-forked engine reuses recycled stacks and pooled
+/// buffers, so its totals legitimately differ from a cold run's). This is
+/// the "what dominates next" instrument for the scaling work: when a rank
+/// count stops fitting, the guilty subsystem is visible here instead of
+/// guessed.
+struct MemStats {
+  std::uint64_t stack_bytes_reserved = 0;  ///< fiber stacks mapped at finish
+  std::uint64_t stack_bytes_peak = 0;      ///< high-water mapped stack bytes
+  std::uint64_t stack_depth_peak = 0;      ///< SDRMPI_STACK_WATERMARK only
+  std::uint64_t endpoint_bytes = 0;   ///< seq/queue/comm state, all endpoints
+  std::uint64_t fabric_bytes = 0;     ///< per-slot/per-link fabric state
+  std::uint64_t payload_slab_bytes = 0;  ///< buffer-pool heap bytes drawn
+
+  [[nodiscard]] bool operator==(const MemStats&) const = default;
+};
+
 struct RunResult {
   bool deadlock = false;
   bool time_limit_hit = false;
@@ -170,12 +195,26 @@ struct RunResult {
   std::uint64_t bytes_hashed = 0;
   ProtocolStats protocol;
   net::FabricStats fabric;  ///< traffic + link-contention counters
+  MemStats mem;             ///< per-subsystem host-memory accounting
 
-  /// Bit-level equality over the full result (slots, counters, errors).
-  /// The sweep service's cache round-trip tests assert decode(encode(r))
-  /// == r for every field; sweep-layout invariance tests assert sharded
-  /// executions reproduce the single-chunk results exactly.
-  [[nodiscard]] bool operator==(const RunResult&) const = default;
+  /// Bit-level equality over the simulated result (slots, counters,
+  /// errors). The sweep service's cache round-trip tests assert
+  /// decode(encode(r)) == r for every field; sweep-layout invariance tests
+  /// assert sharded executions reproduce the single-chunk results exactly.
+  /// `mem` is deliberately left out: host-memory accounting tracks
+  /// allocator/cache state, not simulated outcome (see MemStats).
+  [[nodiscard]] bool operator==(const RunResult& o) const {
+    return deadlock == o.deadlock && time_limit_hit == o.time_limit_hit &&
+           rank_lost == o.rank_lost && errors == o.errors &&
+           makespan == o.makespan && slots == o.slots &&
+           app_sends == o.app_sends && data_frames == o.data_frames &&
+           ctl_frames == o.ctl_frames && unexpected == o.unexpected &&
+           duplicates_dropped == o.duplicates_dropped &&
+           events_executed == o.events_executed &&
+           context_switches == o.context_switches &&
+           bytes_copied == o.bytes_copied && bytes_hashed == o.bytes_hashed &&
+           protocol == o.protocol && fabric == o.fabric;
+  }
 
   [[nodiscard]] bool clean() const noexcept {
     return !deadlock && !time_limit_hit && !rank_lost && errors.empty();

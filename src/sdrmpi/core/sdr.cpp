@@ -28,10 +28,10 @@ void SdrProtocol::isend(mpi::Endpoint& ep, const mpi::SendArgs& a,
   // responsible for (own world; plus inherited worlds after a failover).
   // All copies — and the retransmission record below — alias one payload
   // handle; symbolic contents stay symbolic end to end.
-  for (int t : map_.dests(dst_world_rank)) {
-    if (!map_.alive(t)) continue;
+  map_.for_each_dest(dst_world_rank, [&](int t) {
+    if (!map_.alive(t)) return;
     ep.base_isend(a.ctx, a.dst_rank, t, a.tag, a.seq, payload, req);
-  }
+  });
 
   // Register the acknowledgements this send must collect (Alg. 1 l. 8-9):
   // one from every alive replica of the destination rank we do not send to

@@ -24,6 +24,9 @@ void validate(const RunConfig& cfg) {
   if (cfg.protocol == ProtocolKind::Native && cfg.replication != 1) {
     throw std::invalid_argument("native protocol requires replication == 1");
   }
+  if (cfg.fiber_stack_kb != 0 && cfg.fiber_stack_kb < 64) {
+    throw std::invalid_argument("fiber_stack_kb must be 0 (default) or >= 64");
+  }
   if (cfg.protocol == ProtocolKind::Ckpt) {
     if (cfg.replication != 1) {
       throw std::invalid_argument("ckpt protocol requires replication == 1");
@@ -54,6 +57,8 @@ World::World(RunConfig config, AppFn app)
                                config.nranks)),
       detector_(job_) {
   engine_.set_time_limit(config.time_limit);
+  engine_.set_fiber_stack_bytes(
+      static_cast<std::size_t>(config.fiber_stack_kb) * 1024);
 
   const Topology topo{config.nranks, config.replication};
   const int nslots = topo.nslots();
@@ -87,8 +92,9 @@ World::~World() = default;
 void World::build_endpoints() {
   const Topology& topo = job_.topo;
   const int nslots = topo.nslots();
-  std::vector<int> all_slots(static_cast<std::size_t>(nslots));
-  std::iota(all_slots.begin(), all_slots.end(), 0);
+  // Both launch-time mappings are affine, so every endpoint carries an O(1)
+  // iota descriptor instead of its own O(nslots) table.
+  const mpi::RankMap all_slots = mpi::RankMap::iota(0, nslots);
   for (int s = 0; s < nslots; ++s) {
     const int w = topo.world_of(s);
     const int r = topo.rank_of(s);
@@ -96,9 +102,8 @@ void World::build_endpoints() {
     // ctx 0/1: the internal launch-time world (kept inside the protocol).
     job_.internal_comm_handle = ep->register_comm_fixed(0, 1, s, all_slots);
     // ctx 2/3: this replica's application world.
-    std::vector<int> world_slots(static_cast<std::size_t>(topo.nranks));
-    std::iota(world_slots.begin(), world_slots.end(), w * topo.nranks);
-    job_.app_comm_handle = ep->register_comm_fixed(2, 3, r, world_slots);
+    job_.app_comm_handle = ep->register_comm_fixed(
+        2, 3, r, mpi::RankMap::iota(w * topo.nranks, topo.nranks));
     ep->set_coll_tuning(job_.config.coll);
     ep->set_protocol(make_protocol(job_, s));
     job_.endpoints[static_cast<std::size_t>(s)] = std::move(ep);
@@ -239,6 +244,14 @@ RunResult World::collect(const sim::RunOutcome& outcome) {
   res.bytes_copied = bc.bytes_copied - bytes_at_start_.bytes_copied;
   res.bytes_hashed = bc.bytes_hashed - bytes_at_start_.bytes_hashed;
 
+  // Per-subsystem host-memory accounting (MemStats docs in run_config.hpp).
+  const sim::StackStats& ss = engine_.stack_stats();
+  res.mem.stack_bytes_reserved = ss.bytes_mapped;
+  res.mem.stack_bytes_peak = ss.bytes_mapped_peak;
+  res.mem.stack_depth_peak = ss.stack_depth_peak;
+  res.mem.fabric_bytes = fabric_->footprint_bytes();
+  res.mem.payload_slab_bytes = engine_.buffer_pool().stats().bytes_allocated;
+
   for (int s = 0; s < nslots; ++s) {
     SlotResult& sr = job_.results[static_cast<std::size_t>(s)];
     const int pid = job_.pids[static_cast<std::size_t>(s)];
@@ -256,6 +269,7 @@ RunResult World::collect(const sim::RunOutcome& outcome) {
         res.errors.push_back(proc.name() + ": unknown error");
       }
     }
+    res.mem.endpoint_bytes += job_.endpoint(s).footprint_bytes();
     const mpi::EndpointStats& st = job_.endpoint(s).stats();
     res.app_sends += st.app_sends;
     res.data_frames += st.data_frames_sent;

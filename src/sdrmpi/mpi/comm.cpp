@@ -50,11 +50,10 @@ Comm Comm::split(int color, int key) const {
   slots.reserve(members.size());
   int my_new_rank = -1;
   for (std::size_t i = 0; i < members.size(); ++i) {
-    slots.push_back(
-        info().rank_to_slot.at(static_cast<std::size_t>(members[i].rank)));
+    slots.push_back(info().rank_to_slot.at(members[i].rank));
     if (members[i].rank == rank()) my_new_rank = static_cast<int>(i);
   }
-  const int h = ep_->register_comm(my_new_rank, std::move(slots));
+  const int h = ep_->register_comm(my_new_rank, RankMap(std::move(slots)));
   return Comm(ep_, h);
 }
 
@@ -62,13 +61,13 @@ Comm Comm::create(const Group& g) const {
   // Collective over the parent: everyone advances the allocator; members
   // of g obtain the communicator.
   barrier();
-  const int my_slot = info().rank_to_slot.at(static_cast<std::size_t>(rank()));
+  const int my_slot = info().rank_to_slot.at(rank());
   const int my_new_rank = g.rank_of(my_slot);
   if (my_new_rank < 0) {
     ep_->skip_ctx_pair();
     return Comm{};
   }
-  const int h = ep_->register_comm(my_new_rank, g.slots());
+  const int h = ep_->register_comm(my_new_rank, RankMap(g.slots()));
   return Comm(ep_, h);
 }
 

@@ -33,7 +33,9 @@ class Comm {
   [[nodiscard]] int size() const {
     return static_cast<int>(info().rank_to_slot.size());
   }
-  [[nodiscard]] Group group() const { return Group(info().rank_to_slot); }
+  [[nodiscard]] Group group() const {
+    return Group(info().rank_to_slot.to_vector());
+  }
   [[nodiscard]] Endpoint& endpoint() const { return *ep_; }
   [[nodiscard]] int handle() const noexcept { return handle_; }
 

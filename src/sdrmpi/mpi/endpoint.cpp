@@ -46,7 +46,7 @@ void Endpoint::set_protocol(std::unique_ptr<Vprotocol> protocol) {
 // ---------------------------------------------------------------------------
 
 int Endpoint::register_comm_fixed(CommCtx ctx_p2p, CommCtx ctx_coll,
-                                  int my_rank, std::vector<int> rank_to_slot) {
+                                  int my_rank, RankMap rank_to_slot) {
   CommInfo info;
   info.handle = static_cast<int>(comms_.size());
   info.ctx_p2p = ctx_p2p;
@@ -60,7 +60,7 @@ int Endpoint::register_comm_fixed(CommCtx ctx_p2p, CommCtx ctx_coll,
   return comms_.back().handle;
 }
 
-int Endpoint::register_comm(int my_rank, std::vector<int> rank_to_slot) {
+int Endpoint::register_comm(int my_rank, RankMap rank_to_slot) {
   const CommCtx p2p = next_ctx_;
   const CommCtx coll = next_ctx_ + 1;
   next_ctx_ += 2;
@@ -84,27 +84,23 @@ int Endpoint::rank_in(CommCtx ctx) const {
 
 std::uint64_t Endpoint::next_send_seq(CommCtx ctx, int dst_rank) const {
   const CtxState* st = ctx_state_if(ctx);
-  return st != nullptr ? seq_at(st->send_seq, dst_rank) : 0;
+  return st != nullptr ? st->send_seq.get(dst_rank) : 0;
 }
 
 std::uint64_t Endpoint::next_recv_seq(CommCtx ctx, int src_rank) const {
   const CtxState* st = ctx_state_if(ctx);
-  return st != nullptr ? seq_at(st->recv_seq, src_rank) : 0;
+  return st != nullptr ? st->recv_seq.get(src_rank) : 0;
 }
 
 Endpoint::SeqSnapshot Endpoint::snapshot_seqs() const {
   SeqSnapshot snap;
   for (CommCtx c = 0; c < ctx_.size(); ++c) {
     const CtxState& st = ctx_[c];
-    for (std::size_t r = 0; r < st.send_seq.size(); ++r) {
-      if (st.send_seq[r] != 0) {
-        snap.channels[{c, static_cast<int>(r)}].send = st.send_seq[r];
-      }
+    for (const auto& [peer, seq] : st.send_seq.entries()) {
+      snap.channels[{c, peer}].send = seq;
     }
-    for (std::size_t r = 0; r < st.recv_seq.size(); ++r) {
-      if (st.recv_seq[r] != 0) {
-        snap.channels[{c, static_cast<int>(r)}].recv = st.recv_seq[r];
-      }
+    for (const auto& [peer, seq] : st.recv_seq.entries()) {
+      snap.channels[{c, peer}].recv = seq;
     }
   }
   return snap;
@@ -117,8 +113,8 @@ void Endpoint::restore_seqs(const SeqSnapshot& snap) {
   }
   for (const auto& [key, seqs] : snap.channels) {
     CtxState& st = ctx_state(key.first);
-    if (seqs.send != 0) seq_slot(st.send_seq, key.second) = seqs.send;
-    if (seqs.recv != 0) seq_slot(st.recv_seq, key.second) = seqs.recv;
+    st.send_seq.set(key.second, seqs.send);
+    st.recv_seq.set(key.second, seqs.recv);
   }
 }
 
@@ -240,10 +236,10 @@ Request Endpoint::isend_payload(CommCtx ctx, int dst_rank, int tag,
   SendArgs args;
   args.ctx = ctx;
   args.dst_rank = dst_rank;
-  args.dst_slot_default = ci->rank_to_slot.at(static_cast<std::size_t>(dst_rank));
+  args.dst_slot_default = ci->rank_to_slot.at(dst_rank);
   args.tag = tag;
   args.payload = std::move(payload);
-  args.seq = seq_slot(ctx_state(ctx).send_seq, dst_rank)++;
+  args.seq = ctx_state(ctx).send_seq.bump(dst_rank);
 
   req->ctx = ctx;
   req->peer_rank = dst_rank;
@@ -566,7 +562,9 @@ void Endpoint::handle_data_frame(StoredFrame&& f) {
     return;
   }
   auto& m = ctx_state(f.h.ctx);
-  std::uint64_t& expected = seq_slot(m.recv_seq, f.h.src_rank);
+  // Value, not reference: protocol callbacks below re-enter the endpoint
+  // and may restructure the sparse counter storage.
+  const std::uint64_t expected = m.recv_seq.get(f.h.src_rank);
 
   if (f.h.seq < expected) {
     // Duplicate (failover resend or mirror sibling copy).
@@ -600,7 +598,7 @@ void Endpoint::handle_data_frame(StoredFrame&& f) {
     return;
   }
 
-  ++expected;
+  m.recv_seq.set(f.h.src_rank, expected + 1);
   const int src_rank = f.h.src_rank;
   accept_data_frame(std::move(f));
 
@@ -609,10 +607,10 @@ void Endpoint::handle_data_frame(StoredFrame&& f) {
   auto pit = m.parked.find(src_rank);
   while (pit != m.parked.end() && !pit->second.empty()) {
     auto first = pit->second.begin();
-    if (first->first != seq_slot(m.recv_seq, src_rank)) break;
+    if (first->first != m.recv_seq.get(src_rank)) break;
     StoredFrame next = std::move(first->second);
     pit->second.erase(first);
-    ++seq_slot(m.recv_seq, src_rank);
+    (void)m.recv_seq.bump(src_rank);
     accept_data_frame(std::move(next));
     pit = m.parked.find(src_rank);
   }
@@ -761,10 +759,8 @@ std::string Endpoint::debug_state() const {
   os << "slot " << slot_ << " (world " << world_ << "):";
   for (CommCtx ctx = 0; ctx < ctx_.size(); ++ctx) {
     const CtxState& m = ctx_[ctx];
-    for (std::size_t src = 0; src < m.recv_seq.size(); ++src) {
-      if (m.recv_seq[src] != 0) {
-        os << " exp(ctx=" << ctx << ",src=" << src << ")=" << m.recv_seq[src];
-      }
+    for (const auto& [src, seq] : m.recv_seq.entries()) {
+      os << " exp(ctx=" << ctx << ",src=" << src << ")=" << seq;
     }
     for (const auto& req : m.posted) {
       os << " posted(ctx=" << ctx << ",src=" << req->status.source
@@ -778,7 +774,7 @@ std::string Endpoint::debug_state() const {
       if (!parked.empty()) {
         os << " parked(ctx=" << ctx << ",src=" << src
            << ",first=" << parked.begin()->first
-           << ",expected=" << seq_at(m.recv_seq, src)
+           << ",expected=" << m.recv_seq.get(src)
            << ",n=" << parked.size() << ")";
       }
     }
@@ -794,6 +790,29 @@ std::string Endpoint::debug_state() const {
   }
   if (!inbox_.empty()) os << " inbox=" << inbox_.size();
   return os.str();
+}
+
+std::size_t Endpoint::footprint_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const CtxState& m : ctx_) {
+    n += sizeof(CtxState);
+    n += m.send_seq.heap_bytes() + m.recv_seq.heap_bytes();
+    n += m.posted.capacity() * sizeof(Request);
+    n += m.unexpected.capacity() * sizeof(StoredFrame);
+    for (const auto& [src, parked] : m.parked) {
+      // Approximate the per-node overhead of the two nested maps.
+      n += sizeof(void*) * 4 + parked.size() * (sizeof(StoredFrame) +
+                                                sizeof(void*) * 4);
+    }
+  }
+  for (const CommInfo& ci : comms_) {
+    n += sizeof(CommInfo) + ci.rank_to_slot.heap_bytes();
+  }
+  n += inbox_.size() * sizeof(net::Delivery);
+  n += rdv_sends_.capacity() * sizeof(RdvSend);
+  n += rdv_recvs_.capacity() * sizeof(RdvRecv);
+  n += req_cache_.capacity() * sizeof(Request);
+  return n;
 }
 
 // Default Vprotocol implementations live here to keep vprotocol.hpp light.

@@ -30,7 +30,9 @@
 
 #include "sdrmpi/mpi/coll/scratch.hpp"
 #include "sdrmpi/mpi/coll/tuning.hpp"
+#include "sdrmpi/mpi/rank_map.hpp"
 #include "sdrmpi/mpi/request.hpp"
+#include "sdrmpi/mpi/seq_map.hpp"
 #include "sdrmpi/mpi/types.hpp"
 #include "sdrmpi/mpi/vprotocol.hpp"
 #include "sdrmpi/mpi/wire.hpp"
@@ -56,7 +58,7 @@ struct CommInfo {
   CommCtx ctx_p2p = 0;
   CommCtx ctx_coll = 0;
   int my_rank = -1;
-  std::vector<int> rank_to_slot;  // default (own-world) slot per rank
+  RankMap rank_to_slot;  // default (own-world) slot per rank
 };
 
 class Endpoint {
@@ -66,13 +68,14 @@ class Endpoint {
     net::Payload bulk;  ///< aliases the delivered buffer (no copy)
     Time arrival = 0;
   };
-  /// Per-context hot state: channel counters (flat, indexed by peer rank),
-  /// matching queues, and the owning communicator. Contexts are dense small
-  /// integers, so the whole table is a deque indexed by ctx (deque: grows
-  /// without invalidating references held across protocol callbacks).
+  /// Per-context hot state: channel counters (sparse, keyed by active
+  /// peer — see seq_map.hpp), matching queues, and the owning communicator.
+  /// Contexts are dense small integers, so the whole table is a deque
+  /// indexed by ctx (deque: grows without invalidating references held
+  /// across protocol callbacks).
   struct CtxState {
-    std::vector<std::uint64_t> send_seq;  ///< next seq per dst_rank
-    std::vector<std::uint64_t> recv_seq;  ///< next expected per src_rank
+    SeqMap send_seq;  ///< next seq per dst_rank
+    SeqMap recv_seq;  ///< next expected per src_rank
     // Posted/unexpected queues are vectors (ordered erase preserves MPI
     // matching order); they are short, and their capacity recycles where
     // the former std::list allocated a node per operation.
@@ -128,11 +131,11 @@ class Endpoint {
   /// Registers a communicator with explicit context ids (launcher-created
   /// worlds use fixed ids so they align across replicas).
   int register_comm_fixed(CommCtx ctx_p2p, CommCtx ctx_coll, int my_rank,
-                          std::vector<int> rank_to_slot);
+                          RankMap rank_to_slot);
   /// Registers a communicator allocating the next context pair. Allocation
   /// order is identical across replicas of an SPMD app, which is what makes
   /// cross-world frames (failover resends) land in the right context.
-  int register_comm(int my_rank, std::vector<int> rank_to_slot);
+  int register_comm(int my_rank, RankMap rank_to_slot);
   /// Burns one context pair without registering (split with kUndefined).
   void skip_ctx_pair() { next_ctx_ += 2; }
   [[nodiscard]] const CommInfo& comm(int handle) const;
@@ -286,6 +289,13 @@ class Endpoint {
   /// Human-readable matching/rendezvous state for deadlock reports.
   [[nodiscard]] std::string debug_state() const;
 
+  /// Host bytes held by this endpoint's message-layer state: sequence
+  /// maps, matching-queue capacities, parked frames, rendezvous tables,
+  /// communicator rank maps, inbox and request cache. Feeds
+  /// MemStats::endpoint_bytes (run_config.hpp) — a diagnostic of what the
+  /// per-rank state costs, not an allocator contract.
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+
  private:
   Request irecv_common(CommCtx ctx, int src_rank, int tag,
                        std::span<std::byte> buf, bool sink, std::size_t cap);
@@ -310,18 +320,6 @@ class Endpoint {
   }
   [[nodiscard]] const CtxState* ctx_state_if(CommCtx ctx) const noexcept {
     return ctx < ctx_.size() ? &ctx_[ctx] : nullptr;
-  }
-  /// Mutable counter for (state, peer), growing the flat table on demand.
-  [[nodiscard]] static std::uint64_t& seq_slot(std::vector<std::uint64_t>& v,
-                                               int rank) {
-    const auto i = static_cast<std::size_t>(rank);
-    if (v.size() <= i) v.resize(i + 1, 0);
-    return v[i];
-  }
-  [[nodiscard]] static std::uint64_t seq_at(
-      const std::vector<std::uint64_t>& v, int rank) noexcept {
-    const auto i = static_cast<std::size_t>(rank);
-    return i < v.size() ? v[i] : 0;
   }
   [[nodiscard]] util::BufferPool* pool() noexcept { return &fabric_.pool(); }
 

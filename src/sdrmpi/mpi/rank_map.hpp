@@ -1,0 +1,83 @@
+// RankMap: a communicator's rank → slot mapping without the O(nranks) copy
+// per endpoint.
+//
+// The launcher-built worlds give every endpoint the same two mappings — all
+// slots in order, and this replica's contiguous rank range — which as
+// explicit vectors cost O(ranks²) aggregate host bytes. Both are affine
+// (slot = base + rank), so they are represented as an iota descriptor: two
+// ints per endpoint instead of nranks. App-created communicators
+// (dup/split/create) keep an explicit table, shared between the CommInfo
+// copies that dup() makes rather than cloned.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace sdrmpi::mpi {
+
+class RankMap {
+ public:
+  RankMap() = default;
+
+  /// Affine mapping: rank r -> base + r for n ranks. O(1) storage.
+  [[nodiscard]] static RankMap iota(int base, int n) {
+    RankMap m;
+    m.base_ = base;
+    m.n_ = n;
+    return m;
+  }
+
+  /// Explicit table (app-created communicators). Shared, never cloned.
+  explicit RankMap(std::vector<int> slots)
+      : n_(static_cast<int>(slots.size())),
+        table_(std::make_shared<const std::vector<int>>(std::move(slots))) {}
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  /// Slot of `rank`; throws std::out_of_range like vector::at.
+  [[nodiscard]] int at(int rank) const {
+    if (rank < 0 || rank >= n_) {
+      throw std::out_of_range("RankMap::at: rank out of range");
+    }
+    return table_ != nullptr ? (*table_)[static_cast<std::size_t>(rank)]
+                             : base_ + rank;
+  }
+
+  [[nodiscard]] int operator[](int rank) const noexcept {
+    return table_ != nullptr ? (*table_)[static_cast<std::size_t>(rank)]
+                             : base_ + rank;
+  }
+
+  /// Materializes the mapping (Group construction, debug).
+  [[nodiscard]] std::vector<int> to_vector() const {
+    if (table_ != nullptr) return *table_;
+    std::vector<int> v(static_cast<std::size_t>(n_));
+    for (int r = 0; r < n_; ++r) v[static_cast<std::size_t>(r)] = base_ + r;
+    return v;
+  }
+
+  /// Value equality (an iota and an explicit table with the same slots
+  /// compare equal).
+  [[nodiscard]] bool operator==(const RankMap& o) const noexcept {
+    if (n_ != o.n_) return false;
+    for (int r = 0; r < n_; ++r) {
+      if ((*this)[r] != o[r]) return false;
+    }
+    return true;
+  }
+
+  /// Heap bytes held by this mapping (0 for iota; tables are shared but
+  /// reported per holder — a diagnostic, not an allocator).
+  [[nodiscard]] std::size_t heap_bytes() const noexcept {
+    return table_ != nullptr ? table_->capacity() * sizeof(int) : 0;
+  }
+
+ private:
+  int base_ = 0;
+  int n_ = 0;
+  std::shared_ptr<const std::vector<int>> table_;  // nullptr => iota
+};
+
+}  // namespace sdrmpi::mpi

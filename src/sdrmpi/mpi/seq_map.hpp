@@ -1,0 +1,90 @@
+// SeqMap: sparse per-peer sequence counters.
+//
+// The dense per-rank counter vectors scaled as O(nranks) per context per
+// endpoint — O(ranks²) aggregate — even though NAS/collective traffic
+// touches O(log n) peers per rank. A sorted flat vector keyed by active
+// peer keeps the common lookups at a handful of comparisons (the active
+// set is small and warm in cache), stores nothing for never-used peers,
+// and iterates in ascending peer order, which is exactly the order the
+// dense vectors produced for SeqSnapshot/debug output — so snapshot and
+// restore semantics are bit-identical to the dense representation.
+//
+// Zero is never stored: a missing entry *is* the counter value 0, matching
+// the dense vectors' skip-zero snapshot iteration.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sdrmpi::mpi {
+
+class SeqMap {
+ public:
+  using Entry = std::pair<int, std::uint64_t>;  // (peer rank, counter)
+
+  /// Counter for `peer`; 0 when the channel has never been used.
+  [[nodiscard]] std::uint64_t get(int peer) const noexcept {
+    const auto it = lower_bound(peer);
+    return it != entries_.end() && it->first == peer ? it->second : 0;
+  }
+
+  /// Post-increment: returns the current counter and advances it.
+  std::uint64_t bump(int peer) {
+    const auto it = lower_bound(peer);
+    if (it != entries_.end() && it->first == peer) return it->second++;
+    entries_.insert(it, Entry{peer, 1});
+    return 0;
+  }
+
+  /// Sets the counter (0 erases the entry — value and representation of a
+  /// never-used channel are identical).
+  void set(int peer, std::uint64_t value) {
+    const auto it = lower_bound(peer);
+    const bool present = it != entries_.end() && it->first == peer;
+    if (value == 0) {
+      if (present) entries_.erase(it);
+      return;
+    }
+    if (present) {
+      it->second = value;
+    } else {
+      entries_.insert(it, Entry{peer, value});
+    }
+  }
+
+  void clear() noexcept { entries_.clear(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t active_peers() const noexcept {
+    return entries_.size();
+  }
+
+  /// Entries in ascending peer order; counters are always nonzero.
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  [[nodiscard]] std::size_t heap_bytes() const noexcept {
+    return entries_.capacity() * sizeof(Entry);
+  }
+
+  [[nodiscard]] bool operator==(const SeqMap&) const = default;
+
+ private:
+  [[nodiscard]] std::vector<Entry>::const_iterator lower_bound(
+      int peer) const noexcept {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), peer,
+        [](const Entry& e, int r) { return e.first < r; });
+  }
+  [[nodiscard]] std::vector<Entry>::iterator lower_bound(int peer) noexcept {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), peer,
+        [](const Entry& e, int r) { return e.first < r; });
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sdrmpi::mpi

@@ -120,6 +120,10 @@ void Fabric::deliver(Delivery&& d) {
   if (owner >= 0) engine_.wake(owner, arrival);
 }
 
+std::size_t Fabric::footprint_bytes() const noexcept {
+  return slots_.capacity() * sizeof(Slot);
+}
+
 // ---- FlatFabric ------------------------------------------------------------
 
 FlatFabric::FlatFabric(sim::Engine& engine, NetParams params, int nslots)
@@ -255,6 +259,13 @@ Time FatTreeFabric::route(int src_slot, int dst_slot, Time ready,
     }
   }
   return t;  // unreachable
+}
+
+std::size_t FatTreeFabric::footprint_bytes() const noexcept {
+  return Fabric::footprint_bytes() + node_of_.capacity() * sizeof(int) +
+         (node_up_free_.capacity() + node_down_free_.capacity() +
+          leaf_up_free_.capacity() + leaf_down_free_.capacity()) *
+             sizeof(Time);
 }
 
 // ---- factory ---------------------------------------------------------------

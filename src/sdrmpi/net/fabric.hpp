@@ -122,6 +122,10 @@ class Fabric {
   }
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
 
+  /// Host bytes held by the fabric's per-slot (and, for tree backends,
+  /// per-link) state. Feeds MemStats::fabric_bytes.
+  [[nodiscard]] virtual std::size_t footprint_bytes() const noexcept;
+
  protected:
   Fabric(sim::Engine& engine, NetParams params, int nslots);
 
@@ -210,6 +214,8 @@ class FatTreeFabric final : public Fabric {
   [[nodiscard]] int nnodes() const noexcept {
     return static_cast<int>(node_up_free_.size());
   }
+
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept override;
 
  protected:
   [[nodiscard]] Time route(int src_slot, int dst_slot, Time ready,

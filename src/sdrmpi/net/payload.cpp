@@ -2,6 +2,7 @@
 // touch more bytes than they must (see payload.hpp / content.hpp).
 #include "sdrmpi/net/payload.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -53,20 +54,105 @@ pattern_memo() {
   return (h ^ b) * util::kFnvPrime;
 }
 
+/// Tile digests stream every repetition (the fnv1a step XORs the data byte
+/// into the state before multiplying, so the fold over one period is not an
+/// affine function of the incoming state — there is no closed form like
+/// fnv1a_zeros). A (seed, offset, period, reps) shape is digested once per
+/// host thread and memoized; allgather-produced tiles repeat the same shape
+/// every iteration, so steady-state cost is O(1) like Pattern.
+struct TileKey {
+  std::uint64_t seed;
+  std::uint64_t offset;
+  std::uint64_t period;
+  std::uint64_t reps;
+  [[nodiscard]] bool operator==(const TileKey&) const = default;
+};
+
+struct TileKeyHash {
+  [[nodiscard]] std::size_t operator()(const TileKey& k) const noexcept {
+    return static_cast<std::size_t>(util::hash_combine(
+        util::hash_combine(util::hash_combine(util::mix64(k.seed), k.offset),
+                           k.period),
+        k.reps));
+  }
+};
+
+[[nodiscard]] std::unordered_map<TileKey, std::uint64_t, TileKeyHash>&
+tile_memo() {
+  thread_local std::unordered_map<TileKey, std::uint64_t, TileKeyHash> memo;
+  return memo;
+}
+
+[[nodiscard]] std::uint64_t tile_digest_memoized(std::uint64_t seed,
+                                                 std::uint64_t offset,
+                                                 std::uint64_t period,
+                                                 std::uint64_t reps) {
+  auto& memo = tile_memo();
+  const TileKey key{seed, offset, period, reps};
+  if (const auto it = memo.find(key); it != memo.end()) return it->second;
+  util::count_bytes_hashed(period * reps);
+  std::uint64_t d = util::kFnvOffset;
+  for (std::uint64_t r = 0; r < reps; ++r) {
+    d = fnv1a_pattern(seed, offset, offset + period, d);
+  }
+  memo.emplace(key, d);
+  return d;
+}
+
+/// `n` bytes of the Pattern(seed) stream starting at stream position `off`.
+void fill_pattern_bytes(std::uint64_t seed, std::uint64_t off, std::size_t n,
+                        std::byte* out) {
+  if (off % 8 == 0) {
+    // Word-aligned stream position: generate whole words.
+    const std::uint64_t word0 = off / 8;
+    const std::size_t words = n / 8;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t v = pattern_word(seed, word0 + w);
+      for (int j = 0; j < 8; ++j) {
+        out[w * 8 + static_cast<std::size_t>(j)] =
+            static_cast<std::byte>((v >> (8 * j)) & 0xff);
+      }
+    }
+    for (std::size_t i = words * 8; i < n; ++i) {
+      out[i] = pattern_byte(seed, off + i);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = pattern_byte(seed, off + i);
+    }
+  }
+}
+
 }  // namespace
 
-void clear_pattern_digest_memo() noexcept { pattern_memo().clear(); }
+void clear_pattern_digest_memo() noexcept {
+  pattern_memo().clear();
+  tile_memo().clear();
+}
 
 Payload Payload::symbolic(util::BufferPool* pool, const ContentDesc& desc) {
   if (desc.len == 0) return {};
   if (desc.kind == ContentKind::Raw || desc.kind == ContentKind::Corrupt) {
     throw std::invalid_argument(
-        "Payload::symbolic: descriptor must be Zeros or Pattern");
+        "Payload::symbolic: descriptor must be Zeros, Pattern or Tile");
+  }
+  if (desc.kind == ContentKind::Tile &&
+      (desc.period == 0 || desc.len % desc.period != 0)) {
+    throw std::invalid_argument(
+        "Payload::symbolic: Tile length must be a positive multiple of the "
+        "period");
   }
   Payload p(pool, desc.len, /*inline_bytes=*/0);
   p.h_->kind = desc.kind;
   p.h_->seed = desc.seed;
   p.h_->offset = desc.offset;
+  if (desc.kind == ContentKind::Tile) {
+    if (desc.len == desc.period) {
+      p.h_->kind = ContentKind::Pattern;  // one repetition IS the block
+    } else {
+      p.h_->bit_index = desc.period;
+    }
+  }
   return p;
 }
 
@@ -83,6 +169,55 @@ Payload Payload::slice(util::BufferPool* pool, const Payload& base,
       // symbolic even when the base has already been materialized.
       return symbolic(pool, ContentDesc::pattern_at(base.h_->seed, len,
                                                     base.h_->offset + off));
+    case ContentKind::Tile: {
+      // Tile sub-ranges stay symbolic where the algebra is exact: a range
+      // inside one repetition is a Pattern block, a period-aligned range
+      // spanning whole repetitions is a smaller Tile. (Bruck's allgather
+      // slices tiles exclusively at block boundaries, so this covers the
+      // hot path.) Anything straddling a boundary falls back to generated
+      // bytes — still without materializing the whole tile.
+      const std::uint64_t period = base.h_->bit_index;
+      const std::uint64_t rot = off % period;
+      if (rot == 0 && len == period) {
+        // A full repetition: every such slice is the *same* Pattern block,
+        // so share one child header via the tile's (otherwise unused) base
+        // link instead of allocating a header per slice. Allgather results
+        // are n such slices per rank — this is the difference between O(n)
+        // and O(1) header slabs per allgather row.
+        if (base.h_->base == nullptr) {
+          Payload block = symbolic(pool, ContentDesc::pattern_at(
+                                             base.h_->seed, period,
+                                             base.h_->offset));
+          base.h_->base = block.h_;
+          ++block.h_->refs;  // the tile's reference
+          return block;
+        }
+        Payload out;
+        out.h_ = base.h_->base;
+        ++out.h_->refs;
+        return out;
+      }
+      if (rot + len <= period) {
+        return symbolic(pool, ContentDesc::pattern_at(
+                                  base.h_->seed, len, base.h_->offset + rot));
+      }
+      if (rot == 0 && len % period == 0) {
+        return symbolic(pool,
+                        ContentDesc::tile(base.h_->seed, base.h_->offset,
+                                          period, len / period));
+      }
+      Payload out(pool, len, len);
+      for (std::size_t i = 0; i < len;) {
+        const std::uint64_t r = (off + i) % period;
+        const std::size_t chunk =
+            std::min<std::size_t>(len - i, period - r);
+        fill_pattern_bytes(base.h_->seed, base.h_->offset + r, chunk,
+                           out.mutable_data() + i);
+        i += chunk;
+      }
+      util::count_bytes_copied(len);
+      return out;
+    }
     case ContentKind::Raw:
     case ContentKind::Corrupt:
       // No exact sub-descriptor exists; copy the range (materializing a
@@ -137,6 +272,51 @@ Payload Payload::concat_payloads(util::BufferPool* pool,
     return symbolic(pool, ContentDesc::pattern_at(seed, total, begin));
   }
 
+  // Repetitions of one identical Pattern block — every part the same
+  // (seed, offset) block, as Pattern (exactly one repetition) or Tile
+  // (whole repetitions) — fold into a Tile. This is the allgather shape:
+  // ranks all contribute make_block(tag, bytes), i.e. the *same*
+  // descriptor, so Bruck's doubling concat would otherwise materialize an
+  // O(nranks) Raw slab per rank per round.
+  bool tileable = true;
+  std::uint64_t tile_seed = 0;
+  std::uint64_t tile_off = 0;
+  std::uint64_t period = 0;
+  bool tile_first = true;
+  for (const Payload& p : parts) {
+    if (p.empty()) continue;
+    std::uint64_t s = 0;
+    std::uint64_t o = 0;
+    std::uint64_t per = 0;
+    if (p.kind() == ContentKind::Pattern) {
+      s = p.h_->seed;
+      o = p.h_->offset;
+      per = p.size();
+    } else if (p.kind() == ContentKind::Tile) {
+      s = p.h_->seed;
+      o = p.h_->offset;
+      per = p.h_->bit_index;
+    } else {
+      tileable = false;
+      break;
+    }
+    if (tile_first) {
+      tile_seed = s;
+      tile_off = o;
+      period = per;
+      tile_first = false;
+    }
+    if (s != tile_seed || o != tile_off || per != period ||
+        p.size() % period != 0) {
+      tileable = false;
+      break;
+    }
+  }
+  if (tileable) {
+    return symbolic(
+        pool, ContentDesc::tile(tile_seed, tile_off, period, total / period));
+  }
+
   // Generic join: materialize each part once, pack into one Raw slab.
   Payload out(pool, total, total);
   std::size_t off = 0;
@@ -169,28 +349,19 @@ void Payload::fill_contents(const Header* h, std::byte* out) {
     case ContentKind::Zeros:
       std::memset(out, 0, h->size);
       return;
-    case ContentKind::Pattern: {
-      const std::uint64_t seed = h->seed;
-      const std::uint64_t off = h->offset;
-      const std::size_t n = h->size;
-      if (off % 8 == 0) {
-        // Word-aligned stream position: generate whole words.
-        const std::uint64_t word0 = off / 8;
-        const std::size_t words = n / 8;
-        for (std::size_t w = 0; w < words; ++w) {
-          const std::uint64_t v = pattern_word(seed, word0 + w);
-          for (int j = 0; j < 8; ++j) {
-            out[w * 8 + static_cast<std::size_t>(j)] =
-                static_cast<std::byte>((v >> (8 * j)) & 0xff);
-          }
-        }
-        for (std::size_t i = words * 8; i < n; ++i) {
-          out[i] = pattern_byte(seed, off + i);
-        }
-      } else {
-        for (std::size_t i = 0; i < n; ++i) {
-          out[i] = pattern_byte(seed, off + i);
-        }
+    case ContentKind::Pattern:
+      fill_pattern_bytes(h->seed, h->offset, h->size, out);
+      return;
+    case ContentKind::Tile: {
+      // Generate the first repetition, then replicate it with doubling
+      // copies (memcpy bandwidth instead of generator arithmetic).
+      const std::size_t period = h->bit_index;
+      fill_pattern_bytes(h->seed, h->offset, period, out);
+      std::size_t filled = period;
+      while (filled < h->size) {
+        const std::size_t chunk = std::min(filled, h->size - filled);
+        std::memcpy(out + filled, out, chunk);
+        filled += chunk;
       }
       return;
     }
@@ -242,6 +413,9 @@ std::uint64_t Payload::compute_digest(const Header* h) {
       return fnv1a_zeros(h->size);
     case ContentKind::Pattern:
       return pattern_digest_memoized(h->seed, h->offset, h->size);
+    case ContentKind::Tile:
+      return tile_digest_memoized(h->seed, h->offset, h->bit_index,
+                                  h->size / h->bit_index);
     case ContentKind::Corrupt: {
       const Header* base = h->base;
       const std::uint64_t flip = h->bit_index;

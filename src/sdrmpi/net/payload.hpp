@@ -144,9 +144,12 @@ class Payload {
   /// Joins `parts` in order into one payload. Exact where the descriptor
   /// algebra allows: all-Zeros parts stay Zeros, stream-contiguous
   /// same-seed Pattern parts merge back into one Pattern descriptor (the
-  /// inverse of slice) — otherwise every part materializes once and the
-  /// bytes are packed into a fresh Raw slab. Empty parts are skipped; a
-  /// single non-empty part is aliased, not copied.
+  /// inverse of slice), and repetitions of one identical Pattern block
+  /// (Pattern or Tile parts sharing seed/offset/period) fold into a Tile —
+  /// the allgather case, where every rank contributes the same symbolic
+  /// block. Otherwise every part materializes once and the bytes are
+  /// packed into a fresh Raw slab. Empty parts are skipped; a single
+  /// non-empty part is aliased, not copied.
   [[nodiscard]] static Payload concat_payloads(util::BufferPool* pool,
                                                std::span<const Payload> parts);
 
@@ -193,11 +196,12 @@ class Payload {
   [[nodiscard]] ContentKind kind() const noexcept {
     return h_ != nullptr ? h_->kind : ContentKind::Raw;
   }
-  /// Content descriptor view (kind/len/seed/offset) — lets callers reason
-  /// about the slice/concat algebra without touching bytes.
+  /// Content descriptor view (kind/len/seed/offset/period) — lets callers
+  /// reason about the slice/concat algebra without touching bytes.
   [[nodiscard]] ContentDesc desc() const noexcept {
-    if (h_ == nullptr) return ContentDesc{ContentKind::Zeros, 0, 0, 0};
-    return {h_->kind, h_->size, h_->seed, h_->offset};
+    if (h_ == nullptr) return ContentDesc{ContentKind::Zeros, 0, 0, 0, 0};
+    return {h_->kind, h_->size, h_->seed, h_->offset,
+            h_->kind == ContentKind::Tile ? h_->bit_index : 0};
   }
   [[nodiscard]] bool is_symbolic() const noexcept {
     return h_ != nullptr && h_->kind != ContentKind::Raw;
@@ -234,9 +238,9 @@ class Payload {
 
     ContentKind kind;
     bool digest_valid;
-    std::uint64_t seed;       // Pattern generator seed
-    std::uint64_t offset;     // Pattern stream position of byte 0
-    std::uint64_t bit_index;  // Corrupt flip position
+    std::uint64_t seed;       // Pattern/Tile generator seed
+    std::uint64_t offset;     // Pattern/Tile stream position of byte 0
+    std::uint64_t bit_index;  // Corrupt flip position; Tile period (bytes)
     Header* base;             // Corrupt base contents (refcounted)
     void* mat;                // lazily materialized bytes (symbolic kinds)
     std::uint32_t mat_class;

@@ -16,8 +16,8 @@ namespace {
 // Default fiber stack size. Workload state lives on the heap (vectors), so
 // the stack only holds call frames; 256 KiB leaves generous headroom for
 // deep protocol/collective recursion. Overridable via SDRMPI_FIBER_STACK_KB
-// for unusually stack-hungry apps.
-std::size_t fiber_stack_bytes() {
+// for unusually stack-hungry apps, or per-run via RunConfig::fiber_stack_kb.
+std::size_t default_fiber_stack_bytes() {
   static const std::size_t bytes = [] {
     if (const char* env = std::getenv("SDRMPI_FIBER_STACK_KB")) {
       const long kb = std::atol(env);
@@ -28,18 +28,44 @@ std::size_t fiber_stack_bytes() {
   return bytes;
 }
 
+// Byte the watermark fill paints the stack with; anything else after a
+// fiber ran marks a frame that reached that depth.
+constexpr std::byte kWatermarkByte{0xa5};
+
 }  // namespace
 
-Engine::Engine() = default;
+Engine::Engine() {
+  stack_watermark_ = std::getenv("SDRMPI_STACK_WATERMARK") != nullptr;
+}
 
 Engine::~Engine() {
   // Unwind any still-live fibers so their stacks unwind (RAII) before the
-  // Process objects and the stack cache are destroyed.
+  // Process objects and the stack cache are destroyed. A process whose
+  // fiber never ran (lazy stacks) has no frames to unwind.
   for (auto& p : procs_) {
     if (p->terminated()) continue;
+    if (!p->stack_.valid()) {
+      p->state_ = ProcState::Crashed;
+      continue;
+    }
     p->crash_req_ = true;
     resume(*p);  // CrashUnwind runs the fiber to termination
   }
+}
+
+void Engine::set_fiber_stack_bytes(std::size_t bytes) {
+  if (bytes == stack_bytes_) return;
+  stack_bytes_ = bytes;
+  // Cached stacks were sized for the old setting; drop them.
+  for (auto& s : stack_cache_) {
+    stack_stats_.bytes_mapped -= s.mapped_bytes();
+    ++stack_stats_.stacks_dropped;
+  }
+  stack_cache_.clear();
+}
+
+std::size_t Engine::fiber_stack_bytes() const noexcept {
+  return stack_bytes_ != 0 ? stack_bytes_ : default_fiber_stack_bytes();
 }
 
 int Engine::spawn(std::string name, std::function<void()> body, Time start_at) {
@@ -48,8 +74,10 @@ int Engine::spawn(std::string name, std::function<void()> body, Time start_at) {
                                         std::move(body));
   proc->clock_ = start_at >= 0 ? start_at : now();
   proc->state_ = ProcState::Runnable;
-  proc->make_fiber(acquire_stack());
+  // No fiber yet: the stack is allocated lazily at first dispatch
+  // (resume()), so a spawned-but-never-run process maps no stack at all.
   procs_.push_back(std::move(proc));
+  push_runnable(*procs_.back());
   SDR_LOG(Debug, "sim") << "spawned pid=" << pid << " '"
                         << procs_.back()->name() << "' at t="
                         << procs_.back()->clock();
@@ -70,6 +98,8 @@ void Engine::charge_all(Time dt) {
   for (auto& p : procs_) {
     if (!p->terminated()) p->clock_ += dt;
   }
+  // Every stored heap key is now behind the clocks it mirrors.
+  rebuild_runnable_heap();
 }
 
 Time Engine::executed_frontier() const noexcept {
@@ -81,7 +111,7 @@ Time Engine::executed_frontier() const noexcept {
 RunOutcome Engine::run() {
   RunOutcome out;
   for (;;) {
-    Process* p = next_runnable();
+    Process* p = peek_runnable();
     const bool have_event = !events_.empty();
     const Time pt = p != nullptr ? p->clock() : 0;
     const Time et = have_event ? events_.top_time() : 0;
@@ -110,6 +140,7 @@ RunOutcome Engine::run() {
       ++events_executed_;
       fn();
     } else {
+      pop_runnable();  // p's own entry — peek_runnable() left it on top
       resume(*p);
     }
   }
@@ -140,16 +171,46 @@ RunOutcome Engine::run() {
   return out;
 }
 
-Process* Engine::next_runnable() noexcept {
-  Process* best = nullptr;
-  for (auto& p : procs_) {
-    if (!p->runnable()) continue;
-    if (best == nullptr || p->clock() < best->clock()) best = p.get();
+Process* Engine::peek_runnable() noexcept {
+  while (!runnable_heap_.empty()) {
+    const RunnableRef top = runnable_heap_.front();
+    Process& p = *procs_[static_cast<std::size_t>(top.pid)];
+    if (p.runnable() && p.clock() == top.clock) return &p;
+    // Stale: the process ran, blocked, terminated, or moved its clock
+    // since this entry was pushed.
+    std::pop_heap(runnable_heap_.begin(), runnable_heap_.end(),
+                  RunnableAfter{});
+    runnable_heap_.pop_back();
   }
-  return best;
+  return nullptr;
+}
+
+void Engine::pop_runnable() noexcept {
+  std::pop_heap(runnable_heap_.begin(), runnable_heap_.end(), RunnableAfter{});
+  runnable_heap_.pop_back();
+}
+
+void Engine::push_runnable(const Process& p) {
+  runnable_heap_.push_back({p.clock(), p.pid()});
+  std::push_heap(runnable_heap_.begin(), runnable_heap_.end(),
+                 RunnableAfter{});
+}
+
+void Engine::rebuild_runnable_heap() {
+  runnable_heap_.clear();
+  for (const auto& p : procs_) {
+    if (p->runnable()) runnable_heap_.push_back({p->clock(), p->pid()});
+  }
+  // make_heap's internal layout differs from incremental pushes, but the
+  // dispatch order is the strict (clock, pid) total order either way.
+  std::make_heap(runnable_heap_.begin(), runnable_heap_.end(),
+                 RunnableAfter{});
 }
 
 void Engine::resume(Process& p) {
+  // Lazy first dispatch: the fiber context and its stack come into
+  // existence here, on the cold path, never on the warm send/deliver path.
+  if (!p.stack_.valid()) p.make_fiber(acquire_stack());
   running_ = &p;
   p.state_ = ProcState::Running;
   ++context_switches_;
@@ -179,15 +240,43 @@ void Engine::return_control_to_engine() {
 }
 
 FiberStack Engine::acquire_stack() {
+  FiberStack s;
   if (!stack_cache_.empty()) {
-    FiberStack s = std::move(stack_cache_.back());
+    s = std::move(stack_cache_.back());
     stack_cache_.pop_back();
-    return s;
+    ++stack_stats_.stacks_recycled;
+  } else {
+    s = FiberStack(fiber_stack_bytes());
+    ++stack_stats_.stacks_created;
+    stack_stats_.bytes_mapped += s.mapped_bytes();
+    stack_stats_.bytes_mapped_peak =
+        std::max(stack_stats_.bytes_mapped_peak, stack_stats_.bytes_mapped);
   }
-  return FiberStack(fiber_stack_bytes());
+  if (stack_watermark_) {
+    // Paint the usable range so release_stack can report how deep the
+    // fiber's frames reached. The fill commits every stack page, so this
+    // is a right-sizing diagnostic, not an RSS-realistic mode.
+    std::memset(s.sp(), static_cast<int>(kWatermarkByte), s.size());
+  }
+  return s;
 }
 
 void Engine::release_stack(FiberStack stack) {
+  if (stack_watermark_) {
+    // Stacks grow downward: the deepest frame is the lowest non-painted
+    // byte above the guard page.
+    const std::byte* lo = stack.sp();
+    std::size_t i = 0;
+    while (i < stack.size() && lo[i] == kWatermarkByte) ++i;
+    stack_stats_.stack_depth_peak = std::max(
+        stack_stats_.stack_depth_peak,
+        static_cast<std::uint64_t>(stack.size() - i));
+  }
+  if (stack_cache_.size() >= stack_cache_cap_) {
+    stack_stats_.bytes_mapped -= stack.mapped_bytes();
+    ++stack_stats_.stacks_dropped;
+    return;  // FiberStack dtor unmaps
+  }
   stack_cache_.push_back(std::move(stack));
 }
 
@@ -235,33 +324,30 @@ void Engine::maybe_yield() {
     // run() stops the whole simulation when the next item crosses the
     // virtual-time cap; a real yield reproduces that.
     if (time_limit_ > 0 && et > time_limit_) break;
-    bool older_proc = false;
-    for (const auto& p : procs_) {
-      if (p.get() != &self && p->runnable() && p->clock() < et) {
-        older_proc = true;
-        break;
-      }
+    // self is Running, never in the runnable heap, so the peek is exactly
+    // "the oldest *other* runnable process" the old full scan found.
+    Process* q = peek_runnable();
+    if (q != nullptr && q->clock() < et) {
+      break;  // the scheduler would resume that process first
     }
-    if (older_proc) break;  // the scheduler would resume that process first
     run_event_inline(self);
     drained = true;
     if (self.crash_req_) throw CrashUnwind{};
   }
   bool older_item = !events_.empty() && events_.top_time() <= self.clock_;
   if (!older_item) {
-    for (const auto& p : procs_) {
-      if (p.get() == &self || !p->runnable()) continue;
-      // Strictly-older processes always force a yield. Equal-clock
-      // processes with a smaller pid force one only when events ran here:
-      // had we yielded for those events instead, the scheduler's pid
-      // tie-break would have resumed that process before us, and the
-      // deterministic order must not depend on which path was taken.
-      if (p->clock() < self.clock_ ||
-          (drained && p->clock() == self.clock_ && p->pid() < self.pid())) {
-        older_item = true;
-        break;
-      }
-    }
+    // Strictly-older processes always force a yield. An equal-clock
+    // process with a smaller pid forces one only when events ran here:
+    // had we yielded for those events instead, the scheduler's pid
+    // tie-break would have resumed that process before us, and the
+    // deterministic order must not depend on which path was taken. The
+    // heap top is the (clock, pid) minimum, so checking it alone is
+    // equivalent to scanning every process.
+    Process* q = peek_runnable();
+    older_item =
+        q != nullptr &&
+        (q->clock() < self.clock_ ||
+         (drained && q->clock() == self.clock_ && q->pid() < self.pid()));
   }
   if (older_item) yield();
 }
@@ -270,6 +356,7 @@ void Engine::yield() {
   Process& self = *running_;
   if (self.crash_req_) throw CrashUnwind{};
   self.state_ = ProcState::Runnable;
+  push_runnable(self);
   return_control_to_engine();
   if (self.crash_req_) throw CrashUnwind{};
 }
@@ -312,7 +399,7 @@ void Engine::block(std::string reason) {
   // back to it for real. Action order, and therefore virtual time, is
   // identical to the swapping implementation by construction.
   for (;;) {
-    Process* p = next_runnable();  // includes self once an event woke it
+    Process* p = peek_runnable();  // includes self once an event woke it
     const bool have_event = !events_.empty();
     if (p == nullptr && !have_event) break;  // deadlock: let run() see it
 
@@ -326,7 +413,11 @@ void Engine::block(std::string reason) {
       continue;
     }
     if (p == &self) {
-      // The scheduler would resume us next: keep running, no switch.
+      // The scheduler would resume us next: keep running, no switch. This
+      // IS the dispatch, so consume the wake()'s heap entry like run()
+      // would — leaving it behind would grow the heap by one stale entry
+      // per request/response round trip.
+      pop_runnable();
       self.state_ = ProcState::Running;
       if (self.crash_req_) throw CrashUnwind{};
       return;
@@ -342,6 +433,7 @@ void Engine::wake(int pid, Time t) {
   if (p.state() != ProcState::Blocked) return;
   p.clock_ = std::max(p.clock_, t);
   p.state_ = ProcState::Runnable;
+  push_runnable(p);
 }
 
 void Engine::request_crash(int pid) {
@@ -352,6 +444,7 @@ void Engine::request_crash(int pid) {
     // Unwind it at the next scheduling opportunity.
     p.clock_ = std::max(p.clock_, now());
     p.state_ = ProcState::Runnable;
+    push_runnable(p);
   }
 }
 
@@ -383,7 +476,9 @@ Engine::Snapshot Engine::snapshot() const {
       // A byte copy would capture half-written frames, and restoring one
       // would overwrite the live call chain. Clock-only — see Snapshot docs.
       sp.live = true;
+      sp.has_fiber = true;
     } else if (!p->terminated() && p->stack_.valid()) {
+      sp.has_fiber = true;
       sp.ctx = p->ctx_;
 #if !defined(SDRMPI_ASAN_FIBERS) && !defined(SDRMPI_TSAN_FIBERS)
       // Full stack byte copy. Skipped under ASan (fake-stack frames make
@@ -419,6 +514,12 @@ void Engine::restore(const Snapshot& snap) {
     p.block_reason_ = sp.block_reason;
     if (sp.state != ProcState::Finished && sp.state != ProcState::Crashed &&
         sp.state != ProcState::Failed) {
+      if (!sp.has_fiber) {
+        // Captured before first dispatch: return to the stackless state; a
+        // later resume() re-creates the fiber at the body's entry point.
+        if (p.stack_.valid()) release_stack(std::move(p.stack_));
+        continue;
+      }
       assert(p.stack_.valid() &&
              "Engine::restore: fiber stack released since snapshot");
       p.ctx_ = sp.ctx;
@@ -433,6 +534,10 @@ void Engine::restore(const Snapshot& snap) {
   events_executed_ = snap.events_executed;
   context_switches_ = snap.context_switches;
   event_now_ = snap.event_now;
+  // The heap is derived state: re-key every runnable process at its
+  // restored clock (stale pre-restore entries would otherwise shadow the
+  // rewound clocks).
+  rebuild_runnable_heap();
 }
 
 }  // namespace sdrmpi::sim

@@ -43,6 +43,22 @@ struct RunOutcome {
   }
 };
 
+/// Fiber-stack accounting (see Engine::stack_stats()). Stacks are allocated
+/// lazily at first dispatch, so a spawned-but-never-run process maps no
+/// stack at all; `bytes_mapped_peak` is the high-water address-space cost
+/// (RSS only counts touched pages). `stack_depth_peak` is populated only
+/// when the SDRMPI_STACK_WATERMARK fill is enabled — the fill itself
+/// touches every stack page, so it is a right-sizing tool, not a
+/// production mode.
+struct StackStats {
+  std::uint64_t bytes_mapped = 0;       ///< currently mapped (live + cached)
+  std::uint64_t bytes_mapped_peak = 0;  ///< high-water of bytes_mapped
+  std::uint64_t stacks_created = 0;     ///< fresh mmap'd stacks
+  std::uint64_t stacks_recycled = 0;    ///< served from the free list
+  std::uint64_t stacks_dropped = 0;     ///< unmapped at the free-list cap
+  std::uint64_t stack_depth_peak = 0;   ///< watermark: deepest frame bytes
+};
+
 class Engine {
  public:
   Engine();
@@ -87,6 +103,23 @@ class Engine {
 
   /// Caps virtual time; run() stops with time_limit_hit when exceeded.
   void set_time_limit(Time t) noexcept { time_limit_ = t; }
+
+  /// Usable fiber-stack bytes for stacks allocated from now on (0 restores
+  /// the SDRMPI_FIBER_STACK_KB / 256 KiB default). Takes effect at the next
+  /// lazy stack allocation; cached stacks of a different size are dropped.
+  void set_fiber_stack_bytes(std::size_t bytes);
+  [[nodiscard]] std::size_t fiber_stack_bytes() const noexcept;
+
+  /// Free-list high-water cap: terminated fibers' stacks beyond this many
+  /// are unmapped instead of cached (default kDefaultStackCacheCap).
+  void set_stack_cache_cap(std::size_t cap) noexcept {
+    stack_cache_cap_ = cap;
+  }
+  static constexpr std::size_t kDefaultStackCacheCap = 16;
+
+  [[nodiscard]] const StackStats& stack_stats() const noexcept {
+    return stack_stats_;
+  }
 
   /// Makes run() stop (outcome.paused, resumable by calling run() again)
   /// before dispatching any item with timestamp > t. Checked ONLY between
@@ -177,6 +210,10 @@ class Engine {
       ProcState state = ProcState::Created;
       bool crash_req = false;
       bool live = false;  ///< Running at capture: clock-only
+      /// False for a spawned-but-never-dispatched process (lazy stacks:
+      /// no fiber exists yet); restore() returns such a process to its
+      /// pre-first-dispatch state.
+      bool has_fiber = false;
       std::string block_reason;
       ucontext_t ctx{};
       std::vector<std::byte> stack;  ///< usable stack bytes (empty if none)
@@ -196,7 +233,18 @@ class Engine {
   friend class Process;
 
   /// Smallest-clock runnable process, pid tie-break; nullptr if none.
-  [[nodiscard]] Process* next_runnable() noexcept;
+  /// Served from runnable_heap_ (lazy deletion), so the per-dispatch cost
+  /// is O(log runnable) instead of a scan over every process — the scan
+  /// was O(procs × events) aggregate, the dominant host cost at 4k ranks.
+  [[nodiscard]] Process* peek_runnable() noexcept;
+  /// Removes peek_runnable()'s entry; call exactly once per dispatch.
+  void pop_runnable() noexcept;
+  /// Records a transition into Runnable. Every site that sets
+  /// ProcState::Runnable must push, or the process is never scheduled.
+  void push_runnable(const Process& p);
+  /// Re-inserts every runnable process after a bulk clock rewrite
+  /// (charge_all, restore) invalidates the stored keys.
+  void rebuild_runnable_heap();
   /// Pops and executes the due event from within a process fiber, in exact
   /// engine-context semantics (event_now_, running_ == nullptr). Used by
   /// maybe_yield()/block() to consume events without two fiber switches
@@ -218,6 +266,24 @@ class Engine {
   util::BufferPool pool_;
 
   std::vector<std::unique_ptr<Process>> procs_;
+  // Min-heap of (clock, pid) over runnable processes, lazily deleted: an
+  // entry is live iff its process is still runnable at exactly the stored
+  // clock; anything else is skipped on peek. Duplicates are harmless (the
+  // validity check makes them interchangeable), and every dispatch pops
+  // one entry, so the heap stays bounded by the push count between
+  // dispatches. Ordering is the scheduling rule above — (clock, pid)
+  // lexicographic — so replacing the linear scan is bit-invisible.
+  struct RunnableRef {
+    Time clock;
+    int pid;
+  };
+  // std heap algorithms build max-heaps; invert to get (clock, pid) min.
+  struct RunnableAfter {
+    bool operator()(const RunnableRef& a, const RunnableRef& b) const noexcept {
+      return a.clock > b.clock || (a.clock == b.clock && a.pid > b.pid);
+    }
+  };
+  std::vector<RunnableRef> runnable_heap_;
   EventQueue events_;
   std::uint64_t event_seq_ = kCtlLanes;  // below: control lanes
   std::uint64_t events_executed_ = 0;
@@ -235,6 +301,10 @@ class Engine {
 
   ucontext_t sched_ctx_{};          // where fibers switch back to
   std::vector<FiberStack> stack_cache_;
+  std::size_t stack_bytes_ = 0;  // 0 = env/default (see set_fiber_stack_bytes)
+  std::size_t stack_cache_cap_ = kDefaultStackCacheCap;
+  StackStats stack_stats_;
+  bool stack_watermark_ = false;  // SDRMPI_STACK_WATERMARK fill enabled
 
   // ASan fiber bookkeeping (no-ops without ASan, see asan_fiber.hpp): the
   // scheduler context's fake-stack handle and its stack bounds as reported

@@ -63,6 +63,9 @@ class FiberStack {
   /// Start of the usable range (just above the guard page).
   [[nodiscard]] std::byte* sp() const noexcept;
   [[nodiscard]] std::size_t size() const noexcept { return usable_; }
+  /// Mapped bytes including the guard page (the address-space cost; RSS
+  /// only counts pages actually touched).
+  [[nodiscard]] std::size_t mapped_bytes() const noexcept { return total_; }
 
  private:
   std::byte* base_ = nullptr;  // mapped region, guard page first

@@ -111,6 +111,9 @@ std::vector<std::byte> serialize_config(const core::RunConfig& cfg) {
   w.i64(cfg.ckpt.checkpoint_cost);
   w.i64(cfg.ckpt.restart_cost);
   w.boolean(cfg.ckpt.verify_snapshots);
+  // v3: host-side fiber stack size (simulation-invisible, but part of the
+  // config identity so sweeps that vary it do not collide in the cache).
+  w.i32(cfg.fiber_stack_kb);
   return w.take();
 }
 
@@ -155,6 +158,7 @@ core::RunConfig deserialize_config(std::span<const std::byte> bytes) {
   cfg.ckpt.checkpoint_cost = r.i64();
   cfg.ckpt.restart_cost = r.i64();
   cfg.ckpt.verify_snapshots = r.boolean();
+  cfg.fiber_stack_kb = r.i32();
   if (!r.exhausted()) {
     throw CodecError("config codec: " + std::to_string(r.remaining()) +
                      " trailing bytes");
@@ -165,6 +169,14 @@ core::RunConfig deserialize_config(std::span<const std::byte> bytes) {
 std::uint64_t config_key(const core::RunConfig& cfg) {
   const auto bytes = serialize_config(cfg);
   return util::fnv1a(bytes);
+}
+
+std::uint64_t config_key(const core::RunConfig& cfg,
+                         std::string_view app_spec) {
+  // Resume the FNV stream over the spec bytes; empty spec is the identity.
+  return util::fnv1a(std::as_bytes(std::span(app_spec.data(),
+                                             app_spec.size())),
+                     config_key(cfg));
 }
 
 }  // namespace sdrmpi::sweep

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "sdrmpi/core/run_config.hpp"
@@ -30,7 +31,7 @@ namespace sdrmpi::sweep {
 
 /// Version byte folded into every canonical serialization (and therefore
 /// every digest). Bump on any format or semantic change.
-inline constexpr std::uint8_t kConfigKeyVersion = 2;  // v2: ckpt fields
+inline constexpr std::uint8_t kConfigKeyVersion = 3;  // v3: fiber_stack_kb
 
 /// The canonical byte string of a config: equal iff the configs are ==.
 [[nodiscard]] std::vector<std::byte> serialize_config(
@@ -49,5 +50,14 @@ inline constexpr std::uint8_t kConfigKeyVersion = 2;  // v2: ckpt fields
 /// FNV-1a digest of serialize_config(cfg): the content address under
 /// which the sweep service stores and deduplicates this config's result.
 [[nodiscard]] std::uint64_t config_key(const core::RunConfig& cfg);
+
+/// Content address of (config, application): the digest above continued
+/// over the point's app-spec string. A RunConfig does not identify the
+/// program that ran under it — two sweep points with byte-identical
+/// configs but different workloads ("cg" vs "ft") are different
+/// experiments, and keying on the config alone silently served one the
+/// other's result. An empty spec degenerates to config_key(cfg).
+[[nodiscard]] std::uint64_t config_key(const core::RunConfig& cfg,
+                                       std::string_view app_spec);
 
 }  // namespace sdrmpi::sweep

@@ -132,6 +132,16 @@ std::vector<std::byte> encode_result(const core::RunResult& r) {
   w.u64(r.bytes_hashed);
   put_protocol(w, r.protocol);
   put_fabric(w, r.fabric);
+  // v3: per-subsystem host-memory accounting. Describes the host that ran
+  // the simulation (a remote worker's numbers ride back to the
+  // coordinator), not the simulated outcome — RunResult::operator==
+  // deliberately ignores these.
+  w.u64(r.mem.stack_bytes_reserved);
+  w.u64(r.mem.stack_bytes_peak);
+  w.u64(r.mem.stack_depth_peak);
+  w.u64(r.mem.endpoint_bytes);
+  w.u64(r.mem.fabric_bytes);
+  w.u64(r.mem.payload_slab_bytes);
   return w.take();
 }
 
@@ -162,6 +172,12 @@ core::RunResult decode_result(std::span<const std::byte> bytes) {
   out.bytes_hashed = r.u64();
   out.protocol = get_protocol(r);
   out.fabric = get_fabric(r);
+  out.mem.stack_bytes_reserved = r.u64();
+  out.mem.stack_bytes_peak = r.u64();
+  out.mem.stack_depth_peak = r.u64();
+  out.mem.endpoint_bytes = r.u64();
+  out.mem.fabric_bytes = r.u64();
+  out.mem.payload_slab_bytes = r.u64();
   if (!r.exhausted()) {
     throw CodecError("result codec: trailing bytes after decode");
   }

@@ -9,9 +9,11 @@
 //     reads back on another.
 //  2. encode_result / decode_result — full round-trip serialization of
 //     core::RunResult including every SlotResult (with its values map),
-//     ProtocolStats, FabricStats and the error list. decode(encode(r))
-//     == r field-for-field; sweep_service_test pins this for fuzzed
-//     results, and the persistent ResultStore stores nothing else.
+//     ProtocolStats, FabricStats, MemStats and the error list.
+//     decode(encode(r)) round-trips every field exactly (MemStats is
+//     carried too, even though RunResult::operator== ignores it);
+//     sweep_service_test pins this for fuzzed results, and the
+//     persistent ResultStore stores nothing else.
 //
 // Serialization happens only at run boundaries (cache lookup before a
 // simulation, store append after one) — the zero-allocation hot path
@@ -32,7 +34,7 @@ namespace sdrmpi::sweep {
 /// Bump when the result wire format changes; stores with a different
 /// version are rejected on open (a stale cache is discarded, never
 /// misread).
-inline constexpr std::uint32_t kResultCodecVersion = 2;  // v2: ckpt stats
+inline constexpr std::uint32_t kResultCodecVersion = 3;  // v3: MemStats
 
 /// Append-only little-endian encoder.
 class ByteWriter {

@@ -113,7 +113,11 @@ std::vector<core::RunResult> SweepService::run(
   std::vector<std::size_t> unique_indices;  // first occurrences, input order
   unique_indices.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    digests[i] = config_key(configs[i]);
+    // The app-spec participates in the content address: identical configs
+    // running different workloads are different experiments and must not
+    // dedupe into each other (or collide in the persistent store).
+    digests[i] = opts_.spec ? config_key(configs[i], opts_.spec(configs[i], i))
+                            : config_key(configs[i]);
     if (first_index.emplace(digests[i], i).second) {
       unique_indices.push_back(i);
     } else {

@@ -61,9 +61,13 @@ struct ServiceOptions {
   /// Copied into RemoteTuning at construction; empty = unauthenticated.
   std::string secret;
   /// Maps a point to the app-spec string a remote workerd resolves via
-  /// the workload registry ("cg nrows=768 iters=8"). Unset => points
-  /// carry an empty spec, which registry-backed workers reject per point
-  /// — set this whenever `listen` is set.
+  /// the workload registry ("cg nrows=768 iters=8"). The spec is also
+  /// folded into each point's content address (config_key overload), so
+  /// identical configs under different workloads neither dedupe into each
+  /// other nor alias in the result store. Unset => points carry an empty
+  /// spec: digests are config-only (sound only if every point runs the
+  /// same program) and registry-backed remote workers reject the points —
+  /// set this whenever apps differ across points or `listen` is set.
   std::function<std::string(const core::RunConfig&, std::size_t index)> spec;
 };
 

@@ -152,7 +152,12 @@ std::vector<FuzzCase> draw_cases() {
     const auto proto = kinds[rng.below(6)];
     cfg.protocol = proto;
     cfg.replication = proto == core::ProtocolKind::Native ? 1 : 2;
-    cfg.nranks = static_cast<int>(2 + rng.below(3));  // 2..4
+    // Mostly tiny worlds (fast, dense interleavings); one in eight jumps
+    // to 16..32 ranks so the sparse per-peer seq maps, deviation-only
+    // replica maps, and the runnable heap see real fan-out under random
+    // traffic instead of the 2..4-rank corner.
+    cfg.nranks = rng.below(8) == 0 ? static_cast<int>(16 + rng.below(17))
+                                   : static_cast<int>(2 + rng.below(3));
     cfg.net = rng.below(8) == 0 ? net::NetParams::gigabit_ethernet()
                                 : net::NetParams::infiniband_20g();
     cfg.net.topology = draw_topology(rng);

@@ -1,0 +1,72 @@
+// 1k-rank smoke: the engine and every replication protocol at 4x the
+// paper's 256 ranks, on a symbolic CG skeleton.
+//
+// Two regressions this pins:
+//   * correctness at scale — every protocol runs clean and reproduces the
+//     native checksums (the transparency oracle) at a rank count where
+//     per-peer state is genuinely sparse;
+//   * host memory — peak RSS stays bounded. Any O(nranks) dense per-peer
+//     structure (seq vectors, replica sets) or eager fiber stack comes
+//     back as O(ranks^2) aggregate here and blows through the bound.
+#include <gtest/gtest.h>
+#include <sys/resource.h>
+
+#include "test_support.hpp"
+
+namespace sdrmpi {
+namespace {
+
+using test::quick_config;
+using test::run_clean;
+
+long peak_rss_mb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+#ifdef __APPLE__
+  return ru.ru_maxrss / (1024 * 1024);  // bytes on macOS
+#else
+  return ru.ru_maxrss / 1024;  // KB on Linux
+#endif
+}
+
+// Weak-scaled symbolic CG: one matrix row per rank, two iterations. The
+// communication graph (halo + allreduce tree) is what scales; per-rank
+// work is trivial.
+core::AppFn scale_workload() {
+  util::Options opts;
+  opts.set("nrows", "1024");
+  opts.set("iters", "2");
+  opts.set("symbolic", "true");
+  return wl::make_workload("cg", opts);
+}
+
+TEST(ScaleSmoke, AllProtocolsCleanAt1kRanks) {
+  constexpr int kRanks = 1024;
+  const auto app = scale_workload();
+
+  const auto native =
+      core::run(quick_config(kRanks, 1, core::ProtocolKind::Native), app);
+  ASSERT_TRUE(run_clean(native));
+
+  const core::ProtocolKind protos[] = {
+      core::ProtocolKind::Sdr, core::ProtocolKind::Mirror,
+      core::ProtocolKind::Leader, core::ProtocolKind::RedMpiLeader,
+      core::ProtocolKind::RedMpiSd};
+  for (const auto proto : protos) {
+    const auto rep = core::run(quick_config(kRanks, 2, proto), app);
+    ASSERT_TRUE(run_clean(rep)) << core::to_string(proto);
+    // Transparency at scale: spot-check ranks across the communicator.
+    for (const int rank : {0, 1, 511, 1023}) {
+      EXPECT_EQ(rep.checksum_of(rank), native.checksum_of(rank))
+          << core::to_string(proto) << " rank " << rank;
+    }
+  }
+
+  // 6 protocols x 2048 slots have run in this process by now. The bound
+  // is ~10x above a healthy debug build and far under what any dense
+  // per-peer representation costs at this rank count.
+  EXPECT_LT(peak_rss_mb(), 1536) << "per-rank host state regressed";
+}
+
+}  // namespace
+}  // namespace sdrmpi

@@ -326,6 +326,96 @@ TEST(Engine, FiberStacksRecycledAcrossManyProcesses) {
   EXPECT_EQ(e.process_count(), 401u);
 }
 
+TEST(Engine, StacksAllocatedLazilyAtFirstDispatch) {
+  // Spawning maps nothing: a process pays for a stack only when it is
+  // first dispatched. This is what lets a 4k-rank spawn phase cost
+  // near-zero address space up front.
+  Engine e;
+  for (int i = 0; i < 32; ++i) {
+    e.spawn("p", [&] { e.advance(1); });
+  }
+  EXPECT_EQ(e.stack_stats().stacks_created, 0u);
+  EXPECT_EQ(e.stack_stats().bytes_mapped, 0u);
+  auto out = e.run();
+  EXPECT_TRUE(out.clean());
+  EXPECT_GT(e.stack_stats().stacks_created, 0u);
+}
+
+TEST(Engine, SequentialFibersShareOneStack) {
+  // Run-to-completion processes hand their stack back before the next one
+  // dispatches, so any number of sequential fibers costs one mapping.
+  Engine e;
+  for (int i = 0; i < 5; ++i) {
+    e.spawn("p", [] {});
+  }
+  auto out = e.run();
+  EXPECT_TRUE(out.clean());
+  EXPECT_EQ(e.stack_stats().stacks_created, 1u);
+  EXPECT_EQ(e.stack_stats().stacks_recycled, 4u);
+  EXPECT_EQ(e.stack_stats().stacks_dropped, 0u);
+}
+
+TEST(Engine, InterleavedFibersEachGetTheirOwnStack) {
+  // Yielding keeps a fiber live, so interleaved processes genuinely hold
+  // concurrent stacks — the mapped high-water tracks peak concurrency,
+  // not total process count.
+  Engine e;
+  for (int i = 0; i < 4; ++i) {
+    e.spawn("p", [&] {
+      for (int j = 0; j < 3; ++j) {
+        e.advance(1);
+        e.yield();
+      }
+    });
+  }
+  auto out = e.run();
+  EXPECT_TRUE(out.clean());
+  EXPECT_EQ(e.stack_stats().stacks_created, 4u);
+  EXPECT_GT(e.stack_stats().bytes_mapped_peak, 0u);
+}
+
+TEST(Engine, StackCacheCapZeroDropsEveryStack) {
+  Engine e;
+  e.set_stack_cache_cap(0);
+  for (int i = 0; i < 5; ++i) {
+    e.spawn("p", [] {});
+  }
+  auto out = e.run();
+  EXPECT_TRUE(out.clean());
+  EXPECT_EQ(e.stack_stats().stacks_created, 5u);
+  EXPECT_EQ(e.stack_stats().stacks_recycled, 0u);
+  EXPECT_EQ(e.stack_stats().stacks_dropped, 5u);
+  EXPECT_EQ(e.stack_stats().bytes_mapped, 0u);
+}
+
+TEST(Engine, FiberStackSizeIsConfigurable) {
+  constexpr std::size_t kBytes = std::size_t{1} << 20;
+  Engine e;
+  e.set_fiber_stack_bytes(kBytes);
+  e.spawn("p", [] {});
+  auto out = e.run();
+  EXPECT_TRUE(out.clean());
+  // mapped_bytes = usable bytes + guard page + page rounding; bound the
+  // overhead loosely so page-size differences don't break the test.
+  EXPECT_GE(e.stack_stats().bytes_mapped_peak, kBytes);
+  EXPECT_LE(e.stack_stats().bytes_mapped_peak, kBytes + (std::size_t{64} << 10));
+}
+
+TEST(Engine, WatermarkReportsStackDepth) {
+  // The watermark fill is read from the environment at engine
+  // construction; painted stacks report the deepest frame reached.
+  ::setenv("SDRMPI_STACK_WATERMARK", "1", 1);
+  {
+    Engine e;
+    e.spawn("p", [&] { e.advance(1); });
+    auto out = e.run();
+    EXPECT_TRUE(out.clean());
+    EXPECT_GT(e.stack_stats().stack_depth_peak, 0u);
+    EXPECT_LT(e.stack_stats().stack_depth_peak, e.fiber_stack_bytes());
+  }
+  ::unsetenv("SDRMPI_STACK_WATERMARK");
+}
+
 TEST(Engine, RunManyDeterministicAcrossPoolSizes) {
   // One simulated run occupies exactly one host thread, so outcomes must be
   // bit-identical whatever the pool size: same end time, event count, and

@@ -266,6 +266,12 @@ core::RunResult fully_populated_result() {
               .link_stalls = 19,
               .link_stall_ns = 20,
               .link_busy_ns = 21};
+  r.mem = {.stack_bytes_reserved = 101,
+           .stack_bytes_peak = 102,
+           .stack_depth_peak = 103,
+           .endpoint_bytes = 104,
+           .fabric_bytes = 105,
+           .payload_slab_bytes = 106};
   return r;
 }
 
@@ -274,6 +280,15 @@ TEST(ResultCodec, RoundTripsEveryField) {
   const auto bytes = sweep::encode_result(r);
   const core::RunResult back = sweep::decode_result(bytes);
   EXPECT_EQ(back, r);  // field-wise via RunResult::operator==
+
+  // operator== deliberately ignores MemStats (host-side, not simulated
+  // outcome), so pin its round trip field by field.
+  EXPECT_EQ(back.mem.stack_bytes_reserved, r.mem.stack_bytes_reserved);
+  EXPECT_EQ(back.mem.stack_bytes_peak, r.mem.stack_bytes_peak);
+  EXPECT_EQ(back.mem.stack_depth_peak, r.mem.stack_depth_peak);
+  EXPECT_EQ(back.mem.endpoint_bytes, r.mem.endpoint_bytes);
+  EXPECT_EQ(back.mem.fabric_bytes, r.mem.fabric_bytes);
+  EXPECT_EQ(back.mem.payload_slab_bytes, r.mem.payload_slab_bytes);
 
   // Defaults round-trip too (empty vectors, zero counters).
   const core::RunResult empty;
@@ -546,6 +561,47 @@ TEST(SweepService, DedupeDispatchesEachDigestOnce) {
   for (std::size_t i = 0; i < runs.size(); ++i) {
     EXPECT_EQ(runs[i], runs[i % unique]) << "duplicate " << i;
   }
+}
+
+TEST(ConfigKey, AppSpecSaltsTheDigest) {
+  core::RunConfig cfg;
+  cfg.nranks = 4;
+  // Empty spec is the identity: single-app sweeps keep their digests.
+  EXPECT_EQ(sweep::config_key(cfg, ""), sweep::config_key(cfg));
+  EXPECT_NE(sweep::config_key(cfg, "cg"), sweep::config_key(cfg));
+  EXPECT_NE(sweep::config_key(cfg, "cg"), sweep::config_key(cfg, "ft"));
+  EXPECT_EQ(sweep::config_key(cfg, "cg"), sweep::config_key(cfg, "cg"));
+}
+
+TEST(SweepService, SpecKeepsSameConfigDifferentAppsApart) {
+  // Two points with byte-identical configs running different programs are
+  // different experiments. With the spec callback installed the service
+  // simulates both; without it, config-only digests collapse them onto
+  // one simulation (sound only when every point runs the same app).
+  core::RunConfig cfg;
+  cfg.nranks = 3;
+  cfg.time_limit = timeunits::seconds(30.0);
+  const std::vector<core::RunConfig> configs = {cfg, cfg};
+  std::vector<core::AppFn> apps = {tiny_ring_app(3), tiny_funnel_app(2)};
+  auto factory = [&apps](const core::RunConfig&, std::size_t i) {
+    return apps[i];
+  };
+
+  sweep::ServiceOptions opts;
+  opts.workers = 1;
+  opts.spec = [](const core::RunConfig&, std::size_t i) {
+    return std::string(i == 0 ? "ring" : "funnel");
+  };
+  sweep::SweepService salted(std::move(opts));
+  const auto runs = salted.run(configs, factory);
+  EXPECT_EQ(salted.stats().unique_points, 2u);
+  EXPECT_EQ(salted.stats().dispatched, 2u);
+  EXPECT_NE(runs[0], runs[1]) << "both programs must actually have run";
+
+  sweep::SweepService unsalted({.workers = 1});
+  const auto collapsed = unsalted.run(configs, factory);
+  EXPECT_EQ(unsalted.stats().unique_points, 1u);
+  EXPECT_EQ(collapsed[0], collapsed[1]);
 }
 
 TEST(SweepService, ResumeCompletesOnlyMissingDigests) {

@@ -59,9 +59,7 @@ struct Rig {
       : fabric(engine, net::NetParams::infiniband_20g(), n), logs(n) {
     for (int s = 0; s < n; ++s) {
       auto ep = std::make_unique<mpi::Endpoint>(fabric, s, 0, 1);
-      std::vector<int> slots(static_cast<std::size_t>(n));
-      std::iota(slots.begin(), slots.end(), 0);
-      ep->register_comm_fixed(2, 3, s, slots);
+      ep->register_comm_fixed(2, 3, s, mpi::RankMap::iota(0, n));
       ep->set_protocol(
           std::make_unique<SpyProtocol>(&logs[static_cast<std::size_t>(s)]));
       eps.push_back(std::move(ep));
